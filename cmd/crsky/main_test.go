@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunGenQueryExplainCertain(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "pts.csv")
+	var out bytes.Buffer
+
+	if err := run([]string{"gen", "-out", csv, "-kind", "ind", "-n", "300", "-d", "2", "-seed", "3"}, &out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	if !strings.Contains(out.String(), "wrote 300 certain points") {
+		t.Fatalf("gen output: %q", out.String())
+	}
+	if _, err := os.Stat(csv); err != nil {
+		t.Fatalf("gen did not create the file: %v", err)
+	}
+
+	out.Reset()
+	if err := run([]string{"query", "-data", csv, "-q", "5000,5000", "-limit", "3"}, &out); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !strings.Contains(out.String(), "reverse skyline of") {
+		t.Fatalf("query output: %q", out.String())
+	}
+
+	out.Reset()
+	err := run([]string{"explain", "-data", csv, "-q", "5000,5000", "-an", "0"}, &out)
+	// Index 0 may be an answer; accept either a clean explanation or the
+	// not-a-non-answer error, but nothing else.
+	if err != nil && !strings.Contains(err.Error(), "non-answer") {
+		t.Fatalf("explain: %v", err)
+	}
+	if err == nil && !strings.Contains(out.String(), "actual causes") {
+		t.Fatalf("explain output: %q", out.String())
+	}
+
+	// JSON mode produces a decodable envelope for some explainable index.
+	for an := 0; an < 20; an++ {
+		out.Reset()
+		err := run([]string{"explain", "-data", csv, "-q", "5000,5000",
+			"-an", strconv.Itoa(an), "-json"}, &out)
+		if err != nil {
+			continue
+		}
+		var env struct {
+			NonAnswer  int     `json:"nonAnswer"`
+			Alpha      float64 `json:"alpha"`
+			Candidates int     `json:"candidates"`
+			Causes     []struct {
+				ID             int     `json:"ID"`
+				Responsibility float64 `json:"Responsibility"`
+			} `json:"causes"`
+		}
+		if jerr := json.Unmarshal(out.Bytes(), &env); jerr != nil {
+			t.Fatalf("bad JSON: %v\n%s", jerr, out.String())
+		}
+		if env.NonAnswer != an || len(env.Causes) == 0 || env.Candidates == 0 {
+			t.Fatalf("JSON envelope inconsistent: %+v", env)
+		}
+		return
+	}
+	t.Fatal("no explainable index for the JSON check")
+}
+
+func TestRunUncertainPipeline(t *testing.T) {
+	dir := t.TempDir()
+	csv := filepath.Join(dir, "unc.csv")
+	var out bytes.Buffer
+
+	if err := run([]string{"gen", "-out", csv, "-kind", "lUrU", "-n", "150", "-d", "2", "-seed", "5"}, &out); err != nil {
+		t.Fatalf("gen: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"query", "-data", csv, "-uncertain", "-q", "4000,4000", "-alpha", "0.5", "-limit", "5"}, &out); err != nil {
+		t.Fatalf("query: %v", err)
+	}
+	if !strings.Contains(out.String(), "probabilistic reverse skyline") {
+		t.Fatalf("query output: %q", out.String())
+	}
+
+	// Find some explainable object by trying a few IDs.
+	explained := false
+	for an := 0; an < 40 && !explained; an++ {
+		out.Reset()
+		err := run([]string{"explain", "-data", csv, "-uncertain",
+			"-q", "4000,4000", "-an", strconv.Itoa(an), "-alpha", "0.5", "-maxcand", "14"}, &out)
+		if err == nil && strings.Contains(out.String(), "actual causes") {
+			explained = true
+		}
+	}
+	if !explained {
+		t.Fatal("no object could be explained")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"gen"},                             // missing -out
+		{"gen", "-out", "/x", "-kind", "?"}, // unknown kind
+		{"query"},                           // missing flags
+		{"query", "-data", "/nonexistent", "-q", "1,2"},
+		{"explain"},
+		{"explain", "-data", "/nonexistent", "-q", "1,2", "-an", "0"},
+		{"query", "-data", "/dev/null", "-q", "notanumber"},
+	}
+	for _, args := range cases {
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestParsePoint(t *testing.T) {
+	p, err := parsePoint("1, 2.5 ,3")
+	if err != nil || len(p) != 3 || p[1] != 2.5 {
+		t.Fatalf("parsePoint: %v, %v", p, err)
+	}
+	if _, err := parsePoint("1,x"); err == nil {
+		t.Fatal("bad coordinate should fail")
+	}
+}

@@ -1,0 +1,64 @@
+// Command experiments regenerates the paper's evaluation: Tables 3–4 and
+// Figures 6–13, plus the reproduction extras (lemma ablations, pdf model).
+//
+// Usage:
+//
+//	experiments [-exp name] [-scale f] [-runs n] [-seed s] [-list]
+//
+// With no -exp flag every experiment runs in paper order. -scale multiplies
+// the synthetic cardinalities (1.0 = the paper's 100K default / 1M maximum;
+// the default 0.1 finishes a full sweep in minutes).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/crsky/crsky/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment to run (default: all); see -list")
+		scale = flag.Float64("scale", 0.1, "cardinality scale factor (1.0 = paper scale)")
+		runs  = flag.Int("runs", 50, "non-answers averaged per measurement")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		pool  = flag.Int("maxpool", 18, "refinement pool cap for selected non-answers")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-10s %s\n", e.Name, e.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Out:     os.Stdout,
+		Seed:    *seed,
+		Runs:    *runs,
+		Scale:   *scale,
+		MaxPool: *pool,
+	}
+
+	if *exp == "" {
+		if err := experiments.RunAll(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	e, ok := experiments.Lookup(*exp)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *exp)
+		os.Exit(2)
+	}
+	fmt.Printf("=== %s ===\n", e.Title)
+	if err := e.Run(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}

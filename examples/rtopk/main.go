@@ -1,0 +1,55 @@
+// Reverse top-k causality (the paper's future-work extension): a phone
+// maker checks which customer profiles would see its new model in their
+// top-3, and explains why a targeted profile does not.
+//
+// Run with: go run ./examples/rtopk
+package main
+
+import (
+	"fmt"
+	"log"
+
+	crsky "github.com/crsky/crsky"
+)
+
+func main() {
+	// Competing phones as (price in $100s, weight in 100g); smaller is
+	// better on both attributes.
+	phones := []crsky.Point{
+		{4.0, 1.7}, // 0: budget champion
+		{5.5, 1.5}, // 1
+		{6.0, 1.4}, // 2
+		{7.5, 1.3}, // 3: light flagship
+		{9.0, 1.2}, // 4: premium ultralight
+		{9.5, 2.1}, // 5: heavy premium
+	}
+	// Our new model: mid-priced and light.
+	q := crsky.Point{6.9, 1.25}
+	const k = 3
+
+	// Customer profiles: relative importance of price vs weight.
+	profiles := map[string]crsky.Point{
+		"price hunter":   {1.0, 0.1},
+		"balanced buyer": {0.6, 0.5},
+		"weight fanatic": {0.05, 1.0},
+	}
+	for name, w := range profiles {
+		in := crsky.IsReverseTopKAnswer(phones, w, q, k)
+		fmt.Printf("%-15s top-%d contains our model: %v\n", name, k, in)
+	}
+
+	// The price hunter does not see us. Which competitors are responsible?
+	w := profiles["price hunter"]
+	res, err := crsky.ExplainReverseTopK(phones, w, q, k)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfor the price hunter (w=%v), %d phones score better than ours:\n", w, res.Candidates)
+	for _, c := range res.Causes {
+		p := phones[c.ID]
+		fmt.Printf("  phone %d (price %.1f, weight %.1f) — score %.2f vs our %.2f, responsibility 1/%d\n",
+			c.ID, p[0], p[1], crsky.Score(w, p), crsky.Score(w, q), int(1/c.Responsibility+0.5))
+	}
+	fmt.Println("\nreading: undercutting any", res.Candidates-k+1,
+		"of these competitors on price puts our model into that profile's top-3.")
+}

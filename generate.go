@@ -1,0 +1,83 @@
+package crsky
+
+import (
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// Generator configuration types, re-exported from the data layer so that
+// applications can produce the paper's workloads through this package.
+type (
+	// UncertainConfig parametrizes the synthetic uncertain generator
+	// (Section 5.1): centers Uniform/Skew, radii Uniform/Gaussian.
+	UncertainConfig = dataset.UncertainConfig
+	// CertainConfig parametrizes the certain generator (Independent,
+	// Correlated, Anti-correlated, Clustered).
+	CertainConfig = dataset.CertainConfig
+	// Distribution names a center/radius distribution.
+	Distribution = dataset.Distribution
+	// CertainKind names a certain-data distribution family.
+	CertainKind = dataset.CertainKind
+)
+
+// Distribution and kind constants.
+const (
+	DistUniform  = dataset.DistUniform
+	DistSkew     = dataset.DistSkew
+	DistGaussian = dataset.DistGaussian
+
+	Independent    = dataset.Independent
+	Correlated     = dataset.Correlated
+	AntiCorrelated = dataset.AntiCorrelated
+	Clustered      = dataset.Clustered
+
+	// UniformPDF and GaussianPDF select the continuous density family.
+	UniformPDF  = uncertain.Uniform
+	GaussianPDF = uncertain.Gaussian
+)
+
+// GenerateUncertain produces a seeded synthetic uncertain dataset ready for
+// NewEngine.
+func GenerateUncertain(cfg UncertainConfig) ([]*Object, error) {
+	ds, err := dataset.GenerateUncertain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Objects, nil
+}
+
+// GenerateUncertainPDF produces the continuous-model twin of
+// GenerateUncertain for NewPDFEngine.
+func GenerateUncertainPDF(cfg UncertainConfig, kind uncertain.PDFKind) ([]*PDFObject, error) {
+	return dataset.GenerateUncertainPDF(cfg, kind)
+}
+
+// GenerateCertain produces a seeded synthetic certain dataset ready for
+// NewCertainEngine.
+func GenerateCertain(cfg CertainConfig) ([]Point, error) {
+	ds, err := dataset.GenerateCertain(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return ds.Points, nil
+}
+
+// NBADataset is the seeded stand-in for the paper's NBA dataset: 3,542
+// players × four attributes (PTS, FGA, REB, AST), one uncertain object per
+// player with one sample per season.
+type NBADataset struct {
+	Objects []*Object
+	Names   []string
+}
+
+// GenerateNBA produces the NBA stand-in.
+func GenerateNBA(seed int64) *NBADataset {
+	nba := dataset.GenerateNBA(seed)
+	return &NBADataset{Objects: nba.Objects, Names: nba.Names}
+}
+
+// GenerateCarDB produces the 45,311-tuple (price, mileage) stand-in for the
+// paper's CarDB dataset.
+func GenerateCarDB(seed int64) []Point {
+	return dataset.GenerateCarDB(seed).Points
+}

@@ -1,0 +1,345 @@
+package causality
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// randTinyUncertain builds a small clustered uncertain dataset where
+// objects interact enough for interesting causality structure.
+func randTinyUncertain(r *rand.Rand, n, d, maxSamples int) *dataset.Uncertain {
+	objs := make([]*uncertain.Object, n)
+	for i := 0; i < n; i++ {
+		ns := 1 + r.Intn(maxSamples)
+		center := make(geom.Point, d)
+		for j := range center {
+			center[j] = r.Float64() * 60
+		}
+		locs := make([]geom.Point, ns)
+		for s := range locs {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = center[j] + (r.Float64()-0.5)*20
+			}
+			locs[s] = p
+		}
+		objs[i] = uncertain.NewUniform(i, locs)
+	}
+	return dataset.MustUncertain(objs)
+}
+
+func causesEqual(t *testing.T, got, want []Cause, context string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d causes, want %d\n got: %v\nwant: %v", context, len(got), len(want), got, want)
+	}
+	for i := range got {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("%s: cause %d ID %d, want %d", context, i, got[i].ID, want[i].ID)
+		}
+		if math.Abs(got[i].Responsibility-want[i].Responsibility) > 1e-9 {
+			t.Fatalf("%s: cause %d responsibility %v, want %v",
+				context, i, got[i].Responsibility, want[i].Responsibility)
+		}
+		if len(got[i].Contingency) != len(want[i].Contingency) {
+			t.Fatalf("%s: cause %d |Γ| = %d, want %d (Γ=%v vs %v)",
+				context, i, len(got[i].Contingency), len(want[i].Contingency),
+				got[i].Contingency, want[i].Contingency)
+		}
+	}
+}
+
+// TestCPMatchesOracle is the central correctness test of the reproduction:
+// CP must return exactly the Definition-1 causes with exact
+// responsibilities on random small instances, validated against exhaustive
+// search over all objects and all contingency subsets.
+func TestCPMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	trials, ran := 0, 0
+	for trials < 400 {
+		trials++
+		d := 1 + r.Intn(2)
+		n := 3 + r.Intn(5)
+		ds := randTinyUncertain(r, n, d, 3)
+		q := make(geom.Point, d)
+		for j := range q {
+			q[j] = r.Float64() * 60
+		}
+		alpha := [5]float64{0.2, 0.4, 0.5, 0.6, 0.8}[r.Intn(5)]
+		anID := r.Intn(n)
+		if prob.GEq(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), alpha) {
+			continue // an answer; nothing to explain
+		}
+		ran++
+		got, err := CP(ds, q, anID, alpha, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: CP: %v", trials, err)
+		}
+		want := BruteCausesUncertain(ds.Objects, q, anID, alpha)
+		causesEqual(t, got.Causes, want, "CP vs oracle")
+		// Every cause must be a candidate (Lemma 1) and the candidate
+		// count must bound the causes.
+		if len(got.Causes) > got.Candidates {
+			t.Fatalf("more causes (%d) than candidates (%d)", len(got.Causes), got.Candidates)
+		}
+	}
+	if ran < 100 {
+		t.Fatalf("only %d informative trials out of %d", ran, trials)
+	}
+}
+
+// TestNaiveIMatchesCP: the baseline must agree with CP while examining at
+// least as many subsets.
+func TestNaiveIMatchesCP(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	ran := 0
+	for trial := 0; trial < 150 && ran < 60; trial++ {
+		d := 1 + r.Intn(2)
+		n := 4 + r.Intn(4)
+		ds := randTinyUncertain(r, n, d, 3)
+		q := make(geom.Point, d)
+		for j := range q {
+			q[j] = r.Float64() * 60
+		}
+		alpha := 0.5
+		anID := r.Intn(n)
+		if prob.GEq(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), alpha) {
+			continue
+		}
+		ran++
+		cp, err := CP(ds, q, anID, alpha, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		naive, err := NaiveI(ds, q, anID, alpha, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		causesEqual(t, naive.Causes, cp.Causes, "NaiveI vs CP")
+		if naive.Candidates != cp.Candidates {
+			t.Fatalf("candidate counts differ: %d vs %d", naive.Candidates, cp.Candidates)
+		}
+		if len(cp.Causes) > 0 && naive.SubsetsExamined < cp.SubsetsExamined {
+			t.Fatalf("NaiveI examined fewer subsets (%d) than CP (%d)",
+				naive.SubsetsExamined, cp.SubsetsExamined)
+		}
+	}
+	if ran < 30 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}
+
+// TestCounterfactualExample mirrors the paper's Fig.-1c discussion: if a
+// single uncertain object blocks an entirely, it is a counterfactual cause
+// with responsibility 1.
+func TestCounterfactualExample(t *testing.T) {
+	q := geom.Point{0, 0}
+	an := uncertain.NewUniform(0, []geom.Point{{20, 20}, {22, 22}})
+	// blocker dominates q w.r.t. both samples of an in every world.
+	blocker := uncertain.NewUniform(1, []geom.Point{{10, 10}, {11, 11}})
+	// bystander cannot dominate q w.r.t. an at all.
+	bystander := uncertain.Certain(2, geom.Point{-50, -50})
+	ds := dataset.MustUncertain([]*uncertain.Object{an, blocker, bystander})
+
+	res, err := CP(ds, q, 0, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pr != 0 {
+		t.Fatalf("Pr(an) = %v, want 0", res.Pr)
+	}
+	if len(res.Causes) != 1 {
+		t.Fatalf("causes = %v, want exactly the blocker", res.Causes)
+	}
+	c := res.Causes[0]
+	if c.ID != 1 || !c.Counterfactual || c.Responsibility != 1 || len(c.Contingency) != 0 {
+		t.Fatalf("unexpected cause: %+v", c)
+	}
+}
+
+// TestAlphaOneFastPath checks Algorithm 1 lines 9–11: at α = 1 every
+// candidate is a cause with responsibility 1/|Cc|.
+func TestAlphaOneFastPath(t *testing.T) {
+	q := geom.Point{0, 0}
+	an := uncertain.NewUniform(0, []geom.Point{{20, 20}, {24, 24}})
+	// Two partial blockers, each dominating in only some worlds.
+	b1 := uncertain.NewUniform(1, []geom.Point{{10, 10}, {100, 100}})
+	b2 := uncertain.NewUniform(2, []geom.Point{{15, 15}, {-90, 90}})
+	ds := dataset.MustUncertain([]*uncertain.Object{an, b1, b2})
+
+	res, err := CP(ds, q, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 2 || len(res.Causes) != 2 {
+		t.Fatalf("candidates/causes = %d/%d, want 2/2", res.Candidates, len(res.Causes))
+	}
+	for _, c := range res.Causes {
+		if math.Abs(c.Responsibility-0.5) > 1e-12 {
+			t.Fatalf("responsibility %v, want 1/2", c.Responsibility)
+		}
+		if len(c.Contingency) != 1 {
+			t.Fatalf("|Γ| = %d, want 1", len(c.Contingency))
+		}
+	}
+	// Cross-check the fast path against the oracle.
+	want := BruteCausesUncertain(ds.Objects, q, 0, 1)
+	causesEqual(t, res.Causes, want, "alpha=1 vs oracle")
+}
+
+// TestLemma4ForcedMember builds an instance with a Γ1 object: a candidate
+// whose every sample dominates q w.r.t. every sample of an must appear in
+// every other cause's minimum contingency set.
+func TestLemma4ForcedMember(t *testing.T) {
+	q := geom.Point{0, 0}
+	an := uncertain.NewUniform(0, []geom.Point{{20, 20}, {26, 26}})
+	// forced: both samples dominate q w.r.t. both samples of an.
+	forced := uncertain.NewUniform(1, []geom.Point{{8, 8}, {12, 12}})
+	// partial: dominates only in one world.
+	partial := uncertain.NewUniform(2, []geom.Point{{24, 24}, {200, 200}})
+	ds := dataset.MustUncertain([]*uncertain.Object{an, forced, partial})
+
+	res, err := CP(ds, q, 0, 0.6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BruteCausesUncertain(ds.Objects, q, 0, 0.6)
+	causesEqual(t, res.Causes, want, "Lemma 4 instance vs oracle")
+	for _, c := range res.Causes {
+		if c.ID == 1 {
+			continue
+		}
+		inGamma := false
+		for _, g := range c.Contingency {
+			if g == 1 {
+				inGamma = true
+			}
+		}
+		if !inGamma {
+			t.Fatalf("forced object missing from Γ of cause %d: %v", c.ID, c.Contingency)
+		}
+	}
+}
+
+func TestCPErrors(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	ds := randTinyUncertain(r, 6, 2, 2)
+	q := geom.Point{30, 30}
+
+	if _, err := CP(ds, q, -1, 0.5, Options{}); !errors.Is(err, ErrBadObject) {
+		t.Errorf("bad index: %v", err)
+	}
+	if _, err := CP(ds, q, 99, 0.5, Options{}); !errors.Is(err, ErrBadObject) {
+		t.Errorf("out of range: %v", err)
+	}
+	if _, err := CP(ds, geom.Point{1}, 0, 0.5, Options{}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := CP(ds, q, 0, 0, Options{}); err == nil {
+		t.Error("alpha=0 should fail")
+	}
+	if _, err := CP(ds, q, 0, 1.5, Options{}); err == nil {
+		t.Error("alpha>1 should fail")
+	}
+	if _, err := CP(ds, q, 0, math.NaN(), Options{}); err == nil {
+		t.Error("alpha=NaN should fail")
+	}
+
+	// An object with no dominators is an answer -> ErrNotNonAnswer.
+	lonely := dataset.MustUncertain([]*uncertain.Object{
+		uncertain.Certain(0, geom.Point{5, 5}),
+		uncertain.Certain(1, geom.Point{500, 500}),
+	})
+	if _, err := CP(lonely, geom.Point{4, 4}, 0, 0.5, Options{}); !errors.Is(err, ErrNotNonAnswer) {
+		t.Errorf("answer object: %v", err)
+	}
+}
+
+func TestCPBudgets(t *testing.T) {
+	r := rand.New(rand.NewSource(74))
+	var ds *dataset.Uncertain
+	var q geom.Point
+	var anID int
+	// Find an instance with several candidates.
+	for {
+		ds = randTinyUncertain(r, 10, 2, 2)
+		q = geom.Point{30, 30}
+		anID = r.Intn(10)
+		if prob.Less(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), 0.5) {
+			res, err := CP(ds, q, anID, 0.5, Options{})
+			if err == nil && res.Candidates >= 3 && res.SubsetsExamined > 1 {
+				break
+			}
+		}
+	}
+	if _, err := CP(ds, q, anID, 0.5, Options{MaxCandidates: 1}); !errors.Is(err, ErrTooManyCandidates) {
+		t.Errorf("MaxCandidates: %v", err)
+	}
+	if _, err := CP(ds, q, anID, 0.5, Options{MaxSubsets: 1}); !errors.Is(err, ErrSubsetBudget) {
+		t.Errorf("MaxSubsets: %v", err)
+	}
+}
+
+func TestCPDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(75))
+	for {
+		ds := randTinyUncertain(r, 8, 2, 3)
+		q := geom.Point{30, 30}
+		anID := r.Intn(8)
+		if prob.GEq(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), 0.5) {
+			continue
+		}
+		a, err := CP(ds, q, anID, 0.5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := CP(ds, q, anID, 0.5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("CP not deterministic:\n%v\n%v", a, b)
+		}
+		return
+	}
+}
+
+// TestResponsibilityInverseLaw checks the Definition-2 arithmetic on CP
+// output: responsibility * (1 + |Γ|) == 1 for every non-counterfactual
+// cause, and counterfactual causes have responsibility exactly 1.
+func TestResponsibilityInverseLaw(t *testing.T) {
+	r := rand.New(rand.NewSource(76))
+	checked := 0
+	for trial := 0; trial < 100 && checked < 40; trial++ {
+		ds := randTinyUncertain(r, 7, 2, 3)
+		q := geom.Point{30, 30}
+		anID := r.Intn(7)
+		if prob.GEq(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), 0.4) {
+			continue
+		}
+		res, err := CP(ds, q, anID, 0.4, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range res.Causes {
+			checked++
+			if c.Counterfactual {
+				if c.Responsibility != 1 || len(c.Contingency) != 0 {
+					t.Fatalf("counterfactual law violated: %+v", c)
+				}
+				continue
+			}
+			if math.Abs(c.Responsibility*float64(1+len(c.Contingency))-1) > 1e-12 {
+				t.Fatalf("responsibility law violated: %+v", c)
+			}
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package causality
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// PDFSet is a continuous-model uncertain dataset: pdf objects whose IDs
+// equal their slice positions, with a lazily built R-tree over the
+// uncertainty regions.
+type PDFSet struct {
+	Objects []*uncertain.PDFObject
+	tree    *rtree.Tree
+}
+
+// NewPDFSet validates the objects and wraps them.
+func NewPDFSet(objs []*uncertain.PDFObject) (*PDFSet, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("causality: no pdf objects")
+	}
+	d := objs[0].Dims()
+	for i, o := range objs {
+		if o.ID != i {
+			return nil, fmt.Errorf("causality: pdf object at index %d has ID %d", i, o.ID)
+		}
+		if err := o.Validate(); err != nil {
+			return nil, err
+		}
+		if o.Dims() != d {
+			return nil, fmt.Errorf("causality: pdf object %d has %d dims, want %d", i, o.Dims(), d)
+		}
+	}
+	return &PDFSet{Objects: objs}, nil
+}
+
+// Len returns the number of objects.
+func (s *PDFSet) Len() int { return len(s.Objects) }
+
+// Dims returns the dataset dimensionality.
+func (s *PDFSet) Dims() int { return s.Objects[0].Dims() }
+
+// Tree returns the R-tree over uncertainty regions, built on first use.
+func (s *PDFSet) Tree(opts ...rtree.Option) *rtree.Tree {
+	if s.tree == nil {
+		items := make([]rtree.Item, len(s.Objects))
+		for i, o := range s.Objects {
+			items[i] = rtree.Item{Rect: o.Region.Clone(), ID: i}
+		}
+		t := rtree.New(s.Dims(), opts...)
+		t.BulkLoad(items)
+		s.tree = t
+	}
+	return s.tree
+}
+
+// CPPDF is the continuous-pdf variant of CP (Section 3.2). The three
+// differences from the discrete algorithm are exactly the paper's:
+//
+//  1. the candidate filter uses one dominance rectangle per sub-quadrant
+//     piece of an's uncertainty region, formed through the piece's
+//     farthest corner from q (instead of one rectangle per sample);
+//  2. Γ1 membership is certified geometrically through the rectangle of
+//     the nearest corner (objects inside it dominate q w.r.t. every point
+//     of an's region), complemented by the evaluator's exact mass test;
+//  3. probabilities are integrals instead of sums — dominance masses are
+//     exact per-dimension products, and Pr(an | ·) integrates over an's
+//     region with Gauss–Legendre cubature (Options.QuadNodes per dim).
+func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
+	if anID < 0 || anID >= s.Len() {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
+	}
+	if err := checkQuery(q, s.Dims(), alpha); err != nil {
+		return nil, err
+	}
+	an := s.Objects[anID]
+
+	// Difference 1: sub-quadrant farthest-corner rectangles.
+	recs := prob.CandidateRectsPDF(an, q)
+	var candIDs []int
+	s.Tree().SearchAny(recs, func(id int, _ geom.Rect) bool {
+		if id != anID {
+			candIDs = append(candIDs, id)
+		}
+		return true
+	})
+	sort.Ints(candIDs)
+	if opts.MaxCandidates > 0 && len(candIDs) > opts.MaxCandidates {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyCandidates, len(candIDs), opts.MaxCandidates)
+	}
+
+	cands := make([]*uncertain.PDFObject, len(candIDs))
+	for i, id := range candIDs {
+		cands[i] = s.Objects[id]
+	}
+	e := prob.NewPDFEvaluator(an, q, cands, opts.QuadNodes)
+
+	// Drop geometric false positives (regions touching a filter rectangle
+	// with zero dominance mass) so the refinement space stays tight.
+	keptRows := 0
+	for j := range cands {
+		if !e.NeverDominates(j) {
+			candIDs[keptRows] = candIDs[j]
+			cands[keptRows] = cands[j]
+			keptRows++
+		}
+	}
+	wasN := e.N()
+	candIDs = candIDs[:keptRows]
+	cands = cands[:keptRows]
+	if keptRows != wasN {
+		e = prob.NewPDFEvaluator(an, q, cands, opts.QuadNodes)
+	}
+
+	pr := e.Pr()
+	if prob.GEq(pr, alpha) {
+		return nil, fmt.Errorf("%w: Pr=%.6g, α=%.6g", ErrNotNonAnswer, pr, alpha)
+	}
+
+	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs)}
+	if prob.GEq(alpha, 1) {
+		res.Causes = alphaOneCauses(candIDs)
+		return res, nil
+	}
+
+	r := newRefiner(e, candIDs, alpha, opts)
+	// Difference 2: geometric Γ1 certification via the nearest-corner
+	// rectangle. The evaluator's mass-based AlwaysDominates (set in
+	// classify) and this test agree on exact arithmetic; the geometric
+	// test is added for robustness against quadrature discretization.
+	if core, ok := prob.CoreRectPDF(an, q); ok {
+		for j, c := range cands {
+			if core.ContainsRect(c.Region) {
+				r.forced[j] = true
+			}
+		}
+	}
+	causes, err := r.run()
+	if err != nil {
+		return nil, err
+	}
+	res.Causes = causes
+	res.SubsetsExamined = r.subsetsCount()
+	return res, nil
+}

@@ -1,0 +1,146 @@
+package causality
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/skyline"
+)
+
+// CR computes the causality and responsibility for a non-answer to a
+// (certain) reverse skyline query — Section 4. A single window query over
+// the dominance rectangle of an collects every object dominating q w.r.t.
+// an; by Lemma 7 each of them is an actual cause whose minimum contingency
+// set is all the other candidates, so every responsibility is 1/|Cc|
+// (Eq. 4) and no verification is needed.
+func CR(ix *skyline.Index, q geom.Point, anIdx int) (*Result, error) {
+	if anIdx < 0 || anIdx >= ix.Len() || ix.Deleted(anIdx) {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, anIdx)
+	}
+	if err := checkQuery(q, ix.Dims(), 1); err != nil {
+		return nil, err
+	}
+	candIDs := ix.Dominators(anIdx, q)
+	if len(candIDs) == 0 {
+		return nil, fmt.Errorf("%w: object %d is a reverse skyline point", ErrNotNonAnswer, anIdx)
+	}
+	sort.Ints(candIDs)
+	res := &Result{NonAnswer: anIdx, Pr: 0, Candidates: len(candIDs)}
+	res.Causes = lemma7Causes(candIDs)
+	return res, nil
+}
+
+// lemma7Causes materializes Lemma 7: every candidate is an actual cause
+// with contingency set Cc − {c} and responsibility 1/|Cc|.
+func lemma7Causes(candIDs []int) []Cause {
+	causes := make([]Cause, len(candIDs))
+	for i, id := range candIDs {
+		contingency := make([]int, 0, len(candIDs)-1)
+		for _, other := range candIDs {
+			if other != id {
+				contingency = append(contingency, other)
+			}
+		}
+		causes[i] = Cause{
+			ID:             id,
+			Responsibility: 1 / float64(len(candIDs)),
+			Contingency:    contingency,
+			Counterfactual: len(candIDs) == 1,
+		}
+	}
+	sortCauses(causes)
+	return causes
+}
+
+// NaiveII is the certain-data baseline of Section 5.4: it collects the
+// candidates with the same window query as CR (identical I/O) but then
+// verifies each candidate by enumerating subsets of the candidate set in
+// ascending cardinality, testing reverse-skyline membership against the
+// in-memory candidate list — ignoring Lemma 7 entirely.
+func NaiveII(ix *skyline.Index, q geom.Point, anIdx int, opts Options) (*Result, error) {
+	if anIdx < 0 || anIdx >= ix.Len() {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, anIdx)
+	}
+	if err := checkQuery(q, ix.Dims(), 1); err != nil {
+		return nil, err
+	}
+	candIDs := ix.Dominators(anIdx, q)
+	if len(candIDs) == 0 {
+		return nil, fmt.Errorf("%w: object %d is a reverse skyline point", ErrNotNonAnswer, anIdx)
+	}
+	if opts.MaxCandidates > 0 && len(candIDs) > opts.MaxCandidates {
+		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyCandidates, len(candIDs), opts.MaxCandidates)
+	}
+	sort.Ints(candIDs)
+	res := &Result{NonAnswer: anIdx, Pr: 0, Candidates: len(candIDs)}
+
+	n := len(candIDs)
+	removed := make([]bool, n)
+	// anStillNonAnswer reports whether a dominator survives outside the
+	// removal set; extraSkip additionally hides the candidate under test.
+	anStillNonAnswer := func(extraSkip int) bool {
+		for j := 0; j < n; j++ {
+			if !removed[j] && j != extraSkip {
+				return true
+			}
+		}
+		return false
+	}
+
+	var chosen []int
+	var rec func(start, need, cc int) (bool, error)
+	rec = func(start, need, cc int) (bool, error) {
+		if need == 0 {
+			res.SubsetsExamined++
+			if opts.MaxSubsets > 0 && res.SubsetsExamined > opts.MaxSubsets {
+				return false, ErrSubsetBudget
+			}
+			// Γ is a contingency set iff an remains a non-answer on
+			// P−Γ but becomes an answer on P−Γ−{cc}.
+			return anStillNonAnswer(-1) && !anStillNonAnswer(cc), nil
+		}
+		for i := start; i < n; i++ {
+			if i == cc || removed[i] {
+				continue
+			}
+			removed[i] = true
+			chosen = append(chosen, i)
+			hit, err := rec(i+1, need-1, cc)
+			if hit || err != nil {
+				removed[i] = false
+				return hit, err
+			}
+			chosen = chosen[:len(chosen)-1]
+			removed[i] = false
+		}
+		return false, nil
+	}
+
+	for cc := 0; cc < n; cc++ {
+		found := false
+		for m := 0; m < n && !found; m++ {
+			chosen = chosen[:0]
+			hit, err := rec(0, m, cc)
+			if err != nil {
+				return nil, err
+			}
+			if hit {
+				contingency := make([]int, len(chosen))
+				for i, idx := range chosen {
+					contingency[i] = candIDs[idx]
+				}
+				sort.Ints(contingency)
+				res.Causes = append(res.Causes, Cause{
+					ID:             candIDs[cc],
+					Responsibility: 1 / float64(1+len(contingency)),
+					Contingency:    contingency,
+					Counterfactual: len(contingency) == 0,
+				})
+				found = true
+			}
+		}
+	}
+	sortCauses(res.Causes)
+	return res, nil
+}

@@ -1,0 +1,211 @@
+package causality
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/skyline"
+)
+
+func certainAsUncertain(pts []geom.Point) *dataset.Uncertain {
+	return dataset.MustCertain(pts).AsUncertain()
+}
+
+func randCertainPts(r *rand.Rand, n, d int) []geom.Point {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		p := make(geom.Point, d)
+		for j := range p {
+			p[j] = r.Float64() * 100
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// TestCRMatchesOracle validates CR (and through it Lemma 7) against the
+// brute-force Definition-1 oracle over reverse skyline semantics.
+func TestCRMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	ran := 0
+	for trial := 0; trial < 200 && ran < 80; trial++ {
+		d := 1 + r.Intn(3)
+		n := 4 + r.Intn(6)
+		pts := randCertainPts(r, n, d)
+		ix := skyline.NewIndex(pts, rtree.WithMaxEntries(4))
+		q := randCertainPts(r, 1, d)[0]
+		anIdx := r.Intn(n)
+		res, err := CR(ix, q, anIdx)
+		if errors.Is(err, ErrNotNonAnswer) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran++
+		want := BruteCausesCertain(pts, q, anIdx)
+		causesEqual(t, res.Causes, want, "CR vs oracle")
+		// Lemma 7 shape: all responsibilities equal 1/|Cc|.
+		for _, c := range res.Causes {
+			if math.Abs(c.Responsibility-1/float64(res.Candidates)) > 1e-12 {
+				t.Fatalf("responsibility %v, want 1/%d", c.Responsibility, res.Candidates)
+			}
+		}
+		if len(res.Causes) != res.Candidates {
+			t.Fatalf("causes %d != candidates %d (Lemma 7 says all candidates are causes)",
+				len(res.Causes), res.Candidates)
+		}
+	}
+	if ran < 40 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}
+
+// TestNaiveIIMatchesCR: the certain-data baseline agrees with CR but pays
+// an exponential number of subset verifications.
+func TestNaiveIIMatchesCR(t *testing.T) {
+	r := rand.New(rand.NewSource(82))
+	ran := 0
+	for trial := 0; trial < 100 && ran < 30; trial++ {
+		pts := randCertainPts(r, 10, 2)
+		ix := skyline.NewIndex(pts, rtree.WithMaxEntries(4))
+		q := randCertainPts(r, 1, 2)[0]
+		anIdx := r.Intn(10)
+		cr, err := CR(ix, q, anIdx)
+		if errors.Is(err, ErrNotNonAnswer) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cr.Candidates > 12 {
+			continue // keep the exponential baseline fast
+		}
+		ran++
+		naive, err := NaiveII(ix, q, anIdx, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		causesEqual(t, naive.Causes, cr.Causes, "NaiveII vs CR")
+		if naive.Candidates != cr.Candidates {
+			t.Fatalf("candidates differ: %d vs %d", naive.Candidates, cr.Candidates)
+		}
+		wantSubsets := int64(0)
+		if cr.Candidates > 1 {
+			// For each candidate the only valid Γ is Cc−{cc}, found last:
+			// 2^(|Cc|-1) subsets per candidate.
+			wantSubsets = int64(cr.Candidates) << uint(cr.Candidates-1)
+		} else {
+			wantSubsets = 1 // single candidate: empty subset hits immediately
+		}
+		if naive.SubsetsExamined != wantSubsets {
+			t.Fatalf("NaiveII examined %d subsets, want %d (|Cc|=%d)",
+				naive.SubsetsExamined, wantSubsets, cr.Candidates)
+		}
+	}
+	if ran < 10 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}
+
+// TestCRCaseStudyShape mirrors the Table-4 scenario: every returned cause
+// must dominate q w.r.t. the non-answer coordinate-wise, which is how the
+// paper argues the causes are "meaningful".
+func TestCRCaseStudyShape(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	pts := randCertainPts(r, 500, 2)
+	ix := skyline.NewIndex(pts, rtree.WithMaxEntries(16))
+	q := geom.Point{50, 50}
+	found := false
+	for anIdx := 0; anIdx < 500; anIdx++ {
+		res, err := CR(ix, q, anIdx)
+		if errors.Is(err, ErrNotNonAnswer) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		found = true
+		an := pts[anIdx]
+		for _, c := range res.Causes {
+			if !geom.DynDominates(pts[c.ID], q, an) {
+				t.Fatalf("cause %d does not dominate q w.r.t. an", c.ID)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no non-answers in the dataset")
+	}
+}
+
+func TestCRErrors(t *testing.T) {
+	pts := []geom.Point{{1, 1}, {2, 2}, {50, 50}}
+	ix := skyline.NewIndex(pts, rtree.WithMaxEntries(4))
+	if _, err := CR(ix, geom.Point{0, 0}, -1); !errors.Is(err, ErrBadObject) {
+		t.Errorf("bad index: %v", err)
+	}
+	if _, err := CR(ix, geom.Point{0, 0}, 9); !errors.Is(err, ErrBadObject) {
+		t.Errorf("out of range: %v", err)
+	}
+	if _, err := CR(ix, geom.Point{0}, 0); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	// Point 0 is its own reverse skyline member for a nearby q.
+	if _, err := CR(ix, geom.Point{0.5, 0.5}, 0); !errors.Is(err, ErrNotNonAnswer) {
+		t.Errorf("answer object: %v", err)
+	}
+	// NaiveII budget.
+	r := rand.New(rand.NewSource(84))
+	pts2 := randCertainPts(r, 40, 2)
+	ix2 := skyline.NewIndex(pts2, rtree.WithMaxEntries(8))
+	for anIdx := 0; anIdx < 40; anIdx++ {
+		res, err := CR(ix2, geom.Point{50, 50}, anIdx)
+		if err != nil || res.Candidates < 4 {
+			continue
+		}
+		if _, err := NaiveII(ix2, geom.Point{50, 50}, anIdx, Options{MaxSubsets: 2}); !errors.Is(err, ErrSubsetBudget) {
+			t.Errorf("MaxSubsets: %v", err)
+		}
+		if _, err := NaiveII(ix2, geom.Point{50, 50}, anIdx, Options{MaxCandidates: 1}); !errors.Is(err, ErrTooManyCandidates) {
+			t.Errorf("MaxCandidates: %v", err)
+		}
+		return
+	}
+	t.Skip("no instance with enough candidates found")
+}
+
+// TestCRAndCPAgreeOnCertainData: running CP over the degenerate uncertain
+// form of certain data must reproduce CR's causes (the Section-4 reduction).
+func TestCRAndCPAgreeOnCertainData(t *testing.T) {
+	r := rand.New(rand.NewSource(85))
+	ran := 0
+	for trial := 0; trial < 60 && ran < 20; trial++ {
+		pts := randCertainPts(r, 8, 2)
+		ix := skyline.NewIndex(pts, rtree.WithMaxEntries(4))
+		q := randCertainPts(r, 1, 2)[0]
+		anIdx := r.Intn(8)
+		crRes, err := CR(ix, q, anIdx)
+		if errors.Is(err, ErrNotNonAnswer) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran++
+		uds := certainAsUncertain(pts)
+		// Any alpha in (0,1] gives the same semantics on certain data.
+		cpRes, err := CP(uds, q, anIdx, 0.5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		causesEqual(t, cpRes.Causes, crRes.Causes, "CP on certain data vs CR")
+	}
+	if ran < 5 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}

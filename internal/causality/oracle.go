@@ -1,0 +1,146 @@
+package causality
+
+import (
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/skyline"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// BruteCausesUncertain computes the exact causality and responsibility for
+// a probabilistic reverse skyline non-answer straight from Definition 1:
+// for every object p ≠ an it searches all subsets Γ ⊆ P − {an, p} in
+// ascending cardinality for a contingency set. Exponential in |P| — this is
+// the test oracle CP is validated against, not a usable algorithm.
+func BruteCausesUncertain(objs []*uncertain.Object, q geom.Point, anID int, alpha float64) []Cause {
+	an := objs[anID]
+	others := make([]*uncertain.Object, 0, len(objs)-1)
+	for _, o := range objs {
+		if o.ID != anID {
+			others = append(others, o)
+		}
+	}
+
+	prWith := func(removed map[int]bool, extra int) float64 {
+		act := make([]*uncertain.Object, 0, len(others))
+		for _, o := range others {
+			if !removed[o.ID] && o.ID != extra {
+				act = append(act, o)
+			}
+		}
+		return prob.PrReverseSkyline(an, q, act)
+	}
+
+	var causes []Cause
+	for _, p := range others {
+		pool := make([]int, 0, len(others)-1)
+		for _, o := range others {
+			if o.ID != p.ID {
+				pool = append(pool, o.ID)
+			}
+		}
+		found := false
+		for size := 0; size <= len(pool) && !found; size++ {
+			forEachSubset(pool, size, func(gamma []int) bool {
+				removed := make(map[int]bool, len(gamma))
+				for _, id := range gamma {
+					removed[id] = true
+				}
+				if prob.Less(prWith(removed, -1), alpha) && prob.GEq(prWith(removed, p.ID), alpha) {
+					contingency := append([]int{}, gamma...)
+					sort.Ints(contingency)
+					causes = append(causes, Cause{
+						ID:             p.ID,
+						Responsibility: 1 / float64(1+size),
+						Contingency:    contingency,
+						Counterfactual: size == 0,
+					})
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	sortCauses(causes)
+	return causes
+}
+
+// BruteCausesCertain computes exact causality for a certain reverse skyline
+// non-answer straight from Definition 1 over RSQ semantics.
+func BruteCausesCertain(pts []geom.Point, q geom.Point, anIdx int) []Cause {
+	an := pts[anIdx]
+	pool := make([]int, 0, len(pts)-1)
+	for i := range pts {
+		if i != anIdx {
+			pool = append(pool, i)
+		}
+	}
+
+	isAnswer := func(removed map[int]bool, extra int) bool {
+		others := make([]geom.Point, 0, len(pool))
+		for _, i := range pool {
+			if !removed[i] && i != extra {
+				others = append(others, pts[i])
+			}
+		}
+		return skyline.IsReverseSkylineMember(an, q, others)
+	}
+
+	var causes []Cause
+	for _, p := range pool {
+		sub := make([]int, 0, len(pool)-1)
+		for _, i := range pool {
+			if i != p {
+				sub = append(sub, i)
+			}
+		}
+		found := false
+		for size := 0; size <= len(sub) && !found; size++ {
+			forEachSubset(sub, size, func(gamma []int) bool {
+				removed := make(map[int]bool, len(gamma))
+				for _, id := range gamma {
+					removed[id] = true
+				}
+				if !isAnswer(removed, -1) && isAnswer(removed, p) {
+					contingency := append([]int{}, gamma...)
+					sort.Ints(contingency)
+					causes = append(causes, Cause{
+						ID:             p,
+						Responsibility: 1 / float64(1+size),
+						Contingency:    contingency,
+						Counterfactual: size == 0,
+					})
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	sortCauses(causes)
+	return causes
+}
+
+// forEachSubset invokes fn for every size-k subset of pool until fn returns
+// false.
+func forEachSubset(pool []int, k int, fn func([]int) bool) {
+	subset := make([]int, 0, k)
+	var rec func(start int) bool
+	rec = func(start int) bool {
+		if len(subset) == k {
+			return fn(subset)
+		}
+		for i := start; i <= len(pool)-(k-len(subset)); i++ {
+			subset = append(subset, pool[i])
+			if !rec(i + 1) {
+				return false
+			}
+			subset = subset[:len(subset)-1]
+		}
+		return true
+	}
+	rec(0)
+}

@@ -1,0 +1,61 @@
+package causality
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+)
+
+// TestParallelCPMatchesSerial: the parallel refinement must produce exactly
+// the serial results — same causes, responsibilities and contingency sizes.
+func TestParallelCPMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(161))
+	ran := 0
+	for trial := 0; trial < 120 && ran < 40; trial++ {
+		n := 5 + r.Intn(6)
+		ds := randTinyUncertain(r, n, 2, 3)
+		q := geom.Point{30, 30}
+		anID := r.Intn(n)
+		if prob.GEq(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), 0.5) {
+			continue
+		}
+		ran++
+		serial, err := CP(ds, q, anID, 0.5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 4, 8} {
+			par, err := CP(ds, q, anID, 0.5, Options{Parallel: workers})
+			if err != nil {
+				t.Fatalf("parallel %d: %v", workers, err)
+			}
+			causesEqual(t, par.Causes, serial.Causes, "parallel vs serial")
+		}
+	}
+	if ran < 15 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}
+
+// TestParallelCPBudget: the shared subset budget aborts parallel runs too.
+func TestParallelCPBudget(t *testing.T) {
+	r := rand.New(rand.NewSource(162))
+	for trial := 0; trial < 60; trial++ {
+		ds := randTinyUncertain(r, 10, 2, 2)
+		q := geom.Point{30, 30}
+		anID := r.Intn(10)
+		res, err := CP(ds, q, anID, 0.5, Options{})
+		if err != nil || res.SubsetsExamined < 4 {
+			continue
+		}
+		_, err = CP(ds, q, anID, 0.5, Options{Parallel: 4, MaxSubsets: 1})
+		if !errors.Is(err, ErrSubsetBudget) {
+			t.Fatalf("expected budget error, got %v", err)
+		}
+		return
+	}
+	t.Skip("no instance with enough refinement work found")
+}

@@ -1,0 +1,388 @@
+package causality
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"github.com/crsky/crsky/internal/prob"
+)
+
+// refiner is the shared refinement engine behind CP and its pdf-model
+// variant: given an incremental probability evaluator over the candidate
+// causes, it classifies counterfactual causes (Lemma 5), forced
+// contingency members (Lemma 4 / Γ1), and finds each candidate's minimum
+// contingency set (FMCS, Algorithm 2) with Lemma 6 bound propagation.
+//
+// The key structural fact exploited for pruning is monotonicity:
+// Pr(an | P−X) is non-decreasing in X (removing an object can only remove
+// dominance mass), so once a partial removal set already satisfies
+// Pr >= α, every superset violates contingency condition (i) and the
+// whole enumeration branch dies.
+//
+// With Options.Parallel > 1 the per-candidate searches run on worker
+// goroutines, each owning a clone of the evaluator; the Lemma-6 bounds are
+// shared under a mutex. Bounds only ever shrink the search space, never
+// change its answer, so the output is identical to the serial run.
+type refiner struct {
+	e     *prob.Evaluator
+	ids   []int // candidate object IDs, parallel to evaluator indexes
+	alpha float64
+
+	forced         []bool // Lemma 4: in every minimum contingency set
+	counterfactual []bool // Lemma 5: in no minimum contingency set
+
+	opts   Options
+	shared *refinerShared
+}
+
+// refinerShared is the cross-worker state.
+type refinerShared struct {
+	mu        sync.Mutex
+	bestKnown []int   // per candidate: best known contingency size (-1 unknown)
+	bestSet   [][]int // the recorded set (evaluator indexes)
+
+	subsetsExamined atomic.Int64
+	maxSubsets      int64
+	aborted         atomic.Bool
+}
+
+func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refiner {
+	n := e.N()
+	shared := &refinerShared{
+		bestKnown:  make([]int, n),
+		bestSet:    make([][]int, n),
+		maxSubsets: opts.MaxSubsets,
+	}
+	for j := range shared.bestKnown {
+		shared.bestKnown[j] = -1
+	}
+	return &refiner{
+		e:              e,
+		ids:            ids,
+		alpha:          alpha,
+		forced:         make([]bool, n),
+		counterfactual: make([]bool, n),
+		opts:           opts,
+		shared:         shared,
+	}
+}
+
+// subsetsExamined reports the shared verification counter.
+func (r *refiner) subsetsCount() int64 { return r.shared.subsetsExamined.Load() }
+
+// classify fills the forced and counterfactual marks (Lemmas 4 and 5);
+// either classification can be ablated away without affecting correctness,
+// only the search-space size.
+func (r *refiner) classify() {
+	for j := 0; j < r.e.N(); j++ {
+		if !r.opts.NoLemma4 && r.e.AlwaysDominates(j) {
+			r.forced[j] = true
+		}
+		if !r.opts.NoLemma5 && prob.GEq(r.e.PrWithout(j), r.alpha) {
+			r.counterfactual[j] = true
+		}
+	}
+}
+
+// run executes the refinement and returns the causes.
+func (r *refiner) run() ([]Cause, error) {
+	r.classify()
+
+	// Degenerate conflict: a candidate that is both forced and
+	// counterfactual blocks every other cause — while it is present,
+	// Pr(an) is exactly 0, so no other removal can flip an into an
+	// answer; and removing it alone already flips an. It is the unique
+	// actual cause.
+	for j := range r.forced {
+		if r.forced[j] && r.counterfactual[j] {
+			return []Cause{{ID: r.ids[j], Responsibility: 1, Counterfactual: true}}, nil
+		}
+	}
+
+	var causes []Cause
+	for j := range r.counterfactual {
+		if r.counterfactual[j] {
+			causes = append(causes, Cause{ID: r.ids[j], Responsibility: 1, Counterfactual: true})
+		}
+	}
+
+	perCandidate, err := r.searchAll()
+	if err != nil {
+		return nil, err
+	}
+	for cc, gamma := range perCandidate {
+		if gamma == nil {
+			continue // counterfactual (handled above) or not a cause
+		}
+		contingency := make([]int, len(gamma))
+		for i, idx := range gamma {
+			contingency[i] = r.ids[idx]
+		}
+		sort.Ints(contingency)
+		causes = append(causes, Cause{
+			ID:             r.ids[cc],
+			Responsibility: 1 / float64(1+len(contingency)),
+			Contingency:    contingency,
+			Counterfactual: len(contingency) == 0,
+		})
+	}
+	sortCauses(causes)
+	return causes, nil
+}
+
+// searchAll runs fmcs for every non-counterfactual candidate, serially or
+// on Options.Parallel workers, and returns the found minimum contingency
+// set per candidate (nil when not a cause or counterfactual).
+func (r *refiner) searchAll() ([][]int, error) {
+	n := r.e.N()
+	out := make([][]int, n)
+
+	if r.opts.Parallel <= 1 {
+		for cc := 0; cc < n; cc++ {
+			if r.counterfactual[cc] {
+				continue
+			}
+			gamma, ok, err := r.fmcs(cc)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				out[cc] = gamma
+				if out[cc] == nil {
+					out[cc] = []int{} // counterfactual found by search
+				}
+			}
+		}
+		return out, nil
+	}
+
+	workers := r.opts.Parallel
+	jobs := make(chan int)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wr := &refiner{
+			e:              r.e.Clone(),
+			ids:            r.ids,
+			alpha:          r.alpha,
+			forced:         r.forced,
+			counterfactual: r.counterfactual,
+			opts:           r.opts,
+			shared:         r.shared,
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for cc := range jobs {
+				gamma, ok, err := wr.fmcs(cc)
+				if err != nil {
+					errs[w] = err
+					r.shared.aborted.Store(true)
+					return
+				}
+				if ok {
+					if gamma == nil {
+						gamma = []int{}
+					}
+					out[cc] = gamma
+				}
+			}
+		}()
+	}
+	for cc := 0; cc < n; cc++ {
+		if r.counterfactual[cc] {
+			continue
+		}
+		if r.shared.aborted.Load() {
+			break
+		}
+		jobs <- cc
+	}
+	close(jobs)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// bound reads the best known contingency size for cc (-1 unknown).
+func (r *refiner) bound(cc int) int {
+	r.shared.mu.Lock()
+	defer r.shared.mu.Unlock()
+	return r.shared.bestKnown[cc]
+}
+
+func (r *refiner) boundSet(cc int) []int {
+	r.shared.mu.Lock()
+	defer r.shared.mu.Unlock()
+	return r.shared.bestSet[cc]
+}
+
+// fmcs finds a minimum contingency set for candidate cc (Algorithm 2),
+// returning the set as evaluator indexes. ok is false when cc is not an
+// actual cause.
+func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
+	var forcedSet, pool []int
+	for j := 0; j < r.e.N(); j++ {
+		if j == cc {
+			continue
+		}
+		switch {
+		case r.forced[j]:
+			forcedSet = append(forcedSet, j)
+		case r.counterfactual[j]:
+			// Lemma 5: never in a minimum contingency set.
+		default:
+			pool = append(pool, j)
+		}
+	}
+	maxSize := len(forcedSet) + len(pool)
+
+	// Feasibility precheck: condition (ii) is monotone in Γ, so if even
+	// the maximal Γ (everything but cc removed) cannot make an an
+	// answer, cc is not an actual cause.
+	for _, j := range forcedSet {
+		r.e.Remove(j)
+	}
+	for _, j := range pool {
+		r.e.Remove(j)
+	}
+	feasible := prob.GEq(r.e.PrWithout(cc), r.alpha)
+	for _, j := range pool {
+		r.e.Add(j)
+	}
+	if !feasible {
+		for _, j := range forcedSet {
+			r.e.Add(j)
+		}
+		return nil, false, nil
+	}
+
+	// Search cardinalities strictly below the best Lemma-6 bound.
+	upper := maxSize + 1
+	if b := r.bound(cc); b >= 0 && b < upper {
+		upper = b
+	}
+	// The forced set is in every contingency set (Lemma 4), so it is
+	// removed for the whole search; sizes below |forcedSet| do not exist.
+	found := -1
+	var chosen []int
+	for m := len(forcedSet); m < upper; m++ {
+		need := m - len(forcedSet)
+		if need > len(pool) {
+			break
+		}
+		hit, e := r.combine(cc, pool, 0, need, &chosen)
+		if e != nil {
+			for _, j := range forcedSet {
+				r.e.Add(j)
+			}
+			return nil, false, e
+		}
+		if hit {
+			found = m
+			break
+		}
+	}
+	for _, j := range forcedSet {
+		r.e.Add(j)
+	}
+
+	switch {
+	case found >= 0:
+		gamma = append(append([]int{}, forcedSet...), chosen...)
+		if !r.opts.NoLemma6 {
+			r.propagateLemma6(cc, gamma)
+		}
+		return gamma, true, nil
+	case r.bound(cc) >= 0:
+		// Nothing smaller exists, so the Lemma-6 set is minimal.
+		return r.boundSet(cc), true, nil
+	default:
+		return nil, false, nil
+	}
+}
+
+// combine enumerates size-need subsets of pool[start:] on top of the
+// removals already applied to the evaluator, testing the contingency
+// conditions at the leaves. On success the selected pool entries are left
+// in *chosen (and the evaluator is restored by the unwinding).
+func (r *refiner) combine(cc int, pool []int, start, need int, chosen *[]int) (bool, error) {
+	if need == 0 {
+		n := r.shared.subsetsExamined.Add(1)
+		if r.shared.maxSubsets > 0 && n > r.shared.maxSubsets {
+			return false, ErrSubsetBudget
+		}
+		if prob.Less(r.e.Pr(), r.alpha) && prob.GEq(r.e.PrWithout(cc), r.alpha) {
+			return true, nil
+		}
+		return false, nil
+	}
+	// Monotone prune: if an is already an answer with the current
+	// removals, condition (i) fails for every superset.
+	if !r.opts.NoPrune && prob.GEq(r.e.Pr(), r.alpha) {
+		return false, nil
+	}
+	for i := start; i+need <= len(pool); i++ {
+		j := pool[i]
+		r.e.Remove(j)
+		*chosen = append(*chosen, j)
+		hit, err := r.combine(cc, pool, i+1, need-1, chosen)
+		if hit || err != nil {
+			r.e.Add(j)
+			return hit, err
+		}
+		*chosen = (*chosen)[:len(*chosen)-1]
+		r.e.Add(j)
+	}
+	return false, nil
+}
+
+// propagateLemma6 records contingency sets for the members of a freshly
+// found minimum set: if Γ is minimal for cc and o ∈ Γ satisfies
+// Pr(an | P − (Γ−{o}) − {cc}) < α, then (Γ−{o}) ∪ {cc} is a contingency
+// set for o of the same size (Lemma 6), sparing o's own search below that
+// bound.
+func (r *refiner) propagateLemma6(cc int, gamma []int) {
+	size := len(gamma)
+	for _, o := range gamma {
+		if r.counterfactual[o] {
+			continue
+		}
+		if b := r.bound(o); b >= 0 && b <= size {
+			continue
+		}
+		// Build P − (Γ−{o}) − {cc} on the evaluator.
+		for _, j := range gamma {
+			if j != o {
+				r.e.Remove(j)
+			}
+		}
+		pr := r.e.PrWithout(cc)
+		for _, j := range gamma {
+			if j != o {
+				r.e.Add(j)
+			}
+		}
+		if prob.Less(pr, r.alpha) {
+			set := make([]int, 0, size)
+			for _, j := range gamma {
+				if j != o {
+					set = append(set, j)
+				}
+			}
+			set = append(set, cc)
+			r.shared.mu.Lock()
+			if r.shared.bestKnown[o] < 0 || r.shared.bestKnown[o] > size {
+				r.shared.bestKnown[o] = size
+				r.shared.bestSet[o] = set
+			}
+			r.shared.mu.Unlock()
+		}
+	}
+}

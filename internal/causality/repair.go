@@ -1,0 +1,163 @@
+package causality
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// Repair is a minimal intervention turning a non-answer into an answer:
+// deleting the Removed objects raises Pr(an) to NewPr >= α. It answers the
+// actionable follow-up to a causality explanation — "what is the smallest
+// set of competitors I need to beat?" — and generalizes counterfactual
+// causes (a counterfactual cause is exactly a singleton repair).
+type Repair struct {
+	// Removed lists the object IDs whose deletion makes an an answer,
+	// sorted ascending.
+	Removed []int
+	// NewPr is Pr(an | P − Removed).
+	NewPr float64
+	// Exact reports whether Removed is provably minimum; false means the
+	// greedy fallback produced it (still valid, possibly larger).
+	Exact bool
+}
+
+// MinimalRepair finds a smallest removal set R ⊆ P with
+// Pr(an | P−R) >= alpha. Only candidate causes can matter (Lemma 1), every
+// always-dominating object must be in R (its presence pins Pr(an) to 0),
+// and Pr is monotone in R, so the search enumerates pool subsets in
+// ascending cardinality on top of the forced kernel — exactly when the
+// pool is small. Pools larger than greedyThreshold (or an exceeded
+// Options.MaxSubsets budget) fall back to a greedy marginal-gain
+// construction, reported with Exact=false.
+func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
+	if anID < 0 || anID >= ds.Len() {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
+	}
+	if err := checkQuery(q, ds.Dims(), alpha); err != nil {
+		return nil, err
+	}
+	an := ds.Objects[anID]
+	candIDs := FilterCandidates(ds, q, an)
+	cands := make([]*uncertain.Object, len(candIDs))
+	for i, id := range candIDs {
+		cands[i] = ds.Objects[id]
+	}
+	e := prob.NewEvaluator(an, q, cands)
+	if prob.GEq(e.Pr(), alpha) {
+		return nil, fmt.Errorf("%w: Pr=%.6g, α=%.6g", ErrNotNonAnswer, e.Pr(), alpha)
+	}
+
+	// Forced kernel: while an always-dominating candidate is present,
+	// Pr(an) = 0 < α, so it belongs to every repair.
+	var kernel, pool []int
+	for j := range cands {
+		if e.AlwaysDominates(j) {
+			kernel = append(kernel, j)
+			e.Remove(j)
+		} else {
+			pool = append(pool, j)
+		}
+	}
+	// The kernel alone may already suffice.
+	if prob.GEq(e.Pr(), alpha) {
+		return finishRepair(e, candIDs, kernel, nil, true), nil
+	}
+
+	const greedyThreshold = 24
+	if len(pool) <= greedyThreshold {
+		if chosen, ok := exactRepairSearch(e, pool, alpha, opts.MaxSubsets); ok {
+			return finishRepair(e, candIDs, kernel, chosen, true), nil
+		}
+	}
+
+	// Greedy fallback: repeatedly remove the pool candidate with the
+	// largest marginal probability gain.
+	var chosen []int
+	remaining := append([]int{}, pool...)
+	for !prob.GEq(e.Pr(), alpha) && len(remaining) > 0 {
+		bestIdx, bestGain := -1, -1.0
+		base := e.Pr()
+		for i, j := range remaining {
+			if gain := e.PrWithout(j) - base; gain > bestGain {
+				bestIdx, bestGain = i, gain
+			}
+		}
+		j := remaining[bestIdx]
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+		e.Remove(j)
+		chosen = append(chosen, j)
+	}
+	if !prob.GEq(e.Pr(), alpha) {
+		// Cannot happen: removing every candidate yields Pr = 1.
+		return nil, fmt.Errorf("causality: repair construction failed")
+	}
+	return finishRepair(e, candIDs, kernel, chosen, false), nil
+}
+
+// exactRepairSearch enumerates pool subsets in ascending cardinality on an
+// evaluator whose kernel is already removed; returns the first (hence
+// minimum) subset reaching the threshold. ok=false when the budget ran out.
+func exactRepairSearch(e *prob.Evaluator, pool []int, alpha float64, budget int64) ([]int, bool) {
+	var examined int64
+	var chosen []int
+	var rec func(start, need int) (bool, bool)
+	rec = func(start, need int) (hit, ok bool) {
+		if need == 0 {
+			examined++
+			if budget > 0 && examined > budget {
+				return false, false
+			}
+			return prob.GEq(e.Pr(), alpha), true
+		}
+		// Monotone prune in reverse: if already above the threshold
+		// with fewer removals, the smaller subset would have been found
+		// at an earlier cardinality — still enumerate for correctness
+		// of the exact bound, but the success test short-circuits.
+		for i := start; i+need <= len(pool); i++ {
+			j := pool[i]
+			e.Remove(j)
+			chosen = append(chosen, j)
+			hit, ok := rec(i+1, need-1)
+			if hit || !ok {
+				e.Add(j)
+				return hit, ok
+			}
+			chosen = chosen[:len(chosen)-1]
+			e.Add(j)
+		}
+		return false, true
+	}
+	for m := 1; m <= len(pool); m++ {
+		hit, ok := rec(0, m)
+		if !ok {
+			return nil, false
+		}
+		if hit {
+			out := append([]int{}, chosen...)
+			// Leave the evaluator with the chosen set removed so the
+			// caller can read the achieved probability.
+			for _, j := range out {
+				e.Remove(j)
+			}
+			return out, true
+		}
+	}
+	return nil, true // unreachable: full pool removal always reaches 1
+}
+
+func finishRepair(e *prob.Evaluator, candIDs, kernel, chosen []int, exact bool) *Repair {
+	removed := make([]int, 0, len(kernel)+len(chosen))
+	for _, j := range kernel {
+		removed = append(removed, candIDs[j])
+	}
+	for _, j := range chosen {
+		removed = append(removed, candIDs[j])
+	}
+	sort.Ints(removed)
+	return &Repair{Removed: removed, NewPr: e.Pr(), Exact: exact}
+}

@@ -1,0 +1,162 @@
+package causality
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// bruteMinRepairSize finds the true minimum removal-set size by exhaustive
+// search over all objects (not just candidates).
+func bruteMinRepairSize(objs []*uncertain.Object, q geom.Point, anID int, alpha float64) int {
+	an := objs[anID]
+	var pool []int
+	for _, o := range objs {
+		if o.ID != anID {
+			pool = append(pool, o.ID)
+		}
+	}
+	prWith := func(removed map[int]bool) float64 {
+		var act []*uncertain.Object
+		for _, o := range objs {
+			if o.ID != anID && !removed[o.ID] {
+				act = append(act, o)
+			}
+		}
+		return prob.PrReverseSkyline(an, q, act)
+	}
+	for size := 0; size <= len(pool); size++ {
+		found := false
+		forEachSubset(pool, size, func(gamma []int) bool {
+			removed := map[int]bool{}
+			for _, id := range gamma {
+				removed[id] = true
+			}
+			if prob.GEq(prWith(removed), alpha) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return size
+		}
+	}
+	return len(pool)
+}
+
+// TestMinimalRepairMatchesBruteForce: the exact path must find a removal
+// set of the true minimum size, and the set must actually work.
+func TestMinimalRepairMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(171))
+	ran := 0
+	for trial := 0; trial < 200 && ran < 60; trial++ {
+		n := 4 + r.Intn(5)
+		ds := randTinyUncertain(r, n, 2, 3)
+		q := geom.Point{30, 30}
+		anID := r.Intn(n)
+		if prob.GEq(prob.PrReverseSkyline(ds.Objects[anID], q, ds.Objects), 0.5) {
+			continue
+		}
+		ran++
+		rep, err := MinimalRepair(ds, q, anID, 0.5, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Exact {
+			t.Fatalf("small instance should use the exact path")
+		}
+		want := bruteMinRepairSize(ds.Objects, q, anID, 0.5)
+		if len(rep.Removed) != want {
+			t.Fatalf("repair size %d, want %d (removed %v)", len(rep.Removed), want, rep.Removed)
+		}
+		// The repair must actually work.
+		removed := map[int]bool{}
+		for _, id := range rep.Removed {
+			removed[id] = true
+		}
+		var act []*uncertain.Object
+		for _, o := range ds.Objects {
+			if o.ID != anID && !removed[o.ID] {
+				act = append(act, o)
+			}
+		}
+		if pr := prob.PrReverseSkyline(ds.Objects[anID], q, act); !prob.GEq(pr, 0.5) {
+			t.Fatalf("repair does not reach the threshold: Pr=%v", pr)
+		}
+		if diff := rep.NewPr - prob.PrReverseSkyline(ds.Objects[anID], q, act); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("reported NewPr %v inconsistent", rep.NewPr)
+		}
+	}
+	if ran < 25 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}
+
+// TestRepairCounterfactualSingleton: when a counterfactual cause exists,
+// the minimal repair is that single object.
+func TestRepairCounterfactualSingleton(t *testing.T) {
+	q := geom.Point{0, 0}
+	an := uncertain.NewUniform(0, []geom.Point{{20, 20}, {24, 24}})
+	blocker := uncertain.NewUniform(1, []geom.Point{{10, 10}, {11, 11}})
+	bystander := uncertain.Certain(2, geom.Point{-70, -70})
+	ds := dataset.MustUncertain([]*uncertain.Object{an, blocker, bystander})
+	rep, err := MinimalRepair(ds, q, 0, 0.5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Removed) != 1 || rep.Removed[0] != 1 || !rep.Exact {
+		t.Fatalf("repair = %+v, want exactly the blocker", rep)
+	}
+	if rep.NewPr != 1 {
+		t.Fatalf("NewPr = %v, want 1", rep.NewPr)
+	}
+}
+
+func TestRepairErrors(t *testing.T) {
+	ds := dataset.MustUncertain([]*uncertain.Object{
+		uncertain.Certain(0, geom.Point{5, 5}),
+		uncertain.Certain(1, geom.Point{500, 500}),
+	})
+	if _, err := MinimalRepair(ds, geom.Point{4, 4}, 0, 0.5, Options{}); !errors.Is(err, ErrNotNonAnswer) {
+		t.Errorf("answer object: %v", err)
+	}
+	if _, err := MinimalRepair(ds, geom.Point{4, 4}, 9, 0.5, Options{}); !errors.Is(err, ErrBadObject) {
+		t.Errorf("bad index: %v", err)
+	}
+	if _, err := MinimalRepair(ds, geom.Point{4}, 0, 0.5, Options{}); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+}
+
+// TestGreedyRepairOnLargePool: force the greedy fallback with a dataset of
+// many partial blockers and verify it still produces a working repair.
+func TestGreedyRepairOnLargePool(t *testing.T) {
+	r := rand.New(rand.NewSource(172))
+	objs := []*uncertain.Object{
+		uncertain.NewUniform(0, []geom.Point{{50, 50}, {52, 52}}),
+	}
+	// 30 partial blockers close to the dominance region boundary.
+	for i := 1; i <= 30; i++ {
+		x := 20 + r.Float64()*20
+		far := 500 + r.Float64()*100
+		objs = append(objs, uncertain.NewUniform(i, []geom.Point{{x, x}, {far, far}}))
+	}
+	ds := dataset.MustUncertain(objs)
+	q := geom.Point{0, 0}
+	rep, err := MinimalRepair(ds, q, 0, 0.9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Exact {
+		t.Log("exact path handled the pool; greedy not exercised at this seed")
+	}
+	if !prob.GEq(rep.NewPr, 0.9) {
+		t.Fatalf("repair does not reach the threshold: %v", rep.NewPr)
+	}
+}

@@ -1,0 +1,162 @@
+package causality
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// This file implements the paper's stated future work (Section 7): the
+// causality and responsibility problem on reverse top-k queries.
+//
+// Setting (Vlachou et al.'s monochromatic reverse top-k): products are
+// points with smaller-is-better attributes, a user is a non-negative weight
+// vector w, and the score of product p for user w is the weighted sum
+// Σ_j w[j]·p[j]. User w belongs to the reverse top-k of a query product q
+// when fewer than k products score strictly better than q for w. A user
+// missing from that result asks which products push q out of their top-k.
+//
+// The causality structure mirrors CR's Lemma 7: exactly the products
+// scoring strictly better than q are actual causes, every minimum
+// contingency set has size b−k (b = number of better products), and every
+// cause has responsibility 1/(1+b−k).
+
+// Score returns the linear score Σ_j w[j]·p[j] of product p for user w.
+func Score(w, p geom.Point) float64 {
+	if len(w) != len(p) {
+		panic("causality: weight/product dimensionality mismatch")
+	}
+	var s float64
+	for j := range w {
+		s += w[j] * p[j]
+	}
+	return s
+}
+
+// IsReverseTopKAnswer reports whether user w belongs to the reverse top-k
+// result of query product q over the products: q ranks in w's top-k, i.e.,
+// fewer than k products score strictly better than q.
+func IsReverseTopKAnswer(products []geom.Point, w, q geom.Point, k int) bool {
+	return betterCount(products, w, q) < k
+}
+
+func betterCount(products []geom.Point, w, q geom.Point) int {
+	sq := Score(w, q)
+	b := 0
+	for _, p := range products {
+		if Score(w, p) < sq {
+			b++
+		}
+	}
+	return b
+}
+
+// CRTopK computes the causality and responsibility for a user w that is a
+// non-answer to the reverse top-k query of product q. The Result reuses the
+// CRP vocabulary: Causes hold product indexes, Candidates is the number of
+// better-scoring products b, and every responsibility is 1/(1+b−k).
+func CRTopK(products []geom.Point, w, q geom.Point, k int) (*Result, error) {
+	if len(products) == 0 {
+		return nil, fmt.Errorf("causality: no products")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("causality: k must be positive, got %d", k)
+	}
+	d := q.Dims()
+	if w.Dims() != d {
+		return nil, fmt.Errorf("causality: weight vector has %d dims, query product has %d", w.Dims(), d)
+	}
+	for j, v := range w {
+		if v < 0 {
+			return nil, fmt.Errorf("causality: negative weight w[%d]=%v", j, v)
+		}
+	}
+	sq := Score(w, q)
+	var better []int
+	for i, p := range products {
+		if p.Dims() != d {
+			return nil, fmt.Errorf("causality: product %d has %d dims, want %d", i, p.Dims(), d)
+		}
+		if Score(w, p) < sq {
+			better = append(better, i)
+		}
+	}
+	b := len(better)
+	if b < k {
+		return nil, fmt.Errorf("%w: q is in the user's top-%d (only %d better products)", ErrNotNonAnswer, k, b)
+	}
+
+	// Every better product is an actual cause: choose any Γ of b−k other
+	// better products; then b−k+1 removals drop the better count to k−1.
+	// No smaller Γ works because |B−Γ| must be exactly k before the cause
+	// itself is removed.
+	res := &Result{NonAnswer: -1, Candidates: b}
+	gammaSize := b - k
+	for _, idx := range better {
+		contingency := make([]int, 0, gammaSize)
+		for _, other := range better {
+			if other != idx && len(contingency) < gammaSize {
+				contingency = append(contingency, other)
+			}
+		}
+		sort.Ints(contingency)
+		res.Causes = append(res.Causes, Cause{
+			ID:             idx,
+			Responsibility: 1 / float64(1+gammaSize),
+			Contingency:    contingency,
+			Counterfactual: gammaSize == 0,
+		})
+	}
+	sortCauses(res.Causes)
+	return res, nil
+}
+
+// BruteCausesRTopK is the Definition-1 oracle for reverse top-k causality:
+// exhaustive subset search over the products. Exponential — test use only.
+func BruteCausesRTopK(products []geom.Point, w, q geom.Point, k int) []Cause {
+	n := len(products)
+	isAnswer := func(removed map[int]bool, extra int) bool {
+		sq := Score(w, q)
+		b := 0
+		for i, p := range products {
+			if !removed[i] && i != extra && Score(w, p) < sq {
+				b++
+			}
+		}
+		return b < k
+	}
+	var causes []Cause
+	for p := 0; p < n; p++ {
+		pool := make([]int, 0, n-1)
+		for i := 0; i < n; i++ {
+			if i != p {
+				pool = append(pool, i)
+			}
+		}
+		found := false
+		for size := 0; size <= len(pool) && !found; size++ {
+			forEachSubset(pool, size, func(gamma []int) bool {
+				removed := make(map[int]bool, len(gamma))
+				for _, id := range gamma {
+					removed[id] = true
+				}
+				if !isAnswer(removed, -1) && isAnswer(removed, p) {
+					contingency := append([]int{}, gamma...)
+					sort.Ints(contingency)
+					causes = append(causes, Cause{
+						ID:             p,
+						Responsibility: 1 / float64(1+size),
+						Contingency:    contingency,
+						Counterfactual: size == 0,
+					})
+					found = true
+					return false
+				}
+				return true
+			})
+		}
+	}
+	sortCauses(causes)
+	return causes
+}

@@ -1,0 +1,131 @@
+package causality
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func TestScore(t *testing.T) {
+	if got := Score(geom.Point{1, 2}, geom.Point{3, 4}); got != 11 {
+		t.Fatalf("Score = %v, want 11", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dim mismatch should panic")
+		}
+	}()
+	Score(geom.Point{1}, geom.Point{1, 2})
+}
+
+func TestIsReverseTopKAnswer(t *testing.T) {
+	products := []geom.Point{{1, 1}, {2, 2}, {9, 9}}
+	w := geom.Point{1, 1}
+	q := geom.Point{3, 3} // score 6; better: (1,1)=2, (2,2)=4 -> b=2
+	if IsReverseTopKAnswer(products, w, q, 2) {
+		t.Fatal("b=2, k=2: q not in top-2")
+	}
+	if !IsReverseTopKAnswer(products, w, q, 3) {
+		t.Fatal("b=2, k=3: q in top-3")
+	}
+}
+
+// TestCRTopKMatchesOracle validates the closed-form reverse top-k causality
+// against the Definition-1 exhaustive oracle.
+func TestCRTopKMatchesOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(121))
+	ran := 0
+	for trial := 0; trial < 300 && ran < 100; trial++ {
+		d := 1 + r.Intn(3)
+		n := 3 + r.Intn(6)
+		products := make([]geom.Point, n)
+		for i := range products {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = r.Float64() * 10
+			}
+			products[i] = p
+		}
+		w := make(geom.Point, d)
+		for j := range w {
+			w[j] = r.Float64()
+		}
+		q := make(geom.Point, d)
+		for j := range q {
+			q[j] = r.Float64() * 10
+		}
+		k := 1 + r.Intn(3)
+		got, err := CRTopK(products, w, q, k)
+		if errors.Is(err, ErrNotNonAnswer) {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		ran++
+		want := BruteCausesRTopK(products, w, q, k)
+		causesEqual(t, got.Causes, want, "CRTopK vs oracle")
+	}
+	if ran < 40 {
+		t.Fatalf("only %d informative trials", ran)
+	}
+}
+
+func TestCRTopKClosedForm(t *testing.T) {
+	// 5 better products, k=3: every cause has |Γ| = 2, responsibility 1/3.
+	products := []geom.Point{
+		{1}, {2}, {3}, {4}, {5}, // scores 1..5 under w=(1)
+		{100}, {200},
+	}
+	w := geom.Point{1}
+	q := geom.Point{6} // b = 5
+	res, err := CRTopK(products, w, q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Candidates != 5 || len(res.Causes) != 5 {
+		t.Fatalf("candidates/causes = %d/%d", res.Candidates, len(res.Causes))
+	}
+	for _, c := range res.Causes {
+		if math.Abs(c.Responsibility-1.0/3) > 1e-12 || len(c.Contingency) != 2 {
+			t.Fatalf("cause %+v, want responsibility 1/3 with |Γ|=2", c)
+		}
+	}
+	// b == k: counterfactual causes.
+	res2, err := CRTopK(products, w, q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res2.Causes {
+		if !c.Counterfactual || c.Responsibility != 1 {
+			t.Fatalf("b==k should make every cause counterfactual: %+v", c)
+		}
+	}
+}
+
+func TestCRTopKErrors(t *testing.T) {
+	products := []geom.Point{{1, 1}, {2, 2}}
+	w := geom.Point{1, 1}
+	q := geom.Point{9, 9}
+	if _, err := CRTopK(nil, w, q, 1); err == nil {
+		t.Error("empty products should fail")
+	}
+	if _, err := CRTopK(products, w, q, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := CRTopK(products, geom.Point{1}, q, 1); err == nil {
+		t.Error("dim mismatch should fail")
+	}
+	if _, err := CRTopK(products, geom.Point{-1, 1}, q, 1); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := CRTopK(products, w, geom.Point{0, 0}, 1); !errors.Is(err, ErrNotNonAnswer) {
+		t.Errorf("answer user: %v", err)
+	}
+	if _, err := CRTopK([]geom.Point{{1}, {1, 2}}, geom.Point{1}, geom.Point{5}, 1); err == nil {
+		t.Error("mixed product dims should fail")
+	}
+}

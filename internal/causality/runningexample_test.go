@@ -1,0 +1,174 @@
+package causality
+
+import (
+	"errors"
+	"testing"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// TestRunningExampleFig2 rebuilds the structure of the paper's running
+// example (Fig. 2): nine uncertain objects a..i, a non-answer c, a
+// candidate set {b, d, e, f, h, i}, an always-dominating object i that must
+// sit in every other cause's minimum contingency set (Lemma 4), and
+// non-candidates a and g that Lemma 1 excludes. The exact coordinates of
+// the figure are not published, so the configuration is re-engineered to
+// produce the same qualitative structure; exact responsibilities are pinned
+// against the Definition-1 oracle.
+func TestRunningExampleFig2(t *testing.T) {
+	q := geom.Point{0, 0}
+	const (
+		idA = 0
+		idB = 1
+		idC = 2 // the non-answer
+		idD = 3
+		idE = 4
+		idF = 5
+		idG = 6
+		idH = 7
+		idI = 8
+	)
+	objs := []*uncertain.Object{
+		// a: close to q on one axis only — never dominates q w.r.t. c.
+		idA: uncertain.NewUniform(idA, []geom.Point{{40, -40}, {42, -38}}),
+		// b..h: partial dominators (one sample inside the rectangles, one far out).
+		idB: uncertain.NewUniform(idB, []geom.Point{{9, 9}, {100, 100}}),
+		// c: the non-answer, samples at (10,10) and (12,12).
+		idC: uncertain.NewUniform(idC, []geom.Point{{10, 10}, {12, 12}}),
+		idD: uncertain.NewUniform(idD, []geom.Point{{8, 8}, {90, 110}}),
+		idE: uncertain.NewUniform(idE, []geom.Point{{7, 9}, {-80, 95}}),
+		idF: uncertain.NewUniform(idF, []geom.Point{{11, 11}, {70, -120}}),
+		idH: uncertain.NewUniform(idH, []geom.Point{{9, 7}, {130, 60}}),
+		// g: entirely outside every dominance rectangle of c.
+		idG: uncertain.NewUniform(idG, []geom.Point{{-60, 60}, {-58, 64}}),
+		// i: both samples dominate q w.r.t. both samples of c -> Γ1.
+		idI: uncertain.NewUniform(idI, []geom.Point{{4, 4}, {5, 5}}),
+	}
+	ds := dataset.MustUncertain(objs)
+	const alpha = 0.5
+
+	res, err := CP(ds, q, idC, alpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The filtering step must produce exactly {b, d, e, f, h, i}.
+	wantCandidates := 6
+	if res.Candidates != wantCandidates {
+		t.Fatalf("candidates = %d, want %d", res.Candidates, wantCandidates)
+	}
+	causeIDs := map[int]Cause{}
+	for _, c := range res.Causes {
+		causeIDs[c.ID] = c
+	}
+	if _, ok := causeIDs[idA]; ok {
+		t.Fatal("a must not be a cause (Lemma 1)")
+	}
+	if _, ok := causeIDs[idG]; ok {
+		t.Fatal("g must not be a cause (Lemma 1)")
+	}
+
+	// i is in Γ1: while present, Pr(c)=0, so every other cause's minimum
+	// contingency set must contain it (Lemma 4).
+	for id, c := range causeIDs {
+		if id == idI {
+			continue
+		}
+		found := false
+		for _, g := range c.Contingency {
+			if g == idI {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("cause %d: Γ=%v misses the always-dominating object i", id, c.Contingency)
+		}
+	}
+
+	// Exact causes and responsibilities: pinned by the oracle.
+	want := BruteCausesUncertain(ds.Objects, q, idC, alpha)
+	causesEqual(t, res.Causes, want, "Fig.2-style example vs oracle")
+
+	// Like the paper's worked example, every candidate ends up an actual
+	// cause in this configuration.
+	if len(res.Causes) != wantCandidates {
+		t.Fatalf("causes = %d, want %d", len(res.Causes), wantCandidates)
+	}
+
+	// The explanation must pass independent verification.
+	if err := VerifyExplanation(ds, q, alpha, res); err != nil {
+		t.Fatalf("VerifyExplanation: %v", err)
+	}
+
+	// And the naive baseline agrees end to end.
+	naive, err := NaiveI(ds, q, idC, alpha, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	causesEqual(t, naive.Causes, res.Causes, "NaiveI on the running example")
+}
+
+func TestVerifyExplanationRejectsTampering(t *testing.T) {
+	q := geom.Point{0, 0}
+	an := uncertain.NewUniform(0, []geom.Point{{20, 20}, {24, 24}})
+	b1 := uncertain.NewUniform(1, []geom.Point{{10, 10}, {100, 100}})
+	b2 := uncertain.NewUniform(2, []geom.Point{{15, 15}, {-90, 95}})
+	ds := dataset.MustUncertain([]*uncertain.Object{an, b1, b2})
+	res, err := CP(ds, q, 0, 0.6, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyExplanation(ds, q, 0.6, res); err != nil {
+		t.Fatalf("genuine explanation rejected: %v", err)
+	}
+
+	tamper := func(mutate func(r *Result)) error {
+		clone := *res
+		clone.Causes = make([]Cause, len(res.Causes))
+		for i, c := range res.Causes {
+			clone.Causes[i] = Cause{
+				ID:             c.ID,
+				Responsibility: c.Responsibility,
+				Contingency:    append([]int{}, c.Contingency...),
+				Counterfactual: c.Counterfactual,
+			}
+		}
+		mutate(&clone)
+		return VerifyExplanation(ds, q, 0.6, &clone)
+	}
+
+	if len(res.Causes) == 0 {
+		t.Fatal("fixture needs at least one cause")
+	}
+	cases := map[string]func(r *Result){
+		"wrong responsibility": func(r *Result) { r.Causes[0].Responsibility = 0.123 },
+		"bad cause id":         func(r *Result) { r.Causes[0].ID = 99 },
+		"self as cause":        func(r *Result) { r.Causes[0].ID = 0 },
+		"fake counterfactual": func(r *Result) {
+			r.Causes[0].Contingency = nil
+			r.Causes[0].Counterfactual = true
+			r.Causes[0].Responsibility = 1
+		},
+		"contingency includes cause": func(r *Result) {
+			r.Causes[0].Contingency = append(r.Causes[0].Contingency, r.Causes[0].ID)
+			r.Causes[0].Responsibility = 1 / float64(1+len(r.Causes[0].Contingency))
+		},
+	}
+	for name, mutate := range cases {
+		if err := tamper(mutate); err == nil {
+			t.Errorf("%s: tampered explanation accepted", name)
+		}
+	}
+	// Nil and bad-target results are rejected.
+	if err := VerifyExplanation(ds, q, 0.6, nil); err == nil {
+		t.Error("nil result accepted")
+	}
+	bad := *res
+	bad.NonAnswer = 77
+	if err := VerifyExplanation(ds, q, 0.6, &bad); !errors.Is(err, ErrBadObject) {
+		t.Errorf("bad NonAnswer: %v", err)
+	}
+}

@@ -1,0 +1,83 @@
+package causality
+
+import (
+	"fmt"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// VerifyExplanation independently re-checks a CP result against
+// Definition 1: for every reported cause c it confirms that the recorded
+// contingency set Γ witnesses causehood — Pr(an | P−Γ) < α while
+// Pr(an | P−Γ−{c}) >= α — and that responsibility equals 1/(1+|Γ|). It
+// does not re-prove minimality (that would repeat the search); it proves
+// the explanation is sound. Useful as a trust layer on top of Explain and
+// heavily used by the integration tests.
+func VerifyExplanation(ds *dataset.Uncertain, q geom.Point, alpha float64, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("causality: nil result")
+	}
+	if res.NonAnswer < 0 || res.NonAnswer >= ds.Len() {
+		return fmt.Errorf("%w: %d", ErrBadObject, res.NonAnswer)
+	}
+	an := ds.Objects[res.NonAnswer]
+	seen := make(map[int]bool, len(res.Causes))
+	for i, c := range res.Causes {
+		if c.ID < 0 || c.ID >= ds.Len() || c.ID == res.NonAnswer {
+			return fmt.Errorf("cause %d: bad object ID %d", i, c.ID)
+		}
+		if seen[c.ID] {
+			return fmt.Errorf("cause %d: duplicate object ID %d", i, c.ID)
+		}
+		seen[c.ID] = true
+
+		want := 1 / float64(1+len(c.Contingency))
+		if diff := c.Responsibility - want; diff > 1e-9 || diff < -1e-9 {
+			return fmt.Errorf("cause %d: responsibility %v, want 1/%d",
+				c.ID, c.Responsibility, 1+len(c.Contingency))
+		}
+		if c.Counterfactual != (len(c.Contingency) == 0) {
+			return fmt.Errorf("cause %d: counterfactual flag inconsistent with |Γ|=%d",
+				c.ID, len(c.Contingency))
+		}
+
+		removed := make(map[int]bool, len(c.Contingency)+1)
+		for _, g := range c.Contingency {
+			if g == c.ID || g == res.NonAnswer || g < 0 || g >= ds.Len() {
+				return fmt.Errorf("cause %d: invalid contingency member %d", c.ID, g)
+			}
+			if removed[g] {
+				return fmt.Errorf("cause %d: duplicate contingency member %d", c.ID, g)
+			}
+			removed[g] = true
+		}
+
+		pr1 := prWithRemoved(an, q, ds.Objects, removed, -1)
+		if !prob.Less(pr1, alpha) {
+			return fmt.Errorf("cause %d: an is already an answer on P−Γ (Pr=%v >= α=%v)",
+				c.ID, pr1, alpha)
+		}
+		pr2 := prWithRemoved(an, q, ds.Objects, removed, c.ID)
+		if !prob.GEq(pr2, alpha) {
+			return fmt.Errorf("cause %d: removing it does not flip an (Pr=%v < α=%v)",
+				c.ID, pr2, alpha)
+		}
+	}
+	return nil
+}
+
+func prWithRemoved(an *uncertain.Object, q geom.Point, objs []*uncertain.Object,
+	removed map[int]bool, extra int) float64 {
+
+	act := make([]*uncertain.Object, 0, len(objs))
+	for _, o := range objs {
+		if o.ID == an.ID || removed[o.ID] || o.ID == extra {
+			continue
+		}
+		act = append(act, o)
+	}
+	return prob.PrReverseSkyline(an, q, act)
+}

@@ -1,0 +1,127 @@
+// Package dataset provides the data layer of the reproduction: in-memory
+// certain and uncertain dataset containers with R-tree indexing, the
+// synthetic workload generators of Section 5.1 (lUrU/lUrG/lSrU/lSrG and
+// Independent/Correlated/Clustered/Anti-correlated), seeded stand-ins for
+// the paper's real datasets (NBA, CarDB), and CSV/gob persistence.
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// Uncertain is an uncertain dataset: discrete-sample objects whose IDs equal
+// their slice positions (validated), optionally indexed by an R-tree over
+// object MBRs.
+type Uncertain struct {
+	Objects []*uncertain.Object
+	tree    *rtree.Tree
+}
+
+// NewUncertain validates the objects and wraps them in a dataset. Object
+// IDs must equal their slice indexes so that R-tree entry IDs map back to
+// objects in O(1).
+func NewUncertain(objs []*uncertain.Object) (*Uncertain, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("dataset: no objects")
+	}
+	d := objs[0].Dims()
+	for i, o := range objs {
+		if o.ID != i {
+			return nil, fmt.Errorf("dataset: object at index %d has ID %d", i, o.ID)
+		}
+		if err := o.Validate(); err != nil {
+			return nil, fmt.Errorf("dataset: %w", err)
+		}
+		if o.Dims() != d {
+			return nil, fmt.Errorf("dataset: object %d has %d dims, want %d", i, o.Dims(), d)
+		}
+	}
+	return &Uncertain{Objects: objs}, nil
+}
+
+// MustUncertain is NewUncertain for known-good (generated) data.
+func MustUncertain(objs []*uncertain.Object) *Uncertain {
+	ds, err := NewUncertain(objs)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Len returns the number of objects.
+func (ds *Uncertain) Len() int { return len(ds.Objects) }
+
+// Dims returns the dataset dimensionality.
+func (ds *Uncertain) Dims() int { return ds.Objects[0].Dims() }
+
+// Tree returns the R-tree over object MBRs, bulk-loading it on first use
+// with the paper's default page size.
+func (ds *Uncertain) Tree(opts ...rtree.Option) *rtree.Tree {
+	if ds.tree == nil {
+		items := make([]rtree.Item, len(ds.Objects))
+		for i, o := range ds.Objects {
+			items[i] = rtree.Item{Rect: o.MBR(), ID: i}
+		}
+		t := rtree.New(ds.Dims(), opts...)
+		t.BulkLoad(items)
+		ds.tree = t
+	}
+	return ds.tree
+}
+
+// InvalidateTree discards the cached index (after mutating Objects).
+func (ds *Uncertain) InvalidateTree() { ds.tree = nil }
+
+// Certain is a certain dataset of plain points.
+type Certain struct {
+	Points []geom.Point
+}
+
+// NewCertain validates the points and wraps them in a dataset.
+func NewCertain(pts []geom.Point) (*Certain, error) {
+	if len(pts) == 0 {
+		return nil, fmt.Errorf("dataset: no points")
+	}
+	d := pts[0].Dims()
+	if d == 0 {
+		return nil, fmt.Errorf("dataset: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if p.Dims() != d {
+			return nil, fmt.Errorf("dataset: point %d has %d dims, want %d", i, p.Dims(), d)
+		}
+		if !p.IsFinite() {
+			return nil, fmt.Errorf("dataset: point %d has non-finite coordinates", i)
+		}
+	}
+	return &Certain{Points: pts}, nil
+}
+
+// MustCertain is NewCertain for known-good (generated) data.
+func MustCertain(pts []geom.Point) *Certain {
+	ds, err := NewCertain(pts)
+	if err != nil {
+		panic(err)
+	}
+	return ds
+}
+
+// Len returns the number of points.
+func (ds *Certain) Len() int { return len(ds.Points) }
+
+// Dims returns the dataset dimensionality.
+func (ds *Certain) Dims() int { return ds.Points[0].Dims() }
+
+// AsUncertain converts the certain dataset into the degenerate uncertain
+// form (one sample, probability 1 — Section 4's reduction).
+func (ds *Certain) AsUncertain() *Uncertain {
+	objs := make([]*uncertain.Object, len(ds.Points))
+	for i, p := range ds.Points {
+		objs[i] = uncertain.Certain(i, p)
+	}
+	return &Uncertain{Objects: objs}
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzLoadUncertainCSV: arbitrary input must never panic; accepted input
+// must produce a dataset that validates and round-trips.
+func FuzzLoadUncertainCSV(f *testing.F) {
+	f.Add("0,1,1.5,2.5\n")
+	f.Add("0,0.5,1,2\n0,0.5,3,4\n1,1,5,6\n")
+	f.Add("")
+	f.Add("0,1\n")
+	f.Add("x,y,z\n")
+	f.Add("0,1,1e308,2\n")
+	f.Add("0,0.3,1,2\n0,0.7,NaN,2\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := LoadUncertainCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		for _, o := range ds.Objects {
+			if err := o.Validate(); err != nil {
+				t.Fatalf("accepted object fails validation: %v", err)
+			}
+		}
+		var buf bytes.Buffer
+		if err := SaveUncertainCSV(&buf, ds); err != nil {
+			t.Fatalf("save of accepted dataset failed: %v", err)
+		}
+		back, err := LoadUncertainCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != ds.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), ds.Len())
+		}
+	})
+}
+
+// FuzzLoadCertainCSV: arbitrary input must never panic; accepted input must
+// round-trip.
+func FuzzLoadCertainCSV(f *testing.F) {
+	f.Add("1,2\n3,4\n")
+	f.Add("")
+	f.Add("1\n")
+	f.Add("a,b\n")
+	f.Add("1,2\n3\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		ds, err := LoadCertainCSV(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := SaveCertainCSV(&buf, ds); err != nil {
+			t.Fatalf("save of accepted dataset failed: %v", err)
+		}
+		back, err := LoadCertainCSV(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if back.Len() != ds.Len() {
+			t.Fatalf("round trip changed length: %d vs %d", back.Len(), ds.Len())
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// CertainKind selects one of the four standard certain-data distributions
+// used by the paper's Section 5 (following Börzsönyi et al.'s skyline
+// benchmark conventions).
+type CertainKind int
+
+const (
+	// Independent draws every coordinate uniformly at random.
+	Independent CertainKind = iota
+	// Correlated draws points near the main diagonal: points good in one
+	// dimension tend to be good in all.
+	Correlated
+	// AntiCorrelated draws points near the anti-diagonal hyperplane:
+	// points good in one dimension tend to be bad in others.
+	AntiCorrelated
+	// Clustered draws points from a handful of Gaussian clusters.
+	Clustered
+)
+
+func (k CertainKind) String() string {
+	switch k {
+	case Independent:
+		return "IND"
+	case Correlated:
+		return "COR"
+	case AntiCorrelated:
+		return "ANT"
+	case Clustered:
+		return "CLU"
+	default:
+		return fmt.Sprintf("CertainKind(%d)", int(k))
+	}
+}
+
+// CertainConfig parametrizes the certain-data generator.
+type CertainConfig struct {
+	N      int
+	Dims   int
+	Kind   CertainKind
+	Domain float64 // default 10000
+	Seed   int64
+	// Clusters is the cluster count for the Clustered kind (default 10).
+	Clusters int
+}
+
+func (c *CertainConfig) fillDefaults() {
+	if c.Domain == 0 {
+		c.Domain = 10000
+	}
+	if c.Clusters == 0 {
+		c.Clusters = 10
+	}
+}
+
+// Validate rejects inconsistent configurations.
+func (c CertainConfig) Validate() error {
+	c.fillDefaults()
+	if c.N <= 0 {
+		return fmt.Errorf("dataset: N must be positive, got %d", c.N)
+	}
+	if c.Dims <= 0 {
+		return fmt.Errorf("dataset: Dims must be positive, got %d", c.Dims)
+	}
+	if c.Kind < Independent || c.Kind > Clustered {
+		return fmt.Errorf("dataset: unknown certain kind %d", int(c.Kind))
+	}
+	return nil
+}
+
+// GenerateCertain produces a seeded synthetic certain dataset.
+func GenerateCertain(cfg CertainConfig) (*Certain, error) {
+	cfg.fillDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pts := make([]geom.Point, cfg.N)
+	var centers []geom.Point
+	if cfg.Kind == Clustered {
+		centers = make([]geom.Point, cfg.Clusters)
+		for i := range centers {
+			c := make(geom.Point, cfg.Dims)
+			for j := range c {
+				c[j] = rng.Float64() * cfg.Domain
+			}
+			centers[i] = c
+		}
+	}
+	for i := 0; i < cfg.N; i++ {
+		pts[i] = genCertainPoint(rng, cfg, centers)
+	}
+	return &Certain{Points: pts}, nil
+}
+
+func genCertainPoint(rng *rand.Rand, cfg CertainConfig, centers []geom.Point) geom.Point {
+	d := cfg.Dims
+	p := make(geom.Point, d)
+	switch cfg.Kind {
+	case Independent:
+		for j := 0; j < d; j++ {
+			p[j] = rng.Float64() * cfg.Domain
+		}
+	case Correlated:
+		// A common "quality" level plus small per-dimension jitter.
+		base := rng.Float64()
+		for j := 0; j < d; j++ {
+			v := base + rng.NormFloat64()*0.05
+			p[j] = clamp(v, 0, 1) * cfg.Domain
+		}
+	case AntiCorrelated:
+		// Points near the hyperplane Σ x_j = d/2 (in unit space): raise
+		// one dimension, lower the others, plus jitter.
+		base := 0.5 + rng.NormFloat64()*0.08
+		weights := make([]float64, d)
+		var sum float64
+		for j := 0; j < d; j++ {
+			weights[j] = rng.Float64()
+			sum += weights[j]
+		}
+		for j := 0; j < d; j++ {
+			v := base * float64(d) * weights[j] / sum
+			v += rng.NormFloat64() * 0.02
+			p[j] = clamp(v, 0, 1) * cfg.Domain
+		}
+	case Clustered:
+		c := centers[rng.Intn(len(centers))]
+		sd := cfg.Domain * 0.02
+		for j := 0; j < d; j++ {
+			p[j] = clamp(c[j]+rng.NormFloat64()*sd, 0, cfg.Domain)
+		}
+	}
+	return p
+}
+
+// GenerateCarDB synthesizes the stand-in for the paper's CarDB dataset:
+// 45,311 two-dimensional (price, mileage) tuples extracted from used-car
+// listings. Mileage is spread over [0, 250000]; price decays exponentially
+// with mileage around a car-class base price, yielding the negative
+// correlation of the real data. Deterministic per seed.
+func GenerateCarDB(seed int64) *Certain {
+	const n = 45311
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := 0; i < n; i++ {
+		mileage := rng.Float64() * 250000
+		// Car classes: economy to luxury base prices.
+		base := 8000 + rng.ExpFloat64()*12000
+		if base > 90000 {
+			base = 90000
+		}
+		price := 500 + base*math.Exp(-mileage/120000) + rng.NormFloat64()*800
+		if price < 500 {
+			price = 500
+		}
+		if price > 100000 {
+			price = 100000
+		}
+		pts[i] = geom.Point{price, mileage}
+	}
+	return &Certain{Points: pts}
+}

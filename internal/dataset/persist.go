@@ -1,0 +1,161 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// SaveCertainCSV writes one row per point: coord_1,...,coord_D.
+func SaveCertainCSV(w io.Writer, ds *Certain) error {
+	cw := csv.NewWriter(w)
+	row := make([]string, ds.Dims())
+	for _, p := range ds.Points {
+		for j, v := range p {
+			row[j] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("dataset: write csv: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadCertainCSV reads the SaveCertainCSV format.
+func LoadCertainCSV(r io.Reader) (*Certain, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var pts []geom.Point
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		p := make(geom.Point, len(rec))
+		for j, f := range rec {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d: %w", len(pts)+1, j, err)
+			}
+			p[j] = v
+		}
+		pts = append(pts, p)
+	}
+	return NewCertain(pts)
+}
+
+// SaveUncertainCSV writes one row per sample: objectID,prob,coord_1,...,coord_D.
+func SaveUncertainCSV(w io.Writer, ds *Uncertain) error {
+	cw := csv.NewWriter(w)
+	d := ds.Dims()
+	row := make([]string, 2+d)
+	for _, o := range ds.Objects {
+		for _, s := range o.Samples {
+			row[0] = strconv.Itoa(o.ID)
+			row[1] = strconv.FormatFloat(s.P, 'g', -1, 64)
+			for j, v := range s.Loc {
+				row[2+j] = strconv.FormatFloat(v, 'g', -1, 64)
+			}
+			if err := cw.Write(row); err != nil {
+				return fmt.Errorf("dataset: write csv: %w", err)
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// LoadUncertainCSV reads the SaveUncertainCSV format. Rows of one object
+// must be contiguous and object IDs must form 0..n-1 in first-appearance
+// order (which SaveUncertainCSV guarantees).
+func LoadUncertainCSV(r io.Reader) (*Uncertain, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	var objs []*uncertain.Object
+	var cur *uncertain.Object
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: read csv: %w", err)
+		}
+		line++
+		if len(rec) < 3 {
+			return nil, fmt.Errorf("dataset: row %d: need id,prob,coords...", line)
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d id: %w", line, err)
+		}
+		p, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: row %d prob: %w", line, err)
+		}
+		loc := make(geom.Point, len(rec)-2)
+		for j, f := range rec[2:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: row %d field %d: %w", line, j+2, err)
+			}
+			loc[j] = v
+		}
+		if cur == nil || cur.ID != id {
+			if id != len(objs) {
+				return nil, fmt.Errorf("dataset: row %d: object ID %d out of order (want %d)", line, id, len(objs))
+			}
+			cur = &uncertain.Object{ID: id}
+			objs = append(objs, cur)
+		}
+		cur.Samples = append(cur.Samples, uncertain.Sample{Loc: loc, P: p})
+	}
+	return NewUncertain(objs)
+}
+
+// gobCertain / gobUncertain are the stable on-disk forms.
+type gobCertain struct {
+	Points []geom.Point
+}
+
+type gobUncertain struct {
+	Objects []*uncertain.Object
+}
+
+// SaveCertainGob writes the dataset in gob form (compact, fast reloads).
+func SaveCertainGob(w io.Writer, ds *Certain) error {
+	return gob.NewEncoder(w).Encode(gobCertain{Points: ds.Points})
+}
+
+// LoadCertainGob reads the SaveCertainGob format.
+func LoadCertainGob(r io.Reader) (*Certain, error) {
+	var g gobCertain
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: decode gob: %w", err)
+	}
+	return NewCertain(g.Points)
+}
+
+// SaveUncertainGob writes the dataset in gob form.
+func SaveUncertainGob(w io.Writer, ds *Uncertain) error {
+	return gob.NewEncoder(w).Encode(gobUncertain{Objects: ds.Objects})
+}
+
+// LoadUncertainGob reads the SaveUncertainGob format.
+func LoadUncertainGob(r io.Reader) (*Uncertain, error) {
+	var g gobUncertain
+	if err := gob.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("dataset: decode gob: %w", err)
+	}
+	return NewUncertain(g.Objects)
+}

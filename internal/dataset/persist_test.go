@@ -1,0 +1,138 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCertainCSVRoundTrip(t *testing.T) {
+	ds, err := GenerateCertain(CertainConfig{N: 200, Dims: 3, Kind: AntiCorrelated, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveCertainCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() || back.Dims() != ds.Dims() {
+		t.Fatalf("round trip shape mismatch: %d/%d", back.Len(), back.Dims())
+	}
+	for i := range ds.Points {
+		if !ds.Points[i].Equal(back.Points[i]) {
+			t.Fatalf("point %d mismatch: %v vs %v", i, ds.Points[i], back.Points[i])
+		}
+	}
+}
+
+func TestUncertainCSVRoundTrip(t *testing.T) {
+	ds, err := GenerateUncertain(LUrG(100, 2, 0, 5, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveUncertainCSV(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadUncertainCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("Len = %d, want %d", back.Len(), ds.Len())
+	}
+	for i, o := range ds.Objects {
+		b := back.Objects[i]
+		if len(b.Samples) != len(o.Samples) {
+			t.Fatalf("object %d sample count mismatch", i)
+		}
+		for s := range o.Samples {
+			if !o.Samples[s].Loc.Equal(b.Samples[s].Loc) || o.Samples[s].P != b.Samples[s].P {
+				t.Fatalf("object %d sample %d mismatch", i, s)
+			}
+		}
+	}
+}
+
+func TestLoadUncertainCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"short row":     "0,1\n",
+		"bad id":        "x,1,1,2\n",
+		"bad prob":      "0,y,1,2\n",
+		"bad coord":     "0,1,z,2\n",
+		"id gap":        "1,1,1,2\n",
+		"probs not one": "0,0.4,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadUncertainCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestLoadCertainCSVErrors(t *testing.T) {
+	if _, err := LoadCertainCSV(strings.NewReader("1,notanumber\n")); err == nil {
+		t.Error("bad coord: expected error")
+	}
+	if _, err := LoadCertainCSV(strings.NewReader("")); err == nil {
+		t.Error("empty: expected error")
+	}
+}
+
+func TestCertainGobRoundTrip(t *testing.T) {
+	ds := GenerateCarDB(5)
+	var buf bytes.Buffer
+	if err := SaveCertainGob(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCertainGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	for i := 0; i < ds.Len(); i += 1000 {
+		if !ds.Points[i].Equal(back.Points[i]) {
+			t.Fatalf("point %d mismatch", i)
+		}
+	}
+}
+
+func TestUncertainGobRoundTrip(t *testing.T) {
+	ds, err := GenerateUncertain(LSrG(150, 3, 0, 8, 14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := SaveUncertainGob(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadUncertainGob(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != ds.Len() {
+		t.Fatalf("Len = %d", back.Len())
+	}
+	for i, o := range ds.Objects {
+		for s := range o.Samples {
+			if !o.Samples[s].Loc.Equal(back.Objects[i].Samples[s].Loc) {
+				t.Fatalf("object %d sample %d mismatch", i, s)
+			}
+		}
+	}
+}
+
+func TestGobRejectsGarbage(t *testing.T) {
+	if _, err := LoadCertainGob(strings.NewReader("not gob data")); err == nil {
+		t.Error("garbage gob should fail")
+	}
+	if _, err := LoadUncertainGob(strings.NewReader("not gob data")); err == nil {
+		t.Error("garbage gob should fail")
+	}
+}

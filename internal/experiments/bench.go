@@ -1,0 +1,40 @@
+package experiments
+
+import (
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/skyline"
+)
+
+// BenchWorkloadCP exposes the CP workload builder (dataset + query +
+// selected non-answers) for the repository-level benchmarks in
+// bench_test.go. selectAlpha is the threshold the non-answers are selected
+// against.
+func BenchWorkloadCP(cfg Config, family string, n, dims int, rmin, rmax, selectAlpha float64,
+	maxCand int) (*dataset.Uncertain, geom.Point, []int, error) {
+
+	w, err := buildCPWorkload(cfg, family, n, dims, rmin, rmax, selectAlpha, maxCand)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.ds, w.q, w.nonAnswers, nil
+}
+
+// BenchWorkloadCR exposes the CR workload builder for bench_test.go.
+func BenchWorkloadCR(cfg Config, kind dataset.CertainKind, n, dims, maxCand int) (*skyline.Index, geom.Point, []int, error) {
+	w, err := buildCRWorkload(cfg, kind, n, dims, maxCand)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.ix, w.q, w.nonAnswers, nil
+}
+
+// BenchWorkloadCarDB exposes the CarDB workload builder for bench_test.go.
+func BenchWorkloadCarDB(cfg Config, maxCand int) (*skyline.Index, geom.Point, []int, error) {
+	db := dataset.GenerateCarDB(cfg.Seed)
+	w, err := buildCRWorkloadFromPoints(cfg, db.Points, maxCand)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return w.ix, w.q, w.nonAnswers, nil
+}

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strconv"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// Paper defaults (Table 2): |P| = 100K, d = 3, α = 0.6, radius [0, 5].
+const (
+	defaultN     = 100_000
+	defaultDims  = 3
+	defaultAlpha = 0.6
+	defaultRMin  = 0
+	defaultRMax  = 5
+)
+
+// Fig6 compares CP against Naive-I over the four synthetic uncertain
+// families. Expected shape (paper): identical I/O — both share the filter
+// step — and a CPU gap in CP's favor that comes from the lemma-driven
+// refinement.
+func Fig6(cfg Config) error {
+	cfg.fillDefaults()
+	tab := stats.Table{
+		Title:  "Fig. 6: CP vs Naive-I (defaults: d=3, α=0.6, r=[0,5])",
+		Header: []string{"dataset", "CP io", "Naive io", "CP cpu(ms)", "Naive cpu(ms)"},
+		Caption: "Expected shape: identical I/O (shared filter step); CP CPU well below Naive-I " +
+			"(Lemmas 4-6 shrink the subset search).",
+	}
+	for _, family := range []string{"lUrU", "lUrG", "lSrU", "lSrG"} {
+		w, err := buildCPWorkload(cfg, family, cfg.scaled(defaultN), defaultDims,
+			defaultRMin, defaultRMax, defaultAlpha, cfg.NaiveMaxCandidates)
+		if err != nil {
+			return err
+		}
+		cp, err := w.runCP(defaultAlpha, causality.Options{})
+		if err != nil {
+			return err
+		}
+		naive, err := w.runNaiveI(defaultAlpha, causality.Options{})
+		if err != nil {
+			return err
+		}
+		tab.AddRow(family, cp.MeanIO(), naive.MeanIO(), ms(cp.MeanCPU()), ms(naive.MeanCPU()))
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// Fig7 sweeps the probability threshold α. Per the paper's protocol the
+// non-answer set is fixed across α values (selected at the smallest α), so
+// the I/O — produced entirely by the filter step — stays constant while
+// CPU grows with α until the α = 1 fast path collapses it.
+func Fig7(cfg Config) error {
+	cfg.fillDefaults()
+	alphas := []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	tab := stats.Table{
+		Title:  "Fig. 7: CP cost vs α (lUrU/lSrG, d=3, r=[0,5])",
+		Header: []string{"alpha", "lUrU io", "lUrU cpu(ms)", "lSrG io", "lSrG cpu(ms)"},
+		Caption: "Expected shape: I/O flat across α; CPU grows with α (larger minimum contingency sets) " +
+			"and drops sharply at α=1 (fast path skips refinement).",
+	}
+	workloads := make([]*cpWorkload, 2)
+	for i, family := range []string{"lUrU", "lSrG"} {
+		w, err := buildCPWorkload(cfg, family, cfg.scaled(defaultN), defaultDims,
+			defaultRMin, defaultRMax, alphas[0], cfg.MaxCandidates)
+		if err != nil {
+			return err
+		}
+		workloads[i] = w
+	}
+	for _, alpha := range alphas {
+		row := []any{alpha}
+		for _, w := range workloads {
+			b, err := w.runCP(alpha, causality.Options{})
+			if err != nil {
+				return err
+			}
+			row = append(row, b.MeanIO(), ms(b.MeanCPU()))
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// Fig8 sweeps the uncertainty-region radius range. Larger regions enlarge
+// the dominance rectangles and the candidate sets, so both I/O and CPU are
+// expected to grow.
+func Fig8(cfg Config) error {
+	cfg.fillDefaults()
+	ranges := [][2]float64{{0, 2}, {0, 3}, {0, 5}, {0, 8}, {0, 10}}
+	tab := stats.Table{
+		Title:   "Fig. 8: CP cost vs radius range (lUrU, d=3, α=0.6)",
+		Header:  []string{"[rmin,rmax]", "io", "cpu(ms)", "candidates"},
+		Caption: "Expected shape: cost grows with the radius range (larger uncertain regions ⇒ more candidates).",
+	}
+	for _, r := range ranges {
+		w, err := buildCPWorkload(cfg, "lUrU", cfg.scaled(defaultN), defaultDims,
+			r[0], r[1], defaultAlpha, cfg.MaxCandidates)
+		if err != nil {
+			return err
+		}
+		b, err := w.runCP(defaultAlpha, causality.Options{})
+		if err != nil {
+			return err
+		}
+		tab.AddRow(formatRange(r), b.MeanIO(), ms(b.MeanCPU()), meanCandidates(w, defaultAlpha))
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// Fig9 sweeps dimensionality 2..5. In higher dimensions objects are
+// dominated by fewer objects, so candidate counts — and with them I/O and
+// CPU — are expected to fall.
+func Fig9(cfg Config) error {
+	cfg.fillDefaults()
+	tab := stats.Table{
+		Title:   "Fig. 9: CP cost vs dimensionality (lUrU, |P|=default, α=0.6, r=[0,5])",
+		Header:  []string{"d", "io", "cpu(ms)", "candidates"},
+		Caption: "Expected shape: cost falls as d grows (fewer dominators per object in high dimensions).",
+	}
+	for d := 2; d <= 5; d++ {
+		w, err := buildCPWorkload(cfg, "lUrU", cfg.scaled(defaultN), d,
+			defaultRMin, defaultRMax, defaultAlpha, cfg.MaxCandidates)
+		if err != nil {
+			return err
+		}
+		b, err := w.runCP(defaultAlpha, causality.Options{})
+		if err != nil {
+			return err
+		}
+		tab.AddRow(d, b.MeanIO(), ms(b.MeanCPU()), meanCandidates(w, defaultAlpha))
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// Fig10 sweeps cardinality 10K..1000K (scaled). Denser data means more
+// candidate causes per non-answer, so cost grows with |P|.
+func Fig10(cfg Config) error {
+	cfg.fillDefaults()
+	tab := stats.Table{
+		Title:   "Fig. 10: CP cost vs cardinality (lUrU, d=3, α=0.6, r=[0,5])",
+		Header:  []string{"|P|", "io", "cpu(ms)", "candidates"},
+		Caption: "Expected shape: I/O and CPU grow with cardinality (denser data ⇒ more candidates).",
+	}
+	for _, n := range []int{10_000, 50_000, 100_000, 500_000, 1_000_000} {
+		w, err := buildCPWorkload(cfg, "lUrU", cfg.scaled(n), defaultDims,
+			defaultRMin, defaultRMax, defaultAlpha, cfg.MaxCandidates)
+		if err != nil {
+			return err
+		}
+		b, err := w.runCP(defaultAlpha, causality.Options{})
+		if err != nil {
+			return err
+		}
+		tab.AddRow(cfg.scaled(n), b.MeanIO(), ms(b.MeanCPU()), meanCandidates(w, defaultAlpha))
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// meanCandidates reports the average candidate-set size over a workload's
+// non-answers (diagnostic column, not a paper metric).
+func meanCandidates(w *cpWorkload, alpha float64) float64 {
+	var sum int
+	for _, id := range w.nonAnswers {
+		res, err := causality.CP(w.ds, w.q, id, alpha, causality.Options{})
+		if err != nil {
+			continue
+		}
+		sum += res.Candidates
+	}
+	return float64(sum) / float64(len(w.nonAnswers))
+}
+
+func formatRange(r [2]float64) string {
+	return "[" + strconv.FormatFloat(r[0], 'g', -1, 64) + "," +
+		strconv.FormatFloat(r[1], 'g', -1, 64) + "]"
+}

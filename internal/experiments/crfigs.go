@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+var certainKinds = []dataset.CertainKind{
+	dataset.Independent, dataset.Correlated, dataset.Clustered, dataset.AntiCorrelated,
+}
+
+// Fig11 compares CR against Naive-II over the four certain synthetic
+// families plus the CarDB stand-in. Expected shape (paper): identical I/O
+// (both issue the same window query) and a large CPU gap — Lemma 7 lets CR
+// skip verification entirely while Naive-II enumerates 2^|Cc| subsets.
+func Fig11(cfg Config) error {
+	cfg.fillDefaults()
+	tab := stats.Table{
+		Title:  "Fig. 11: CR vs Naive-II (d=3 synthetics + CarDB, defaults)",
+		Header: []string{"dataset", "CR io", "Naive io", "CR cpu(ms)", "Naive cpu(ms)"},
+		Caption: "Expected shape: identical I/O (same window query); CR CPU far below Naive-II " +
+			"(Lemma 7 removes verification).",
+	}
+	run := func(name string, w *crWorkload) error {
+		cr, err := w.runCR()
+		if err != nil {
+			return err
+		}
+		naive, err := w.runNaiveII(causality.Options{})
+		if err != nil {
+			return err
+		}
+		tab.AddRow(name, cr.MeanIO(), naive.MeanIO(), ms(cr.MeanCPU()), ms(naive.MeanCPU()))
+		return nil
+	}
+	for _, kind := range certainKinds {
+		w, err := buildCRWorkload(cfg, kind, cfg.scaled(defaultN), defaultDims, cfg.NaiveMaxCandidates)
+		if err != nil {
+			return err
+		}
+		if err := run(kind.String(), w); err != nil {
+			return err
+		}
+	}
+	car := dataset.GenerateCarDB(cfg.Seed)
+	w, err := buildCRWorkloadFromPoints(cfg, car.Points, cfg.NaiveMaxCandidates)
+	if err != nil {
+		return err
+	}
+	if err := run("CarDB", w); err != nil {
+		return err
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// Fig12 sweeps dimensionality for CR over the four synthetic families.
+// Expected shape: performance improves with d (fewer dominators per object
+// in high dimensions).
+func Fig12(cfg Config) error {
+	cfg.fillDefaults()
+	tab := stats.Table{
+		Title:   "Fig. 12: CR cost vs dimensionality (|P|=default)",
+		Header:  []string{"d", "IND io", "IND cpu(ms)", "COR io", "COR cpu(ms)", "CLU io", "CLU cpu(ms)", "ANT io", "ANT cpu(ms)"},
+		Caption: "Expected shape: cost falls as d grows for every family.",
+	}
+	for d := 2; d <= 5; d++ {
+		row := []any{d}
+		for _, kind := range certainKinds {
+			w, err := buildCRWorkload(cfg, kind, cfg.scaled(defaultN), d, cfg.MaxCandidates)
+			if err != nil {
+				return err
+			}
+			b, err := w.runCR()
+			if err != nil {
+				return err
+			}
+			row = append(row, b.MeanIO(), ms(b.MeanCPU()))
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(cfg.Out)
+	return nil
+}
+
+// Fig13 sweeps cardinality for CR over the four synthetic families.
+// Expected shape: I/O and CPU grow with |P| (denser data, more causes).
+func Fig13(cfg Config) error {
+	cfg.fillDefaults()
+	tab := stats.Table{
+		Title:   "Fig. 13: CR cost vs cardinality (d=3)",
+		Header:  []string{"|P|", "IND io", "IND cpu(ms)", "COR io", "COR cpu(ms)", "CLU io", "CLU cpu(ms)", "ANT io", "ANT cpu(ms)"},
+		Caption: "Expected shape: cost grows with cardinality for every family.",
+	}
+	for _, n := range []int{10_000, 50_000, 100_000, 500_000, 1_000_000} {
+		row := []any{cfg.scaled(n)}
+		for _, kind := range certainKinds {
+			w, err := buildCRWorkload(cfg, kind, cfg.scaled(n), defaultDims, cfg.MaxCandidates)
+			if err != nil {
+				return err
+			}
+			b, err := w.runCR()
+			if err != nil {
+				return err
+			}
+			row = append(row, b.MeanIO(), ms(b.MeanCPU()))
+		}
+		tab.AddRow(row...)
+	}
+	tab.Render(cfg.Out)
+	return nil
+}

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps every experiment fast enough for CI while still
+// exercising the full pipeline.
+func tinyConfig(buf *bytes.Buffer) Config {
+	return Config{
+		Out:                buf,
+		Seed:               7,
+		Runs:               3,
+		Scale:              0.02, // 2K objects at the 100K default
+		MaxPool:            10,
+		MaxCandidates:      60,
+		NaiveMaxCandidates: 10,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.Name, func(t *testing.T) {
+			var buf bytes.Buffer
+			cfg := tinyConfig(&buf)
+			if err := e.Run(cfg); err != nil {
+				t.Fatalf("%s: %v", e.Name, err)
+			}
+			out := buf.String()
+			if len(out) == 0 {
+				t.Fatalf("%s produced no output", e.Name)
+			}
+			if !strings.Contains(out, "---") {
+				t.Fatalf("%s output has no table:\n%s", e.Name, out)
+			}
+		})
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, ok := Lookup("fig7"); !ok {
+		t.Fatal("fig7 should exist")
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("unknown experiment should not resolve")
+	}
+	if len(All()) != 12 {
+		t.Fatalf("expected 12 experiments, got %d", len(All()))
+	}
+}
+
+func TestFig6SharedIO(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := Fig6(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The caption promises identical I/O; verify the rendered rows show
+	// equal CP and Naive I/O values.
+	lines := strings.Split(buf.String(), "\n")
+	dataRows := 0
+	for _, ln := range lines {
+		fields := strings.Fields(ln)
+		if len(fields) >= 5 && (fields[0] == "lUrU" || fields[0] == "lUrG" ||
+			fields[0] == "lSrU" || fields[0] == "lSrG") {
+			dataRows++
+			if fields[1] != fields[2] {
+				t.Fatalf("I/O differs between CP and Naive-I: %q", ln)
+			}
+		}
+	}
+	if dataRows != 4 {
+		t.Fatalf("expected 4 family rows, got %d:\n%s", dataRows, buf.String())
+	}
+}
+
+func TestRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full RunAll in -short mode")
+	}
+	var buf bytes.Buffer
+	cfg := tinyConfig(&buf)
+	if err := RunAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range All() {
+		if !strings.Contains(buf.String(), e.Title) {
+			t.Fatalf("RunAll output missing %q", e.Title)
+		}
+	}
+}

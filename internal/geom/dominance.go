@@ -1,0 +1,107 @@
+package geom
+
+import "math"
+
+// DynDominates reports whether a dynamically dominates b with respect to the
+// reference point ref, written a ≺_ref b in the paper: on every dimension
+// |a[i]−ref[i]| <= |b[i]−ref[i]|, with strict inequality on at least one
+// dimension (Papadias et al.'s dominance transported into the coordinate
+// frame of ref; smaller absolute deviation is better).
+func DynDominates(a, b, ref Point) bool {
+	checkDims(len(a), len(ref))
+	checkDims(len(b), len(ref))
+	strict := false
+	for i := range ref {
+		da := math.Abs(a[i] - ref[i])
+		db := math.Abs(b[i] - ref[i])
+		if da > db {
+			return false
+		}
+		if da < db {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Dominates reports classic (static) skyline dominance with minimization
+// semantics: a <= b on every dimension and a < b on at least one.
+func Dominates(a, b Point) bool {
+	checkDims(len(a), len(b))
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// DomRect returns the hyper-rectangle centered at center whose per-dimension
+// extent equals the coordinate-wise distance |q[i]−center[i]| to the query
+// object q (Lemma 2 of the paper). Any point strictly inside this rectangle
+// dynamically dominates q w.r.t. center; boundary points need the strictness
+// check performed by DynDominates.
+//
+// The rectangle is built from its two opposite corners q and 2·center−q
+// rather than center±extent, so that q and center are contained exactly
+// even under floating-point rounding.
+func DomRect(center, q Point) Rect {
+	checkDims(len(center), len(q))
+	mirror := make(Point, len(center))
+	for i := range center {
+		mirror[i] = 2*center[i] - q[i]
+	}
+	return NewRect(q, mirror)
+}
+
+// DomRects builds the dominance rectangle list ("RecList" in Algorithm 1)
+// for a set of sample points of an uncertain object against q.
+func DomRects(samples []Point, q Point) []Rect {
+	recs := make([]Rect, len(samples))
+	for i, s := range samples {
+		recs[i] = DomRect(s, q)
+	}
+	return recs
+}
+
+// boundaryPad is the relative padding used to reconcile the dominance
+// predicate with rectangle containment under floating-point rounding: the
+// two are computed along different float paths and can disagree by an ULP
+// exactly on the rectangle boundary.
+const boundaryPad = 1e-12
+
+// DomRectOuter returns DomRect padded outward by a relative epsilon. Filter
+// windows use it so that every point satisfying DynDominates is guaranteed
+// to fall inside the window; exactness is restored by the dominance check
+// on the filtered candidates.
+func DomRectOuter(center, q Point) Rect {
+	r := DomRect(center, q)
+	for i := range r.Min {
+		eps := boundaryPad * (1 + math.Abs(r.Min[i]) + math.Abs(r.Max[i]))
+		r.Min[i] -= eps
+		r.Max[i] += eps
+	}
+	return r
+}
+
+// DomRectInner returns DomRect shrunk inward by a relative epsilon (never
+// collapsing past the center). Soundness-critical containment tests — e.g.
+// the pdf-model Γ1 rectangle, where a false positive would wrongly force an
+// object into every contingency set — use it as the conservative direction.
+func DomRectInner(center, q Point) Rect {
+	r := DomRect(center, q)
+	for i := range r.Min {
+		eps := boundaryPad * (1 + math.Abs(r.Min[i]) + math.Abs(r.Max[i]))
+		half := (r.Max[i] - r.Min[i]) / 2
+		if eps > half {
+			eps = half
+		}
+		r.Min[i] += eps
+		r.Max[i] -= eps
+	}
+	return r
+}

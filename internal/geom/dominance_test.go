@@ -1,0 +1,146 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestDynDominatesBasics(t *testing.T) {
+	ref := Point{5, 5}
+	q := Point{8, 8} // |q-ref| = (3,3)
+	tests := []struct {
+		name string
+		a    Point
+		want bool
+	}{
+		{"closer on both dims", Point{6, 6}, true},
+		{"equal dist, no strict", Point{8, 8}, false},
+		{"equal dist mirrored, no strict", Point{2, 2}, false},
+		{"closer on one, equal on other", Point{6, 8}, true},
+		{"closer on one, farther on other", Point{6, 9.5}, false},
+		{"the reference itself", Point{5, 5}, true},
+		{"mirrored closer", Point{3, 3}, true},
+	}
+	for _, tt := range tests {
+		if got := DynDominates(tt.a, q, ref); got != tt.want {
+			t.Errorf("%s: DynDominates(%v, %v, %v) = %v, want %v",
+				tt.name, tt.a, q, ref, got, tt.want)
+		}
+	}
+}
+
+func TestDynDominatesIrreflexive(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		d := 1 + r.Intn(5)
+		a, ref := randPoint(r, d), randPoint(r, d)
+		if DynDominates(a, a, ref) {
+			t.Fatalf("DynDominates(a, a, ref) must be false: a=%v ref=%v", a, ref)
+		}
+	}
+}
+
+func TestDynDominatesAsymmetric(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		d := 1 + r.Intn(5)
+		a, b, ref := randPoint(r, d), randPoint(r, d), randPoint(r, d)
+		if DynDominates(a, b, ref) && DynDominates(b, a, ref) {
+			t.Fatalf("dominance must be asymmetric: a=%v b=%v ref=%v", a, b, ref)
+		}
+	}
+}
+
+func TestDynDominatesTransitive(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		d := 1 + r.Intn(3)
+		a, b, c, ref := randPoint(r, d), randPoint(r, d), randPoint(r, d), randPoint(r, d)
+		if DynDominates(a, b, ref) && DynDominates(b, c, ref) {
+			if !DynDominates(a, c, ref) {
+				t.Fatalf("transitivity violated: a=%v b=%v c=%v ref=%v", a, b, c, ref)
+			}
+		}
+	}
+}
+
+func TestStaticDominates(t *testing.T) {
+	if !Dominates(Point{1, 1}, Point{2, 2}) {
+		t.Error("strictly smaller point should dominate")
+	}
+	if Dominates(Point{1, 1}, Point{1, 1}) {
+		t.Error("equal points must not dominate (irreflexive)")
+	}
+	if !Dominates(Point{1, 2}, Point{1, 3}) {
+		t.Error("equal-on-one-dim should still dominate")
+	}
+	if Dominates(Point{1, 4}, Point{2, 3}) || Dominates(Point{2, 3}, Point{1, 4}) {
+		t.Error("incomparable points must not dominate each other")
+	}
+}
+
+func TestDomRect(t *testing.T) {
+	center := Point{5, 5}
+	q := Point{8, 3}
+	r := DomRect(center, q)
+	if !r.Min.Equal(Point{2, 3}) || !r.Max.Equal(Point{8, 7}) {
+		t.Fatalf("DomRect = %v", r)
+	}
+	// q itself is always on the boundary of the dominance rectangle.
+	if !r.ContainsPoint(q) {
+		t.Error("q must lie on the dominance rectangle boundary")
+	}
+	// The mirror image of q w.r.t. center is the opposite corner.
+	mirror := Point{2, 7}
+	if !r.ContainsPoint(mirror) {
+		t.Error("mirror of q must lie on the dominance rectangle boundary")
+	}
+}
+
+// TestDomRectCharacterizesDominance is the key geometric fact behind
+// Lemma 2: a point dominates q w.r.t. center iff it lies inside
+// DomRect(center, q) and is not at per-dimension-equal distance everywhere.
+func TestDomRectCharacterizesDominance(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 3000; i++ {
+		d := 1 + r.Intn(4)
+		center, q, p := randPoint(r, d), randPoint(r, d), randPoint(r, d)
+		rect := DomRect(center, q)
+		dom := DynDominates(p, q, center)
+		if dom && !rect.ContainsPoint(p) {
+			t.Fatalf("dominating point outside DomRect: p=%v center=%v q=%v", p, center, q)
+		}
+		if rect.ContainsPoint(p) && !dom {
+			// Must be a boundary tie on every dimension: |p-c| == |q-c| for all dims.
+			for j := range p {
+				da := abs(p[j] - center[j])
+				db := abs(q[j] - center[j])
+				if da != db {
+					t.Fatalf("inside DomRect but not dominating and not all-ties: p=%v center=%v q=%v", p, center, q)
+				}
+			}
+		}
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestDomRects(t *testing.T) {
+	samples := []Point{{1, 1}, {3, 3}}
+	q := Point{2, 2}
+	recs := DomRects(samples, q)
+	if len(recs) != 2 {
+		t.Fatalf("got %d rects", len(recs))
+	}
+	if !recs[0].Min.Equal(Point{0, 0}) || !recs[0].Max.Equal(Point{2, 2}) {
+		t.Errorf("rec0 = %v", recs[0])
+	}
+	if !recs[1].Min.Equal(Point{2, 2}) || !recs[1].Max.Equal(Point{4, 4}) {
+		t.Errorf("rec1 = %v", recs[1])
+	}
+}

@@ -1,0 +1,84 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzDomRect checks the structural invariants of dominance rectangles on
+// arbitrary 2-D inputs: validity, q on the boundary, and consistency with
+// the dominance predicate.
+func FuzzDomRect(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 0.5)
+	f.Add(5.0, 5.0, 8.0, 3.0, 6.0, 4.0)
+	f.Add(-1e6, 1e6, 0.0, 0.0, 3.0, -3.0)
+	f.Fuzz(func(t *testing.T, cx, cy, qx, qy, px, py float64) {
+		for _, v := range []float64{cx, cy, qx, qy, px, py} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				return
+			}
+		}
+		center := Point{cx, cy}
+		q := Point{qx, qy}
+		p := Point{px, py}
+		r := DomRect(center, q)
+		if !r.Valid() {
+			t.Fatalf("DomRect invalid: %v", r)
+		}
+		if !r.ContainsPoint(q) {
+			t.Fatalf("q %v outside DomRect %v", q, r)
+		}
+		if !r.ContainsPoint(center) {
+			t.Fatalf("center %v outside DomRect %v", center, r)
+		}
+		// Dominating points are guaranteed to lie inside the padded
+		// filter rectangle (DomRect itself can miss them by an ULP —
+		// that is exactly why the filters use the outer variant).
+		outer := DomRectOuter(center, q)
+		if DynDominates(p, q, center) && !outer.ContainsPoint(p) {
+			t.Fatalf("dominating point %v outside DomRectOuter %v", p, outer)
+		}
+		if !outer.ContainsRect(r) {
+			t.Fatalf("outer rect %v does not contain %v", outer, r)
+		}
+		inner := DomRectInner(center, q)
+		if !r.ContainsRect(inner) {
+			t.Fatalf("inner rect %v escapes %v", inner, r)
+		}
+	})
+}
+
+// FuzzSplitByQuadrants checks that the decomposition always partitions the
+// rectangle (volume preserved, pieces contained, no straddling).
+func FuzzSplitByQuadrants(f *testing.F) {
+	f.Add(0.0, 0.0, 4.0, 4.0, 2.0, 2.0)
+	f.Add(-3.0, 1.0, 5.0, 2.0, 0.0, 0.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, qx, qy float64) {
+		for _, v := range []float64{ax, ay, bx, by, qx, qy} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e9 {
+				return
+			}
+		}
+		r := NewRect(Point{ax, ay}, Point{bx, by})
+		q := Point{qx, qy}
+		pieces := SplitByQuadrants(r, q)
+		if len(pieces) == 0 || len(pieces) > 4 {
+			t.Fatalf("%d pieces", len(pieces))
+		}
+		var vol float64
+		for _, pc := range pieces {
+			if !r.ContainsRect(pc.Rect) {
+				t.Fatalf("piece %v escapes %v", pc.Rect, r)
+			}
+			for j := 0; j < 2; j++ {
+				if pc.Rect.Min[j] < q[j] && pc.Rect.Max[j] > q[j] {
+					t.Fatal("piece straddles a hyperplane")
+				}
+			}
+			vol += pc.Rect.Volume()
+		}
+		if tot := r.Volume(); math.Abs(vol-tot) > 1e-6*(1+tot) {
+			t.Fatalf("volume %v, want %v", vol, tot)
+		}
+	})
+}

@@ -1,0 +1,59 @@
+package prob
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+func benchEvaluator(nCands int) (*Evaluator, int) {
+	r := rand.New(rand.NewSource(1))
+	an := randObj(r, 0, 3, 5, 100)
+	q := geom.Point{50, 50, 50}
+	cands := make([]*uncertain.Object, nCands)
+	for i := range cands {
+		cands[i] = randObj(r, i+1, 3, 5, 100)
+	}
+	return NewEvaluator(an, q, cands), nCands
+}
+
+func BenchmarkEvaluatorBuild(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	an := randObj(r, 0, 3, 5, 100)
+	q := geom.Point{50, 50, 50}
+	cands := make([]*uncertain.Object, 64)
+	for i := range cands {
+		cands[i] = randObj(r, i+1, 3, 5, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NewEvaluator(an, q, cands)
+	}
+}
+
+func BenchmarkEvaluatorMutatePr(b *testing.B) {
+	e, n := benchEvaluator(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % n
+		e.Remove(j)
+		_ = e.Pr()
+		e.Add(j)
+	}
+}
+
+func BenchmarkPrReverseSkylineDirect(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	an := randObj(r, 0, 3, 5, 100)
+	q := geom.Point{50, 50, 50}
+	cands := make([]*uncertain.Object, 64)
+	for i := range cands {
+		cands[i] = randObj(r, i+1, 3, 5, 100)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PrReverseSkyline(an, q, cands)
+	}
+}

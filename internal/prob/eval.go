@@ -1,0 +1,251 @@
+package prob
+
+import (
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// Evaluator computes Pr(an | P − X) for varying removal sets X ⊆ Cc in
+// (amortized) O(l_an) per mutation, where l_an is the number of samples of
+// the non-answer. It exploits two paper facts:
+//
+//   - only candidate causes influence Pr(an) (Lemma 1/3), so the evaluator
+//     is built over the candidate set only, and
+//   - Eq. (2) factorizes per sample of an, so removing or re-adding one
+//     candidate only rescales the per-sample products.
+//
+// Construction precomputes the dominance-probability matrix
+// d[j][i] = Pr{c_j ≺_{an_i} q}. Factors equal to zero (candidates that
+// never dominate w.r.t. a sample) contribute nothing; factors equal to one
+// are tracked with a per-sample zero counter so the product never divides
+// by zero. If any factor is dangerously small (numerically close to zero
+// without being zero), the evaluator transparently falls back to exact
+// from-scratch recomputation on every query.
+type Evaluator struct {
+	weights []float64   // an's sample probabilities (or quadrature weights)
+	d       [][]float64 // d[j][i]: dominance prob of candidate j w.r.t. sample i
+	active  []bool
+	nActive int
+
+	prod    []float64 // per-sample product over active j of (1−d[j][i]) with d<1
+	zeroCnt []int     // per-sample count of active j with d[j][i] == 1
+	scratch bool      // fall back to exact recomputation
+}
+
+// minIncrementalFactor guards the incremental divide: any smaller surviving
+// factor forces scratch mode. Factors below Eps are snapped to zero, so the
+// guard covers the numerically risky band (Eps, 1e-6).
+const minIncrementalFactor = 1e-6
+
+// NewEvaluator builds an evaluator for the non-answer an against the
+// candidate objects cands (Eq. 3 dominance probabilities against q).
+func NewEvaluator(an *uncertain.Object, q geom.Point, cands []*uncertain.Object) *Evaluator {
+	weights := make([]float64, len(an.Samples))
+	anchors := make([]geom.Point, len(an.Samples))
+	for i, s := range an.Samples {
+		weights[i] = s.P
+		anchors[i] = s.Loc
+	}
+	d := make([][]float64, len(cands))
+	for j, c := range cands {
+		row := make([]float64, len(anchors))
+		for i, anchor := range anchors {
+			row[i] = DomProb(c, anchor, q)
+		}
+		d[j] = row
+	}
+	return NewEvaluatorRaw(weights, d)
+}
+
+// NewEvaluatorRaw builds an evaluator from explicit sample weights and a
+// dominance-probability matrix d[j][i]. The pdf-model pipeline uses this
+// with quadrature nodes as pseudo-samples.
+func NewEvaluatorRaw(weights []float64, d [][]float64) *Evaluator {
+	e := &Evaluator{
+		weights: weights,
+		d:       d,
+		active:  make([]bool, len(d)),
+		nActive: len(d),
+		prod:    make([]float64, len(weights)),
+		zeroCnt: make([]int, len(weights)),
+	}
+	for j := range d {
+		e.active[j] = true
+		for i := range d[j] {
+			d[j][i] = snap(d[j][i])
+			f := 1 - d[j][i]
+			if f > 0 && f < minIncrementalFactor {
+				e.scratch = true
+			}
+		}
+	}
+	e.rebuild()
+	return e
+}
+
+func (e *Evaluator) rebuild() {
+	for i := range e.weights {
+		e.prod[i] = 1
+		e.zeroCnt[i] = 0
+	}
+	for j, on := range e.active {
+		if !on {
+			continue
+		}
+		for i, dv := range e.d[j] {
+			if dv == 1 {
+				e.zeroCnt[i]++
+			} else {
+				e.prod[i] *= 1 - dv
+			}
+		}
+	}
+}
+
+// N returns the number of candidates the evaluator was built over.
+func (e *Evaluator) N() int { return len(e.d) }
+
+// NumActive returns how many candidates are currently active.
+func (e *Evaluator) NumActive() int { return e.nActive }
+
+// Active reports whether candidate j is active (present in P − X).
+func (e *Evaluator) Active(j int) bool { return e.active[j] }
+
+// Remove deactivates candidate j (adds it to the removal set X).
+func (e *Evaluator) Remove(j int) {
+	if !e.active[j] {
+		return
+	}
+	e.active[j] = false
+	e.nActive--
+	if e.scratch {
+		return
+	}
+	for i, dv := range e.d[j] {
+		if dv == 1 {
+			e.zeroCnt[i]--
+		} else if dv > 0 {
+			e.prod[i] /= 1 - dv
+		}
+	}
+}
+
+// Add reactivates candidate j (removes it from the removal set X).
+func (e *Evaluator) Add(j int) {
+	if e.active[j] {
+		return
+	}
+	e.active[j] = true
+	e.nActive++
+	if e.scratch {
+		return
+	}
+	for i, dv := range e.d[j] {
+		if dv == 1 {
+			e.zeroCnt[i]++
+		} else if dv > 0 {
+			e.prod[i] *= 1 - dv
+		}
+	}
+}
+
+// Pr returns Pr(an | P − X) for the current removal set X.
+func (e *Evaluator) Pr() float64 {
+	if e.scratch {
+		return e.prScratch(-1)
+	}
+	var pr float64
+	for i, w := range e.weights {
+		if e.zeroCnt[i] > 0 {
+			continue
+		}
+		pr += w * e.prod[i]
+	}
+	return snap(pr)
+}
+
+// PrWithout returns Pr(an | P − X − {c_j}) without mutating the evaluator.
+// Passing an already-removed j returns Pr().
+func (e *Evaluator) PrWithout(j int) float64 {
+	if !e.active[j] {
+		return e.Pr()
+	}
+	if e.scratch {
+		return e.prScratch(j)
+	}
+	var pr float64
+	for i, w := range e.weights {
+		dv := e.d[j][i]
+		zc := e.zeroCnt[i]
+		if dv == 1 {
+			zc--
+		}
+		if zc > 0 {
+			continue
+		}
+		p := e.prod[i]
+		if dv != 1 && dv > 0 {
+			p /= 1 - dv
+		}
+		pr += w * p
+	}
+	return snap(pr)
+}
+
+// prScratch recomputes the probability exactly, optionally skipping one
+// extra candidate.
+func (e *Evaluator) prScratch(skip int) float64 {
+	var pr float64
+	for i, w := range e.weights {
+		term := w
+		for j, on := range e.active {
+			if !on || j == skip {
+				continue
+			}
+			term *= 1 - e.d[j][i]
+			if term == 0 {
+				break
+			}
+		}
+		pr += term
+	}
+	return snap(pr)
+}
+
+// DomProbOf returns the precomputed d[j][i] entry.
+func (e *Evaluator) DomProbOf(j, i int) float64 { return e.d[j][i] }
+
+// AlwaysDominates reports whether candidate j dominates q w.r.t. every
+// sample of an with probability 1 — the Lemma 4 (Γ1) membership test: while
+// j is present, Pr(an) is exactly 0.
+func (e *Evaluator) AlwaysDominates(j int) bool {
+	for _, dv := range e.d[j] {
+		if dv != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// NeverDominates reports whether candidate j has zero dominance probability
+// against every sample of an; such an object is not an actual cause
+// (Lemma 1) and should not have been passed as a candidate.
+func (e *Evaluator) NeverDominates(j int) bool {
+	for _, dv := range e.d[j] {
+		if dv != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Reset reactivates every candidate.
+func (e *Evaluator) Reset() {
+	for j := range e.active {
+		e.active[j] = true
+	}
+	e.nActive = len(e.active)
+	if !e.scratch {
+		e.rebuild()
+	}
+}

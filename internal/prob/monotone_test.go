@@ -1,0 +1,113 @@
+package prob
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPrMonotoneUnderRemoval verifies the structural fact the refinement
+// prune rests on: Pr(an | P−X) is non-decreasing in X. Removing any active
+// candidate can only remove dominance mass, so the probability of an being
+// a reverse skyline point can only grow.
+func TestPrMonotoneUnderRemoval(t *testing.T) {
+	r := rand.New(rand.NewSource(131))
+	for trial := 0; trial < 300; trial++ {
+		l := 1 + r.Intn(4)
+		n := 1 + r.Intn(8)
+		weights := make([]float64, l)
+		var sum float64
+		for i := range weights {
+			weights[i] = r.Float64() + 0.01
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		d := make([][]float64, n)
+		for j := range d {
+			d[j] = make([]float64, l)
+			for i := range d[j] {
+				switch r.Intn(4) {
+				case 0:
+					d[j][i] = 0
+				case 1:
+					d[j][i] = 1
+				default:
+					d[j][i] = r.Float64()
+				}
+			}
+		}
+		e := NewEvaluatorRaw(weights, d)
+		prev := e.Pr()
+		order := r.Perm(n)
+		for _, j := range order {
+			e.Remove(j)
+			cur := e.Pr()
+			if cur < prev-1e-9 {
+				t.Fatalf("monotonicity violated: %v -> %v after removing %d", prev, cur, j)
+			}
+			prev = cur
+		}
+		if prev != 1 {
+			t.Fatalf("with nothing active Pr must be 1, got %v", prev)
+		}
+		// And re-adding everything restores the original value.
+		for _, j := range order {
+			e.Add(j)
+		}
+		if diff := e.Pr() - NewEvaluatorRaw(weights, d).Pr(); diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("add/remove round trip drifted by %v", diff)
+		}
+	}
+}
+
+// TestPrBoundsQuick: probabilities stay in [0,1] for arbitrary valid
+// matrices, via testing/quick over compact encodings.
+func TestPrBoundsQuick(t *testing.T) {
+	f := func(rawW []uint8, rawD []uint8) bool {
+		if len(rawW) == 0 || len(rawW) > 5 || len(rawD) == 0 {
+			return true
+		}
+		l := len(rawW)
+		weights := make([]float64, l)
+		var sum float64
+		for i, b := range rawW {
+			weights[i] = float64(b) + 1
+			sum += weights[i]
+		}
+		for i := range weights {
+			weights[i] /= sum
+		}
+		n := len(rawD)/l + 1
+		if n > 6 {
+			n = 6
+		}
+		d := make([][]float64, n)
+		k := 0
+		for j := range d {
+			d[j] = make([]float64, l)
+			for i := range d[j] {
+				if k < len(rawD) {
+					d[j][i] = float64(rawD[k]) / 255
+					k++
+				}
+			}
+		}
+		e := NewEvaluatorRaw(weights, d)
+		for step := 0; step < n; step++ {
+			pr := e.Pr()
+			if pr < 0 || pr > 1 {
+				return false
+			}
+			if pw := e.PrWithout(step); pw < pr-1e-9 {
+				return false // removal can only increase
+			}
+			e.Remove(step)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package prob
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+func TestMCMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 15; trial++ {
+		d := 1 + r.Intn(3)
+		n := 2 + r.Intn(5)
+		objs := make([]*uncertain.Object, n)
+		for i := range objs {
+			objs[i] = randObj(r, i, d, 4, 100)
+		}
+		q := make(geom.Point, d)
+		for j := range q {
+			q[j] = r.Float64() * 100
+		}
+		u := objs[0]
+		exact := PrReverseSkyline(u, q, objs)
+		mc := PrReverseSkylineMC(u, q, objs, 60_000, r)
+		if math.Abs(mc-exact) > 0.02 {
+			t.Fatalf("trial %d: MC %v vs exact %v", trial, mc, exact)
+		}
+	}
+}
+
+func TestMCNonUniformWeights(t *testing.T) {
+	r := rand.New(rand.NewSource(152))
+	q := geom.Point{0, 0}
+	// u has one sample; blocker dominates only from its 0.9-probability
+	// location, so Pr(u) = 0.1 exactly.
+	u := uncertain.Certain(0, geom.Point{20, 20})
+	blocker := uncertain.New(1, []uncertain.Sample{
+		{Loc: geom.Point{10, 10}, P: 0.9},
+		{Loc: geom.Point{200, 200}, P: 0.1},
+	})
+	exact := PrReverseSkyline(u, q, []*uncertain.Object{blocker})
+	if math.Abs(exact-0.1) > 1e-12 {
+		t.Fatalf("exact = %v, want 0.1", exact)
+	}
+	mc := PrReverseSkylineMC(u, q, []*uncertain.Object{blocker}, 100_000, r)
+	if math.Abs(mc-0.1) > 0.01 {
+		t.Fatalf("MC = %v, want ≈0.1", mc)
+	}
+	// Default iteration count path.
+	mc2 := PrReverseSkylineMC(u, q, []*uncertain.Object{blocker}, 0, r)
+	if mc2 < 0 || mc2 > 1 {
+		t.Fatalf("MC out of range: %v", mc2)
+	}
+}
+
+func TestEvaluatorClone(t *testing.T) {
+	r := rand.New(rand.NewSource(153))
+	an := randObj(r, 0, 2, 3, 100)
+	q := geom.Point{50, 50}
+	cands := make([]*uncertain.Object, 5)
+	for i := range cands {
+		cands[i] = randObj(r, i+1, 2, 3, 100)
+	}
+	e := NewEvaluator(an, q, cands)
+	e.Remove(1)
+	c := e.Clone()
+	if c.Pr() != e.Pr() || c.NumActive() != e.NumActive() {
+		t.Fatal("clone state differs from original")
+	}
+	// Mutating the clone must not affect the original and vice versa.
+	c.Remove(2)
+	if e.Active(2) != true {
+		t.Fatal("clone mutation leaked into original")
+	}
+	e.Remove(3)
+	if c.Active(3) != true {
+		t.Fatal("original mutation leaked into clone")
+	}
+	// Both still compute correctly against direct evaluation.
+	direct := func(ev *Evaluator) float64 {
+		var act []*uncertain.Object
+		for j := range cands {
+			if ev.Active(j) {
+				act = append(act, cands[j])
+			}
+		}
+		return PrReverseSkyline(an, q, act)
+	}
+	if math.Abs(c.Pr()-direct(c)) > 1e-9 {
+		t.Fatalf("clone Pr %v vs direct %v", c.Pr(), direct(c))
+	}
+	if math.Abs(e.Pr()-direct(e)) > 1e-9 {
+		t.Fatalf("original Pr %v vs direct %v", e.Pr(), direct(e))
+	}
+}

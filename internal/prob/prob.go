@@ -1,0 +1,96 @@
+// Package prob implements the probabilistic machinery of the paper: the
+// dynamic-dominance probability of Eq. (3), the reverse-skyline probability
+// of Eq. (2), threshold comparisons, probabilistic reverse skyline queries
+// (Definition 4), and an incremental evaluator that makes the contingency-
+// set verifications inside FMCS cheap.
+package prob
+
+import (
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// Eps is the tolerance for probability comparisons. Probabilities are sums
+// and products of float64 sample weights, so exact comparisons against the
+// threshold α are unreliable; every `Pr >= α` decision in the system goes
+// through GEq/Less instead.
+const Eps = 1e-9
+
+// GEq reports pr >= bound up to Eps.
+func GEq(pr, bound float64) bool { return pr >= bound-Eps }
+
+// Less reports pr < bound up to Eps.
+func Less(pr, bound float64) bool { return !GEq(pr, bound) }
+
+// snap clamps probabilities to [0,1] and collapses values within Eps of the
+// endpoints onto them, so that "dominates in every world" is recognized as
+// exactly 1 even when sample probabilities (e.g. thirds) do not sum to an
+// exact float64 one.
+func snap(p float64) float64 {
+	switch {
+	case p <= Eps:
+		return 0
+	case p >= 1-Eps:
+		return 1
+	default:
+		return p
+	}
+}
+
+// DomProb returns Pr{o ≺_anchor q}: the probability that uncertain object o
+// dynamically dominates the query object q with respect to anchor (Eq. 3) —
+// the summed probability of o's samples that dominate q w.r.t. anchor.
+func DomProb(o *uncertain.Object, anchor, q geom.Point) float64 {
+	var p float64
+	for _, s := range o.Samples {
+		if geom.DynDominates(s.Loc, q, anchor) {
+			p += s.P
+		}
+	}
+	return snap(p)
+}
+
+// PrReverseSkyline returns Pr(u): the probability that u is a reverse
+// skyline point of q against the given other objects (Eq. 2):
+//
+//	Pr(u) = Σ_i u_i.p · Π_{o ∈ others} (1 − Pr{o ≺_{u_i} q}).
+//
+// Objects equal to u (by pointer) are skipped, so callers may pass the whole
+// dataset.
+func PrReverseSkyline(u *uncertain.Object, q geom.Point, others []*uncertain.Object) float64 {
+	var pr float64
+	for _, s := range u.Samples {
+		term := s.P
+		for _, o := range others {
+			if o == u {
+				continue
+			}
+			term *= 1 - DomProb(o, s.Loc, q)
+			if term == 0 {
+				break
+			}
+		}
+		pr += term
+	}
+	return snap(pr)
+}
+
+// PRSQ evaluates the probabilistic reverse skyline query by direct Eq.-2
+// computation over the given objects: the IDs of all u with Pr(u) >= alpha
+// (Definition 4). Quadratic in the dataset size; the facade offers an
+// index-accelerated variant for large datasets.
+func PRSQ(objs []*uncertain.Object, q geom.Point, alpha float64) []int {
+	var out []int
+	for _, u := range objs {
+		if GEq(PrReverseSkyline(u, q, objs), alpha) {
+			out = append(out, u.ID)
+		}
+	}
+	return out
+}
+
+// IsAnswer reports whether u is an answer to the probabilistic reverse
+// skyline query (Pr(u) >= alpha) against others.
+func IsAnswer(u *uncertain.Object, q geom.Point, alpha float64, others []*uncertain.Object) bool {
+	return GEq(PrReverseSkyline(u, q, others), alpha)
+}

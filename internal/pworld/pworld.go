@@ -1,0 +1,101 @@
+// Package pworld enumerates the possible worlds of a small discrete-sample
+// uncertain dataset. A possible world picks exactly one sample per object
+// (samples are mutually exclusive; objects are independent), with
+// probability equal to the product of the chosen samples' probabilities.
+//
+// Enumeration is exponential in the number of objects and exists purely as
+// a ground-truth oracle for testing the closed-form probability machinery
+// (Eq. 2/3 of the paper) and the causality algorithms against Definition 1.
+package pworld
+
+import (
+	"fmt"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// MaxWorlds bounds enumeration size; exceeding it panics so that a test
+// misconfiguration fails loudly instead of hanging.
+const MaxWorlds = 20_000_000
+
+// Count returns the number of possible worlds of the given objects.
+func Count(objs []*uncertain.Object) int {
+	n := 1
+	for _, o := range objs {
+		n *= len(o.Samples)
+		if n > MaxWorlds {
+			panic(fmt.Sprintf("pworld: more than %d possible worlds", MaxWorlds))
+		}
+	}
+	return n
+}
+
+// World is one possible world: choice[i] is the selected sample index of
+// objs[i] and Prob its probability.
+type World struct {
+	Choice []int
+	Prob   float64
+}
+
+// Enumerate invokes fn for every possible world of objs. The Choice slice
+// is reused between invocations; callers must copy it to retain it.
+func Enumerate(objs []*uncertain.Object, fn func(w World)) {
+	Count(objs) // enforce the bound
+	choice := make([]int, len(objs))
+	var rec func(i int, p float64)
+	rec = func(i int, p float64) {
+		if i == len(objs) {
+			fn(World{Choice: choice, Prob: p})
+			return
+		}
+		for j, s := range objs[i].Samples {
+			choice[i] = j
+			rec(i+1, p*s.P)
+		}
+	}
+	rec(0, 1)
+}
+
+// TotalProb returns the summed probability over all worlds (≈1 for valid
+// objects); exposed for sanity tests.
+func TotalProb(objs []*uncertain.Object) float64 {
+	var sum float64
+	Enumerate(objs, func(w World) { sum += w.Prob })
+	return sum
+}
+
+// PrReverseSkyline computes, by brute-force enumeration, the probability
+// that object u is a reverse skyline point of q given the other objects:
+// the mass of worlds in which no other object's instance dynamically
+// dominates q with respect to u's instance. This is the Definition-4 /
+// Eq.-2 ground truth.
+func PrReverseSkyline(u *uncertain.Object, q geom.Point, others []*uncertain.Object) float64 {
+	all := make([]*uncertain.Object, 0, len(others)+1)
+	all = append(all, u)
+	all = append(all, others...)
+	var pr float64
+	Enumerate(all, func(w World) {
+		anchor := u.Samples[w.Choice[0]].Loc
+		for i, o := range others {
+			inst := o.Samples[w.Choice[i+1]].Loc
+			if geom.DynDominates(inst, q, anchor) {
+				return
+			}
+		}
+		pr += w.Prob
+	})
+	return pr
+}
+
+// IsReverseSkylineWorld reports whether, in the certain world formed by the
+// given points, p is a reverse skyline point of q (no other point dominates
+// q w.r.t. p).
+func IsReverseSkylineWorld(p geom.Point, q geom.Point, others []geom.Point) bool {
+	for _, o := range others {
+		if geom.DynDominates(o, q, p) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,117 @@
+package pworld
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+func obj(id int, pts ...geom.Point) *uncertain.Object {
+	return uncertain.NewUniform(id, pts)
+}
+
+func TestCount(t *testing.T) {
+	objs := []*uncertain.Object{
+		obj(0, geom.Point{1, 1}, geom.Point{2, 2}),
+		obj(1, geom.Point{3, 3}, geom.Point{4, 4}, geom.Point{5, 5}),
+	}
+	if got := Count(objs); got != 6 {
+		t.Fatalf("Count = %d, want 6", got)
+	}
+	if got := Count(nil); got != 1 {
+		t.Fatalf("Count(nil) = %d, want 1", got)
+	}
+}
+
+func TestEnumerateCoversAllWorlds(t *testing.T) {
+	objs := []*uncertain.Object{
+		obj(0, geom.Point{1}, geom.Point{2}),
+		obj(1, geom.Point{3}, geom.Point{4}),
+	}
+	seen := map[[2]int]float64{}
+	Enumerate(objs, func(w World) {
+		key := [2]int{w.Choice[0], w.Choice[1]}
+		if _, dup := seen[key]; dup {
+			t.Fatalf("world %v enumerated twice", key)
+		}
+		seen[key] = w.Prob
+	})
+	if len(seen) != 4 {
+		t.Fatalf("enumerated %d worlds, want 4", len(seen))
+	}
+	for k, p := range seen {
+		if math.Abs(p-0.25) > 1e-12 {
+			t.Fatalf("world %v probability %v, want 0.25", k, p)
+		}
+	}
+}
+
+func TestTotalProbIsOne(t *testing.T) {
+	objs := []*uncertain.Object{
+		uncertain.New(0, []uncertain.Sample{
+			{Loc: geom.Point{1, 1}, P: 0.2},
+			{Loc: geom.Point{2, 2}, P: 0.8},
+		}),
+		obj(1, geom.Point{3, 3}, geom.Point{4, 4}, geom.Point{5, 5}),
+		uncertain.Certain(2, geom.Point{6, 6}),
+	}
+	if got := TotalProb(objs); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("TotalProb = %v", got)
+	}
+}
+
+// TestFig1Probabilities rebuilds the spirit of the paper's Fig. 1(c):
+// uncertain objects with two equally likely samples each, verifying a few
+// hand-computable reverse-skyline probabilities.
+func TestFig1StyleProbabilities(t *testing.T) {
+	q := geom.Point{10, 10}
+	// u sits around q; v has one sample that dominates q w.r.t. both of
+	// u's samples and one sample far away.
+	u := obj(0, geom.Point{14, 10}, geom.Point{10, 14})
+	v := obj(1, geom.Point{11, 11}, geom.Point{100, 100})
+	// With v's first sample (prob 0.5): (11,11) vs q w.r.t. (14,10):
+	// |11-14|=3 <= |10-14|=4 and |11-10|=1 <= |10-10|=0? No: 1 > 0, so it
+	// does NOT dominate w.r.t. sample 1. W.r.t. (10,14): |11-10|=1 > 0 on
+	// dim 0, so no domination either. So Pr(u) = 1.
+	if got := PrReverseSkyline(u, q, []*uncertain.Object{v}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Pr(u) = %v, want 1", got)
+	}
+	// w's first sample is strictly between q and both samples of x.
+	x := obj(2, geom.Point{18, 18}, geom.Point{20, 20})
+	w := obj(3, geom.Point{14, 14}, geom.Point{-50, -50})
+	// (14,14) w.r.t. (18,18): |14-18|=4 <= |10-18|=8 both dims, strict: yes,
+	// dominates. W.r.t. (20,20): |14-20|=6 <= |10-20|=10: dominates.
+	// So x is a reverse skyline point only when w takes its far sample:
+	// Pr(x) = 0.5.
+	if got := PrReverseSkyline(x, q, []*uncertain.Object{w}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Pr(x) = %v, want 0.5", got)
+	}
+}
+
+func TestIsReverseSkylineWorld(t *testing.T) {
+	q := geom.Point{5, 5}
+	p := geom.Point{9, 9}
+	if !IsReverseSkylineWorld(p, q, []geom.Point{{0, 0}, {9, 1}}) {
+		t.Fatal("no dominator present; p should be a reverse skyline point")
+	}
+	// (7,7) is within the dominance rectangle of p w.r.t. q.
+	if IsReverseSkylineWorld(p, q, []geom.Point{{7, 7}}) {
+		t.Fatal("dominator present; p should not be a reverse skyline point")
+	}
+}
+
+func TestCountPanicsOnExplosion(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for huge world counts")
+		}
+	}()
+	objs := make([]*uncertain.Object, 40)
+	pts := []geom.Point{{1}, {2}, {3}, {4}}
+	for i := range objs {
+		objs[i] = obj(i, pts...)
+	}
+	Count(objs)
+}

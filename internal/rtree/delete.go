@@ -1,0 +1,97 @@
+package rtree
+
+import "github.com/crsky/crsky/internal/geom"
+
+// Delete removes one data entry matching (r, id). It reports whether an
+// entry was removed. Underflowing nodes are dissolved and their entries
+// reinserted (the classic condense-tree step).
+func (t *Tree) Delete(r geom.Rect, id int) bool {
+	t.checkRect(r)
+	if t.size == 0 {
+		return false
+	}
+	path, idx := t.findLeaf(t.root, nil, r, id)
+	if path == nil {
+		return false
+	}
+	leaf := path[len(path)-1]
+	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
+	t.size--
+	t.condense(path)
+	return true
+}
+
+// findLeaf locates the leaf containing (r, id), returning the root-to-leaf
+// path and the entry index, or (nil, -1) when absent.
+func (t *Tree) findLeaf(n *node, path []*node, r geom.Rect, id int) ([]*node, int) {
+	path = append(path, n)
+	if n.leaf {
+		for i := range n.entries {
+			e := &n.entries[i]
+			if e.id == id && e.rect.Min.Equal(r.Min) && e.rect.Max.Equal(r.Max) {
+				out := make([]*node, len(path))
+				copy(out, path)
+				return out, i
+			}
+		}
+		return nil, -1
+	}
+	for i := range n.entries {
+		if n.entries[i].rect.ContainsRect(r) {
+			if found, idx := t.findLeaf(n.entries[i].child, path, r, id); found != nil {
+				return found, idx
+			}
+		}
+	}
+	return nil, -1
+}
+
+// condense walks the deletion path bottom-up, dissolving underflowing nodes
+// and queueing their subtrees' data entries for reinsertion.
+func (t *Tree) condense(path []*node) {
+	var orphans []entry
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		if len(n.entries) < t.minEntries {
+			// Remove n from its parent and stash its data entries.
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries = append(parent.entries[:j], parent.entries[j+1:]...)
+					break
+				}
+			}
+			collectData(n, &orphans)
+		} else {
+			for j := range parent.entries {
+				if parent.entries[j].child == n {
+					parent.entries[j].rect = n.mbr()
+					break
+				}
+			}
+		}
+	}
+	// Shrink the root while it has a single internal child.
+	for !t.root.leaf && len(t.root.entries) == 1 {
+		t.root = t.root.entries[0].child
+		t.height--
+	}
+	if !t.root.leaf && len(t.root.entries) == 0 {
+		t.root = &node{leaf: true}
+		t.height = 1
+	}
+	for _, e := range orphans {
+		reinserted := make(map[int]bool)
+		t.insertAtLevel(e, 1, reinserted)
+	}
+}
+
+func collectData(n *node, out *[]entry) {
+	if n.leaf {
+		*out = append(*out, n.entries...)
+		return
+	}
+	for i := range n.entries {
+		collectData(n.entries[i].child, out)
+	}
+}

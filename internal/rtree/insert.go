@@ -1,0 +1,173 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// Insert adds a data rectangle with the given ID. IDs need not be unique,
+// but Delete removes entries by (rect, id) pairs, so unique IDs are easier
+// to work with.
+func (t *Tree) Insert(r geom.Rect, id int) {
+	t.checkRect(r)
+	e := entry{rect: r.Clone(), id: id}
+	reinserted := make(map[int]bool)
+	t.insertAtLevel(e, 1, reinserted)
+	t.size++
+}
+
+// insertAtLevel places e so that its subtree root sits at the given level
+// (1 = leaf). Split propagation may grow the tree.
+func (t *Tree) insertAtLevel(e entry, level int, reinserted map[int]bool) {
+	path := t.choosePath(e.rect, level)
+	leafLevelNode := path[len(path)-1]
+	leafLevelNode.entries = append(leafLevelNode.entries, e)
+	t.handleOverflows(path, level, reinserted)
+}
+
+// choosePath descends from the root to the node at the target level using
+// the R* ChooseSubtree criterion, returning the visited nodes top-down.
+func (t *Tree) choosePath(r geom.Rect, level int) []*node {
+	path := []*node{t.root}
+	n := t.root
+	depth := t.height // root is at level == height
+	for depth > level {
+		best := t.chooseSubtree(n, r, depth-1)
+		n = n.entries[best].child
+		path = append(path, n)
+		depth--
+	}
+	return path
+}
+
+// chooseSubtree picks the child index of n best suited to receive r.
+// When the children are leaves it minimizes overlap enlargement; otherwise
+// it minimizes area enlargement (ties by smaller area), per the R*-tree.
+func (t *Tree) chooseSubtree(n *node, r geom.Rect, childLevel int) int {
+	childrenAreLeaves := childLevel == 1
+	best := 0
+	if childrenAreLeaves && len(n.entries) <= 32 {
+		// Exact overlap-enlargement minimization is quadratic in the
+		// fanout; apply it only on modest fanouts (standard practice).
+		bestOverlap := math.Inf(1)
+		bestEnl := math.Inf(1)
+		bestArea := math.Inf(1)
+		for i, e := range n.entries {
+			grown := e.rect.Union(r)
+			var before, after float64
+			for j, f := range n.entries {
+				if j == i {
+					continue
+				}
+				before += e.rect.OverlapVolume(f.rect)
+				after += grown.OverlapVolume(f.rect)
+			}
+			dOverlap := after - before
+			enl := e.rect.Enlargement(r)
+			area := e.rect.Volume()
+			if dOverlap < bestOverlap ||
+				(dOverlap == bestOverlap && (enl < bestEnl ||
+					(enl == bestEnl && area < bestArea))) {
+				best, bestOverlap, bestEnl, bestArea = i, dOverlap, enl, area
+			}
+		}
+		return best
+	}
+	bestEnl := math.Inf(1)
+	bestArea := math.Inf(1)
+	for i, e := range n.entries {
+		enl := e.rect.Enlargement(r)
+		area := e.rect.Volume()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}
+
+// handleOverflows walks the insertion path bottom-up, applying forced
+// reinsertion or node splits until no node overflows.
+func (t *Tree) handleOverflows(path []*node, level int, reinserted map[int]bool) {
+	for i := len(path) - 1; i >= 0; i-- {
+		n := path[i]
+		nodeLevel := t.height - i
+		if len(n.entries) <= t.maxEntries {
+			t.tightenPath(path, i)
+			continue
+		}
+		if i > 0 && !reinserted[nodeLevel] {
+			// Forced reinsert: remove the p entries whose centers are
+			// farthest from the node's center and insert them again.
+			reinserted[nodeLevel] = true
+			removed := t.extractFarthest(n)
+			t.tightenPath(path, i)
+			for _, e := range removed {
+				t.insertAtLevel(e, nodeLevel, reinserted)
+			}
+			return // the reinserts handled the rest of the path
+		}
+		left, right := t.splitNode(n)
+		if i == 0 {
+			// Root split: grow the tree.
+			t.root = &node{leaf: false, entries: []entry{
+				{rect: left.mbr(), child: left},
+				{rect: right.mbr(), child: right},
+			}}
+			t.height++
+			return
+		}
+		parent := path[i-1]
+		for j := range parent.entries {
+			if parent.entries[j].child == n {
+				parent.entries[j] = entry{rect: left.mbr(), child: left}
+				break
+			}
+		}
+		parent.entries = append(parent.entries, entry{rect: right.mbr(), child: right})
+	}
+}
+
+// tightenPath refreshes the MBRs stored in the parents above path[i].
+func (t *Tree) tightenPath(path []*node, i int) {
+	for j := i; j > 0; j-- {
+		child := path[j]
+		parent := path[j-1]
+		for k := range parent.entries {
+			if parent.entries[k].child == child {
+				parent.entries[k].rect = child.mbr()
+				break
+			}
+		}
+	}
+}
+
+// extractFarthest removes the reinsertFraction of n's entries farthest from
+// the node center and returns them (farthest first).
+func (t *Tree) extractFarthest(n *node) []entry {
+	p := int(float64(t.maxEntries) * reinsertFraction)
+	if p < 1 {
+		p = 1
+	}
+	center := n.mbr().Center()
+	type distEntry struct {
+		d float64
+		e entry
+	}
+	ds := make([]distEntry, len(n.entries))
+	for i, e := range n.entries {
+		ds[i] = distEntry{d: e.rect.Center().Dist(center), e: e}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d > ds[j].d })
+	removed := make([]entry, p)
+	for i := 0; i < p; i++ {
+		removed[i] = ds[i].e
+	}
+	keep := n.entries[:0]
+	for i := p; i < len(ds); i++ {
+		keep = append(keep, ds[i].e)
+	}
+	n.entries = keep
+	return removed
+}

@@ -1,0 +1,36 @@
+package rtree
+
+import "github.com/crsky/crsky/internal/geom"
+
+// Neighbor is one k-nearest-neighbor result.
+type Neighbor struct {
+	ID   int
+	Rect geom.Rect
+	Dist float64
+}
+
+// KNN returns the k data entries nearest to p by MINDIST, in ascending
+// distance order (fewer if the tree holds fewer). It rides the best-first
+// traversal, so it visits only the nodes whose MINDIST can still contribute.
+func (t *Tree) KNN(p geom.Point, k int) []Neighbor {
+	if k <= 0 || t.size == 0 {
+		return nil
+	}
+	out := make([]Neighbor, 0, k)
+	t.NearestFirst(p, func(id int, r geom.Rect, d float64) bool {
+		out = append(out, Neighbor{ID: id, Rect: r.Clone(), Dist: d})
+		return len(out) < k
+	})
+	return out
+}
+
+// CountIn returns the number of data entries intersecting window, without
+// materializing them.
+func (t *Tree) CountIn(window geom.Rect) int {
+	n := 0
+	t.Search(window, func(int, geom.Rect) bool {
+		n++
+		return true
+	})
+	return n
+}

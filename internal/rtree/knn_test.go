@@ -1,0 +1,80 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func TestKNNMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	items := randData(r, 800, 3)
+	tr := New(3, WithMaxEntries(10))
+	tr.BulkLoad(items)
+	for trial := 0; trial < 20; trial++ {
+		q := randPoint(r, 3)
+		k := 1 + r.Intn(12)
+		got := tr.KNN(q, k)
+		if len(got) != k {
+			t.Fatalf("KNN returned %d, want %d", len(got), k)
+		}
+		// Brute-force distances.
+		dists := make([]float64, len(items))
+		for i, it := range items {
+			dists[i] = it.Rect.MinDist(q)
+		}
+		sort.Float64s(dists)
+		for i, nb := range got {
+			if nb.Dist != got[0].Dist && i > 0 && nb.Dist < got[i-1].Dist {
+				t.Fatal("KNN results not ascending")
+			}
+			// Distances must match the i-th smallest brute-force distance
+			// (ties make IDs ambiguous, so compare distances only).
+			if diff := nb.Dist - dists[i]; diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("neighbor %d dist %v, want %v", i, nb.Dist, dists[i])
+			}
+		}
+	}
+}
+
+func randPoint(r *rand.Rand, d int) geom.Point {
+	p := make(geom.Point, d)
+	for i := range p {
+		p[i] = r.Float64() * 1000
+	}
+	return p
+}
+
+func TestKNNEdgeCases(t *testing.T) {
+	tr := New(2)
+	if got := tr.KNN(geom.Point{0, 0}, 5); got != nil {
+		t.Fatal("empty tree should return nil")
+	}
+	tr.Insert(geom.PointRect(geom.Point{1, 1}), 0)
+	tr.Insert(geom.PointRect(geom.Point{2, 2}), 1)
+	if got := tr.KNN(geom.Point{0, 0}, 10); len(got) != 2 {
+		t.Fatalf("k beyond size should return all: %d", len(got))
+	}
+	if got := tr.KNN(geom.Point{0, 0}, 0); got != nil {
+		t.Fatal("k=0 should return nil")
+	}
+	got := tr.KNN(geom.Point{0, 0}, 1)
+	if len(got) != 1 || got[0].ID != 0 {
+		t.Fatalf("nearest = %+v", got)
+	}
+}
+
+func TestCountIn(t *testing.T) {
+	tr := New(2, WithMaxEntries(4))
+	for i := 0; i < 100; i++ {
+		tr.Insert(geom.PointRect(geom.Point{float64(i), float64(i)}), i)
+	}
+	if got := tr.CountIn(geom.NewRect(geom.Point{0, 0}, geom.Point{9, 9})); got != 10 {
+		t.Fatalf("CountIn = %d, want 10", got)
+	}
+	if got := tr.CountIn(geom.NewRect(geom.Point{200, 200}, geom.Point{300, 300})); got != 0 {
+		t.Fatalf("CountIn empty window = %d", got)
+	}
+}

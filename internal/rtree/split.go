@@ -1,0 +1,77 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// splitNode divides an overflowing node into two using the R*-tree topology
+// split: choose the axis minimizing the summed margins over all candidate
+// distributions, then the distribution minimizing overlap (ties by area).
+func (t *Tree) splitNode(n *node) (left, right *node) {
+	m := t.minEntries
+	entries := n.entries
+	total := len(entries)
+
+	bestAxis, bestLower := -1, false
+	bestMargin := math.Inf(1)
+	for axis := 0; axis < t.dims; axis++ {
+		for _, lower := range []bool{true, false} {
+			sortEntries(entries, axis, lower)
+			var margin float64
+			for k := m; k <= total-m; k++ {
+				margin += mbrOf(entries[:k]).Margin() + mbrOf(entries[k:]).Margin()
+			}
+			if margin < bestMargin {
+				bestMargin, bestAxis, bestLower = margin, axis, lower
+			}
+		}
+	}
+
+	sortEntries(entries, bestAxis, bestLower)
+	bestK := m
+	bestOverlap := math.Inf(1)
+	bestArea := math.Inf(1)
+	for k := m; k <= total-m; k++ {
+		l := mbrOf(entries[:k])
+		r := mbrOf(entries[k:])
+		overlap := l.OverlapVolume(r)
+		area := l.Volume() + r.Volume()
+		if overlap < bestOverlap || (overlap == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, overlap, area
+		}
+	}
+
+	leftEntries := make([]entry, bestK)
+	copy(leftEntries, entries[:bestK])
+	rightEntries := make([]entry, total-bestK)
+	copy(rightEntries, entries[bestK:])
+	left = &node{leaf: n.leaf, entries: leftEntries}
+	right = &node{leaf: n.leaf, entries: rightEntries}
+	return left, right
+}
+
+func sortEntries(es []entry, axis int, lower bool) {
+	sort.SliceStable(es, func(i, j int) bool {
+		if lower {
+			if es[i].rect.Min[axis] != es[j].rect.Min[axis] {
+				return es[i].rect.Min[axis] < es[j].rect.Min[axis]
+			}
+			return es[i].rect.Max[axis] < es[j].rect.Max[axis]
+		}
+		if es[i].rect.Max[axis] != es[j].rect.Max[axis] {
+			return es[i].rect.Max[axis] < es[j].rect.Max[axis]
+		}
+		return es[i].rect.Min[axis] < es[j].rect.Min[axis]
+	})
+}
+
+func mbrOf(es []entry) geom.Rect {
+	r := es[0].rect.Clone()
+	for _, e := range es[1:] {
+		r.ExpandToRect(e.rect)
+	}
+	return r
+}

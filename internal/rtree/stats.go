@@ -1,0 +1,40 @@
+package rtree
+
+// Stats summarizes the tree's structure — useful for diagnosing index
+// quality (bulk-loaded trees should show utilization near 1).
+type Stats struct {
+	// Entries is the number of stored data entries.
+	Entries int
+	// Height is the tree height (1 = a single leaf).
+	Height int
+	// Nodes is the total node (simulated page) count.
+	Nodes int
+	// Leaves is the leaf node count.
+	Leaves int
+	// Utilization is the mean fill ratio of all nodes against MaxEntries.
+	Utilization float64
+}
+
+// Stats walks the tree and returns its structural summary.
+func (t *Tree) Stats() Stats {
+	s := Stats{Entries: t.size, Height: t.height}
+	if t.size == 0 {
+		return s
+	}
+	var fill float64
+	var walk func(n *node)
+	walk = func(n *node) {
+		s.Nodes++
+		fill += float64(len(n.entries)) / float64(t.maxEntries)
+		if n.leaf {
+			s.Leaves++
+			return
+		}
+		for i := range n.entries {
+			walk(n.entries[i].child)
+		}
+	}
+	walk(t.root)
+	s.Utilization = fill / float64(s.Nodes)
+	return s
+}

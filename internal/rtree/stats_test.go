@@ -1,0 +1,58 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func TestStatsEmpty(t *testing.T) {
+	tr := New(2)
+	s := tr.Stats()
+	if s.Entries != 0 || s.Nodes != 0 || s.Height != 1 {
+		t.Fatalf("empty stats: %+v", s)
+	}
+}
+
+func TestStatsBulkLoadedUtilization(t *testing.T) {
+	r := rand.New(rand.NewSource(191))
+	items := randData(r, 10_000, 3)
+	tr := New(3, WithMaxEntries(32))
+	tr.BulkLoad(items)
+	s := tr.Stats()
+	if s.Entries != 10_000 {
+		t.Fatalf("Entries = %d", s.Entries)
+	}
+	if s.Height != tr.Height() {
+		t.Fatalf("Height = %d, want %d", s.Height, tr.Height())
+	}
+	if s.Leaves == 0 || s.Leaves > s.Nodes {
+		t.Fatalf("Leaves/Nodes = %d/%d", s.Leaves, s.Nodes)
+	}
+	// STR packs nodes nearly full.
+	if s.Utilization < 0.85 {
+		t.Fatalf("bulk-loaded utilization = %v, want ≥ 0.85", s.Utilization)
+	}
+}
+
+func TestStatsDynamicUtilizationBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(192))
+	tr := New(2, WithMaxEntries(8))
+	for i := 0; i < 3000; i++ {
+		p := geom.Point{r.Float64() * 1000, r.Float64() * 1000}
+		tr.Insert(geom.PointRect(p), i)
+	}
+	s := tr.Stats()
+	if s.Entries != 3000 {
+		t.Fatalf("Entries = %d", s.Entries)
+	}
+	// The R*-tree guarantees ≥ 40% fill on non-root nodes; the average
+	// must comfortably clear a softer bound.
+	if s.Utilization < 0.4 {
+		t.Fatalf("dynamic utilization = %v, want ≥ 0.4", s.Utilization)
+	}
+	if s.Utilization > 1 {
+		t.Fatalf("utilization = %v > 1", s.Utilization)
+	}
+}

@@ -1,0 +1,136 @@
+package skyline
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/rtree"
+)
+
+// ReverseSkylineBBRS computes the reverse skyline of q with a BBRS-style
+// branch-and-bound algorithm (Dellis & Seeger, VLDB 2007): a single
+// best-first traversal of the R-tree collects a small superset of the
+// reverse skyline — the quadrant-aware global skyline candidates — pruning
+// every subtree that is provably dominated, and a verification window query
+// per candidate finishes the job. Results are identical to ReverseSkyline;
+// the traversal just touches far fewer nodes on large datasets.
+//
+// Pruning rule: a subtree confined to a single sub-quadrant of q can be
+// discarded once some already-found candidate s dynamically dominates q
+// with respect to the subtree's nearest corner — by the nesting of
+// dominance rectangles along a quadrant, s then dominates q w.r.t. every
+// point of the subtree.
+func (ix *Index) ReverseSkylineBBRS(q geom.Point) []int {
+	if q.Dims() != ix.dims {
+		panic("skyline: query dimensionality mismatch")
+	}
+	root, ok := ix.tree.RootHandle()
+	if !ok {
+		return nil
+	}
+	var candidates []int
+
+	// prunedRect reports whether every point in r is provably not a
+	// reverse skyline member given the current candidates.
+	prunedRect := func(r geom.Rect) bool {
+		if !geom.InSingleQuadrant(r, q) {
+			return false
+		}
+		near := r.NearestCorner(q)
+		for _, c := range candidates {
+			if geom.DynDominates(ix.pts[c], q, near) {
+				return true
+			}
+		}
+		return false
+	}
+	prunedPoint := func(p geom.Point) bool {
+		for _, c := range candidates {
+			if geom.DynDominates(ix.pts[c], q, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Best-first traversal by transformed L1 distance: points close to q
+	// in the |x−q| space dominate the most, so visiting them first
+	// maximizes pruning.
+	h := &bbrsHeap{}
+	heap.Push(h, bbrsItem{key: 0, node: &root})
+	for h.Len() > 0 {
+		it := heap.Pop(h).(bbrsItem)
+		if it.node != nil {
+			n := *it.node
+			ix.tree.RecordAccess()
+			for i := 0; i < n.NumEntries(); i++ {
+				r := n.EntryRect(i)
+				if prunedRect(r) {
+					continue
+				}
+				child := bbrsItem{key: transformedL1(r, q)}
+				if n.IsLeaf() {
+					child.id = n.EntryID(i)
+					child.pt = ix.pts[child.id]
+				} else {
+					c := n.EntryChild(i)
+					child.node = &c
+				}
+				heap.Push(h, child)
+			}
+			continue
+		}
+		if !prunedPoint(it.pt) {
+			candidates = append(candidates, it.id)
+		}
+	}
+
+	// Verification: global-skyline candidacy is necessary but not
+	// sufficient, so each survivor still takes the exact window-query
+	// membership test.
+	var out []int
+	for _, c := range candidates {
+		if ix.Member(c, q) {
+			out = append(out, c)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// transformedL1 is the minimal Σ_j |x_j − q_j| over x in r — the BBS
+// traversal key in the transformed space.
+func transformedL1(r geom.Rect, q geom.Point) float64 {
+	var sum float64
+	for j := range q {
+		switch {
+		case q[j] < r.Min[j]:
+			sum += r.Min[j] - q[j]
+		case q[j] > r.Max[j]:
+			sum += q[j] - r.Max[j]
+		}
+	}
+	return sum
+}
+
+type bbrsItem struct {
+	key  float64
+	node *rtree.NodeHandle
+	id   int
+	pt   geom.Point
+}
+
+type bbrsHeap []bbrsItem
+
+func (h bbrsHeap) Len() int           { return len(h) }
+func (h bbrsHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h bbrsHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bbrsHeap) Push(x any)        { *h = append(*h, x.(bbrsItem)) }
+func (h *bbrsHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

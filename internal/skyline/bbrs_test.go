@@ -1,0 +1,92 @@
+package skyline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+func TestBBRSMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	for _, d := range []int{2, 3, 4} {
+		pts := randPts(r, 500, d, 1000)
+		ix := NewIndex(pts, rtree.WithMaxEntries(12))
+		for trial := 0; trial < 8; trial++ {
+			q := randPts(r, 1, d, 1000)[0]
+			want := BruteReverseSkyline(pts, q)
+			got := ix.ReverseSkylineBBRS(q)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("d=%d trial %d: BBRS %v vs brute %v", d, trial, got, want)
+			}
+		}
+	}
+}
+
+func TestBBRSMatchesPerPointScan(t *testing.T) {
+	r := rand.New(rand.NewSource(112))
+	pts := randPts(r, 2000, 2, 1000)
+	ix := NewIndex(pts, rtree.WithMaxEntries(16))
+	q := geom.Point{500, 500}
+	scan := ix.ReverseSkyline(q)
+	bbrs := ix.ReverseSkylineBBRS(q)
+	if !reflect.DeepEqual(scan, bbrs) {
+		t.Fatalf("BBRS %v vs per-point scan %v", bbrs, scan)
+	}
+}
+
+// TestBBRSCheaperThanScan verifies the point of the algorithm: the
+// branch-and-bound traversal performs far fewer node accesses than testing
+// every point with its own window query.
+func TestBBRSCheaperThanScan(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	pts := randPts(r, 5000, 2, 1000)
+	ix := NewIndex(pts, rtree.WithMaxEntries(16))
+	var c stats.Counter
+	ix.SetCounter(&c)
+	q := geom.Point{500, 500}
+
+	c.Reset()
+	ix.ReverseSkylineBBRS(q)
+	bbrsIO := c.Value()
+
+	c.Reset()
+	ix.ReverseSkyline(q)
+	scanIO := c.Value()
+
+	if bbrsIO*4 > scanIO {
+		t.Fatalf("BBRS I/O %d not clearly below scan I/O %d", bbrsIO, scanIO)
+	}
+}
+
+func TestBBRSQueryAtDataPoint(t *testing.T) {
+	// A data point exactly at q is the classic boundary trap: it never
+	// dynamically dominates q w.r.t. anything (all deviations tie at 0
+	// against |q−p| — no wait, |q_at−p| = |q−p| so ties on every dim).
+	pts := []geom.Point{
+		{5, 5}, // exactly at q
+		{6, 6},
+		{9, 9},
+		{40, 40},
+	}
+	ix := NewIndex(pts, rtree.WithMaxEntries(4))
+	q := geom.Point{5, 5}
+	want := BruteReverseSkyline(pts, q)
+	got := ix.ReverseSkylineBBRS(q)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("BBRS %v vs brute %v", got, want)
+	}
+}
+
+func TestBBRSDimMismatchPanics(t *testing.T) {
+	ix := NewIndex([]geom.Point{{1, 2}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	ix.ReverseSkylineBBRS(geom.Point{1})
+}

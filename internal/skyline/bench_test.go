@@ -1,0 +1,42 @@
+package skyline
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func benchIndex(n int) *Index {
+	r := rand.New(rand.NewSource(1))
+	return NewIndex(randPts(r, n, 2, 10000))
+}
+
+// BenchmarkReverseSkylineScan vs BenchmarkReverseSkylineBBRS quantify the
+// branch-and-bound advantage on the full reverse skyline query.
+func BenchmarkReverseSkylineScan(b *testing.B) {
+	ix := benchIndex(20_000)
+	q := geom.Point{5000, 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.ReverseSkyline(q)
+	}
+}
+
+func BenchmarkReverseSkylineBBRS(b *testing.B) {
+	ix := benchIndex(20_000)
+	q := geom.Point{5000, 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.ReverseSkylineBBRS(q)
+	}
+}
+
+func BenchmarkMembershipTest(b *testing.B) {
+	ix := benchIndex(100_000)
+	q := geom.Point{5000, 5000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Member(i%ix.Len(), q)
+	}
+}

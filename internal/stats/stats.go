@@ -1,0 +1,150 @@
+// Package stats provides the measurement machinery used by the experiment
+// harness: node-access (I/O) counters matching the paper's primary metric,
+// CPU timers, batch aggregation over repeated queries, and plain-text table
+// rendering for the figures and tables reproduced from the paper.
+package stats
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counter counts simulated page/node accesses. The R-tree increments it once
+// per visited node, mirroring the "number of node accesses (i.e., I/O)"
+// metric of the paper's Section 5.1. It is safe for concurrent use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one access.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.n.Add(1)
+	}
+}
+
+// Add adds n accesses.
+func (c *Counter) Add(n int64) {
+	if c != nil {
+		c.n.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n.Load()
+}
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() {
+	if c != nil {
+		c.n.Store(0)
+	}
+}
+
+// Timer measures wall-clock time of algorithm runs, excluding setup.
+type Timer struct {
+	start   time.Time
+	elapsed time.Duration
+	running bool
+}
+
+// Start begins (or restarts) timing.
+func (t *Timer) Start() {
+	t.start = time.Now()
+	t.running = true
+}
+
+// Stop ends timing and accumulates the elapsed interval.
+func (t *Timer) Stop() {
+	if t.running {
+		t.elapsed += time.Since(t.start)
+		t.running = false
+	}
+}
+
+// Elapsed returns the accumulated time (including the current interval if
+// the timer is running).
+func (t *Timer) Elapsed() time.Duration {
+	if t.running {
+		return t.elapsed + time.Since(t.start)
+	}
+	return t.elapsed
+}
+
+// Reset zeroes the timer.
+func (t *Timer) Reset() {
+	t.elapsed = 0
+	t.running = false
+}
+
+// Measurement is one observed (I/O, CPU) pair for a single query run.
+type Measurement struct {
+	NodeAccesses int64
+	CPU          time.Duration
+}
+
+// Batch aggregates measurements over a set of query runs (the paper averages
+// over 50 randomly selected non-answers).
+type Batch struct {
+	runs []Measurement
+}
+
+// Record appends one measurement.
+func (b *Batch) Record(m Measurement) { b.runs = append(b.runs, m) }
+
+// Len returns the number of recorded runs.
+func (b *Batch) Len() int { return len(b.runs) }
+
+// MeanIO returns the average node accesses per run (0 for an empty batch).
+func (b *Batch) MeanIO() float64 {
+	if len(b.runs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, m := range b.runs {
+		sum += m.NodeAccesses
+	}
+	return float64(sum) / float64(len(b.runs))
+}
+
+// MeanCPU returns the average CPU time per run (0 for an empty batch).
+func (b *Batch) MeanCPU() time.Duration {
+	if len(b.runs) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, m := range b.runs {
+		sum += m.CPU
+	}
+	return sum / time.Duration(len(b.runs))
+}
+
+// TotalCPU returns the summed CPU time across runs.
+func (b *Batch) TotalCPU() time.Duration {
+	var sum time.Duration
+	for _, m := range b.runs {
+		sum += m.CPU
+	}
+	return sum
+}
+
+// MaxIO returns the maximum node accesses observed in the batch.
+func (b *Batch) MaxIO() int64 {
+	var max int64
+	for _, m := range b.runs {
+		if m.NodeAccesses > max {
+			max = m.NodeAccesses
+		}
+	}
+	return max
+}
+
+// String summarizes the batch as "io=… cpu=… (n runs)".
+func (b *Batch) String() string {
+	return fmt.Sprintf("io=%.1f cpu=%s (%d runs)", b.MeanIO(), b.MeanCPU(), b.Len())
+}

@@ -1,0 +1,128 @@
+// Package uncertain implements the paper's two uncertain data models: the
+// discrete sample model (each object is a set of mutually exclusive samples
+// with appearance probabilities summing to one) and the continuous pdf model
+// (an uncertainty region with a uniform or truncated-Gaussian density).
+// Objects in a dataset are independent of each other, as assumed throughout
+// the paper.
+package uncertain
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// ProbEps is the tolerance used when validating that sample probabilities
+// sum to one and when comparing probabilities elsewhere in the system.
+const ProbEps = 1e-9
+
+// Sample is one possible location of an uncertain object together with its
+// appearance probability.
+type Sample struct {
+	Loc geom.Point
+	P   float64
+}
+
+// Object is a discrete-sample uncertain object. Exactly one of its samples
+// materializes in any possible world.
+type Object struct {
+	ID      int
+	Samples []Sample
+}
+
+// New builds an object from explicit samples without validating them; call
+// Validate before trusting external input.
+func New(id int, samples []Sample) *Object {
+	return &Object{ID: id, Samples: samples}
+}
+
+// NewUniform builds an object whose samples share equal probability 1/n,
+// the convention used by the paper's running examples and the NBA dataset.
+func NewUniform(id int, locs []geom.Point) *Object {
+	if len(locs) == 0 {
+		panic("uncertain: object needs at least one sample")
+	}
+	p := 1 / float64(len(locs))
+	samples := make([]Sample, len(locs))
+	for i, l := range locs {
+		samples[i] = Sample{Loc: l.Clone(), P: p}
+	}
+	return &Object{ID: id, Samples: samples}
+}
+
+// Certain builds the degenerate one-sample object with probability 1, which
+// is how Section 4 treats certain data.
+func Certain(id int, loc geom.Point) *Object {
+	return &Object{ID: id, Samples: []Sample{{Loc: loc.Clone(), P: 1}}}
+}
+
+// Dims returns the dimensionality of the object's samples (0 when empty).
+func (o *Object) Dims() int {
+	if len(o.Samples) == 0 {
+		return 0
+	}
+	return o.Samples[0].Loc.Dims()
+}
+
+// IsCertain reports whether the object degenerates to certain data: a single
+// sample with probability 1.
+func (o *Object) IsCertain() bool {
+	return len(o.Samples) == 1 && math.Abs(o.Samples[0].P-1) <= ProbEps
+}
+
+// Loc returns the single location of a certain object and panics otherwise.
+func (o *Object) Loc() geom.Point {
+	if len(o.Samples) != 1 {
+		panic(fmt.Sprintf("uncertain: object %d has %d samples, not certain", o.ID, len(o.Samples)))
+	}
+	return o.Samples[0].Loc
+}
+
+// MBR returns the minimum bounding rectangle of the object's samples —
+// the uncertain region indexed by the R-tree.
+func (o *Object) MBR() geom.Rect {
+	r := geom.PointRect(o.Samples[0].Loc)
+	for _, s := range o.Samples[1:] {
+		r.ExpandToPoint(s.Loc)
+	}
+	return r
+}
+
+// Validate checks structural soundness: at least one sample, consistent
+// dimensionality, finite coordinates, probabilities in (0,1] summing to 1.
+func (o *Object) Validate() error {
+	if len(o.Samples) == 0 {
+		return fmt.Errorf("object %d: no samples", o.ID)
+	}
+	d := o.Samples[0].Loc.Dims()
+	if d == 0 {
+		return fmt.Errorf("object %d: zero-dimensional sample", o.ID)
+	}
+	var sum float64
+	for i, s := range o.Samples {
+		if s.Loc.Dims() != d {
+			return fmt.Errorf("object %d: sample %d has %d dims, want %d", o.ID, i, s.Loc.Dims(), d)
+		}
+		if !s.Loc.IsFinite() {
+			return fmt.Errorf("object %d: sample %d has non-finite coordinates", o.ID, i)
+		}
+		if math.IsNaN(s.P) || s.P <= 0 || s.P > 1 {
+			return fmt.Errorf("object %d: sample %d probability %v out of (0,1]", o.ID, i, s.P)
+		}
+		sum += s.P
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("object %d: sample probabilities sum to %v, want 1", o.ID, sum)
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the object.
+func (o *Object) Clone() *Object {
+	samples := make([]Sample, len(o.Samples))
+	for i, s := range o.Samples {
+		samples[i] = Sample{Loc: s.Loc.Clone(), P: s.P}
+	}
+	return &Object{ID: o.ID, Samples: samples}
+}

@@ -1,0 +1,101 @@
+package uncertain
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func TestNewUniform(t *testing.T) {
+	o := NewUniform(7, []geom.Point{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	if o.ID != 7 || len(o.Samples) != 4 {
+		t.Fatalf("bad object: %+v", o)
+	}
+	for _, s := range o.Samples {
+		if s.P != 0.25 {
+			t.Fatalf("sample probability %v, want 0.25", s.P)
+		}
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if o.Dims() != 2 {
+		t.Fatalf("Dims = %d", o.Dims())
+	}
+}
+
+func TestNewUniformEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on empty sample list")
+		}
+	}()
+	NewUniform(0, nil)
+}
+
+func TestCertain(t *testing.T) {
+	o := Certain(3, geom.Point{9, 9})
+	if !o.IsCertain() {
+		t.Fatal("Certain object should report IsCertain")
+	}
+	if !o.Loc().Equal(geom.Point{9, 9}) {
+		t.Fatalf("Loc = %v", o.Loc())
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	u := NewUniform(4, []geom.Point{{1, 1}, {2, 2}})
+	if u.IsCertain() {
+		t.Fatal("two-sample object must not be certain")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Loc on multi-sample object should panic")
+		}
+	}()
+	u.Loc()
+}
+
+func TestMBR(t *testing.T) {
+	o := NewUniform(1, []geom.Point{{1, 5}, {3, 2}, {2, 7}})
+	mbr := o.MBR()
+	if !mbr.Min.Equal(geom.Point{1, 2}) || !mbr.Max.Equal(geom.Point{3, 7}) {
+		t.Fatalf("MBR = %v", mbr)
+	}
+	c := Certain(2, geom.Point{4, 4})
+	if c.MBR().Volume() != 0 {
+		t.Fatal("certain object MBR should be degenerate")
+	}
+}
+
+func TestValidateFailures(t *testing.T) {
+	cases := map[string]*Object{
+		"no samples":    {ID: 1},
+		"zero dim":      {ID: 2, Samples: []Sample{{Loc: geom.Point{}, P: 1}}},
+		"mixed dims":    {ID: 3, Samples: []Sample{{Loc: geom.Point{1}, P: 0.5}, {Loc: geom.Point{1, 2}, P: 0.5}}},
+		"bad prob":      {ID: 4, Samples: []Sample{{Loc: geom.Point{1}, P: 0}, {Loc: geom.Point{2}, P: 1}}},
+		"prob over one": {ID: 5, Samples: []Sample{{Loc: geom.Point{1}, P: 1.5}}},
+		"sum not one":   {ID: 6, Samples: []Sample{{Loc: geom.Point{1}, P: 0.3}, {Loc: geom.Point{2}, P: 0.3}}},
+		"nan coord":     {ID: 7, Samples: []Sample{{Loc: geom.Point{math.NaN()}, P: 1}}},
+		"nan prob":      {ID: 8, Samples: []Sample{{Loc: geom.Point{1}, P: math.NaN()}}},
+	}
+	for name, o := range cases {
+		if err := o.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		} else if !strings.Contains(err.Error(), "object") {
+			t.Errorf("%s: error %q should mention the object", name, err)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	o := NewUniform(1, []geom.Point{{1, 1}, {2, 2}})
+	c := o.Clone()
+	c.Samples[0].Loc[0] = 99
+	c.Samples[1].P = 0.9
+	if o.Samples[0].Loc[0] != 1 || o.Samples[1].P != 0.5 {
+		t.Fatal("Clone aliases the original")
+	}
+}

@@ -1,0 +1,247 @@
+package uncertain
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// PDFKind selects the density family of a continuous uncertain object.
+type PDFKind int
+
+const (
+	// Uniform spreads mass evenly over the uncertainty region.
+	Uniform PDFKind = iota
+	// Gaussian uses a per-dimension truncated normal centered in the
+	// region (independent coordinates, as assumed by the paper).
+	Gaussian
+)
+
+func (k PDFKind) String() string {
+	switch k {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	default:
+		return fmt.Sprintf("PDFKind(%d)", int(k))
+	}
+}
+
+// PDFObject is a continuous-model uncertain object: an axis-aligned
+// uncertainty region UR with a separable density over it. Coordinates are
+// independent, so every probability over an axis-aligned box factorizes
+// into per-dimension integrals — the property the pdf-model algorithms in
+// Section 3.2 rely on.
+type PDFObject struct {
+	ID     int
+	Region geom.Rect
+	Kind   PDFKind
+	// Mean and Sigma parametrize the Gaussian kind (ignored for Uniform).
+	// Zero values default to the region center and a quarter side length.
+	Mean  geom.Point
+	Sigma geom.Point
+}
+
+// NewUniformPDF builds a uniform-density object over region.
+func NewUniformPDF(id int, region geom.Rect) *PDFObject {
+	return &PDFObject{ID: id, Region: region.Clone(), Kind: Uniform}
+}
+
+// NewGaussianPDF builds a truncated-Gaussian object over region. Nil mean or
+// sigma select the defaults (center, side/4).
+func NewGaussianPDF(id int, region geom.Rect, mean, sigma geom.Point) *PDFObject {
+	o := &PDFObject{ID: id, Region: region.Clone(), Kind: Gaussian}
+	if mean != nil {
+		o.Mean = mean.Clone()
+	}
+	if sigma != nil {
+		o.Sigma = sigma.Clone()
+	}
+	o.fillGaussianDefaults()
+	return o
+}
+
+func (o *PDFObject) fillGaussianDefaults() {
+	d := o.Region.Dims()
+	if o.Mean == nil {
+		o.Mean = o.Region.Center()
+	}
+	if o.Sigma == nil {
+		o.Sigma = make(geom.Point, d)
+		for i := 0; i < d; i++ {
+			s := o.Region.Side(i) / 4
+			if s == 0 {
+				s = 1e-12
+			}
+			o.Sigma[i] = s
+		}
+	}
+}
+
+// Dims returns the dimensionality of the object.
+func (o *PDFObject) Dims() int { return o.Region.Dims() }
+
+// Validate checks structural soundness of the pdf object.
+func (o *PDFObject) Validate() error {
+	if !o.Region.Valid() {
+		return fmt.Errorf("pdf object %d: invalid region %v", o.ID, o.Region)
+	}
+	if o.Kind != Uniform && o.Kind != Gaussian {
+		return fmt.Errorf("pdf object %d: unknown pdf kind %d", o.ID, int(o.Kind))
+	}
+	if o.Kind == Gaussian {
+		d := o.Region.Dims()
+		if o.Mean != nil && o.Mean.Dims() != d {
+			return fmt.Errorf("pdf object %d: mean dims %d, want %d", o.ID, o.Mean.Dims(), d)
+		}
+		if o.Sigma != nil {
+			if o.Sigma.Dims() != d {
+				return fmt.Errorf("pdf object %d: sigma dims %d, want %d", o.ID, o.Sigma.Dims(), d)
+			}
+			for i, s := range o.Sigma {
+				if s <= 0 || math.IsNaN(s) {
+					return fmt.Errorf("pdf object %d: sigma[%d]=%v must be positive", o.ID, i, s)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// cdf1 returns the mass of the object's dimension-i marginal on (-inf, x],
+// already renormalized to the truncation interval [Region.Min[i], Max[i]].
+func (o *PDFObject) cdf1(i int, x float64) float64 {
+	lo, hi := o.Region.Min[i], o.Region.Max[i]
+	if x <= lo {
+		return 0
+	}
+	if x >= hi {
+		return 1
+	}
+	switch o.Kind {
+	case Uniform:
+		if hi == lo {
+			return 1
+		}
+		return (x - lo) / (hi - lo)
+	case Gaussian:
+		o.fillGaussianDefaults()
+		mu, sg := o.Mean[i], o.Sigma[i]
+		den := stdNormalCDF((hi-mu)/sg) - stdNormalCDF((lo-mu)/sg)
+		if den <= 0 {
+			// Degenerate truncation: fall back to uniform.
+			return (x - lo) / (hi - lo)
+		}
+		return (stdNormalCDF((x-mu)/sg) - stdNormalCDF((lo-mu)/sg)) / den
+	default:
+		panic("uncertain: unknown pdf kind")
+	}
+}
+
+// Prob returns the probability mass of the object inside the axis-aligned
+// box r. Thanks to coordinate independence this is an exact product of
+// per-dimension interval masses — the closed form behind the pdf-model
+// variant of the candidate filter.
+func (o *PDFObject) Prob(r geom.Rect) float64 {
+	d := o.Dims()
+	if r.Dims() != d {
+		panic("uncertain: rect dimensionality mismatch")
+	}
+	p := 1.0
+	for i := 0; i < d; i++ {
+		m := o.cdf1(i, r.Max[i]) - o.cdf1(i, r.Min[i])
+		if m <= 0 {
+			return 0
+		}
+		p *= m
+	}
+	return p
+}
+
+// Density returns the pdf value at x (0 outside the region).
+func (o *PDFObject) Density(x geom.Point) float64 {
+	d := o.Dims()
+	if x.Dims() != d {
+		panic("uncertain: point dimensionality mismatch")
+	}
+	if !o.Region.ContainsPoint(x) {
+		return 0
+	}
+	den := 1.0
+	switch o.Kind {
+	case Uniform:
+		v := o.Region.Volume()
+		if v == 0 {
+			return math.Inf(1)
+		}
+		return 1 / v
+	case Gaussian:
+		o.fillGaussianDefaults()
+		for i := 0; i < d; i++ {
+			lo, hi := o.Region.Min[i], o.Region.Max[i]
+			mu, sg := o.Mean[i], o.Sigma[i]
+			z := stdNormalCDF((hi-mu)/sg) - stdNormalCDF((lo-mu)/sg)
+			if z <= 0 {
+				den *= 1 / (hi - lo)
+				continue
+			}
+			den *= stdNormalPDF((x[i]-mu)/sg) / (sg * z)
+		}
+		return den
+	default:
+		panic("uncertain: unknown pdf kind")
+	}
+}
+
+// SampleFrom draws one random point from the object's density.
+func (o *PDFObject) SampleFrom(rng *rand.Rand) geom.Point {
+	d := o.Dims()
+	p := make(geom.Point, d)
+	for i := 0; i < d; i++ {
+		u := rng.Float64()
+		p[i] = o.invCDF1(i, u)
+	}
+	return p
+}
+
+// invCDF1 inverts cdf1 by bisection (cdf1 is monotone on the region).
+func (o *PDFObject) invCDF1(i int, u float64) float64 {
+	lo, hi := o.Region.Min[i], o.Region.Max[i]
+	if o.Kind == Uniform {
+		return lo + u*(hi-lo)
+	}
+	for iter := 0; iter < 60; iter++ {
+		mid := (lo + hi) / 2
+		if o.cdf1(i, mid) < u {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// Discretize approximates the continuous object with n equally probable
+// random samples. Used to cross-validate the pdf-model algorithms against
+// the discrete-sample implementations.
+func (o *PDFObject) Discretize(n int, rng *rand.Rand) *Object {
+	locs := make([]geom.Point, n)
+	for i := range locs {
+		locs[i] = o.SampleFrom(rng)
+	}
+	obj := NewUniform(o.ID, locs)
+	return obj
+}
+
+// stdNormalCDF is Φ(z) for the standard normal distribution.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// stdNormalPDF is φ(z) for the standard normal distribution.
+func stdNormalPDF(z float64) float64 {
+	return math.Exp(-z*z/2) / math.Sqrt(2*math.Pi)
+}

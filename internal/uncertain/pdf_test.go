@@ -1,0 +1,228 @@
+package uncertain
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func region2D() geom.Rect {
+	return geom.NewRect(geom.Point{2, 10}, geom.Point{6, 14})
+}
+
+func TestUniformProb(t *testing.T) {
+	o := NewUniformPDF(1, region2D())
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Whole region.
+	if got := o.Prob(region2D()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Prob(region) = %v", got)
+	}
+	// Half along dim 0.
+	half := geom.NewRect(geom.Point{2, 10}, geom.Point{4, 14})
+	if got := o.Prob(half); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("Prob(half) = %v", got)
+	}
+	// Quarter.
+	quarter := geom.NewRect(geom.Point{2, 10}, geom.Point{4, 12})
+	if got := o.Prob(quarter); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("Prob(quarter) = %v", got)
+	}
+	// Disjoint box.
+	if got := o.Prob(geom.NewRect(geom.Point{7, 7}, geom.Point{8, 8})); got != 0 {
+		t.Fatalf("Prob(disjoint) = %v", got)
+	}
+	// Superset box.
+	if got := o.Prob(geom.NewRect(geom.Point{0, 0}, geom.Point{100, 100})); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Prob(superset) = %v", got)
+	}
+}
+
+func TestGaussianProbProperties(t *testing.T) {
+	o := NewGaussianPDF(1, region2D(), nil, nil)
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := o.Prob(region2D()); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("Prob(region) = %v", got)
+	}
+	// Mass concentrates around the center: central box beats a corner box
+	// of the same size.
+	center := geom.NewRect(geom.Point{3.5, 11.5}, geom.Point{4.5, 12.5})
+	corner := geom.NewRect(geom.Point{2, 10}, geom.Point{3, 11})
+	if o.Prob(center) <= o.Prob(corner) {
+		t.Fatalf("central mass %v should exceed corner mass %v",
+			o.Prob(center), o.Prob(corner))
+	}
+	// Symmetric halves are equal for the default centered mean.
+	left := geom.NewRect(geom.Point{2, 10}, geom.Point{4, 14})
+	right := geom.NewRect(geom.Point{4, 10}, geom.Point{6, 14})
+	if math.Abs(o.Prob(left)-o.Prob(right)) > 1e-9 {
+		t.Fatalf("symmetric halves differ: %v vs %v", o.Prob(left), o.Prob(right))
+	}
+}
+
+func TestDensityIntegratesToOne(t *testing.T) {
+	for _, kind := range []PDFKind{Uniform, Gaussian} {
+		o := &PDFObject{ID: 1, Region: region2D(), Kind: kind}
+		// Midpoint grid integration of the density.
+		const n = 80
+		var sum float64
+		dx := o.Region.Side(0) / n
+		dy := o.Region.Side(1) / n
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				x := geom.Point{
+					o.Region.Min[0] + (float64(i)+0.5)*dx,
+					o.Region.Min[1] + (float64(j)+0.5)*dy,
+				}
+				sum += o.Density(x) * dx * dy
+			}
+		}
+		if math.Abs(sum-1) > 1e-3 {
+			t.Errorf("%v density integrates to %v", kind, sum)
+		}
+		if o.Density(geom.Point{0, 0}) != 0 {
+			t.Errorf("%v density outside region must be 0", kind)
+		}
+	}
+}
+
+func TestProbMatchesSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	box := geom.NewRect(geom.Point{3, 11}, geom.Point{5, 13})
+	for _, kind := range []PDFKind{Uniform, Gaussian} {
+		o := &PDFObject{ID: 1, Region: region2D(), Kind: kind}
+		exact := o.Prob(box)
+		const n = 200_000
+		hits := 0
+		for i := 0; i < n; i++ {
+			if box.ContainsPoint(o.SampleFrom(rng)) {
+				hits++
+			}
+		}
+		mc := float64(hits) / n
+		if math.Abs(mc-exact) > 0.01 {
+			t.Errorf("%v: Monte Carlo %v vs exact %v", kind, mc, exact)
+		}
+	}
+}
+
+func TestDiscretize(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	o := NewUniformPDF(5, region2D())
+	d := o.Discretize(64, rng)
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if d.ID != 5 || len(d.Samples) != 64 {
+		t.Fatalf("bad discretization: id=%d n=%d", d.ID, len(d.Samples))
+	}
+	for _, s := range d.Samples {
+		if !o.Region.ContainsPoint(s.Loc) {
+			t.Fatalf("sample %v escapes the region", s.Loc)
+		}
+	}
+}
+
+func TestPDFValidateFailures(t *testing.T) {
+	bad := &PDFObject{ID: 1, Region: geom.Rect{Min: geom.Point{1, 1}, Max: geom.Point{0, 0}}}
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid region should fail validation")
+	}
+	badKind := &PDFObject{ID: 2, Region: region2D(), Kind: PDFKind(42)}
+	if err := badKind.Validate(); err == nil {
+		t.Error("unknown kind should fail validation")
+	}
+	badSigma := &PDFObject{ID: 3, Region: region2D(), Kind: Gaussian, Sigma: geom.Point{1, -1}}
+	if err := badSigma.Validate(); err == nil {
+		t.Error("negative sigma should fail validation")
+	}
+	if Uniform.String() != "uniform" || Gaussian.String() != "gaussian" {
+		t.Error("PDFKind.String broken")
+	}
+}
+
+func TestGaussLegendreExactness(t *testing.T) {
+	// n-point Gauss-Legendre integrates polynomials of degree 2n-1 exactly.
+	x, w := gaussLegendre(5)
+	integrate := func(f func(float64) float64) float64 {
+		var s float64
+		for i := range x {
+			s += w[i] * f(x[i])
+		}
+		return s
+	}
+	if got := integrate(func(float64) float64 { return 1 }); math.Abs(got-2) > 1e-12 {
+		t.Errorf("∫1 = %v, want 2", got)
+	}
+	if got := integrate(func(t float64) float64 { return t * t }); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("∫t² = %v, want 2/3", got)
+	}
+	if got := integrate(func(t float64) float64 { return math.Pow(t, 8) }); math.Abs(got-2.0/9) > 1e-12 {
+		t.Errorf("∫t⁸ = %v, want 2/9", got)
+	}
+	if got := integrate(func(t float64) float64 { return t }); math.Abs(got) > 1e-12 {
+		t.Errorf("∫t = %v, want 0", got)
+	}
+}
+
+func TestQuadratureExpectation(t *testing.T) {
+	for _, kind := range []PDFKind{Uniform, Gaussian} {
+		o := &PDFObject{ID: 1, Region: region2D(), Kind: kind}
+		nodes := o.Quadrature(16)
+		var wsum float64
+		var mean geom.Point = geom.Point{0, 0}
+		for _, n := range nodes {
+			wsum += n.W
+			mean[0] += n.W * n.X[0]
+			mean[1] += n.W * n.X[1]
+			if !o.Region.ContainsPoint(n.X) {
+				t.Fatalf("%v: node %v escapes region", kind, n.X)
+			}
+		}
+		if math.Abs(wsum-1) > 1e-9 {
+			t.Errorf("%v: weights sum to %v", kind, wsum)
+		}
+		// Both kinds are symmetric about the center here.
+		c := o.Region.Center()
+		if math.Abs(mean[0]-c[0]) > 1e-6 || math.Abs(mean[1]-c[1]) > 1e-6 {
+			t.Errorf("%v: quadrature mean %v, want %v", kind, mean, c)
+		}
+	}
+}
+
+func TestQuadratureEstimatesProb(t *testing.T) {
+	// E[1_box(X)] should approximate Prob(box). Indicator functions are
+	// discontinuous, so allow a loose tolerance.
+	box := geom.NewRect(geom.Point{3, 11}, geom.Point{5, 13})
+	for _, kind := range []PDFKind{Uniform, Gaussian} {
+		o := &PDFObject{ID: 1, Region: region2D(), Kind: kind}
+		nodes := o.Quadrature(40)
+		var est float64
+		for _, n := range nodes {
+			if box.ContainsPoint(n.X) {
+				est += n.W
+			}
+		}
+		if math.Abs(est-o.Prob(box)) > 0.05 {
+			t.Errorf("%v: quadrature %v vs exact %v", kind, est, o.Prob(box))
+		}
+	}
+}
+
+func TestDefaultQuadNodes(t *testing.T) {
+	if DefaultQuadNodes(1) < DefaultQuadNodes(3) {
+		t.Error("node count should not grow with dimensionality")
+	}
+	for d := 1; d <= 6; d++ {
+		n := DefaultQuadNodes(d)
+		total := math.Pow(float64(n), float64(d))
+		if total > 2e6 {
+			t.Errorf("d=%d: tensor grid too large (%g)", d, total)
+		}
+	}
+}

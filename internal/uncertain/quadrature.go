@@ -1,0 +1,165 @@
+package uncertain
+
+import (
+	"math"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// QuadNode is one node of a probability-weighted cubature rule over an
+// uncertain object's region: evaluating Σ w_k · f(x_k) approximates
+// E[f(X)] = ∫ f(x)·pdf(x) dx. The weights sum to 1.
+type QuadNode struct {
+	X geom.Point
+	W float64
+}
+
+// Quadrature builds a tensor-product Gauss–Legendre cubature with nodesPerDim
+// nodes along each dimension, weighted by the object's density. For the
+// Uniform kind with polynomially-behaved integrands the rule is essentially
+// exact; for Gaussian kinds it converges quickly because the truncated
+// density is smooth on the region.
+func (o *PDFObject) Quadrature(nodesPerDim int) []QuadNode {
+	if nodesPerDim < 1 {
+		nodesPerDim = 1
+	}
+	d := o.Dims()
+	xs, ws := gaussLegendre(nodesPerDim)
+
+	// Per-dimension nodes mapped to [Min, Max] and weights carrying the
+	// normalized marginal density mass.
+	nodes1 := make([][]float64, d)
+	weights1 := make([][]float64, d)
+	for i := 0; i < d; i++ {
+		lo, hi := o.Region.Min[i], o.Region.Max[i]
+		half := (hi - lo) / 2
+		mid := (hi + lo) / 2
+		nodes1[i] = make([]float64, nodesPerDim)
+		weights1[i] = make([]float64, nodesPerDim)
+		var total float64
+		for k := 0; k < nodesPerDim; k++ {
+			x := mid + half*xs[k]
+			nodes1[i][k] = x
+			w := ws[k] * half * o.marginalDensity1(i, x)
+			weights1[i][k] = w
+			total += w
+		}
+		// Renormalize so each marginal integrates to exactly 1,
+		// removing the residual quadrature error from the total mass.
+		if total > 0 {
+			for k := range weights1[i] {
+				weights1[i][k] /= total
+			}
+		} else {
+			for k := range weights1[i] {
+				weights1[i][k] = 1 / float64(nodesPerDim)
+			}
+		}
+	}
+
+	// Tensor product.
+	count := 1
+	for i := 0; i < d; i++ {
+		count *= nodesPerDim
+	}
+	out := make([]QuadNode, 0, count)
+	idx := make([]int, d)
+	for {
+		x := make(geom.Point, d)
+		w := 1.0
+		for i := 0; i < d; i++ {
+			x[i] = nodes1[i][idx[i]]
+			w *= weights1[i][idx[i]]
+		}
+		out = append(out, QuadNode{X: x, W: w})
+		// Advance the mixed-radix counter.
+		i := 0
+		for ; i < d; i++ {
+			idx[i]++
+			if idx[i] < nodesPerDim {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == d {
+			break
+		}
+	}
+	return out
+}
+
+// marginalDensity1 is the normalized one-dimensional marginal density of
+// dimension i at x (inside the region).
+func (o *PDFObject) marginalDensity1(i int, x float64) float64 {
+	lo, hi := o.Region.Min[i], o.Region.Max[i]
+	if x < lo || x > hi {
+		return 0
+	}
+	switch o.Kind {
+	case Uniform:
+		if hi == lo {
+			return 1
+		}
+		return 1 / (hi - lo)
+	case Gaussian:
+		o.fillGaussianDefaults()
+		mu, sg := o.Mean[i], o.Sigma[i]
+		z := stdNormalCDF((hi-mu)/sg) - stdNormalCDF((lo-mu)/sg)
+		if z <= 0 {
+			return 1 / (hi - lo)
+		}
+		return stdNormalPDF((x-mu)/sg) / (sg * z)
+	default:
+		panic("uncertain: unknown pdf kind")
+	}
+}
+
+// DefaultQuadNodes picks a per-dimension node count that keeps the tensor
+// grid tractable as the dimensionality grows (the same trade-off the paper's
+// pdf-model experiments face).
+func DefaultQuadNodes(dims int) int {
+	switch {
+	case dims <= 1:
+		return 48
+	case dims == 2:
+		return 24
+	case dims == 3:
+		return 12
+	case dims == 4:
+		return 8
+	default:
+		return 6
+	}
+}
+
+// gaussLegendre returns the nodes and weights of the n-point Gauss–Legendre
+// rule on [-1, 1], computed by Newton iteration on the Legendre polynomials.
+func gaussLegendre(n int) (x, w []float64) {
+	x = make([]float64, n)
+	w = make([]float64, n)
+	m := (n + 1) / 2
+	for i := 0; i < m; i++ {
+		// Initial guess: Chebyshev-like approximation to the i-th root.
+		z := math.Cos(math.Pi * (float64(i) + 0.75) / (float64(n) + 0.5))
+		var pp float64
+		for iter := 0; iter < 100; iter++ {
+			p1, p2 := 1.0, 0.0
+			for j := 0; j < n; j++ {
+				p3 := p2
+				p2 = p1
+				p1 = ((2*float64(j)+1)*z*p2 - float64(j)*p3) / float64(j+1)
+			}
+			pp = float64(n) * (z*p1 - p2) / (z*z - 1)
+			z1 := z
+			z = z1 - p1/pp
+			if math.Abs(z-z1) < 1e-15 {
+				break
+			}
+		}
+		x[i] = -z
+		x[n-1-i] = z
+		w[i] = 2 / ((1 - z*z) * pp * pp)
+		w[n-1-i] = w[i]
+	}
+	return x, w
+}

@@ -1,0 +1,29 @@
+package crsky
+
+import (
+	"github.com/crsky/crsky/internal/causality"
+)
+
+// Reverse top-k causality (the paper's Section-7 future work, implemented
+// as an extension): products are points with smaller-is-better attributes,
+// a user is a non-negative weight vector, and the score of product p for
+// user w is Σ_j w[j]·p[j]. User w belongs to the reverse top-k of a query
+// product q when fewer than k products score strictly better than q.
+
+// Score returns the linear score of product p for user w.
+func Score(w, p Point) float64 { return causality.Score(w, p) }
+
+// IsReverseTopKAnswer reports whether user w belongs to the reverse top-k
+// result of query product q over the products.
+func IsReverseTopKAnswer(products []Point, w, q Point, k int) bool {
+	return causality.IsReverseTopKAnswer(products, w, q, k)
+}
+
+// ExplainReverseTopK computes the causality and responsibility for a user w
+// missing from the reverse top-k result of q: exactly the products scoring
+// strictly better than q are actual causes, each with responsibility
+// 1/(1+b−k) where b is the number of better products. Cause IDs are product
+// indexes.
+func ExplainReverseTopK(products []Point, w, q Point, k int) (*Explanation, error) {
+	return causality.CRTopK(products, w, q, k)
+}
