@@ -1,0 +1,109 @@
+// Command crskyd serves (probabilistic) reverse skyline queries,
+// causality/responsibility explanations for non-answers, and minimal
+// repairs over HTTP/JSON — the crsky library as a long-lived, concurrent,
+// cache-backed service.
+//
+//	crskyd [-addr :8372] [-cache 1024] [-workers N]
+//	       [-preload name=model=path ...]
+//
+// Endpoints:
+//
+//	GET    /healthz               liveness
+//	GET    /v1/stats              engine I/O, cache, dedup, pool metrics
+//	POST   /v1/datasets           register a dataset (JSON or CSV payload)
+//	GET    /v1/datasets           list datasets
+//	GET    /v1/datasets/{name}    describe one dataset
+//	DELETE /v1/datasets/{name}    drop a dataset
+//	POST   /v1/query              (probabilistic) reverse skyline
+//	POST   /v1/explain            causes + responsibilities for a non-answer
+//	POST   /v1/repair             smallest removal set making an an answer
+//
+// -preload registers CSV datasets at startup; model is "certain" or
+// "sample" (the CSV formats of the crsky CLI).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/crsky/crsky/internal/server"
+)
+
+// preloadFlag collects repeated -preload name=model=path values.
+type preloadFlag []string
+
+func (p *preloadFlag) String() string     { return strings.Join(*p, ",") }
+func (p *preloadFlag) Set(v string) error { *p = append(*p, v); return nil }
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8372", "listen address")
+		cache    = flag.Int("cache", 1024, "result cache capacity in entries (negative disables)")
+		workers  = flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		maxBody  = flag.Int64("max-body", 64<<20, "request body size cap in bytes")
+		preloads preloadFlag
+	)
+	flag.Var(&preloads, "preload", "dataset to register at startup, as name=model=path (repeatable)")
+	flag.Parse()
+
+	srv := server.New(server.Config{
+		CacheSize:    *cache,
+		Workers:      *workers,
+		MaxBodyBytes: *maxBody,
+	})
+	for _, spec := range preloads {
+		if err := preload(srv, spec); err != nil {
+			log.Fatalf("crskyd: preload %q: %v", spec, err)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("crskyd: listening on %s (cache=%d workers=%d)", *addr, *cache, *workers)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("crskyd: %v", err)
+	}
+	log.Printf("crskyd: shut down")
+}
+
+// preload registers one name=model=path CSV dataset through the same code
+// path as POST /v1/datasets.
+func preload(srv *server.Server, spec string) error {
+	parts := strings.SplitN(spec, "=", 3)
+	if len(parts) != 3 {
+		return fmt.Errorf("want name=model=path")
+	}
+	name, model, path := parts[0], parts[1], parts[2]
+	csv, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	info, err := srv.Register(&server.DatasetRequest{Name: name, Model: model, CSV: string(csv)})
+	if err != nil {
+		return err
+	}
+	log.Printf("crskyd: registered %s (%s, %d objects, %d dims)", info.Name, info.Model, info.Size, info.Dims)
+	return nil
+}

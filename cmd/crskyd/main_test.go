@@ -1,0 +1,46 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/crsky/crsky/internal/server"
+)
+
+func TestPreload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "pts.csv")
+	if err := os.WriteFile(path, []byte("4,4\n1,1\n2,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := server.New(server.Config{})
+	if err := preload(srv, "demo=certain="+path); err != nil {
+		t.Fatalf("preload: %v", err)
+	}
+
+	for _, bad := range []string{
+		"demo",                      // missing fields
+		"demo=certain",              // missing path
+		"demo=certain=/no/such.csv", // unreadable file
+		"demo=wat=" + path,          // unknown model
+	} {
+		if err := preload(srv, bad); err == nil {
+			t.Errorf("preload(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestPreloadFlagAccumulates(t *testing.T) {
+	var p preloadFlag
+	if err := p.Set("a=certain=x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Set("b=sample=y"); err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 2 || p.String() != "a=certain=x,b=sample=y" {
+		t.Fatalf("preloadFlag = %v", p)
+	}
+}

@@ -1,0 +1,142 @@
+// The service example runs crskyd's server in-process and drives it over
+// HTTP the way an application would: register a dataset, run a
+// probabilistic reverse skyline query, explain a non-answer, ask for a
+// minimal repair, and read the serving metrics.
+//
+//	go run ./examples/service
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/server"
+)
+
+func main() {
+	// Serve on an ephemeral local port.
+	srv := server.New(server.Config{CacheSize: 256, Workers: 4})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(ln, srv.Handler())
+	base := "http://" + ln.Addr().String()
+	fmt.Printf("crskyd serving on %s\n\n", base)
+
+	// Register a synthetic uncertain dataset through the CSV upload path.
+	ds, err := dataset.GenerateUncertain(dataset.UncertainConfig{N: 2000, Dims: 2, RMax: 5, Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := dataset.SaveUncertainCSV(&csv, ds); err != nil {
+		log.Fatal(err)
+	}
+	var info server.DatasetInfo
+	post(base+"/v1/datasets", &server.DatasetRequest{
+		Name: "demo", Model: "sample", CSV: csv.String(),
+	}, &info)
+	fmt.Printf("registered %q: %d objects, %d dims\n", info.Name, info.Size, info.Dims)
+
+	// Query the probabilistic reverse skyline, then pick a non-answer.
+	q := []float64{5000, 5000}
+	const alpha = 0.5
+	var qr server.QueryResponse
+	post(base+"/v1/query", &server.QueryRequest{Dataset: "demo", Q: q, Alpha: alpha}, &qr)
+	fmt.Printf("probabilistic reverse skyline at α=%.1f: %d answers\n", alpha, qr.Count)
+
+	answers := make(map[int]bool, len(qr.Answers))
+	for _, id := range qr.Answers {
+		answers[id] = true
+	}
+
+	// Explain the first tractable non-answer: skip answers (422 from the
+	// server) and non-answers whose candidate set exceeds the cap.
+	var (
+		an  = -1
+		er  server.ExplainResponse
+		req *server.ExplainRequest
+	)
+	for id := 0; id < info.Size; id++ {
+		if answers[id] {
+			continue
+		}
+		r := &server.ExplainRequest{Dataset: "demo", Q: q, An: id, Alpha: alpha,
+			Options: server.OptionsSpec{MaxCandidates: 24}, Verify: true}
+		if tryPost(base+"/v1/explain", r, &er) {
+			an, req = id, r
+			break
+		}
+	}
+	if an < 0 {
+		log.Fatal("no tractable non-answer found")
+	}
+	fmt.Printf("\nobject %d is a non-answer (Pr=%.4f < α); %d candidate causes, verified=%t\n",
+		er.NonAnswer, er.Pr, er.Candidates, er.Verified)
+	for i, cause := range er.Causes {
+		if i == 5 {
+			fmt.Printf("  ... and %d more causes\n", len(er.Causes)-5)
+			break
+		}
+		fmt.Printf("  cause %-6d responsibility %.3f Γ=%v\n", cause.ID, cause.Responsibility, cause.Contingency)
+	}
+	post(base+"/v1/explain", req, &er) // identical request: served from cache
+
+	// Ask for the smallest intervention that makes an an answer.
+	var rr server.RepairResponse
+	post(base+"/v1/repair", &server.RepairRequest{Dataset: "demo", Q: q, An: an, Alpha: alpha,
+		Options: server.OptionsSpec{MaxCandidates: 24}}, &rr)
+	fmt.Printf("\nminimal repair: remove %v → Pr=%.4f (exact=%t)\n", rr.Removed, rr.NewPr, rr.Exact)
+
+	// Serving metrics.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nstats: cache %d/%d hit rate %.2f, %d computations (%d deduped), peak in-flight %d\n",
+		st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, st.Cache.HitRate,
+		st.Flights.Executed, st.Flights.Deduped, st.Pool.PeakInFlight)
+}
+
+func post(url string, req, out any) {
+	if !tryPost(url, req, out) {
+		log.Fatalf("POST %s failed", url)
+	}
+}
+
+// tryPost returns false on a 4xx rejection (e.g. "not a non-answer" or
+// "too many candidates") and fails hard on transport or server errors.
+func tryPost(url string, req, out any) bool {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e server.ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		if resp.StatusCode < 500 {
+			return false
+		}
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, e.Error)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		log.Fatal(err)
+	}
+	return true
+}

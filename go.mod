@@ -1,0 +1,3 @@
+module github.com/crsky/crsky
+
+go 1.24

@@ -1,0 +1,13 @@
+package causality
+
+import "fmt"
+
+// Key returns a canonical, collision-free encoding of the options for use
+// in cache keys: two Options values produce the same Key exactly when every
+// tuning field matches. Serving layers combine it with the dataset, query,
+// non-answer, and threshold to deduplicate identical explanation requests.
+func (o Options) Key() string {
+	return fmt.Sprintf("mc=%d,ms=%d,qn=%d,par=%d,l4=%t,l5=%t,l6=%t,np=%t",
+		o.MaxCandidates, o.MaxSubsets, o.QuadNodes, o.Parallel,
+		o.NoLemma4, o.NoLemma5, o.NoLemma6, o.NoPrune)
+}

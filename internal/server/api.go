@@ -1,0 +1,234 @@
+package server
+
+import (
+	"github.com/crsky/crsky/internal/causality"
+)
+
+// Data models served by the registry. "uncertain" is accepted as an alias
+// for "sample" on upload.
+const (
+	ModelCertain = "certain" // plain points, reverse skyline semantics
+	ModelSample  = "sample"  // discrete-sample uncertain objects
+	ModelPDF     = "pdf"     // continuous uniform/Gaussian pdf objects
+)
+
+// SampleSpec is one possible location of an uncertain object with its
+// appearance probability.
+type SampleSpec struct {
+	P   float64   `json:"p"`
+	Loc []float64 `json:"loc"`
+}
+
+// ObjectSpec is a discrete-sample uncertain object. Object IDs are
+// positional: the i-th spec becomes object i.
+type ObjectSpec struct {
+	Samples []SampleSpec `json:"samples"`
+}
+
+// PDFObjectSpec is a continuous-model uncertain object. Kind is "uniform"
+// or "gaussian"; Mean and Sigma are optional for gaussian (defaults:
+// region center, quarter side).
+type PDFObjectSpec struct {
+	Kind  string    `json:"kind"`
+	Min   []float64 `json:"min"`
+	Max   []float64 `json:"max"`
+	Mean  []float64 `json:"mean,omitempty"`
+	Sigma []float64 `json:"sigma,omitempty"`
+}
+
+// DatasetRequest registers (or replaces) a named dataset. Exactly one of
+// CSV, Points, Objects, or PDFObjects must be set, matching Model:
+//
+//   - certain: Points, or CSV in the crsky certain format (one row per
+//     point);
+//   - sample: Objects, or CSV in the crsky uncertain format (one row per
+//     sample: id,prob,coords...);
+//   - pdf: PDFObjects.
+type DatasetRequest struct {
+	Name       string          `json:"name"`
+	Model      string          `json:"model"`
+	CSV        string          `json:"csv,omitempty"`
+	Points     [][]float64     `json:"points,omitempty"`
+	Objects    []ObjectSpec    `json:"objects,omitempty"`
+	PDFObjects []PDFObjectSpec `json:"pdfObjects,omitempty"`
+}
+
+// DatasetInfo describes a registered dataset.
+type DatasetInfo struct {
+	Name       string `json:"name"`
+	Model      string `json:"model"`
+	Size       int    `json:"size"`
+	Dims       int    `json:"dims"`
+	Generation uint64 `json:"generation"`
+	// NodeAccesses is the engine's simulated I/O since registration —
+	// the paper's primary cost metric, surfaced per dataset.
+	NodeAccesses int64 `json:"nodeAccesses"`
+}
+
+// OptionsSpec tunes the refinement stage of explain/repair requests; the
+// zero value selects the library defaults.
+type OptionsSpec struct {
+	MaxCandidates int   `json:"maxCandidates,omitempty"`
+	MaxSubsets    int64 `json:"maxSubsets,omitempty"`
+	QuadNodes     int   `json:"quadNodes,omitempty"`
+	Parallel      int   `json:"parallel,omitempty"`
+}
+
+func (o OptionsSpec) toOptions() causality.Options {
+	return causality.Options{
+		MaxCandidates: o.MaxCandidates,
+		MaxSubsets:    o.MaxSubsets,
+		QuadNodes:     o.QuadNodes,
+		Parallel:      o.Parallel,
+	}
+}
+
+// QueryRequest computes the (probabilistic) reverse skyline of Q. Alpha is
+// the probability threshold for the sample and pdf models and is ignored
+// for certain data. QuadNodes tunes pdf quadrature (0 = default).
+type QueryRequest struct {
+	Dataset   string    `json:"dataset"`
+	Q         []float64 `json:"q"`
+	Alpha     float64   `json:"alpha,omitempty"`
+	QuadNodes int       `json:"quadNodes,omitempty"`
+	NoCache   bool      `json:"noCache,omitempty"`
+}
+
+// QueryResponse lists the answer object IDs in ascending order.
+type QueryResponse struct {
+	Dataset string  `json:"dataset"`
+	Model   string  `json:"model"`
+	Alpha   float64 `json:"alpha"`
+	Count   int     `json:"count"`
+	Answers []int   `json:"answers"`
+}
+
+// ExplainRequest asks why object An is NOT in the (probabilistic) reverse
+// skyline of Q at threshold Alpha. Verify re-checks the explanation against
+// Definition 1 before responding (sample and certain models only). NoCache
+// bypasses the result cache for this request.
+type ExplainRequest struct {
+	Dataset string      `json:"dataset"`
+	Q       []float64   `json:"q"`
+	An      int         `json:"an"`
+	Alpha   float64     `json:"alpha,omitempty"`
+	Options OptionsSpec `json:"options,omitempty"`
+	Verify  bool        `json:"verify,omitempty"`
+	NoCache bool        `json:"noCache,omitempty"`
+}
+
+// CauseJSON is one actual cause with its responsibility and a minimum
+// contingency set.
+type CauseJSON struct {
+	ID             int     `json:"id"`
+	Responsibility float64 `json:"responsibility"`
+	Contingency    []int   `json:"contingency,omitempty"`
+	Counterfactual bool    `json:"counterfactual,omitempty"`
+}
+
+// ExplainResponse is the causality-and-responsibility explanation for one
+// non-answer.
+type ExplainResponse struct {
+	Dataset         string      `json:"dataset"`
+	Model           string      `json:"model"`
+	NonAnswer       int         `json:"nonAnswer"`
+	Pr              float64     `json:"pr"`
+	Alpha           float64     `json:"alpha"`
+	Candidates      int         `json:"candidates"`
+	Causes          []CauseJSON `json:"causes"`
+	SubsetsExamined int64       `json:"subsetsExamined,omitempty"`
+	Verified        bool        `json:"verified,omitempty"`
+}
+
+func causesJSON(cs []causality.Cause) []CauseJSON {
+	out := make([]CauseJSON, len(cs))
+	for i, c := range cs {
+		out[i] = CauseJSON{
+			ID:             c.ID,
+			Responsibility: c.Responsibility,
+			Contingency:    c.Contingency,
+			Counterfactual: c.Counterfactual,
+		}
+	}
+	return out
+}
+
+// RepairRequest asks for a smallest set of objects whose removal turns
+// non-answer An into an answer.
+type RepairRequest struct {
+	Dataset string      `json:"dataset"`
+	Q       []float64   `json:"q"`
+	An      int         `json:"an"`
+	Alpha   float64     `json:"alpha,omitempty"`
+	Options OptionsSpec `json:"options,omitempty"`
+	NoCache bool        `json:"noCache,omitempty"`
+}
+
+// RepairResponse is the minimal intervention: deleting Removed raises
+// Pr(an) to NewPr ≥ α. Exact=false marks the greedy fallback.
+type RepairResponse struct {
+	Dataset string  `json:"dataset"`
+	Model   string  `json:"model"`
+	An      int     `json:"an"`
+	Alpha   float64 `json:"alpha"`
+	Removed []int   `json:"removed"`
+	NewPr   float64 `json:"newPr"`
+	Exact   bool    `json:"exact"`
+}
+
+// CacheStats reports result-cache effectiveness.
+type CacheStats struct {
+	Capacity  int     `json:"capacity"`
+	Size      int     `json:"size"`
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	HitRate   float64 `json:"hitRate"`
+}
+
+// FlightStats reports request deduplication: Executed counts computations
+// actually run, Deduped counts requests that shared another request's
+// in-flight computation instead of starting their own.
+type FlightStats struct {
+	Executed int64 `json:"executed"`
+	Deduped  int64 `json:"deduped"`
+}
+
+// PoolStats reports worker-pool load.
+type PoolStats struct {
+	Workers      int   `json:"workers"`
+	InFlight     int64 `json:"inFlight"`
+	PeakInFlight int64 `json:"peakInFlight"`
+	Completed    int64 `json:"completed"`
+	Canceled     int64 `json:"canceled"`
+}
+
+// RequestStats counts requests per compute endpoint since start.
+type RequestStats struct {
+	Query   int64 `json:"query"`
+	Explain int64 `json:"explain"`
+	Repair  int64 `json:"repair"`
+	Errors  int64 `json:"errors"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Datasets      []DatasetInfo `json:"datasets"`
+	Cache         CacheStats    `json:"cache"`
+	Flights       FlightStats   `json:"flights"`
+	Pool          PoolStats     `json:"pool"`
+	Requests      RequestStats  `json:"requests"`
+}
+
+// HealthResponse is the /healthz payload.
+type HealthResponse struct {
+	Status        string  `json:"status"`
+	UptimeSeconds float64 `json:"uptimeSeconds"`
+	Datasets      int     `json:"datasets"`
+}
+
+// ErrorResponse is the uniform error envelope.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,109 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// lruCache is a bounded least-recently-used result cache. Values are
+// treated as immutable once stored: handlers marshal them fresh per
+// response and never mutate a cached value, which is what makes a cache
+// hit byte-identical to the original computation.
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses, evictions stats.Counter
+}
+
+type cacheEntry struct {
+	key string
+	val any
+}
+
+// newLRUCache builds a cache holding at most capacity entries; capacity
+// <= 0 disables caching entirely (every Get misses, Put is a no-op).
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *lruCache) Get(key string) (any, bool) {
+	if c.cap <= 0 {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses.Inc()
+		return nil, false
+	}
+	c.hits.Inc()
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entry when
+// the cache is full.
+func (c *lruCache) Put(key string, val any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions.Inc()
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+}
+
+// Remove drops the entry for key, if present.
+func (c *lruCache) Remove(key string) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		c.order.Remove(el)
+		delete(c.items, key)
+	}
+}
+
+// Len returns the current entry count.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats snapshots the cache counters.
+func (c *lruCache) Stats() CacheStats {
+	h, m := c.hits.Value(), c.misses.Value()
+	return CacheStats{
+		Capacity:  c.cap,
+		Size:      c.Len(),
+		Hits:      h,
+		Misses:    m,
+		Evictions: c.evictions.Value(),
+		HitRate:   stats.HitRate(h, m),
+	}
+}

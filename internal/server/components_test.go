@@ -1,0 +1,211 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLRUCacheEvictionOrder(t *testing.T) {
+	c := newLRUCache(2)
+	c.Put("a", 1)
+	c.Put("b", 2)
+	if _, ok := c.Get("a"); !ok { // touch a: b becomes LRU
+		t.Fatal("a missing")
+	}
+	c.Put("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, key := range []string{"a", "c"} {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("%s should have survived", key)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Size != 2 || st.Capacity != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Hits != 3 || st.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", st.Hits, st.Misses)
+	}
+}
+
+func TestLRUCacheUpdateExisting(t *testing.T) {
+	c := newLRUCache(4)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("got %v, want 2", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+func TestLRUCacheRemove(t *testing.T) {
+	c := newLRUCache(4)
+	c.Put("k", 1)
+	c.Remove("k")
+	c.Remove("absent")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("k should have been removed")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+}
+
+func TestLRUCacheDisabled(t *testing.T) {
+	c := newLRUCache(-1)
+	c.Put("k", 1)
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("disabled cache must always miss")
+	}
+}
+
+func TestFlightGroupDedup(t *testing.T) {
+	g := newFlightGroup()
+	const callers = 16
+	var (
+		mu      sync.Mutex
+		inFn    int
+		release = make(chan struct{})
+		wg      sync.WaitGroup
+		shared  int
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, sh := g.Do("k", func() (any, error) {
+				mu.Lock()
+				inFn++
+				mu.Unlock()
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %v, %v", v, err)
+			}
+			if sh {
+				mu.Lock()
+				shared++
+				mu.Unlock()
+			}
+		}()
+	}
+	// Wait until the leader is inside fn and everyone else piled up.
+	for {
+		mu.Lock()
+		n := inFn
+		mu.Unlock()
+		if n == 1 && g.Stats().Deduped == callers-1 {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+	if inFn != 1 {
+		t.Fatalf("fn ran %d times, want 1", inFn)
+	}
+	if shared != callers-1 {
+		t.Fatalf("shared = %d, want %d", shared, callers-1)
+	}
+	st := g.Stats()
+	if st.Executed != 1 || st.Deduped != callers-1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestFlightGroupSurvivesPanic(t *testing.T) {
+	g := newFlightGroup()
+	entered := make(chan struct{})
+	release := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("leader panic did not propagate")
+			}
+		}()
+		g.Do("k", func() (any, error) {
+			close(entered)
+			<-release
+			panic("boom")
+		})
+	}()
+	<-entered
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, err, shared := g.Do("k", func() (any, error) { return nil, nil })
+		if !shared || !errors.Is(err, errComputePanic) {
+			t.Errorf("sharer got shared=%t err=%v, want shared errComputePanic", shared, err)
+		}
+	}()
+	for g.Stats().Deduped == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	// The key must not stay wedged: a fresh call computes normally.
+	if v, err, _ := g.Do("k", func() (any, error) { return 7, nil }); err != nil || v != 7 {
+		t.Fatalf("post-panic Do = %v, %v", v, err)
+	}
+}
+
+func TestFlightGroupPropagatesError(t *testing.T) {
+	g := newFlightGroup()
+	boom := errors.New("boom")
+	if _, err, _ := g.Do("k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// The failed flight must not stick: a retry runs fresh.
+	if v, err, _ := g.Do("k", func() (any, error) { return 1, nil }); err != nil || v != 1 {
+		t.Fatalf("retry = %v, %v", v, err)
+	}
+}
+
+func TestWorkerPoolCancellation(t *testing.T) {
+	p := newWorkerPool(1)
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func() (any, error) {
+		close(started)
+		<-block
+		return nil, nil
+	})
+	<-started
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.Do(ctx, func() (any, error) { return nil, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(block)
+	for p.Stats().Completed != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	st := p.Stats()
+	if st.Canceled != 1 || st.Workers != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPointKeyCanonical(t *testing.T) {
+	if got := pointKey([]float64{1, 2.5}); got != "1,2.5" {
+		t.Fatalf("pointKey = %q", got)
+	}
+	if pointKey([]float64{1, 25}) == pointKey([]float64{12, 5}) {
+		t.Fatal("digit-shift collision")
+	}
+}

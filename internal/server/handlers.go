@@ -1,0 +1,241 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// --- dataset endpoints ------------------------------------------------
+
+func (s *Server) handleDatasetRegister(w http.ResponseWriter, r *http.Request) {
+	var req DatasetRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ent, err := s.reg.register(&req)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, ent.info())
+}
+
+func (s *Server) handleDatasetList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.list())
+}
+
+func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
+	ent, ok := s.reg.get(r.PathValue("name"))
+	if !ok {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, ent.info())
+}
+
+func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.remove(r.PathValue("name")) {
+		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", r.PathValue("name")))
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// --- compute endpoints ------------------------------------------------
+
+// resolve validates the (dataset, q, alpha) triple shared by all compute
+// requests. For certain data, alpha is forced to 1 (membership is exact);
+// for the probabilistic models it must lie in (0, 1].
+func (s *Server) resolve(name string, qs []float64, alpha float64) (*entry, geom.Point, float64, int, error) {
+	if name == "" {
+		return nil, nil, 0, http.StatusBadRequest, fmt.Errorf("dataset is required")
+	}
+	ent, ok := s.reg.get(name)
+	if !ok {
+		return nil, nil, 0, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
+	}
+	q := geom.Point(qs)
+	if q.Dims() != ent.dims {
+		return nil, nil, 0, http.StatusBadRequest,
+			fmt.Errorf("q has %d dims, dataset %q has %d", q.Dims(), name, ent.dims)
+	}
+	if !q.IsFinite() {
+		return nil, nil, 0, http.StatusBadRequest, fmt.Errorf("q has non-finite coordinates")
+	}
+	if ent.model == ModelCertain {
+		alpha = 1
+	} else if !(alpha > 0 && alpha <= 1) {
+		return nil, nil, 0, http.StatusBadRequest,
+			fmt.Errorf("alpha must be in (0,1], got %g", alpha)
+	}
+	return ent, q, alpha, 0, nil
+}
+
+// compute runs fn behind the singleflight group and the worker pool,
+// caching a successful result under key unless the request bypassed the
+// cache. It sets the cache/flight response headers.
+//
+// The computation deliberately runs on a context detached from the
+// request: a flight's result may be shared by many callers, so the
+// leader's client disconnecting must not fail everyone else (or poison
+// the thundering-herd retry by caching nothing).
+func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
+	fn func() (any, error)) (any, bool) {
+
+	if noCache {
+		w.Header().Set(headerCache, "bypass")
+	} else if v, ok := s.cache.Get(key); ok {
+		w.Header().Set(headerCache, "hit")
+		return v, true
+	} else {
+		w.Header().Set(headerCache, "miss")
+	}
+
+	v, err, shared := s.flights.Do(key, func() (any, error) {
+		return s.pool.Do(context.WithoutCancel(ctx), func() (any, error) {
+			if s.computeHook != nil {
+				s.computeHook()
+			}
+			return fn()
+		})
+	})
+	if shared {
+		w.Header().Set(headerFlight, "shared")
+	} else {
+		w.Header().Set(headerFlight, "leader")
+	}
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, errComputePanic):
+			s.writeError(w, http.StatusInternalServerError, err)
+		default:
+			s.writeError(w, statusFor(err), err)
+		}
+		return nil, false
+	}
+	if !noCache {
+		s.cache.Put(key, v)
+	}
+	return v, true
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.reqQuery.Inc()
+	var req QueryRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ent, q, alpha, status, err := s.resolve(req.Dataset, req.Q, req.Alpha)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	key := fmt.Sprintf("query|%s|%d|%s|%g|%d", ent.name, ent.gen, pointKey(q), alpha, req.QuadNodes)
+	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
+		return ent.query(q, alpha, req.QuadNodes), nil
+	})
+	if !ok {
+		return
+	}
+	ids := v.([]int)
+	writeJSON(w, http.StatusOK, QueryResponse{
+		Dataset: ent.name,
+		Model:   ent.model,
+		Alpha:   alpha,
+		Count:   len(ids),
+		Answers: ids,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	s.reqExplain.Inc()
+	var req ExplainRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ent, q, alpha, status, err := s.resolve(req.Dataset, req.Q, req.Alpha)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	opts := req.Options.toOptions()
+	if ent.model == ModelCertain {
+		// Algorithm CR takes no options (Lemma 7 needs no refinement);
+		// canonicalize so identical certain requests share a cache key.
+		opts = causality.Options{}
+	}
+	key := fmt.Sprintf("explain|%s|%d|%s|%d|%g|%s",
+		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
+	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
+		return ent.explain(q, req.An, alpha, opts)
+	})
+	if !ok {
+		return
+	}
+	res := v.(*causality.Result)
+	verified := false
+	if req.Verify {
+		if err := ent.verify(q, alpha, res); err != nil {
+			// Never keep serving a result the verifier just rejected.
+			s.cache.Remove(key)
+			s.writeError(w, http.StatusInternalServerError,
+				fmt.Errorf("explanation failed verification: %w", err))
+			return
+		}
+		verified = true
+	}
+	writeJSON(w, http.StatusOK, ExplainResponse{
+		Dataset:         ent.name,
+		Model:           ent.model,
+		NonAnswer:       res.NonAnswer,
+		Pr:              res.Pr,
+		Alpha:           alpha,
+		Candidates:      res.Candidates,
+		Causes:          causesJSON(res.Causes),
+		SubsetsExamined: res.SubsetsExamined,
+		Verified:        verified,
+	})
+}
+
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	s.reqRepair.Inc()
+	var req RepairRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ent, q, alpha, status, err := s.resolve(req.Dataset, req.Q, req.Alpha)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	opts := req.Options.toOptions()
+	key := fmt.Sprintf("repair|%s|%d|%s|%d|%g|%s",
+		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
+	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
+		return ent.repair(q, req.An, alpha, opts)
+	})
+	if !ok {
+		return
+	}
+	rep := v.(*causality.Repair)
+	writeJSON(w, http.StatusOK, RepairResponse{
+		Dataset: ent.name,
+		Model:   ent.model,
+		An:      req.An,
+		Alpha:   alpha,
+		Removed: rep.Removed,
+		NewPr:   rep.NewPr,
+		Exact:   rep.Exact,
+	})
+}

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// workerPool bounds the number of concurrently executing compute requests.
+// Explain refinement is exponential in the candidate count in the worst
+// case (Theorem 1); without a bound, a burst of expensive requests would
+// seize every core and starve the process. Excess requests queue on the
+// semaphore in FIFO-ish goroutine order and honor context cancellation
+// while waiting.
+type workerPool struct {
+	sem chan struct{}
+
+	inflight  stats.Gauge
+	completed stats.Counter
+	canceled  stats.Counter
+}
+
+func newWorkerPool(workers int) *workerPool {
+	if workers < 1 {
+		workers = 1
+	}
+	return &workerPool{sem: make(chan struct{}, workers)}
+}
+
+// Do runs fn on a pool slot, waiting for one to free up. It returns
+// ctx.Err() when the caller gives up (or the server shuts down) before a
+// slot becomes available.
+func (p *workerPool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		p.canceled.Inc()
+		return nil, ctx.Err()
+	}
+	p.inflight.Inc()
+	defer func() {
+		p.inflight.Dec()
+		p.completed.Inc()
+		<-p.sem
+	}()
+	return fn()
+}
+
+// Stats snapshots the pool gauges.
+func (p *workerPool) Stats() PoolStats {
+	return PoolStats{
+		Workers:      cap(p.sem),
+		InFlight:     p.inflight.Value(),
+		PeakInFlight: p.inflight.Peak(),
+		Completed:    p.completed.Value(),
+		Canceled:     p.canceled.Value(),
+	}
+}

@@ -1,0 +1,300 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// entry is one registered dataset with its warmed engine(s). Entries are
+// immutable after registration, so any number of requests may read them
+// concurrently; replacing a dataset installs a fresh entry with a new
+// generation instead of mutating the old one (in-flight requests on the
+// old entry finish against the data they started with, and the generation
+// in every cache key retires the old entry's cached results).
+type entry struct {
+	name  string
+	model string
+	gen   uint64
+	size  int
+	dims  int
+
+	sample  *crsky.Engine // sample model; also the Section-4 reduction for certain data
+	certain *crsky.CertainEngine
+	pdf     *crsky.PDFEngine
+}
+
+func (e *entry) info() DatasetInfo {
+	return DatasetInfo{
+		Name:       e.name,
+		Model:      e.model,
+		Size:       e.size,
+		Dims:       e.dims,
+		Generation: e.gen,
+		NodeAccesses: func() int64 {
+			var n int64
+			if e.sample != nil {
+				n += e.sample.NodeAccesses()
+			}
+			if e.certain != nil {
+				n += e.certain.NodeAccesses()
+			}
+			if e.pdf != nil {
+				n += e.pdf.NodeAccesses()
+			}
+			return n
+		}(),
+	}
+}
+
+// query computes the (probabilistic) reverse skyline, ascending IDs.
+func (e *entry) query(q geom.Point, alpha float64, quadNodes int) []int {
+	var ids []int
+	switch e.model {
+	case ModelCertain:
+		ids = e.certain.ReverseSkylineBBRS(q)
+	case ModelSample:
+		ids = e.sample.ProbabilisticReverseSkyline(q, alpha)
+	case ModelPDF:
+		for id := 0; id < e.pdf.Len(); id++ {
+			if prob.GEq(e.pdf.Prob(id, q, quadNodes), alpha) {
+				ids = append(ids, id)
+			}
+		}
+	}
+	sort.Ints(ids)
+	if ids == nil {
+		ids = []int{}
+	}
+	return ids
+}
+
+func (e *entry) explain(q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Result, error) {
+	switch e.model {
+	case ModelCertain:
+		return e.certain.Explain(an, q)
+	case ModelSample:
+		return e.sample.Explain(an, q, alpha, opts)
+	default:
+		return e.pdf.Explain(an, q, alpha, opts)
+	}
+}
+
+// verify re-checks an explanation against Definition 1. The pdf model has
+// no independent verifier yet.
+func (e *entry) verify(q geom.Point, alpha float64, res *causality.Result) error {
+	switch e.model {
+	case ModelCertain:
+		return e.sample.Verify(q, 1, res)
+	case ModelSample:
+		return e.sample.Verify(q, alpha, res)
+	default:
+		return fmt.Errorf("verify is not supported for the pdf model")
+	}
+}
+
+func (e *entry) repair(q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Repair, error) {
+	switch e.model {
+	case ModelCertain:
+		return e.sample.SuggestRepair(an, q, 1, opts)
+	case ModelSample:
+		return e.sample.SuggestRepair(an, q, alpha, opts)
+	default:
+		return nil, fmt.Errorf("repair is not supported for the pdf model")
+	}
+}
+
+// registry maps dataset names to entries. The generation counter is global
+// and monotone so that a name reused across registrations never aliases
+// stale cache keys.
+type registry struct {
+	mu  sync.RWMutex
+	m   map[string]*entry
+	gen atomic.Uint64
+}
+
+func newRegistry() *registry {
+	return &registry{m: make(map[string]*entry)}
+}
+
+func (r *registry) get(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	return e, ok
+}
+
+func (r *registry) list() []DatasetInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e.info())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *registry) count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+func (r *registry) remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.m[name]
+	delete(r.m, name)
+	return ok
+}
+
+// register builds, warms, and installs the dataset described by req,
+// replacing any same-named predecessor.
+func (r *registry) register(req *DatasetRequest) (*entry, error) {
+	name := strings.TrimSpace(req.Name)
+	if name == "" {
+		return nil, fmt.Errorf("dataset name is required")
+	}
+	e, err := buildEntry(req)
+	if err != nil {
+		return nil, err
+	}
+	e.name = name
+	e.gen = r.gen.Add(1)
+	r.mu.Lock()
+	r.m[name] = e
+	r.mu.Unlock()
+	return e, nil
+}
+
+func buildEntry(req *DatasetRequest) (*entry, error) {
+	model := req.Model
+	if model == "uncertain" {
+		model = ModelSample
+	}
+	switch model {
+	case ModelCertain:
+		pts, err := certainPoints(req)
+		if err != nil {
+			return nil, err
+		}
+		ce, err := crsky.NewCertainEngine(pts)
+		if err != nil {
+			return nil, err
+		}
+		// The Section-4 reduction engine powers verify and repair.
+		objs := make([]*uncertain.Object, len(pts))
+		for i, p := range pts {
+			objs[i] = uncertain.Certain(i, p)
+		}
+		se, err := crsky.NewEngine(objs)
+		if err != nil {
+			return nil, err
+		}
+		ce.Warm()
+		se.Warm()
+		return &entry{model: model, size: ce.Len(), dims: ce.Dims(), certain: ce, sample: se}, nil
+
+	case ModelSample:
+		objs, err := sampleObjects(req)
+		if err != nil {
+			return nil, err
+		}
+		se, err := crsky.NewEngine(objs)
+		if err != nil {
+			return nil, err
+		}
+		se.Warm()
+		return &entry{model: model, size: se.Len(), dims: se.Dims(), sample: se}, nil
+
+	case ModelPDF:
+		objs, err := pdfObjects(req)
+		if err != nil {
+			return nil, err
+		}
+		pe, err := crsky.NewPDFEngine(objs)
+		if err != nil {
+			return nil, err
+		}
+		pe.Warm()
+		return &entry{model: model, size: pe.Len(), dims: pe.Dims(), pdf: pe}, nil
+
+	default:
+		return nil, fmt.Errorf("unknown model %q (want certain, sample, or pdf)", req.Model)
+	}
+}
+
+func certainPoints(req *DatasetRequest) ([]geom.Point, error) {
+	if req.CSV != "" {
+		ds, err := dataset.LoadCertainCSV(strings.NewReader(req.CSV))
+		if err != nil {
+			return nil, err
+		}
+		return ds.Points, nil
+	}
+	if len(req.Points) == 0 {
+		return nil, fmt.Errorf("certain dataset needs points or csv")
+	}
+	pts := make([]geom.Point, len(req.Points))
+	for i, p := range req.Points {
+		pts[i] = geom.Point(p)
+	}
+	return pts, nil
+}
+
+func sampleObjects(req *DatasetRequest) ([]*uncertain.Object, error) {
+	if req.CSV != "" {
+		ds, err := dataset.LoadUncertainCSV(strings.NewReader(req.CSV))
+		if err != nil {
+			return nil, err
+		}
+		return ds.Objects, nil
+	}
+	if len(req.Objects) == 0 {
+		return nil, fmt.Errorf("sample dataset needs objects or csv")
+	}
+	objs := make([]*uncertain.Object, len(req.Objects))
+	for i, spec := range req.Objects {
+		samples := make([]uncertain.Sample, len(spec.Samples))
+		for j, s := range spec.Samples {
+			samples[j] = uncertain.Sample{Loc: geom.Point(s.Loc), P: s.P}
+		}
+		objs[i] = uncertain.New(i, samples)
+	}
+	return objs, nil
+}
+
+func pdfObjects(req *DatasetRequest) ([]*uncertain.PDFObject, error) {
+	if req.CSV != "" {
+		return nil, fmt.Errorf("pdf datasets have no csv format; use pdfObjects")
+	}
+	if len(req.PDFObjects) == 0 {
+		return nil, fmt.Errorf("pdf dataset needs pdfObjects")
+	}
+	objs := make([]*uncertain.PDFObject, len(req.PDFObjects))
+	for i, spec := range req.PDFObjects {
+		if len(spec.Min) == 0 || len(spec.Min) != len(spec.Max) {
+			return nil, fmt.Errorf("pdf object %d: min/max must be equal-length and non-empty", i)
+		}
+		region := geom.NewRect(geom.Point(spec.Min), geom.Point(spec.Max))
+		switch spec.Kind {
+		case "uniform", "":
+			objs[i] = crsky.NewUniformPDFObject(i, region)
+		case "gaussian":
+			objs[i] = crsky.NewGaussianPDFObject(i, region, geom.Point(spec.Mean), geom.Point(spec.Sigma))
+		default:
+			return nil, fmt.Errorf("pdf object %d: unknown kind %q (want uniform or gaussian)", i, spec.Kind)
+		}
+	}
+	return objs, nil
+}

@@ -1,0 +1,194 @@
+// Package server implements crskyd, the long-lived explanation service
+// over the crsky engines: an HTTP/JSON API for dataset registration,
+// (probabilistic) reverse skyline queries, causality/responsibility
+// explanations of non-answers, and minimal repairs.
+//
+// The serving architecture is built for heavy concurrent traffic:
+//
+//   - a registry of immutable, index-warmed per-dataset engines that any
+//     number of requests read concurrently;
+//   - a bounded worker pool so expensive Explain refinements (worst-case
+//     exponential, Theorem 1) cannot starve the process;
+//   - an LRU result cache keyed by (dataset, generation, model, q, an,
+//     α, options);
+//   - singleflight deduplication so identical in-flight requests are
+//     computed once and share the result;
+//   - /healthz and /v1/stats surfacing engine node accesses, cache hit
+//     rates, deduplication counts, and in-flight load.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// Cache/flight response headers: X-Crsky-Cache is "hit", "miss", or
+// "bypass" (NoCache requests); X-Crsky-Flight is "leader" or "shared" on
+// computed responses. Keeping these out of the body keeps a cached
+// response byte-identical to the computation that seeded it.
+const (
+	headerCache  = "X-Crsky-Cache"
+	headerFlight = "X-Crsky-Flight"
+)
+
+// Config tunes a Server. The zero value selects sensible defaults.
+type Config struct {
+	// CacheSize is the result-cache capacity in entries (default 1024;
+	// negative disables caching).
+	CacheSize int
+	// Workers bounds concurrently executing compute requests (default
+	// GOMAXPROCS).
+	Workers int
+	// MaxBodyBytes caps request bodies (default 64 MiB).
+	MaxBodyBytes int64
+}
+
+func (c *Config) fillDefaults() {
+	if c.CacheSize == 0 {
+		c.CacheSize = 1024
+	}
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+}
+
+// Server is the crskyd HTTP service. Create with New, expose with
+// Handler, and serve with net/http.
+type Server struct {
+	cfg     Config
+	reg     *registry
+	cache   *lruCache
+	flights *flightGroup
+	pool    *workerPool
+	mux     *http.ServeMux
+	start   time.Time
+
+	reqQuery, reqExplain, reqRepair, reqErrors stats.Counter
+
+	// computeHook, when set, runs inside every pooled computation before
+	// the engine call. Tests use it to hold computations open and make
+	// singleflight deduplication deterministic.
+	computeHook func()
+}
+
+// New builds a Server with the given configuration.
+func New(cfg Config) *Server {
+	cfg.fillDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     newRegistry(),
+		cache:   newLRUCache(cfg.CacheSize),
+		flights: newFlightGroup(),
+		pool:    newWorkerPool(cfg.Workers),
+		mux:     http.NewServeMux(),
+		start:   time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetRegister)
+	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
+	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
+	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
+	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Register installs a dataset programmatically — the same code path as
+// POST /v1/datasets. Used for startup preloads and embedded servers.
+func (s *Server) Register(req *DatasetRequest) (DatasetInfo, error) {
+	ent, err := s.reg.register(req)
+	if err != nil {
+		return DatasetInfo{}, err
+	}
+	return ent.info(), nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, HealthResponse{
+		Status:        "ok",
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Datasets:      s.reg.count(),
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, StatsResponse{
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		Datasets:      s.reg.list(),
+		Cache:         s.cache.Stats(),
+		Flights:       s.flights.Stats(),
+		Pool:          s.pool.Stats(),
+		Requests: RequestStats{
+			Query:   s.reqQuery.Value(),
+			Explain: s.reqExplain.Value(),
+			Repair:  s.reqRepair.Value(),
+			Errors:  s.reqErrors.Value(),
+		},
+	})
+}
+
+// --- shared plumbing --------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.reqErrors.Inc()
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// decodeJSON parses the request body into v with the configured size cap.
+func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	return dec.Decode(v)
+}
+
+// statusFor maps engine errors to HTTP statuses: bad references are 404,
+// semantic rejections (the object is an answer, budget exhaustion) are
+// 422, everything else is a plain 400.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, causality.ErrBadObject):
+		return http.StatusNotFound
+	case errors.Is(err, causality.ErrNotNonAnswer),
+		errors.Is(err, causality.ErrTooManyCandidates),
+		errors.Is(err, causality.ErrSubsetBudget):
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+// pointKey canonically encodes a query point for cache keys.
+func pointKey(q geom.Point) string {
+	var b strings.Builder
+	for i, v := range q {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	return b.String()
+}

@@ -1,0 +1,77 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// errComputePanic marks a computation that panicked; sharers of the
+// flight receive it as an error while the leader's panic propagates to
+// net/http's recovery.
+var errComputePanic = errors.New("server: computation panicked")
+
+// flightGroup deduplicates concurrent identical requests: while one caller
+// (the leader) computes the value for a key, later callers with the same
+// key block and share the leader's result instead of starting their own
+// computation. Unlike the cache, entries live only while the computation
+// is in flight.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	executed stats.Counter // computations actually run
+	deduped  stats.Counter // callers that joined an existing flight
+}
+
+type flightCall struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{calls: make(map[string]*flightCall)}
+}
+
+// Do runs fn once per key among concurrent callers and hands every caller
+// the same result. shared reports whether this caller joined another
+// caller's computation.
+func (g *flightGroup) Do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		g.deduped.Inc()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	g.executed.Inc()
+	// Cleanup runs even when fn panics: the flight leaves the map and
+	// done closes, so sharers unblock (with errComputePanic) instead of
+	// wedging the key forever, and the panic still reaches the caller.
+	defer func() {
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = fmt.Errorf("%w: %v", errComputePanic, r)
+			panic(r)
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err, false
+}
+
+// Stats snapshots the deduplication counters.
+func (g *flightGroup) Stats() FlightStats {
+	return FlightStats{Executed: g.executed.Value(), Deduped: g.deduped.Value()}
+}

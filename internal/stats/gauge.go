@@ -1,0 +1,65 @@
+package stats
+
+import "sync/atomic"
+
+// Gauge tracks a current level and the highest level ever observed — the
+// serving layer uses it for in-flight request counts (current concurrency
+// and peak concurrency since start). It is safe for concurrent use.
+type Gauge struct {
+	cur  atomic.Int64
+	peak atomic.Int64
+}
+
+// Inc raises the level by one and updates the peak.
+func (g *Gauge) Inc() {
+	if g == nil {
+		return
+	}
+	v := g.cur.Add(1)
+	for {
+		p := g.peak.Load()
+		if v <= p || g.peak.CompareAndSwap(p, v) {
+			return
+		}
+	}
+}
+
+// Dec lowers the level by one.
+func (g *Gauge) Dec() {
+	if g != nil {
+		g.cur.Add(-1)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.cur.Load()
+}
+
+// Peak returns the highest level observed since the last Reset.
+func (g *Gauge) Peak() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.peak.Load()
+}
+
+// Reset zeroes both the level and the peak.
+func (g *Gauge) Reset() {
+	if g != nil {
+		g.cur.Store(0)
+		g.peak.Store(0)
+	}
+}
+
+// HitRate is the hits/(hits+misses) ratio used for cache metrics; it
+// returns 0 when nothing has been counted yet.
+func HitRate(hits, misses int64) float64 {
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}

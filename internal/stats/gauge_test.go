@@ -1,0 +1,59 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGaugeTracksLevelAndPeak(t *testing.T) {
+	var g Gauge
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if g.Value() != 1 || g.Peak() != 2 {
+		t.Fatalf("value/peak = %d/%d, want 1/2", g.Value(), g.Peak())
+	}
+	g.Reset()
+	if g.Value() != 0 || g.Peak() != 0 {
+		t.Fatalf("after reset: value/peak = %d/%d", g.Value(), g.Peak())
+	}
+}
+
+func TestGaugeNilSafe(t *testing.T) {
+	var g *Gauge
+	g.Inc()
+	g.Dec()
+	g.Reset()
+	if g.Value() != 0 || g.Peak() != 0 {
+		t.Fatal("nil gauge must read zero")
+	}
+}
+
+func TestGaugeConcurrentPeak(t *testing.T) {
+	var g Gauge
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.Inc()
+			g.Dec()
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 0 {
+		t.Fatalf("value = %d, want 0", g.Value())
+	}
+	if p := g.Peak(); p < 1 || p > 64 {
+		t.Fatalf("peak = %d, want 1..64", p)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	if r := HitRate(0, 0); r != 0 {
+		t.Fatalf("empty hit rate = %v", r)
+	}
+	if r := HitRate(3, 1); r != 0.75 {
+		t.Fatalf("hit rate = %v, want 0.75", r)
+	}
+}

@@ -1,0 +1,73 @@
+package crsky
+
+import (
+	"fmt"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// This file holds the engine surface needed by long-lived serving layers
+// (cmd/crskyd): index warm-up for safe concurrent readers and certain-data
+// verification/repair via the Section-4 reduction. For result-cache
+// keying, Options exposes the canonical Key method (via the alias to
+// causality.Options).
+
+// Warm forces the lazy R-tree index build. Engines build their index on
+// first query; a server that shares one engine among concurrent readers
+// must call Warm once before serving so that no two requests race on the
+// build. All read-only query methods are safe for concurrent use after
+// Warm returns.
+func (e *Engine) Warm() { e.ds.Tree() }
+
+// Warm forces the index build (see Engine.Warm). The certain-data index is
+// built eagerly, so this only exists for engine-generic serving code; it
+// is a no-op.
+func (e *CertainEngine) Warm() {}
+
+// Warm forces the lazy R-tree index build (see Engine.Warm).
+func (e *PDFEngine) Warm() { e.set.Tree() }
+
+// asUncertain converts the engine's live points into the degenerate
+// uncertain dataset of Section 4's reduction (one sample, probability 1).
+// It fails when points have been deleted: tombstones have no location, so
+// the reduction — which requires object IDs to stay index-aligned — is no
+// longer faithful.
+func (e *CertainEngine) asUncertain() (*dataset.Uncertain, error) {
+	pts := e.ix.Points()
+	objs := make([]*uncertain.Object, len(pts))
+	for i, p := range pts {
+		if p == nil {
+			return nil, fmt.Errorf("crsky: certain engine has deleted points; verify/repair need an intact dataset")
+		}
+		objs[i] = uncertain.Certain(i, p)
+	}
+	return dataset.NewUncertain(objs)
+}
+
+// Verify independently re-checks a CR explanation against Definition 1 via
+// the Section-4 reduction: certain data is the degenerate uncertain dataset
+// where every object has one sample with probability 1 and membership is
+// Pr = 1, so the CP verification applies with α = 1. A trust layer over
+// Explain, mirroring Engine.Verify. It fails when points have been deleted
+// since the engine was built.
+func (e *CertainEngine) Verify(q Point, res *Explanation) error {
+	ds, err := e.asUncertain()
+	if err != nil {
+		return err
+	}
+	return causality.VerifyExplanation(ds, q, 1, res)
+}
+
+// SuggestRepair finds a smallest set of points whose removal makes the
+// non-answer i a reverse skyline point, via the same Section-4 reduction
+// (α = 1). Mirrors Engine.SuggestRepair; see there for the exact/greedy
+// contract.
+func (e *CertainEngine) SuggestRepair(i int, q Point, opts Options) (*Repair, error) {
+	ds, err := e.asUncertain()
+	if err != nil {
+		return nil, err
+	}
+	return causality.MinimalRepair(ds, q, i, 1, opts)
+}
