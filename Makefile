@@ -1,0 +1,27 @@
+# Developer entry points. The Go toolchain is the only requirement.
+
+.PHONY: build test race bench bench-smoke bench-prsq experiments
+
+build:
+	go build ./...
+
+test: build
+	go test ./...
+
+race:
+	go test -race ./internal/server/ ./internal/stats/
+
+bench:
+	go test -bench=. -benchmem
+
+# One iteration of every benchmark, unit tests skipped — the CI smoke run
+# that keeps the benchmark suite compiling and executable.
+bench-smoke:
+	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Refresh the PRSQ performance trajectory (BENCH_prsq.json) at paper scale.
+bench-prsq:
+	go run ./cmd/experiments -exp prsq -scale 1
+
+experiments:
+	go run ./cmd/experiments

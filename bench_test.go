@@ -286,6 +286,77 @@ func BenchmarkAblation(b *testing.B) {
 	}
 }
 
+// --- PRSQ: indexed vs naive query path -------------------------------------
+
+type prsqWorkload struct {
+	eng *Engine
+	q   geom.Point
+}
+
+var (
+	prsqCache   = map[int]*prsqWorkload{}
+	prsqCacheMu sync.Mutex
+)
+
+func prsqBenchWorkload(b *testing.B, n int) *prsqWorkload {
+	b.Helper()
+	prsqCacheMu.Lock()
+	defer prsqCacheMu.Unlock()
+	if w, ok := prsqCache[n]; ok {
+		return w
+	}
+	ds, err := dataset.GenerateUncertain(dataset.LUrU(n, 3, 0, 5, benchCfg.Seed))
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := NewEngine(ds.Objects)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng.Warm()
+	w := &prsqWorkload{eng: eng, q: geom.Point{5000, 5000, 5000}}
+	prsqCache[n] = w
+	return w
+}
+
+// BenchmarkPRSQ measures the whole-dataset probabilistic reverse skyline
+// query: the naive per-object loop (one R-tree traversal + one full Eq.-2
+// evaluation per object) against the indexed batch path (one R-tree
+// self-join, MBR bound pruning), serial and parallel. "nodes/op" reports
+// the paper's simulated-I/O metric per query.
+func BenchmarkPRSQ(b *testing.B) {
+	const alpha = 0.5
+	for _, n := range []int{2_000, 20_000} {
+		w := prsqBenchWorkload(b, n)
+		variants := []struct {
+			name string
+			run  func() []int
+		}{
+			{"naive", func() []int { return w.eng.ProbabilisticReverseSkylineNaive(w.q, alpha) }},
+			{"indexed-serial", func() []int {
+				ids, _ := w.eng.ProbabilisticReverseSkylineOpts(w.q, alpha, QueryOptions{Parallel: 1})
+				return ids
+			}},
+			{"indexed-parallel", func() []int {
+				ids, _ := w.eng.ProbabilisticReverseSkylineOpts(w.q, alpha, QueryOptions{})
+				return ids
+			}},
+		}
+		for _, v := range variants {
+			v := v
+			b.Run(fmt.Sprintf("n=%d/%s", n, v.name), func(b *testing.B) {
+				w.eng.ResetCounters()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					v.run()
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(w.eng.NodeAccesses())/float64(b.N), "nodes/op")
+			})
+		}
+	}
+}
+
 // --- pdf model -------------------------------------------------------------
 
 func BenchmarkPDFExplain(b *testing.B) {

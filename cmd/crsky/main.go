@@ -24,10 +24,9 @@ import (
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
-	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/prsq"
 	"github.com/crsky/crsky/internal/rtree"
 	"github.com/crsky/crsky/internal/skyline"
-	unc "github.com/crsky/crsky/internal/uncertain"
 )
 
 func main() {
@@ -167,14 +166,9 @@ func cmdQuery(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		var answers []int
-		for id := range ds.Objects {
-			cands := causality.FilterCandidates(ds, q, ds.Objects[id])
-			e := prob.NewEvaluator(ds.Objects[id], q, objectsOf(ds, cands))
-			if prob.GEq(e.Pr(), *alpha) {
-				answers = append(answers, id)
-			}
-		}
+		// Index-accelerated batch query: one R-tree self-join with online
+		// bound pruning instead of one filter traversal per object.
+		answers := prsq.Query(ds, q, *alpha, prsq.Options{})
 		fmt.Fprintf(out, "probabilistic reverse skyline of %v at α=%.2f: %d objects\n", q, *alpha, len(answers))
 		printIDs(out, answers, *limit)
 		return nil
@@ -270,14 +264,6 @@ type explainJSON struct {
 	Alpha      float64           `json:"alpha"`
 	Candidates int               `json:"candidates"`
 	Causes     []causality.Cause `json:"causes"`
-}
-
-func objectsOf(ds *dataset.Uncertain, ids []int) []*unc.Object {
-	out := make([]*unc.Object, len(ids))
-	for i, id := range ids {
-		out[i] = ds.Objects[id]
-	}
-	return out
 }
 
 func printIDs(out io.Writer, ids []int, limit int) {

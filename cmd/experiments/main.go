@@ -37,11 +37,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Out:     os.Stdout,
-		Seed:    *seed,
-		Runs:    *runs,
-		Scale:   *scale,
-		MaxPool: *pool,
+		Out:       os.Stdout,
+		Seed:      *seed,
+		Runs:      *runs,
+		Scale:     *scale,
+		MaxPool:   *pool,
+		BenchFile: experiments.PRSQBenchFile,
 	}
 
 	if *exp == "" {

@@ -30,6 +30,7 @@ import (
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/prsq"
 	"github.com/crsky/crsky/internal/skyline"
 	"github.com/crsky/crsky/internal/stats"
 	"github.com/crsky/crsky/internal/uncertain"
@@ -57,6 +58,12 @@ type (
 	Explanation = causality.Result
 	// Options tunes the refinement stage of the explanation algorithms.
 	Options = causality.Options
+	// QueryOptions tunes the index-accelerated probabilistic reverse
+	// skyline query path (parallelism, bound pruning).
+	QueryOptions = prsq.Options
+	// QueryStats reports how an accelerated query was answered: how many
+	// objects the bounds decided and how many needed exact evaluation.
+	QueryStats = prsq.Stats
 )
 
 // Errors re-exported from the causality engine.
@@ -144,8 +151,25 @@ func (e *Engine) IsAnswer(id int, q Point, alpha float64) bool {
 
 // ProbabilisticReverseSkyline returns the IDs of every object whose
 // probability of being a reverse skyline point of q is at least alpha
-// (Definition 4).
+// (Definition 4). It runs the index-accelerated path: one batch R-tree
+// filtering pass for all objects, MBR-level bound pruning, and parallel
+// exact evaluation of the undecided band — identical results to the naive
+// per-object loop (see ProbabilisticReverseSkylineNaive).
 func (e *Engine) ProbabilisticReverseSkyline(q Point, alpha float64) []int {
+	return prsq.Query(e.ds, q, alpha, prsq.Options{})
+}
+
+// ProbabilisticReverseSkylineOpts is ProbabilisticReverseSkyline with
+// explicit tuning knobs and execution statistics.
+func (e *Engine) ProbabilisticReverseSkylineOpts(q Point, alpha float64, opt QueryOptions) ([]int, QueryStats) {
+	return prsq.QueryStats(e.ds, q, alpha, opt)
+}
+
+// ProbabilisticReverseSkylineNaive answers the query with the naive
+// per-object loop — one candidate-filter traversal and one full Eq.-2
+// evaluation per object. Kept as the correctness baseline and benchmark
+// reference for the accelerated path.
+func (e *Engine) ProbabilisticReverseSkylineNaive(q Point, alpha float64) []int {
 	var out []int
 	for id := range e.ds.Objects {
 		if e.IsAnswer(id, q, alpha) {
@@ -293,15 +317,26 @@ func (e *PDFEngine) NodeAccesses() int64 { return e.io.Value() }
 func (e *PDFEngine) ResetCounters() { e.io.Reset() }
 
 // Prob returns Pr(u) for object id by quadrature over its region;
-// nodesPerDim <= 0 selects the dimension-adapted default.
+// nodesPerDim <= 0 selects the dimension-adapted default. The full object
+// slice is passed straight through (the evaluation skips id by pointer),
+// so no per-call candidate slice is rebuilt.
 func (e *PDFEngine) Prob(id int, q Point, nodesPerDim int) float64 {
-	others := make([]*PDFObject, 0, e.set.Len()-1)
-	for _, o := range e.set.Objects {
-		if o.ID != id {
-			others = append(others, o)
-		}
-	}
-	return prob.PrReverseSkylinePDF(e.set.Objects[id], q, others, nodesPerDim)
+	return prob.PrReverseSkylinePDF(e.set.Objects[id], q, e.set.Objects, nodesPerDim)
+}
+
+// ProbabilisticReverseSkyline returns the IDs of every object whose
+// probability of being a reverse skyline point of q is at least alpha,
+// using the index-accelerated batch path (one R-tree join, Γ1 core-rect
+// pruning, parallel quadrature of the survivors). Results are identical to
+// thresholding Prob over every object.
+func (e *PDFEngine) ProbabilisticReverseSkyline(q Point, alpha float64, nodesPerDim int) []int {
+	return prsq.QueryPDF(e.set, q, alpha, nodesPerDim, prsq.Options{})
+}
+
+// ProbabilisticReverseSkylineOpts is ProbabilisticReverseSkyline with
+// explicit tuning knobs and execution statistics.
+func (e *PDFEngine) ProbabilisticReverseSkylineOpts(q Point, alpha float64, nodesPerDim int, opt QueryOptions) ([]int, QueryStats) {
+	return prsq.QueryPDFStats(e.set, q, alpha, nodesPerDim, opt)
 }
 
 // Explain computes the causality and responsibility for non-answer id with

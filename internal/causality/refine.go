@@ -34,6 +34,14 @@ type refiner struct {
 
 	opts   Options
 	shared *refinerShared
+
+	// Per-instance scratch reused across fmcs calls (each parallel worker
+	// owns its own refiner, so no synchronization is needed). Deep
+	// enumeration calls fmcs once per candidate; without reuse every call
+	// reallocates the forced/pool partitions and the chosen stack.
+	scratchForced []int
+	scratchPool   []int
+	scratchChosen []int
 }
 
 // refinerShared is the cross-worker state.
@@ -227,7 +235,7 @@ func (r *refiner) boundSet(cc int) []int {
 // returning the set as evaluator indexes. ok is false when cc is not an
 // actual cause.
 func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
-	var forcedSet, pool []int
+	forcedSet, pool := r.scratchForced[:0], r.scratchPool[:0]
 	for j := 0; j < r.e.N(); j++ {
 		if j == cc {
 			continue
@@ -241,6 +249,7 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 			pool = append(pool, j)
 		}
 	}
+	r.scratchForced, r.scratchPool = forcedSet, pool
 	maxSize := len(forcedSet) + len(pool)
 
 	// Feasibility precheck: condition (ii) is monotone in Γ, so if even
@@ -271,7 +280,7 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 	// The forced set is in every contingency set (Lemma 4), so it is
 	// removed for the whole search; sizes below |forcedSet| do not exist.
 	found := -1
-	var chosen []int
+	chosen := r.scratchChosen[:0]
 	for m := len(forcedSet); m < upper; m++ {
 		need := m - len(forcedSet)
 		if need > len(pool) {
@@ -292,10 +301,12 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 	for _, j := range forcedSet {
 		r.e.Add(j)
 	}
+	r.scratchChosen = chosen[:0]
 
 	switch {
 	case found >= 0:
-		gamma = append(append([]int{}, forcedSet...), chosen...)
+		gamma = make([]int, 0, len(forcedSet)+len(chosen))
+		gamma = append(append(gamma, forcedSet...), chosen...)
 		if !r.opts.NoLemma6 {
 			r.propagateLemma6(cc, gamma)
 		}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/rtree"
 	"github.com/crsky/crsky/internal/uncertain"
 )
@@ -19,6 +20,7 @@ import (
 type Uncertain struct {
 	Objects []*uncertain.Object
 	tree    *rtree.Tree
+	wsums   []float64
 }
 
 // NewUncertain validates the objects and wraps them in a dataset. Object
@@ -73,8 +75,31 @@ func (ds *Uncertain) Tree(opts ...rtree.Option) *rtree.Tree {
 	return ds.tree
 }
 
-// InvalidateTree discards the cached index (after mutating Objects).
-func (ds *Uncertain) InvalidateTree() { ds.tree = nil }
+// WeightSums returns each object's snapped total sample weight (usually
+// exactly 1; validation tolerates small deviations), computed on first use
+// and cached — like Tree, callers sharing a dataset across goroutines
+// should force the build once (Engine.Warm does) before concurrent reads.
+func (ds *Uncertain) WeightSums() []float64 {
+	if ds.wsums == nil {
+		wsums := make([]float64, len(ds.Objects))
+		for i, o := range ds.Objects {
+			var sum float64
+			for _, s := range o.Samples {
+				sum += s.P
+			}
+			wsums[i] = prob.Snap(sum)
+		}
+		ds.wsums = wsums
+	}
+	return ds.wsums
+}
+
+// InvalidateTree discards the cached index and derived per-object caches
+// (after mutating Objects).
+func (ds *Uncertain) InvalidateTree() {
+	ds.tree = nil
+	ds.wsums = nil
+}
 
 // Certain is a certain dataset of plain points.
 type Certain struct {

@@ -51,6 +51,10 @@ type Config struct {
 	// CP-vs-Naive-I and CR-vs-Naive-II comparisons (the baselines
 	// enumerate 2^|Cc| subsets).
 	NaiveMaxCandidates int
+	// BenchFile, when non-empty, is where benchmark-style experiments
+	// (prsq) write their machine-readable results; empty skips the file
+	// and only renders the table.
+	BenchFile string
 }
 
 func (c *Config) fillDefaults() {
@@ -101,6 +105,7 @@ func All() []Experiment {
 		{"fig13", "Fig. 13: CR cost vs cardinality", Fig13},
 		{"ablation", "Extra: lemma ablation study for CP", Ablation},
 		{"pdf", "Extra: continuous pdf model demonstration", PDFDemo},
+		{"prsq", "Extra: indexed vs naive probabilistic reverse skyline query (writes BENCH_prsq.json)", PRSQBench},
 	}
 }
 

@@ -88,6 +88,35 @@ func DomRectOuter(center, q Point) Rect {
 	return r
 }
 
+// DomRectUnionOuter bounds the union of the dominance rectangles of every
+// anchor inside region: since DomRect(a, q) spans the corners q and 2a−q,
+// and the mirror 2a−q ranges over the rectangle 2·region−q as a ranges over
+// region, the union is contained in the bounding box of q and that mirrored
+// rectangle. The result is padded outward like DomRectOuter. This is the
+// node-level window of the batch candidate filter: an object can dominate q
+// w.r.t. some anchor in region only if its MBR intersects this box, and the
+// bound is monotone (region ⊆ region' ⇒ window ⊆ window'), which makes it
+// safe for branch-and-bound descent over R-tree node MBRs.
+func DomRectUnionOuter(region Rect, q Point) Rect {
+	checkDims(len(region.Min), len(q))
+	min := make(Point, len(q))
+	max := make(Point, len(q))
+	for i := range q {
+		lo := 2*region.Min[i] - q[i]
+		hi := 2*region.Max[i] - q[i]
+		min[i] = math.Min(q[i], lo)
+		max[i] = math.Max(q[i], hi)
+		// Each side is padded relative to its own magnitude only:
+		// x − pad(|x|) and x + pad(|x|) are monotone in x, which keeps
+		// the whole construction monotone under region growth (a pad
+		// derived from the opposite side could shrink while the window
+		// grows and break containment by an ULP-scale sliver).
+		min[i] -= boundaryPad * (1 + math.Abs(min[i]))
+		max[i] += boundaryPad * (1 + math.Abs(max[i]))
+	}
+	return Rect{Min: min, Max: max}
+}
+
 // DomRectInner returns DomRect shrunk inward by a relative epsilon (never
 // collapsing past the center). Soundness-critical containment tests — e.g.
 // the pdf-model Γ1 rectangle, where a false positive would wrongly force an

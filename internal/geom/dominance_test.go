@@ -144,3 +144,38 @@ func TestDomRects(t *testing.T) {
 		t.Errorf("rec1 = %v", recs[1])
 	}
 }
+
+// TestDomRectUnionOuter checks the two properties the batch join relies
+// on: the window of a region covers the dominance rectangle of every
+// anchor inside it, and the bound is monotone under region growth.
+func TestDomRectUnionOuter(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		d := 2 + rng.Intn(3)
+		q := randPoint(rng, d)
+		lo := randPoint(rng, d)
+		hi := make(Point, d)
+		for i := range hi {
+			hi[i] = lo[i] + rng.Float64()*20
+		}
+		region := NewRect(lo, hi)
+		window := DomRectUnionOuter(region, q)
+		for k := 0; k < 20; k++ {
+			anchor := make(Point, d)
+			for i := range anchor {
+				anchor[i] = region.Min[i] + rng.Float64()*(region.Max[i]-region.Min[i])
+			}
+			if !window.ContainsRect(DomRect(anchor, q)) {
+				t.Fatalf("window %v misses DomRect(%v, %v) = %v", window, anchor, q, DomRect(anchor, q))
+			}
+		}
+		bigger := region.Clone()
+		for i := range bigger.Min {
+			bigger.Min[i] -= rng.Float64() * 5
+			bigger.Max[i] += rng.Float64() * 5
+		}
+		if !DomRectUnionOuter(bigger, q).ContainsRect(window) {
+			t.Fatalf("union window not monotone: region %v ⊂ %v", region, bigger)
+		}
+	}
+}

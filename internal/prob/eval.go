@@ -15,15 +15,20 @@ import (
 //     candidate only rescales the per-sample products.
 //
 // Construction precomputes the dominance-probability matrix
-// d[j][i] = Pr{c_j ≺_{an_i} q}. Factors equal to zero (candidates that
-// never dominate w.r.t. a sample) contribute nothing; factors equal to one
-// are tracked with a per-sample zero counter so the product never divides
-// by zero. If any factor is dangerously small (numerically close to zero
-// without being zero), the evaluator transparently falls back to exact
-// from-scratch recomputation on every query.
+// d(j, i) = Pr{c_j ≺_{an_i} q}, stored row-major in a single flat slice —
+// one cache-friendly allocation instead of one slice header per candidate,
+// which matters on the query hot path where evaluators are built in bulk.
+// Factors equal to zero (candidates that never dominate w.r.t. a sample)
+// contribute nothing; factors equal to one are tracked with a per-sample
+// zero counter so the product never divides by zero. If any factor is
+// dangerously small (numerically close to zero without being zero), the
+// evaluator transparently falls back to exact from-scratch recomputation on
+// every query.
 type Evaluator struct {
-	weights []float64   // an's sample probabilities (or quadrature weights)
-	d       [][]float64 // d[j][i]: dominance prob of candidate j w.r.t. sample i
+	weights []float64 // an's sample probabilities (or quadrature weights)
+	d       []float64 // row-major: d[j*cols+i] is candidate j w.r.t. sample i
+	cols    int       // samples per row (== len(weights))
+	rows    int       // number of candidates
 	active  []bool
 	nActive int
 
@@ -40,47 +45,61 @@ const minIncrementalFactor = 1e-6
 // NewEvaluator builds an evaluator for the non-answer an against the
 // candidate objects cands (Eq. 3 dominance probabilities against q).
 func NewEvaluator(an *uncertain.Object, q geom.Point, cands []*uncertain.Object) *Evaluator {
-	weights := make([]float64, len(an.Samples))
-	anchors := make([]geom.Point, len(an.Samples))
+	cols := len(an.Samples)
+	weights := make([]float64, cols)
 	for i, s := range an.Samples {
 		weights[i] = s.P
-		anchors[i] = s.Loc
 	}
-	d := make([][]float64, len(cands))
+	d := make([]float64, len(cands)*cols)
 	for j, c := range cands {
-		row := make([]float64, len(anchors))
-		for i, anchor := range anchors {
-			row[i] = DomProb(c, anchor, q)
+		row := d[j*cols : (j+1)*cols]
+		for i, s := range an.Samples {
+			row[i] = DomProb(c, s.Loc, q)
 		}
-		d[j] = row
 	}
-	return NewEvaluatorRaw(weights, d)
+	return newEvaluatorFlat(weights, d, len(cands))
 }
 
 // NewEvaluatorRaw builds an evaluator from explicit sample weights and a
 // dominance-probability matrix d[j][i]. The pdf-model pipeline uses this
 // with quadrature nodes as pseudo-samples.
 func NewEvaluatorRaw(weights []float64, d [][]float64) *Evaluator {
+	cols := len(weights)
+	flat := make([]float64, len(d)*cols)
+	for j, row := range d {
+		copy(flat[j*cols:(j+1)*cols], row)
+	}
+	return newEvaluatorFlat(weights, flat, len(d))
+}
+
+func newEvaluatorFlat(weights, d []float64, rows int) *Evaluator {
 	e := &Evaluator{
 		weights: weights,
 		d:       d,
-		active:  make([]bool, len(d)),
-		nActive: len(d),
+		cols:    len(weights),
+		rows:    rows,
+		active:  make([]bool, rows),
+		nActive: rows,
 		prod:    make([]float64, len(weights)),
 		zeroCnt: make([]int, len(weights)),
 	}
-	for j := range d {
+	for j := 0; j < rows; j++ {
 		e.active[j] = true
-		for i := range d[j] {
-			d[j][i] = snap(d[j][i])
-			f := 1 - d[j][i]
-			if f > 0 && f < minIncrementalFactor {
-				e.scratch = true
-			}
+	}
+	for k := range d {
+		d[k] = snap(d[k])
+		f := 1 - d[k]
+		if f > 0 && f < minIncrementalFactor {
+			e.scratch = true
 		}
 	}
 	e.rebuild()
 	return e
+}
+
+// row returns candidate j's dominance-probability row.
+func (e *Evaluator) row(j int) []float64 {
+	return e.d[j*e.cols : (j+1)*e.cols]
 }
 
 func (e *Evaluator) rebuild() {
@@ -92,7 +111,7 @@ func (e *Evaluator) rebuild() {
 		if !on {
 			continue
 		}
-		for i, dv := range e.d[j] {
+		for i, dv := range e.row(j) {
 			if dv == 1 {
 				e.zeroCnt[i]++
 			} else {
@@ -103,7 +122,7 @@ func (e *Evaluator) rebuild() {
 }
 
 // N returns the number of candidates the evaluator was built over.
-func (e *Evaluator) N() int { return len(e.d) }
+func (e *Evaluator) N() int { return e.rows }
 
 // NumActive returns how many candidates are currently active.
 func (e *Evaluator) NumActive() int { return e.nActive }
@@ -121,7 +140,7 @@ func (e *Evaluator) Remove(j int) {
 	if e.scratch {
 		return
 	}
-	for i, dv := range e.d[j] {
+	for i, dv := range e.row(j) {
 		if dv == 1 {
 			e.zeroCnt[i]--
 		} else if dv > 0 {
@@ -140,7 +159,7 @@ func (e *Evaluator) Add(j int) {
 	if e.scratch {
 		return
 	}
-	for i, dv := range e.d[j] {
+	for i, dv := range e.row(j) {
 		if dv == 1 {
 			e.zeroCnt[i]++
 		} else if dv > 0 {
@@ -174,8 +193,9 @@ func (e *Evaluator) PrWithout(j int) float64 {
 		return e.prScratch(j)
 	}
 	var pr float64
+	row := e.row(j)
 	for i, w := range e.weights {
-		dv := e.d[j][i]
+		dv := row[i]
 		zc := e.zeroCnt[i]
 		if dv == 1 {
 			zc--
@@ -202,7 +222,7 @@ func (e *Evaluator) prScratch(skip int) float64 {
 			if !on || j == skip {
 				continue
 			}
-			term *= 1 - e.d[j][i]
+			term *= 1 - e.d[j*e.cols+i]
 			if term == 0 {
 				break
 			}
@@ -213,13 +233,13 @@ func (e *Evaluator) prScratch(skip int) float64 {
 }
 
 // DomProbOf returns the precomputed d[j][i] entry.
-func (e *Evaluator) DomProbOf(j, i int) float64 { return e.d[j][i] }
+func (e *Evaluator) DomProbOf(j, i int) float64 { return e.d[j*e.cols+i] }
 
 // AlwaysDominates reports whether candidate j dominates q w.r.t. every
 // sample of an with probability 1 — the Lemma 4 (Γ1) membership test: while
 // j is present, Pr(an) is exactly 0.
 func (e *Evaluator) AlwaysDominates(j int) bool {
-	for _, dv := range e.d[j] {
+	for _, dv := range e.row(j) {
 		if dv != 1 {
 			return false
 		}
@@ -231,7 +251,7 @@ func (e *Evaluator) AlwaysDominates(j int) bool {
 // against every sample of an; such an object is not an actual cause
 // (Lemma 1) and should not have been passed as a candidate.
 func (e *Evaluator) NeverDominates(j int) bool {
-	for _, dv := range e.d[j] {
+	for _, dv := range e.row(j) {
 		if dv != 0 {
 			return false
 		}

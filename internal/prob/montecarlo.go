@@ -63,6 +63,8 @@ func (e *Evaluator) Clone() *Evaluator {
 	c := &Evaluator{
 		weights: e.weights, // immutable after construction
 		d:       e.d,       // immutable after construction
+		cols:    e.cols,
+		rows:    e.rows,
 		active:  append([]bool{}, e.active...),
 		nActive: e.nActive,
 		prod:    append([]float64{}, e.prod...),

@@ -55,15 +55,14 @@ func NewPDFEvaluator(an *uncertain.PDFObject, q geom.Point, cands []*uncertain.P
 	for i, n := range nodes {
 		weights[i] = n.W
 	}
-	d := make([][]float64, len(cands))
+	d := make([]float64, len(cands)*len(nodes))
 	for j, c := range cands {
-		row := make([]float64, len(nodes))
+		row := d[j*len(nodes) : (j+1)*len(nodes)]
 		for i, n := range nodes {
 			row[i] = DomProbPDF(c, n.X, q)
 		}
-		d[j] = row
 	}
-	return NewEvaluatorRaw(weights, d)
+	return newEvaluatorFlat(weights, d, len(cands))
 }
 
 // CandidateRectsPDF returns the pdf-model candidate-filter rectangles for a

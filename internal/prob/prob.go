@@ -22,10 +22,13 @@ func GEq(pr, bound float64) bool { return pr >= bound-Eps }
 // Less reports pr < bound up to Eps.
 func Less(pr, bound float64) bool { return !GEq(pr, bound) }
 
-// snap clamps probabilities to [0,1] and collapses values within Eps of the
+// Snap clamps probabilities to [0,1] and collapses values within Eps of the
 // endpoints onto them, so that "dominates in every world" is recognized as
 // exactly 1 even when sample probabilities (e.g. thirds) do not sum to an
-// exact float64 one.
+// exact float64 one. Exported for callers (the prsq batch filter) that must
+// reproduce the library's probability arithmetic bit-for-bit.
+func Snap(p float64) float64 { return snap(p) }
+
 func snap(p float64) float64 {
 	switch {
 	case p <= Eps:

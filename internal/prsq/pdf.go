@@ -1,0 +1,142 @@
+package prsq
+
+import (
+	"sync"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// QueryPDF returns the IDs of every continuous-model object whose
+// probability of being a reverse skyline point of q is at least alpha, in
+// ascending order — the index-accelerated equivalent of evaluating
+// prob.PrReverseSkylinePDF against the whole dataset for each object.
+// quadNodes is the per-dimension quadrature resolution (<= 0 selects the
+// dimension-adapted default, exactly as the naive path does).
+func QueryPDF(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int, opt Options) []int {
+	ids, _ := QueryPDFStats(set, q, alpha, quadNodes, opt)
+	return ids
+}
+
+// QueryPDFStats is QueryPDF with execution statistics. The same streaming
+// join drives the pdf model, with the Section-3.2 geometry in place of the
+// sample-level tests:
+//
+//   - the per-pair refinement intersects the candidate region with the
+//     object's sub-quadrant farthest-corner rectangles (objects excluded
+//     here have dominance mass exactly 0 at every quadrature node, so the
+//     restricted Eq.-2 product is bit-identical to the full one);
+//   - the reject bound is the Γ1 core rectangle: a candidate region inside
+//     it dominates q w.r.t. every anchor with probability exactly 1,
+//     pinning Pr(u) to exactly 0 and stopping the stream.
+//
+// Everything not rejected is evaluated exactly by quadrature (there is no
+// cheap accept bound for continuous densities — even the empty-candidate
+// probability is the quadrature weight sum, which coarse grids may leave
+// just below 1).
+func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int, opt Options) ([]int, Stats) {
+	n := set.Len()
+	st := &pdfStreamState{
+		set:   set,
+		q:     q,
+		alpha: alpha,
+		opt:   opt,
+		stats: Stats{Objects: n},
+	}
+	verdicts := make([]decision, n)
+
+	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	set.Tree().JoinSelfStream(window, rtree.StreamVisitor{
+		Begin: st.begin,
+		Pair:  st.pair,
+		End: func(id int) {
+			verdicts[id] = st.finish(id)
+		},
+	})
+
+	evaluate(verdicts, st.undecidedIDs, st.undecidedCands, opt, func(id int, cands []int32) bool {
+		bufp := pdfCandPool.Get().(*[]*uncertain.PDFObject)
+		objs := (*bufp)[:0]
+		for _, cid := range cands {
+			objs = append(objs, set.Objects[cid])
+		}
+		ok := prob.GEq(prob.PrReverseSkylinePDF(set.Objects[id], q, objs, quadNodes), alpha)
+		*bufp = objs[:0]
+		pdfCandPool.Put(bufp)
+		return ok
+	})
+	st.stats.Evaluated = len(st.undecidedIDs)
+
+	return collect(verdicts), st.stats
+}
+
+// pdfCandPool recycles per-worker pdf candidate slices across queries.
+var pdfCandPool = sync.Pool{
+	New: func() any { return new([]*uncertain.PDFObject) },
+}
+
+type pdfStreamState struct {
+	set   *causality.PDFSet
+	q     geom.Point
+	alpha float64
+	opt   Options
+	stats Stats
+
+	// Per-current-object scratch, reset by begin.
+	pieces      []geom.Rect // sub-quadrant farthest-corner filter rectangles
+	core        geom.Rect   // Γ1 nearest-corner rectangle
+	hasCore     bool
+	rejectedNow bool
+	buf         []int32
+
+	undecidedIDs   []int
+	undecidedCands [][]int32
+}
+
+func (st *pdfStreamState) begin(id int, _ geom.Rect) bool {
+	u := st.set.Objects[id]
+	st.pieces = prob.CandidateRectsPDF(u, st.q)
+	st.core, st.hasCore = prob.CoreRectPDF(u, st.q)
+	st.rejectedNow = false
+	st.buf = st.buf[:0]
+	return true
+}
+
+func (st *pdfStreamState) pair(_, cid int, cRect geom.Rect) bool {
+	st.stats.CandidatePairs++
+	hit := false
+	for i := range st.pieces {
+		if st.pieces[i].Intersects(cRect) {
+			hit = true
+			break
+		}
+	}
+	if !hit {
+		return true
+	}
+	st.buf = append(st.buf, int32(cid))
+	if !st.opt.NoBounds && st.hasCore && st.alpha > prob.Eps &&
+		st.core.ContainsRect(st.set.Objects[cid].Region) {
+		st.rejectedNow = true
+		return false
+	}
+	return true
+}
+
+func (st *pdfStreamState) finish(id int) decision {
+	if st.rejectedNow {
+		st.stats.RejectedByBound++
+		return rejected
+	}
+	if len(st.buf) == 0 {
+		st.stats.EmptyCandidates++
+	}
+	// No accept shortcut for pdf data: queue for exact quadrature (cheap
+	// when the candidate list is empty).
+	st.undecidedIDs = append(st.undecidedIDs, id)
+	st.undecidedCands = append(st.undecidedCands, append([]int32(nil), st.buf...))
+	return undecided
+}

@@ -1,0 +1,327 @@
+// Package prsq answers probabilistic reverse skyline queries (Definition 4)
+// at dataset scale. It replaces the naive per-object loop — one R-tree
+// traversal plus one full Eq.-2 evaluation for each of the n objects — with
+// the paper's filter-and-refinement framework applied to the whole query:
+//
+//  1. Batch filtering: a single R-tree self-join (one left-major pass over
+//     the tree, each node's partner list pruned by the node-level dominance
+//     window) streams the candidates of every object, instead of n
+//     independent multi-window traversals.
+//  2. Bound-based pruning: cheap MBR-level dominance tests run online
+//     inside the stream and maintain per-object upper/lower probability
+//     bounds. An object whose every sample is certainly dominated stops
+//     its candidate stream immediately — most objects are rejected after a
+//     handful of candidates without ever materializing their full list.
+//  3. Parallel refinement: the undecided band is evaluated exactly (Eq. 2)
+//     on a worker pool, each worker owning scratch buffers reused across
+//     objects.
+//
+// The result is bit-identical to the brute-force prob.PRSQ: excluded
+// non-candidates contribute exact ×1 factors, candidate lists are evaluated
+// in ascending ID order (the brute-force multiplication order), and every
+// bound is conservative with respect to the Eps-tolerant threshold test.
+package prsq
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// Options tunes the query execution. The zero value selects full
+// acceleration: bounds on, one evaluation worker per CPU.
+type Options struct {
+	// Parallel is the number of evaluation workers for the undecided
+	// band: 1 runs serially, values <= 0 select runtime.GOMAXPROCS(0).
+	// Results are identical for every setting.
+	Parallel int
+	// NoBounds disables the online bound pruning (ablation / benchmarking
+	// switch; results are unchanged, every object pays the full Eq.-2
+	// evaluation).
+	NoBounds bool
+}
+
+func (o Options) workers(n int) int {
+	w := o.Parallel
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// Stats reports how the query was answered — in particular how much work
+// the online bounds saved.
+type Stats struct {
+	// Objects is the dataset cardinality n.
+	Objects int
+	// CandidatePairs counts candidate stream entries actually visited;
+	// early-stopped objects contribute only their prefix.
+	CandidatePairs int
+	// EmptyCandidates counts objects whose candidate stream is empty. In
+	// the sample model they are settled from the precomputed weight sum
+	// without evaluation; in the pdf model they still run the (cheap,
+	// candidate-free) quadrature and are counted in Evaluated as well.
+	EmptyCandidates int
+	// AcceptedByBound counts objects accepted by the lower bound alone.
+	AcceptedByBound int
+	// RejectedByBound counts objects rejected by the upper bound alone.
+	RejectedByBound int
+	// Evaluated counts full Eq.-2 evaluations (the undecided band).
+	Evaluated int
+}
+
+// decision is a per-object query verdict.
+type decision uint8
+
+const (
+	rejected decision = iota
+	accepted
+	undecided
+)
+
+// Query returns the IDs of every object whose probability of being a
+// reverse skyline point of q is at least alpha, in ascending order —
+// the index-accelerated equivalent of prob.PRSQ.
+func Query(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) []int {
+	ids, _ := QueryStats(ds, q, alpha, opt)
+	return ids
+}
+
+// QueryStats is Query with execution statistics.
+func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) ([]int, Stats) {
+	n := ds.Len()
+	st := &streamState{
+		ds:    ds,
+		q:     q,
+		alpha: alpha,
+		opt:   opt,
+		wsum:  ds.WeightSums(),
+		stats: Stats{Objects: n},
+	}
+	verdicts := make([]decision, n)
+
+	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	ds.Tree().JoinSelfStream(window, rtree.StreamVisitor{
+		Begin: st.begin,
+		Pair:  st.pair,
+		End: func(id int) {
+			verdicts[id] = st.finish(id)
+		},
+	})
+
+	evaluate(verdicts, st.undecidedIDs, st.undecidedCands, opt, func(id int, cands []int32) bool {
+		bufp := candPool.Get().(*[]*uncertain.Object)
+		objs := (*bufp)[:0]
+		for _, cid := range cands {
+			objs = append(objs, ds.Objects[cid])
+		}
+		ok := prob.GEq(prob.PrReverseSkyline(ds.Objects[id], q, objs), alpha)
+		*bufp = objs[:0]
+		candPool.Put(bufp)
+		return ok
+	})
+	st.stats.Evaluated = len(st.undecidedIDs)
+
+	return collect(verdicts), st.stats
+}
+
+// streamState is the per-query state of the online filter+bound pass. The
+// join reports each object's candidates consecutively, so one scratch
+// buffer set serves every object in turn.
+type streamState struct {
+	ds    *dataset.Uncertain
+	q     geom.Point
+	alpha float64
+	opt   Options
+	wsum  []float64
+	stats Stats
+
+	// Per-current-object scratch, reset by begin.
+	inner      []geom.Rect // per-sample dominance rectangles (exact)
+	outer      []geom.Rect // per-sample dominance rectangles (outward pad)
+	covered    []bool      // sample term is exactly 0
+	free       []bool      // sample term is exactly p_i so far
+	coveredCnt int
+	buf        []int32 // candidates streamed for the current object
+
+	// Undecided band collected for the exact evaluation stage.
+	undecidedIDs   []int
+	undecidedCands [][]int32
+}
+
+func (st *streamState) begin(id int, _ geom.Rect) bool {
+	u := st.ds.Objects[id]
+	l := len(u.Samples)
+	st.inner = st.inner[:0]
+	st.outer = st.outer[:0]
+	if cap(st.covered) < l {
+		st.covered = make([]bool, l)
+		st.free = make([]bool, l)
+	}
+	st.covered = st.covered[:l]
+	st.free = st.free[:l]
+	for i, s := range u.Samples {
+		st.inner = append(st.inner, geom.DomRect(s.Loc, st.q))
+		st.outer = append(st.outer, geom.DomRectOuter(s.Loc, st.q))
+		st.covered[i] = false
+		st.free[i] = true
+	}
+	st.coveredCnt = 0
+	st.buf = st.buf[:0]
+	return true
+}
+
+// pair folds one streamed candidate into the bounds and buffers it for a
+// potential exact evaluation. Returning false stops the current object's
+// stream: once every sample is certainly dominated, Pr(u) is exactly 0 and
+// no further candidate can change the verdict.
+func (st *streamState) pair(_, cid int, cRect geom.Rect) bool {
+	st.stats.CandidatePairs++
+	st.buf = append(st.buf, int32(cid))
+	if st.opt.NoBounds {
+		return true
+	}
+	certain := st.wsum[cid] == 1
+	for i := range st.inner {
+		if !st.covered[i] && certain && strictlyInside(&cRect, &st.inner[i]) {
+			st.covered[i] = true
+			st.coveredCnt++
+		}
+		if st.free[i] && cRect.Intersects(st.outer[i]) {
+			st.free[i] = false
+		}
+	}
+	// Full coverage: every Eq.-2 term is exactly 0, so Pr(u) = 0 < α for
+	// any valid threshold above the comparison tolerance.
+	return !(st.coveredCnt == len(st.inner) && st.alpha > prob.Eps)
+}
+
+// finish settles the current object or queues it for exact evaluation.
+func (st *streamState) finish(id int) decision {
+	u := st.ds.Objects[id]
+	if len(st.buf) == 0 {
+		// Every Eq.-2 factor is exactly 1, so Pr(u) = snap(Σ p_i) — the
+		// precomputed weight sum. That is usually 1, but validation
+		// tolerates sums up to 1e-6 away from one, which snap does not
+		// collapse; the α comparison must still run on the exact value
+		// or thresholds near 1 would disagree with brute force.
+		st.stats.EmptyCandidates++
+		if prob.GEq(st.wsum[id], st.alpha) {
+			return accepted
+		}
+		return rejected
+	}
+	if !st.opt.NoBounds {
+		if st.coveredCnt == len(st.inner) && st.alpha > prob.Eps {
+			st.stats.RejectedByBound++
+			return rejected
+		}
+		// ub ≥ Pr(u): covered samples contribute exactly 0; every other
+		// term is at most p_i (factors ≤ 1 only shrink a product, and
+		// dropping non-negative terms only shrinks a float sum).
+		// lb ≤ Pr(u): free samples contribute exactly p_i.
+		var ub, lb float64
+		for i, s := range u.Samples {
+			if !st.covered[i] {
+				ub += s.P
+			}
+			if st.free[i] {
+				lb += s.P
+			}
+		}
+		switch {
+		case lb >= st.alpha:
+			st.stats.AcceptedByBound++
+			return accepted
+		case prob.Less(ub, st.alpha):
+			st.stats.RejectedByBound++
+			return rejected
+		}
+	}
+	st.undecidedIDs = append(st.undecidedIDs, id)
+	st.undecidedCands = append(st.undecidedCands, append([]int32(nil), st.buf...))
+	return undecided
+}
+
+// evaluate runs the exact stage over the undecided band, serially or on a
+// worker pool, overwriting each undecided verdict with the exact decision.
+// Candidate lists are sorted ascending first: that is the brute-force
+// multiplication order, and superset entries that dominate nothing multiply
+// by exactly 1, so the result is bit-identical to prob.PRSQ.
+func evaluate(verdicts []decision, ids []int, cands [][]int32, opt Options,
+	isAnswer func(id int, cands []int32) bool) {
+
+	for _, c := range cands {
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+	}
+	decide := func(k int) {
+		if isAnswer(ids[k], cands[k]) {
+			verdicts[ids[k]] = accepted
+		} else {
+			verdicts[ids[k]] = rejected
+		}
+	}
+	workers := opt.workers(len(ids))
+	if workers <= 1 {
+		for k := range ids {
+			decide(k)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wi := wi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Strided sharding; verdict slots are disjoint per worker.
+			for k := wi; k < len(ids); k += workers {
+				decide(k)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// candPool recycles the evaluation stage's candidate object slices across
+// queries and workers.
+var candPool = sync.Pool{
+	New: func() any { return new([]*uncertain.Object) },
+}
+
+// collect turns the verdict array into the ascending answer ID list. The
+// result is never nil, so callers can marshal it directly (JSON [] rather
+// than null).
+func collect(verdicts []decision) []int {
+	out := make([]int, 0, 16)
+	for id, v := range verdicts {
+		if v == accepted {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// strictlyInside reports whether m lies strictly inside r on every axis —
+// every point of m then dynamically dominates q w.r.t. r's center with
+// strict inequality on all dimensions.
+func strictlyInside(m, r *geom.Rect) bool {
+	for i := range r.Min {
+		if m.Min[i] <= r.Min[i] || m.Max[i] >= r.Max[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,226 @@
+package prsq
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/stats"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+var testAlphas = []float64{0.1, 0.3, 0.6, 0.9, 1.0}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkSampleEquivalence asserts that every accelerated configuration
+// reproduces the brute-force prob.PRSQ answer set exactly.
+func checkSampleEquivalence(t *testing.T, ds *dataset.Uncertain, q geom.Point) {
+	t.Helper()
+	for _, alpha := range testAlphas {
+		want := prob.PRSQ(ds.Objects, q, alpha)
+		for _, par := range []int{1, 4} {
+			for _, noBounds := range []bool{false, true} {
+				got, st := QueryStats(ds, q, alpha, Options{Parallel: par, NoBounds: noBounds})
+				if !equalIDs(got, want) {
+					t.Fatalf("alpha=%g parallel=%d noBounds=%v: got %d answers %v, want %d answers %v",
+						alpha, par, noBounds, len(got), got, len(want), want)
+				}
+				decided := st.EmptyCandidates + st.AcceptedByBound + st.RejectedByBound + st.Evaluated
+				if decided != ds.Len() {
+					t.Fatalf("alpha=%g: stats decide %d of %d objects (%+v)", alpha, decided, ds.Len(), st)
+				}
+			}
+		}
+	}
+}
+
+func TestQueryEquivalenceSampleModel(t *testing.T) {
+	// Large radii relative to the domain force overlapping dominance
+	// neighbourhoods, i.e. non-trivial candidate sets and a populated
+	// undecided band.
+	for _, cfg := range []dataset.UncertainConfig{
+		dataset.LUrU(300, 2, 0, 400, 1),
+		dataset.LUrU(300, 3, 0, 800, 2),
+		dataset.LSrU(300, 2, 0, 400, 3),
+		dataset.LUrG(200, 2, 100, 1200, 4),
+	} {
+		cfg := cfg
+		t.Run(fmt.Sprintf("n=%d/d=%d/seed=%d", cfg.N, cfg.Dims, cfg.Seed), func(t *testing.T) {
+			ds, err := dataset.GenerateUncertain(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(cfg.Seed))
+			for i := 0; i < 3; i++ {
+				q := make(geom.Point, cfg.Dims)
+				for j := range q {
+					q[j] = 10000 * (0.2 + 0.6*rng.Float64())
+				}
+				checkSampleEquivalence(t, ds, q)
+			}
+		})
+	}
+}
+
+func TestQueryEquivalenceCertainDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	objs := make([]*uncertain.Object, 400)
+	for i := range objs {
+		p := geom.Point{rng.Float64() * 100, rng.Float64() * 100}
+		objs[i] = uncertain.Certain(i, p)
+	}
+	ds, err := dataset.NewUncertain(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geom.Point{{50, 50}, {20, 80}, {95, 5}} {
+		checkSampleEquivalence(t, ds, q)
+	}
+}
+
+// TestQueryEquivalenceOffUnitWeights pins the empty-candidate fast path
+// against objects whose sample probabilities sum to slightly less than one
+// (the validation tolerance allows up to 1e-6 of drift, which snap does not
+// collapse): at α = 1 such an object is NOT an answer even with no
+// competitors, and the accelerated path must agree with brute force.
+func TestQueryEquivalenceOffUnitWeights(t *testing.T) {
+	objs := []*uncertain.Object{
+		uncertain.New(0, []uncertain.Sample{
+			{Loc: geom.Point{100, 100}, P: 0.5},
+			{Loc: geom.Point{101, 101}, P: 0.4999995},
+		}),
+		uncertain.New(1, []uncertain.Sample{{Loc: geom.Point{-100, -100}, P: 1}}),
+	}
+	ds, err := dataset.NewUncertain(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []geom.Point{{200, 200}, {0, 0}, {-300, 150}} {
+		checkSampleEquivalence(t, ds, q)
+	}
+}
+
+func TestQueryEquivalencePDFModel(t *testing.T) {
+	for _, kind := range []uncertain.PDFKind{uncertain.Uniform, uncertain.Gaussian} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			objs, err := dataset.GenerateUncertainPDF(dataset.LUrU(120, 2, 50, 600, 5), kind)
+			if err != nil {
+				t.Fatal(err)
+			}
+			set, err := causality.NewPDFSet(objs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			q := geom.Point{5000, 5000}
+			for _, quadNodes := range []int{0, 4} {
+				for _, alpha := range []float64{0.2, 0.6, 1.0} {
+					var want []int
+					for id, o := range set.Objects {
+						if prob.GEq(prob.PrReverseSkylinePDF(o, q, set.Objects, quadNodes), alpha) {
+							want = append(want, id)
+						}
+					}
+					for _, par := range []int{1, 4} {
+						got, st := QueryPDFStats(set, q, alpha, quadNodes, Options{Parallel: par})
+						if !equalIDs(got, want) {
+							t.Fatalf("kind=%v quad=%d alpha=%g parallel=%d: got %v, want %v",
+								kind, quadNodes, alpha, par, got, want)
+						}
+						// pdf empty-candidate objects are evaluated too,
+						// so Evaluated alone complements the rejects.
+						if st.RejectedByBound+st.Evaluated != set.Len() {
+							t.Fatalf("stats decide %d of %d (%+v)",
+								st.RejectedByBound+st.Evaluated, set.Len(), st)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// streamCandidates collects every object's full (untruncated) candidate
+// stream — the MBR-level superset the query pipeline consumes.
+func streamCandidates(ds *dataset.Uncertain, q geom.Point) [][]int {
+	cands := make([][]int, ds.Len())
+	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	ds.Tree().JoinSelfStream(window, rtree.StreamVisitor{
+		Pair: func(uID, cID int, _ geom.Rect) bool {
+			cands[uID] = append(cands[uID], cID)
+			return true
+		},
+	})
+	return cands
+}
+
+// TestStreamCandidatesCoverFilter pins the batch join to the per-object
+// Lemma-2 filter it replaces: the MBR-level stream must contain every exact
+// candidate (objects beyond it carry exact ×1 factors, so a superset keeps
+// the evaluation bit-identical while the filter stays pure rectangle work).
+func TestStreamCandidatesCoverFilter(t *testing.T) {
+	ds, err := dataset.GenerateUncertain(dataset.LUrU(500, 2, 0, 500, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := geom.Point{4000, 6000}
+	batch := streamCandidates(ds, q)
+	for id := 0; id < ds.Len(); id++ {
+		got := make(map[int]bool, len(batch[id]))
+		for _, c := range batch[id] {
+			if c == id {
+				t.Fatalf("object %d lists itself as candidate", id)
+			}
+			got[c] = true
+		}
+		for _, want := range causality.FilterCandidates(ds, q, ds.Objects[id]) {
+			if !got[want] {
+				t.Fatalf("object %d: exact candidate %d missing from batch stream", id, want)
+			}
+		}
+	}
+}
+
+// TestQueryNodeAccessesBelowNaive asserts the headline I/O claim: one
+// self-join pass costs strictly fewer node accesses than n independent
+// filter traversals.
+func TestQueryNodeAccessesBelowNaive(t *testing.T) {
+	ds, err := dataset.GenerateUncertain(dataset.LUrU(2000, 2, 0, 300, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var io stats.Counter
+	ds.Tree().SetCounter(&io)
+	q := geom.Point{5000, 5000}
+
+	io.Reset()
+	for id := 0; id < ds.Len(); id++ {
+		causality.FilterCandidates(ds, q, ds.Objects[id])
+	}
+	naive := io.Value()
+
+	io.Reset()
+	QueryStats(ds, q, 0.5, Options{Parallel: 1})
+	batch := io.Value()
+
+	if batch >= naive {
+		t.Fatalf("accelerated query accesses %d, naive filter alone %d — must be strictly cheaper", batch, naive)
+	}
+	t.Logf("node accesses: naive=%d batch=%d (%.1fx fewer)", naive, batch, float64(naive)/float64(batch))
+}

@@ -1,0 +1,99 @@
+package rtree
+
+import "github.com/crsky/crsky/internal/geom"
+
+// WindowFunc maps a rectangle to its (conservative) search window. For the
+// branch-and-bound descent of JoinSelfStream to be correct the function
+// must be monotone: r ⊆ s implies window(r) ⊆ window(s), so that a
+// node-level window covers every window of the entries below it.
+type WindowFunc func(geom.Rect) geom.Rect
+
+// StreamVisitor receives the self-join output grouped by left entry: all
+// right matches of one left entry are reported consecutively between a
+// Begin/End pair.
+//
+//   - Begin is called once per left data entry; returning false skips the
+//     entry's stream entirely (End is not called).
+//   - Pair is called for every right data entry whose rectangle intersects
+//     window(left rectangle), excluding the left entry itself; returning
+//     false ends this left entry's stream early (the join continues with
+//     the next left entry) — the hook that lets callers stop enumerating
+//     once a per-object decision is already forced.
+//   - End is called after the (possibly truncated) stream.
+type StreamVisitor struct {
+	Begin func(leftID int, leftRect geom.Rect) bool
+	Pair  func(leftID, rightID int, rightRect geom.Rect) bool
+	End   func(leftID int)
+}
+
+// JoinSelfStream reports, for every data entry a, the data entries b ≠ a
+// whose rectangle intersects window(a.rect) — the batch form of running one
+// window search per entry. Instead of |T| independent root-to-leaf
+// traversals it descends the tree once in left-major order, carrying for
+// each left subtree the list of right subtrees that can still contribute
+// matches (the R-tree spatial join of Brinkhoff et al. specialised to a
+// self-join with an asymmetric window predicate). Every left entry is
+// visited, including entries with empty streams.
+//
+// Node accesses are charged once for the left node plus once per surviving
+// right node at each left node expansion, mirroring a join that pins the
+// left page while streaming the right pages of its pruned partner list.
+func (t *Tree) JoinSelfStream(window WindowFunc, v StreamVisitor) {
+	if t.size == 0 {
+		return
+	}
+	t.joinLeft(t.root, []*node{t.root}, window, v)
+}
+
+func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVisitor) {
+	t.access(nl)
+	for _, nr := range rights {
+		if nr != nl {
+			t.access(nr)
+		}
+	}
+	if nl.leaf {
+		for i := range nl.entries {
+			el := &nl.entries[i]
+			if v.Begin != nil && !v.Begin(el.id, el.rect) {
+				continue
+			}
+			w := window(el.rect)
+			t.streamRights(el, w, rights, v)
+			if v.End != nil {
+				v.End(el.id)
+			}
+		}
+		return
+	}
+	for i := range nl.entries {
+		el := &nl.entries[i]
+		w := window(el.rect)
+		childRights := make([]*node, 0, len(rights))
+		for _, nr := range rights {
+			for j := range nr.entries {
+				er := &nr.entries[j]
+				if w.Intersects(er.rect) {
+					childRights = append(childRights, er.child)
+				}
+			}
+		}
+		t.joinLeft(el.child, childRights, window, v)
+	}
+}
+
+// streamRights reports the matches of one left leaf entry against the
+// surviving right leaves, honoring the early-stop contract of Pair.
+func (t *Tree) streamRights(el *entry, w geom.Rect, rights []*node, v StreamVisitor) {
+	for _, nr := range rights {
+		for j := range nr.entries {
+			er := &nr.entries[j]
+			if er.id == el.id || !w.Intersects(er.rect) {
+				continue
+			}
+			if !v.Pair(el.id, er.id, er.rect) {
+				return
+			}
+		}
+	}
+}

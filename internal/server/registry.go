@@ -11,7 +11,6 @@ import (
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
-	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
@@ -56,7 +55,11 @@ func (e *entry) info() DatasetInfo {
 	}
 }
 
-// query computes the (probabilistic) reverse skyline, ascending IDs.
+// query computes the (probabilistic) reverse skyline, ascending IDs. The
+// sample and pdf models run the index-accelerated batch path (internal/prsq):
+// one shared R-tree filtering pass, bound-based pruning, and parallel exact
+// evaluation of the undecided band. Certain data keeps the branch-and-bound
+// BBRS traversal, which is already index-driven.
 func (e *entry) query(q geom.Point, alpha float64, quadNodes int) []int {
 	var ids []int
 	switch e.model {
@@ -65,11 +68,7 @@ func (e *entry) query(q geom.Point, alpha float64, quadNodes int) []int {
 	case ModelSample:
 		ids = e.sample.ProbabilisticReverseSkyline(q, alpha)
 	case ModelPDF:
-		for id := 0; id < e.pdf.Len(); id++ {
-			if prob.GEq(e.pdf.Prob(id, q, quadNodes), alpha) {
-				ids = append(ids, id)
-			}
-		}
+		ids = e.pdf.ProbabilisticReverseSkyline(q, alpha, quadNodes)
 	}
 	sort.Ints(ids)
 	if ids == nil {

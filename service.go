@@ -14,12 +14,15 @@ import (
 // keying, Options exposes the canonical Key method (via the alias to
 // causality.Options).
 
-// Warm forces the lazy R-tree index build. Engines build their index on
-// first query; a server that shares one engine among concurrent readers
-// must call Warm once before serving so that no two requests race on the
-// build. All read-only query methods are safe for concurrent use after
-// Warm returns.
-func (e *Engine) Warm() { e.ds.Tree() }
+// Warm forces the lazy R-tree index build and the derived per-object
+// caches. Engines build these on first query; a server that shares one
+// engine among concurrent readers must call Warm once before serving so
+// that no two requests race on the build. All read-only query methods are
+// safe for concurrent use after Warm returns.
+func (e *Engine) Warm() {
+	e.ds.Tree()
+	e.ds.WeightSums()
+}
 
 // Warm forces the index build (see Engine.Warm). The certain-data index is
 // built eagerly, so this only exists for engine-generic serving code; it
