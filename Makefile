@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race bench bench-smoke bench-prsq experiments
+.PHONY: build test race conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check experiments
 
 build:
 	go build ./...
@@ -9,7 +9,19 @@ test: build
 	go test ./...
 
 race:
-	go test -race ./internal/server/ ./internal/stats/
+	go test -race ./...
+
+# The cross-engine conformance harness alone (also part of `test`); replay a
+# failing case with CRSKY_CONFORMANCE_SEED=<seed> make conformance.
+conformance:
+	go test -race -count=1 ./internal/conformance/
+
+# A short coverage-guided run of every fuzz target (go test -fuzz accepts a
+# single target per package invocation, hence one line each).
+fuzz-smoke:
+	go test -run '^$$' -fuzz '^FuzzJoinSelfStream$$' -fuzztime 15s ./internal/rtree/
+	go test -run '^$$' -fuzz '^FuzzInsertSearch$$' -fuzztime 15s ./internal/rtree/
+	go test -run '^$$' -fuzz '^FuzzQuadratureMemo$$' -fuzztime 15s ./internal/uncertain/
 
 bench:
 	go test -bench=. -benchmem
@@ -22,6 +34,13 @@ bench-smoke:
 # Refresh the PRSQ performance trajectory (BENCH_prsq.json) at paper scale.
 bench-prsq:
 	go run ./cmd/experiments -exp prsq -scale 1
+
+# Re-measure into a scratch file and fail against the committed
+# BENCH_prsq.json on a >20% drop in speedup-vs-naive (hardware-neutral:
+# naive and indexed share the machine within a run) or any growth in
+# simulated I/O (deterministic).
+bench-prsq-check:
+	go run ./cmd/experiments -exp prsq -scale 1 -benchfile /tmp/BENCH_prsq.head.json -against BENCH_prsq.json
 
 experiments:
 	go run ./cmd/experiments

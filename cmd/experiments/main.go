@@ -20,12 +20,14 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment to run (default: all); see -list")
-		scale = flag.Float64("scale", 0.1, "cardinality scale factor (1.0 = paper scale)")
-		runs  = flag.Int("runs", 50, "non-answers averaged per measurement")
-		seed  = flag.Int64("seed", 1, "generator seed")
-		pool  = flag.Int("maxpool", 18, "refinement pool cap for selected non-answers")
-		list  = flag.Bool("list", false, "list experiments and exit")
+		exp       = flag.String("exp", "", "experiment to run (default: all); see -list")
+		scale     = flag.Float64("scale", 0.1, "cardinality scale factor (1.0 = paper scale)")
+		runs      = flag.Int("runs", 50, "non-answers averaged per measurement")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		pool      = flag.Int("maxpool", 18, "refinement pool cap for selected non-answers")
+		list      = flag.Bool("list", false, "list experiments and exit")
+		benchfile = flag.String("benchfile", experiments.PRSQBenchFile, "output path for the prsq bench report")
+		against   = flag.String("against", "", "after the prsq experiment, fail if the new report regresses >20% vs this committed report")
 	)
 	flag.Parse()
 
@@ -42,7 +44,7 @@ func main() {
 		Runs:      *runs,
 		Scale:     *scale,
 		MaxPool:   *pool,
-		BenchFile: experiments.PRSQBenchFile,
+		BenchFile: *benchfile,
 	}
 
 	if *exp == "" {
@@ -61,5 +63,12 @@ func main() {
 	if err := e.Run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
+	}
+	if *against != "" && e.Name == "prsq" {
+		if err := experiments.PRSQCompare(cfg.BenchFile, *against, 0.20); err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("no regression vs %s (tolerance 20%%)\n", *against)
 	}
 }

@@ -339,6 +339,20 @@ func (e *PDFEngine) ProbabilisticReverseSkylineOpts(q Point, alpha float64, node
 	return prsq.QueryPDFStats(e.set, q, alpha, nodesPerDim, opt)
 }
 
+// ProbabilisticReverseSkylineNaive answers the pdf-model query by
+// thresholding Prob over every object — no index, no bounds, one full
+// quadrature per object. Kept as the correctness oracle the accelerated
+// path is conformance-tested against.
+func (e *PDFEngine) ProbabilisticReverseSkylineNaive(q Point, alpha float64, nodesPerDim int) []int {
+	var out []int
+	for id := range e.set.Objects {
+		if prob.GEq(e.Prob(id, q, nodesPerDim), alpha) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Explain computes the causality and responsibility for non-answer id with
 // the pdf-model variant of CP.
 func (e *PDFEngine) Explain(id int, q Point, alpha float64, opts Options) (*Explanation, error) {

@@ -1,0 +1,185 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// rebuildWithout builds a fresh engine over objs minus the given IDs and
+// returns it with the old->new ID mapping (-1 = removed).
+func rebuildWithout(t *testing.T, objs []*uncertain.Object, drop map[int]bool) (*crsky.Engine, []int) {
+	t.Helper()
+	newID := make([]int, len(objs))
+	kept := make([]*uncertain.Object, 0, len(objs))
+	for i, o := range objs {
+		if drop[i] {
+			newID[i] = -1
+			continue
+		}
+		newID[i] = len(kept)
+		kept = append(kept, uncertain.New(len(kept), o.Samples))
+	}
+	eng, err := crsky.NewEngine(kept)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	return eng, newID
+}
+
+func contains(ids []int, id int) bool {
+	for _, v := range ids {
+		if v == id {
+			return true
+		}
+	}
+	return false
+}
+
+// TestCausalityDeleteCauseFlipsSample closes the loop between the causality
+// oracle and the query engines: for every actual cause (p, Γ) of a
+// non-answer reported by the brute Definition-1 oracle, deleting Γ must
+// leave the object a non-answer of the accelerated query, and additionally
+// deleting p must flip it into the answer set.
+func TestCausalityDeleteCauseFlipsSample(t *testing.T) {
+	forEachCaseSeed(t, 21_000, 12, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := dataset.LUrU(7, 2, 0, 2500+2500*rng.Float64(), rng.Int63())
+		cfg.Samples = 1 + rng.Intn(3)
+		cfg.Domain = 1000
+		ds, err := dataset.GenerateUncertain(cfg)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		q := geom.Point{1000 * rng.Float64(), 1000 * rng.Float64()}
+		alpha := 0.4 + 0.6*rng.Float64()
+
+		eng, err := crsky.NewEngine(ds.Objects)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		answers := eng.ProbabilisticReverseSkyline(q, alpha)
+		checked := 0
+		for an := 0; an < ds.Len() && checked < 2; an++ {
+			if contains(answers, an) {
+				continue
+			}
+			causes := causality.BruteCausesUncertain(ds.Objects, q, an, alpha)
+			if len(causes) == 0 {
+				continue
+			}
+			checked++
+			for ci, c := range causes {
+				if ci >= 3 {
+					break
+				}
+				drop := map[int]bool{}
+				for _, id := range c.Contingency {
+					drop[id] = true
+				}
+				gammaEng, newID := rebuildWithout(t, ds.Objects, drop)
+				if contains(gammaEng.ProbabilisticReverseSkyline(q, alpha), newID[an]) {
+					t.Errorf("seed=%d an=%d cause=%d Γ=%v: removing the contingency alone already flipped the non-answer",
+						seed, an, c.ID, c.Contingency)
+					return
+				}
+				drop[c.ID] = true
+				flipEng, newID := rebuildWithout(t, ds.Objects, drop)
+				if !contains(flipEng.ProbabilisticReverseSkyline(q, alpha), newID[an]) {
+					t.Errorf("seed=%d an=%d cause=%d Γ=%v: removing cause+contingency did not flip the non-answer",
+						seed, an, c.ID, c.Contingency)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestCausalityDeleteCauseFlipsCertain is the certain-data version driven by
+// algorithm CR and the engine's dynamic deletes: removing a reported cause
+// plus its contingency set from the live index flips the non-answer.
+func TestCausalityDeleteCauseFlipsCertain(t *testing.T) {
+	forEachCaseSeed(t, 22_000, 12, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := dataset.CertainConfig{
+			N:    25 + rng.Intn(75),
+			Dims: 2 + rng.Intn(2),
+			Kind: dataset.CertainKind(rng.Intn(4)),
+			Seed: rng.Int63(),
+		}
+		ds, err := dataset.GenerateCertain(cfg)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		q := make(geom.Point, cfg.Dims)
+		for j := range q {
+			q[j] = 10000 * (0.2 + 0.6*rng.Float64())
+		}
+
+		// Delete tombstones in place through the shared point slice, so
+		// every engine gets its own deep copy of the dataset.
+		fresh := func() *crsky.CertainEngine {
+			pts := make([]geom.Point, len(ds.Points))
+			for i, p := range ds.Points {
+				pts[i] = p.Clone()
+			}
+			e, err := crsky.NewCertainEngine(pts)
+			if err != nil {
+				t.Fatalf("seed=%d: %v", seed, err)
+			}
+			return e
+		}
+		eng := fresh()
+		an := -1
+		for i := range ds.Points {
+			if !eng.IsReverseSkylinePoint(i, q) {
+				an = i
+				break
+			}
+		}
+		if an < 0 {
+			return
+		}
+		res, err := eng.Explain(an, q)
+		if err != nil || len(res.Causes) == 0 {
+			if err != nil {
+				t.Errorf("seed=%d an=%d: %v", seed, an, err)
+			}
+			return
+		}
+		for ci, c := range res.Causes {
+			if ci >= 3 {
+				break
+			}
+			live := fresh()
+			for _, id := range c.Contingency {
+				if err := live.Delete(id); err != nil {
+					t.Errorf("seed=%d: delete %d: %v", seed, id, err)
+					return
+				}
+			}
+			if live.IsReverseSkylinePoint(an, q) {
+				t.Errorf("seed=%d an=%d cause=%d Γ=%v: contingency alone flipped the non-answer",
+					seed, an, c.ID, c.Contingency)
+				return
+			}
+			if err := live.Delete(c.ID); err != nil {
+				t.Errorf("seed=%d: delete %d: %v", seed, c.ID, err)
+				return
+			}
+			if !live.IsReverseSkylinePoint(an, q) {
+				t.Errorf("seed=%d an=%d cause=%d Γ=%v: cause+contingency did not flip the non-answer",
+					seed, an, c.ID, c.Contingency)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,143 @@
+// Package conformance is the cross-engine correctness harness: randomized
+// datasets across sizes, dimensionalities, correlation families, and
+// thresholds, with every accelerated query configuration asserted
+// set-identical to the naive per-object oracle. The causality machinery
+// (Meliou et al.; Gao et al.) is only meaningful against exact query
+// semantics, so every fast path — indexed join, parallel join, first- and
+// second-tier bounds — must reproduce the oracle bit for bit; this package
+// enforces that by construction rather than by review.
+//
+// Every randomized case derives deterministically from a single int64 case
+// seed. On failure the harness prints that seed; replay it in isolation
+// with
+//
+//	CRSKY_CONFORMANCE_SEED=<seed> go test ./internal/conformance/ -run <TestName>
+//
+// which skips every other case and re-runs the failing one verbatim.
+package conformance
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"testing"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// ReplaySeedEnv selects a single case seed for replay (see package doc).
+const ReplaySeedEnv = "CRSKY_CONFORMANCE_SEED"
+
+// Variant is one accelerated query configuration under test. The list
+// covers the full option cross: serial and parallel join/evaluation, second
+// tier on and off, and the bound-free ablation.
+type Variant struct {
+	Name string
+	Opt  crsky.QueryOptions
+}
+
+// Variants enumerates every accelerated configuration the harness compares
+// against the oracle.
+func Variants() []Variant {
+	return []Variant{
+		{"serial", crsky.QueryOptions{Parallel: 1}},
+		{"parallel", crsky.QueryOptions{Parallel: 4}},
+		{"serial-notier2", crsky.QueryOptions{Parallel: 1, NoTier2: true}},
+		{"parallel-notier2", crsky.QueryOptions{Parallel: 4, NoTier2: true}},
+		{"nobounds", crsky.QueryOptions{Parallel: 1, NoBounds: true}},
+	}
+}
+
+// forEachCaseSeed drives the harness: n deterministic case seeds derived
+// from base, or exactly the one seed given in CRSKY_CONFORMANCE_SEED.
+func forEachCaseSeed(t *testing.T, base int64, n int, run func(t *testing.T, seed int64)) {
+	t.Helper()
+	if v := os.Getenv(ReplaySeedEnv); v != "" {
+		seed, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			t.Fatalf("%s=%q: %v", ReplaySeedEnv, v, err)
+		}
+		t.Logf("replaying single case seed %d", seed)
+		run(t, seed)
+		return
+	}
+	for i := 0; i < n; i++ {
+		seed := base + int64(i)
+		run(t, seed)
+		if t.Failed() {
+			t.Fatalf("replay: %s=%d go test ./internal/conformance/ -run %s", ReplaySeedEnv, seed, t.Name())
+		}
+	}
+}
+
+// sampleWorkload is one randomized discrete-sample dataset with query
+// points and thresholds, fully determined by its seed.
+type sampleWorkload struct {
+	seed   int64
+	cfg    dataset.UncertainConfig
+	ds     *dataset.Uncertain
+	qs     []geom.Point
+	alphas []float64
+}
+
+var families = []func(n, dims int, rmin, rmax float64, seed int64) dataset.UncertainConfig{
+	dataset.LUrU, dataset.LUrG, dataset.LSrU, dataset.LSrG,
+}
+
+func newSampleWorkload(t *testing.T, seed int64) *sampleWorkload {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	dims := 2 + rng.Intn(3)
+	n := 30 + rng.Intn(100)
+	// Radii large relative to the domain force overlapping dominance
+	// neighbourhoods: populated candidate streams, partial overlaps for
+	// the second tier, and a non-empty undecided band.
+	rmax := 100 + 1400*rng.Float64()
+	cfg := families[rng.Intn(len(families))](n, dims, 0, rmax, rng.Int63())
+	cfg.Samples = 1 + rng.Intn(6)
+	ds, err := dataset.GenerateUncertain(cfg)
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	w := &sampleWorkload{seed: seed, cfg: cfg, ds: ds}
+	for i := 0; i < 3; i++ {
+		q := make(geom.Point, dims)
+		for j := range q {
+			q[j] = cfg.Domain * (0.15 + 0.7*rng.Float64())
+		}
+		w.qs = append(w.qs, q)
+	}
+	w.alphas = []float64{0.25 + 0.5*rng.Float64(), 0.9, 1}
+	return w
+}
+
+func (w *sampleWorkload) String() string {
+	return fmt.Sprintf("seed=%d n=%d dims=%d samples=%d centers=%v radii=%v rmax=%g",
+		w.seed, w.cfg.N, w.cfg.Dims, w.cfg.Samples, w.cfg.Centers, w.cfg.Radii, w.cfg.RMax)
+}
+
+func equalIDs(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// sortedCopy returns ints ascending without mutating the input.
+func sortedCopy(ids []int) []int {
+	out := append([]int(nil), ids...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -21,6 +21,7 @@ type Uncertain struct {
 	Objects []*uncertain.Object
 	tree    *rtree.Tree
 	wsums   []float64
+	sums    []Summary
 }
 
 // NewUncertain validates the objects and wraps them in a dataset. Object
@@ -99,6 +100,78 @@ func (ds *Uncertain) WeightSums() []float64 {
 func (ds *Uncertain) InvalidateTree() {
 	ds.tree = nil
 	ds.wsums = nil
+	ds.sums = nil
+}
+
+// Summary is the second-level filter geometry of one uncertain object: its
+// samples grouped by sub-quadrant of the MBR center (on the first
+// summarySplitDims dimensions), each group carrying the exact MBR of its
+// samples and their raw — deliberately unsnapped — probability mass. A
+// group's rectangle lying strictly inside a dominance rectangle proves that
+// at least Weights[k] of the object's mass dominates there; a group not
+// intersecting an (outward-padded) dominance window proves that none of its
+// mass does. The second-tier query bounds are built from exactly these two
+// implications.
+type Summary struct {
+	Rects   []geom.Rect
+	Weights []float64
+}
+
+// summarySplitDims caps the quadrant split so a summary never exceeds
+// 2^summarySplitDims groups regardless of dimensionality.
+const summarySplitDims = 3
+
+// Summaries returns the per-object second-level summaries, computed on first
+// use and cached — like Tree and WeightSums, callers sharing a dataset across
+// goroutines should force the build once (Engine.Warm does) before
+// concurrent reads.
+func (ds *Uncertain) Summaries() []Summary {
+	if ds.sums == nil {
+		sums := make([]Summary, len(ds.Objects))
+		for i, o := range ds.Objects {
+			sums[i] = summarize(o)
+		}
+		ds.sums = sums
+	}
+	return ds.sums
+}
+
+func summarize(o *uncertain.Object) Summary {
+	if len(o.Samples) == 1 {
+		return Summary{
+			Rects:   []geom.Rect{geom.PointRect(o.Samples[0].Loc)},
+			Weights: []float64{o.Samples[0].P},
+		}
+	}
+	center := o.MBR().Center()
+	d := len(center)
+	if d > summarySplitDims {
+		d = summarySplitDims
+	}
+	var s Summary
+	var slots [1 << summarySplitDims]int
+	for i := range slots {
+		slots[i] = -1
+	}
+	for _, sm := range o.Samples {
+		mask := 0
+		for j := 0; j < d; j++ {
+			if sm.Loc[j] >= center[j] {
+				mask |= 1 << j
+			}
+		}
+		k := slots[mask]
+		if k < 0 {
+			k = len(s.Rects)
+			slots[mask] = k
+			s.Rects = append(s.Rects, geom.PointRect(sm.Loc))
+			s.Weights = append(s.Weights, 0)
+		} else {
+			s.Rects[k].ExpandToPoint(sm.Loc)
+		}
+		s.Weights[k] += sm.P
+	}
+	return s
 }
 
 // Certain is a certain dataset of plain points.

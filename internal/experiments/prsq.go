@@ -76,6 +76,10 @@ func PRSQBench(cfg Config) error {
 		}
 		var counter stats.Counter
 		ds.Tree().SetCounter(&counter)
+		// Warm the derived per-object caches so every variant measures
+		// steady-state query cost, not one-time builds.
+		ds.WeightSums()
+		ds.Summaries()
 		q := domainQuery(rng, dims, 10000)
 
 		variants := []struct {
@@ -86,6 +90,9 @@ func PRSQBench(cfg Config) error {
 			{"naive", 1, func() []int { return naivePRSQ(ds, q, alpha) }},
 			{"indexed-serial", 3, func() []int {
 				return prsq.Query(ds, q, alpha, prsq.Options{Parallel: 1})
+			}},
+			{"indexed-notier2", 3, func() []int {
+				return prsq.Query(ds, q, alpha, prsq.Options{Parallel: 1, NoTier2: true})
 			}},
 			{"indexed-parallel", 3, func() []int {
 				return prsq.Query(ds, q, alpha, prsq.Options{})

@@ -24,7 +24,7 @@ func PrReverseSkylinePDF(an *uncertain.PDFObject, q geom.Point, others []*uncert
 	if nodesPerDim <= 0 {
 		nodesPerDim = uncertain.DefaultQuadNodes(an.Dims())
 	}
-	nodes := an.Quadrature(nodesPerDim)
+	nodes := an.QuadratureCached(nodesPerDim)
 	var pr float64
 	for _, n := range nodes {
 		term := n.W
@@ -50,7 +50,7 @@ func NewPDFEvaluator(an *uncertain.PDFObject, q geom.Point, cands []*uncertain.P
 	if nodesPerDim <= 0 {
 		nodesPerDim = uncertain.DefaultQuadNodes(an.Dims())
 	}
-	nodes := an.Quadrature(nodesPerDim)
+	nodes := an.QuadratureCached(nodesPerDim)
 	weights := make([]float64, len(nodes))
 	for i, n := range nodes {
 		weights[i] = n.W

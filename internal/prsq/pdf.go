@@ -31,7 +31,12 @@ func QueryPDF(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int,
 //     restricted Eq.-2 product is bit-identical to the full one);
 //   - the reject bound is the Γ1 core rectangle: a candidate region inside
 //     it dominates q w.r.t. every anchor with probability exactly 1,
-//     pinning Pr(u) to exactly 0 and stopping the stream.
+//     pinning Pr(u) to exactly 0 and stopping the stream;
+//   - the second tier generalizes that all-or-nothing test: a candidate's
+//     probability mass inside the core rectangle lower-bounds its dominance
+//     probability at every anchor of the region, so the product of
+//     (1 − mass) over the streamed candidates upper-bounds Pr(u) — the
+//     stream stops as soon as the product falls below the threshold.
 //
 // Everything not rejected is evaluated exactly by quadrature (there is no
 // cheap accept bound for continuous densities — even the empty-candidate
@@ -39,25 +44,35 @@ func QueryPDF(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int,
 // just below 1).
 func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int, opt Options) ([]int, Stats) {
 	n := set.Len()
-	st := &pdfStreamState{
-		set:   set,
-		q:     q,
-		alpha: alpha,
-		opt:   opt,
-		stats: Stats{Objects: n},
-	}
 	verdicts := make([]decision, n)
 
+	var mu sync.Mutex
+	var states []*pdfStreamState
 	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
-	set.Tree().JoinSelfStream(window, rtree.StreamVisitor{
-		Begin: st.begin,
-		Pair:  st.pair,
-		End: func(id int) {
-			verdicts[id] = st.finish(id)
-		},
+	set.Tree().JoinSelfStreamParallel(window, opt.workers(n), func() rtree.StreamVisitor {
+		st := &pdfStreamState{set: set, q: q, alpha: alpha, opt: opt}
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+		return rtree.StreamVisitor{
+			Begin: st.begin,
+			Pair:  st.pair,
+			End: func(id int) {
+				verdicts[id] = st.finish(id)
+			},
+		}
 	})
 
-	evaluate(verdicts, st.undecidedIDs, st.undecidedCands, opt, func(id int, cands []int32) bool {
+	stats := Stats{Objects: n}
+	var undecidedIDs []int
+	var undecidedCands [][]int32
+	for _, st := range states {
+		stats.add(st.stats)
+		undecidedIDs = append(undecidedIDs, st.undecidedIDs...)
+		undecidedCands = append(undecidedCands, st.undecidedCands...)
+	}
+
+	evaluate(verdicts, undecidedIDs, undecidedCands, opt, func(id int, cands []int32) bool {
 		bufp := pdfCandPool.Get().(*[]*uncertain.PDFObject)
 		objs := (*bufp)[:0]
 		for _, cid := range cands {
@@ -68,9 +83,9 @@ func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes
 		pdfCandPool.Put(bufp)
 		return ok
 	})
-	st.stats.Evaluated = len(st.undecidedIDs)
+	stats.Evaluated = len(undecidedIDs)
 
-	return collect(verdicts), st.stats
+	return collect(verdicts), stats
 }
 
 // pdfCandPool recycles per-worker pdf candidate slices across queries.
@@ -86,11 +101,19 @@ type pdfStreamState struct {
 	stats Stats
 
 	// Per-current-object scratch, reset by begin.
-	pieces      []geom.Rect // sub-quadrant farthest-corner filter rectangles
-	core        geom.Rect   // Γ1 nearest-corner rectangle
-	hasCore     bool
-	rejectedNow bool
-	buf         []int32
+	pieces  []geom.Rect // sub-quadrant farthest-corner filter rectangles
+	core    geom.Rect   // Γ1 nearest-corner rectangle
+	hasCore bool
+	// ubProd upper-bounds Pr(u): each buffered candidate contributes a
+	// factor (1 − its probability mass inside the core rectangle). The
+	// core rectangle is contained in the dominance rectangle of every
+	// anchor in u's region, so the mass lower-bounds the candidate's
+	// dominance probability at every quadrature node and the product
+	// upper-bounds every node's Eq.-2 term.
+	ubProd       float64
+	rejectedNow  bool
+	rejectedTier uint8
+	buf          []int32
 
 	undecidedIDs   []int
 	undecidedCands [][]int32
@@ -100,7 +123,9 @@ func (st *pdfStreamState) begin(id int, _ geom.Rect) bool {
 	u := st.set.Objects[id]
 	st.pieces = prob.CandidateRectsPDF(u, st.q)
 	st.core, st.hasCore = prob.CoreRectPDF(u, st.q)
+	st.ubProd = 1
 	st.rejectedNow = false
+	st.rejectedTier = 0
 	st.buf = st.buf[:0]
 	return true
 }
@@ -118,17 +143,38 @@ func (st *pdfStreamState) pair(_, cid int, cRect geom.Rect) bool {
 		return true
 	}
 	st.buf = append(st.buf, int32(cid))
-	if !st.opt.NoBounds && st.hasCore && st.alpha > prob.Eps &&
-		st.core.ContainsRect(st.set.Objects[cid].Region) {
+	if st.opt.NoBounds || !st.hasCore || !(st.alpha > prob.Eps) {
+		return true
+	}
+	c := st.set.Objects[cid]
+	if st.core.ContainsRect(c.Region) {
 		st.rejectedNow = true
+		st.rejectedTier = 1
 		return false
+	}
+	if !st.opt.NoTier2 {
+		// Mass inside the (inward-shrunk) core rectangle; only trusted
+		// above the snap-to-zero band so the bound stays conservative
+		// under prob.DomProbPDF's snapping.
+		if lb := c.Prob(st.core); lb > prob.Eps {
+			st.ubProd *= 1 - lb
+			if prob.Less(st.ubProd, st.alpha) {
+				st.rejectedNow = true
+				st.rejectedTier = 2
+				return false
+			}
+		}
 	}
 	return true
 }
 
 func (st *pdfStreamState) finish(id int) decision {
 	if st.rejectedNow {
-		st.stats.RejectedByBound++
+		if st.rejectedTier == 2 {
+			st.stats.RejectedByTier2++
+		} else {
+			st.stats.RejectedByBound++
+		}
 		return rejected
 	}
 	if len(st.buf) == 0 {

@@ -12,9 +12,15 @@
 //     bounds. An object whose every sample is certainly dominated stops
 //     its candidate stream immediately — most objects are rejected after a
 //     handful of candidates without ever materializing their full list.
-//  3. Parallel refinement: the undecided band is evaluated exactly (Eq. 2)
-//     on a worker pool, each worker owning scratch buffers reused across
-//     objects.
+//     A second bound tier refines partial overlaps: per-candidate
+//     dominance-probability bounds derived from the candidate's sub-MBR
+//     weight summary (dataset.Summary) multiply into per-sample Eq.-2 term
+//     bounds, shrinking the undecided band — and stopping streams early —
+//     at thresholds the all-or-nothing tests cannot reach.
+//  3. Parallel refinement: the filtering join itself fans out per R-tree
+//     subtree onto a worker pool (each worker owning its own stream state),
+//     and the undecided band is evaluated exactly (Eq. 2) on the same pool,
+//     each worker owning scratch buffers reused across objects.
 //
 // The result is bit-identical to the brute-force prob.PRSQ: excluded
 // non-candidates contribute exact ×1 factors, candidate lists are evaluated
@@ -37,14 +43,20 @@ import (
 // Options tunes the query execution. The zero value selects full
 // acceleration: bounds on, one evaluation worker per CPU.
 type Options struct {
-	// Parallel is the number of evaluation workers for the undecided
-	// band: 1 runs serially, values <= 0 select runtime.GOMAXPROCS(0).
-	// Results are identical for every setting.
+	// Parallel is the number of workers for both the filtering join and
+	// the exact evaluation of the undecided band: 1 runs serially, values
+	// <= 0 select runtime.GOMAXPROCS(0). Results are identical for every
+	// setting.
 	Parallel int
 	// NoBounds disables the online bound pruning (ablation / benchmarking
 	// switch; results are unchanged, every object pays the full Eq.-2
 	// evaluation).
 	NoBounds bool
+	// NoTier2 disables only the second bound tier — the per-candidate
+	// dominance-probability bounds from sub-MBR weight summaries — leaving
+	// the all-or-nothing MBR tests in place (ablation switch; results are
+	// unchanged).
+	NoTier2 bool
 }
 
 func (o Options) workers(n int) int {
@@ -74,12 +86,31 @@ type Stats struct {
 	// without evaluation; in the pdf model they still run the (cheap,
 	// candidate-free) quadrature and are counted in Evaluated as well.
 	EmptyCandidates int
-	// AcceptedByBound counts objects accepted by the lower bound alone.
+	// AcceptedByBound counts objects accepted by the first-tier lower
+	// bound alone.
 	AcceptedByBound int
-	// RejectedByBound counts objects rejected by the upper bound alone.
+	// RejectedByBound counts objects rejected by the first-tier upper
+	// bound alone.
 	RejectedByBound int
+	// AcceptedByTier2 counts objects the second-tier (sub-MBR summary)
+	// lower bound accepted after the first tier could not decide them.
+	AcceptedByTier2 int
+	// RejectedByTier2 counts objects the second-tier upper bound rejected
+	// after the first tier could not decide them.
+	RejectedByTier2 int
 	// Evaluated counts full Eq.-2 evaluations (the undecided band).
 	Evaluated int
+}
+
+// add folds the per-worker counters of o into s (Objects and Evaluated are
+// owned by the merger).
+func (s *Stats) add(o Stats) {
+	s.CandidatePairs += o.CandidatePairs
+	s.EmptyCandidates += o.EmptyCandidates
+	s.AcceptedByBound += o.AcceptedByBound
+	s.RejectedByBound += o.RejectedByBound
+	s.AcceptedByTier2 += o.AcceptedByTier2
+	s.RejectedByTier2 += o.RejectedByTier2
 }
 
 // decision is a per-object query verdict.
@@ -102,26 +133,42 @@ func Query(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) []in
 // QueryStats is Query with execution statistics.
 func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) ([]int, Stats) {
 	n := ds.Len()
-	st := &streamState{
-		ds:    ds,
-		q:     q,
-		alpha: alpha,
-		opt:   opt,
-		wsum:  ds.WeightSums(),
-		stats: Stats{Objects: n},
+	wsum := ds.WeightSums()
+	var sums []dataset.Summary
+	if !opt.NoBounds && !opt.NoTier2 {
+		sums = ds.Summaries()
 	}
 	verdicts := make([]decision, n)
 
+	// One stream state per join worker; verdict slots are disjoint per
+	// left object, so the workers never write the same element.
+	var mu sync.Mutex
+	var states []*streamState
 	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
-	ds.Tree().JoinSelfStream(window, rtree.StreamVisitor{
-		Begin: st.begin,
-		Pair:  st.pair,
-		End: func(id int) {
-			verdicts[id] = st.finish(id)
-		},
+	ds.Tree().JoinSelfStreamParallel(window, opt.workers(n), func() rtree.StreamVisitor {
+		st := &streamState{ds: ds, q: q, alpha: alpha, opt: opt, wsum: wsum, sums: sums}
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+		return rtree.StreamVisitor{
+			Begin: st.begin,
+			Pair:  st.pair,
+			End: func(id int) {
+				verdicts[id] = st.finish(id)
+			},
+		}
 	})
 
-	evaluate(verdicts, st.undecidedIDs, st.undecidedCands, opt, func(id int, cands []int32) bool {
+	stats := Stats{Objects: n}
+	var undecidedIDs []int
+	var undecidedCands [][]int32
+	for _, st := range states {
+		stats.add(st.stats)
+		undecidedIDs = append(undecidedIDs, st.undecidedIDs...)
+		undecidedCands = append(undecidedCands, st.undecidedCands...)
+	}
+
+	evaluate(verdicts, undecidedIDs, undecidedCands, opt, func(id int, cands []int32) bool {
 		bufp := candPool.Get().(*[]*uncertain.Object)
 		objs := (*bufp)[:0]
 		for _, cid := range cands {
@@ -132,29 +179,40 @@ func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options)
 		candPool.Put(bufp)
 		return ok
 	})
-	st.stats.Evaluated = len(st.undecidedIDs)
+	stats.Evaluated = len(undecidedIDs)
 
-	return collect(verdicts), st.stats
+	return collect(verdicts), stats
 }
 
-// streamState is the per-query state of the online filter+bound pass. The
-// join reports each object's candidates consecutively, so one scratch
-// buffer set serves every object in turn.
+// streamState is the per-worker state of the online filter+bound pass. The
+// join reports each object's candidates consecutively within a worker, so
+// one scratch buffer set serves every object of that worker in turn.
 type streamState struct {
 	ds    *dataset.Uncertain
 	q     geom.Point
 	alpha float64
 	opt   Options
 	wsum  []float64
+	sums  []dataset.Summary // per-candidate sub-MBR summaries; nil = tier 2 off
 	stats Stats
 
 	// Per-current-object scratch, reset by begin.
+	u          *uncertain.Object
 	inner      []geom.Rect // per-sample dominance rectangles (exact)
 	outer      []geom.Rect // per-sample dominance rectangles (outward pad)
 	covered    []bool      // sample term is exactly 0
-	free       []bool      // sample term is exactly p_i so far
 	coveredCnt int
-	buf        []int32 // candidates streamed for the current object
+	// ubProd[i] and lbProd[i] bound the Eq.-2 product term of sample i from
+	// above and below: each streamed candidate multiplies (1 − lbDom) resp.
+	// (1 − ubDom) into them, where lbDom/ubDom bound the candidate's
+	// dominance probability at the sample from its sub-MBR summary. With
+	// tier 2 off they degenerate to the all-or-nothing values (1 forever,
+	// resp. 0 on first overlap), reproducing the first-tier "free" flag.
+	ubProd       []float64
+	lbProd       []float64
+	rejectedNow  bool  // stream stopped early on a reject bound
+	rejectedTier uint8 // 1 = full coverage, 2 = summary bound
+	buf          []int32
 
 	// Undecided band collected for the exact evaluation stage.
 	undecidedIDs   []int
@@ -164,29 +222,67 @@ type streamState struct {
 func (st *streamState) begin(id int, _ geom.Rect) bool {
 	u := st.ds.Objects[id]
 	l := len(u.Samples)
+	st.u = u
 	st.inner = st.inner[:0]
 	st.outer = st.outer[:0]
 	if cap(st.covered) < l {
 		st.covered = make([]bool, l)
-		st.free = make([]bool, l)
+		st.ubProd = make([]float64, l)
+		st.lbProd = make([]float64, l)
 	}
 	st.covered = st.covered[:l]
-	st.free = st.free[:l]
+	st.ubProd = st.ubProd[:l]
+	st.lbProd = st.lbProd[:l]
 	for i, s := range u.Samples {
 		st.inner = append(st.inner, geom.DomRect(s.Loc, st.q))
 		st.outer = append(st.outer, geom.DomRectOuter(s.Loc, st.q))
 		st.covered[i] = false
-		st.free[i] = true
+		st.ubProd[i] = 1
+		st.lbProd[i] = 1
 	}
 	st.coveredCnt = 0
+	st.rejectedNow = false
+	st.rejectedTier = 0
 	st.buf = st.buf[:0]
 	return true
 }
 
+// domBounds bounds candidate cid's dominance probability at sample i from
+// its sub-MBR summary: groups strictly inside the exact dominance rectangle
+// dominate with all their mass (lower bound), groups missing the padded
+// window dominate with none of it (upper bound). The results are clamped so
+// they stay conservative under the snap applied by prob.DomProb: a lower
+// bound inside the snap-to-zero band is dropped, an upper bound inside the
+// snap-to-one band is rounded up to certainty.
+func (st *streamState) domBounds(cid, i int) (lbDom, ubDom float64) {
+	sm := &st.sums[cid]
+	for k := range sm.Rects {
+		if !sm.Rects[k].Intersects(st.outer[i]) {
+			continue
+		}
+		ubDom += sm.Weights[k]
+		if strictlyInside(&sm.Rects[k], &st.inner[i]) {
+			lbDom += sm.Weights[k]
+		}
+	}
+	if lbDom <= prob.Eps {
+		lbDom = 0
+	} else if lbDom > 1 {
+		lbDom = 1
+	}
+	if ubDom >= 1-prob.Eps {
+		ubDom = 1
+	}
+	return lbDom, ubDom
+}
+
 // pair folds one streamed candidate into the bounds and buffers it for a
 // potential exact evaluation. Returning false stops the current object's
-// stream: once every sample is certainly dominated, Pr(u) is exactly 0 and
-// no further candidate can change the verdict.
+// stream: either every sample is certainly dominated (Pr(u) is exactly 0),
+// or the second-tier upper bound has already fallen below the threshold —
+// in both cases no further candidate can change the verdict, because
+// streaming more candidates only multiplies more factors ≤ 1 into every
+// bound.
 func (st *streamState) pair(_, cid int, cRect geom.Rect) bool {
 	st.stats.CandidatePairs++
 	st.buf = append(st.buf, int32(cid))
@@ -194,23 +290,71 @@ func (st *streamState) pair(_, cid int, cRect geom.Rect) bool {
 		return true
 	}
 	certain := st.wsum[cid] == 1
+	coveredMore := false
+	tier2More := false
 	for i := range st.inner {
-		if !st.covered[i] && certain && strictlyInside(&cRect, &st.inner[i]) {
+		if st.covered[i] {
+			continue
+		}
+		if !cRect.Intersects(st.outer[i]) {
+			continue // the candidate's factor for this sample is exactly 1
+		}
+		if certain && strictlyInside(&cRect, &st.inner[i]) {
 			st.covered[i] = true
 			st.coveredCnt++
+			st.lbProd[i] = 0
+			coveredMore = true
+			continue
 		}
-		if st.free[i] && cRect.Intersects(st.outer[i]) {
-			st.free[i] = false
+		// A candidate disjoint from the exact dominance rectangle can put
+		// no group strictly inside it, so the summary loop cannot tighten
+		// the upper bound; fall back to the first-tier lower bound.
+		if st.sums == nil || !cRect.Intersects(st.inner[i]) {
+			st.lbProd[i] = 0
+			continue
 		}
+		lbDom, ubDom := st.domBounds(cid, i)
+		if ubDom < 1 {
+			st.lbProd[i] *= 1 - ubDom
+		} else {
+			st.lbProd[i] = 0
+		}
+		if lbDom > 0 {
+			st.ubProd[i] *= 1 - lbDom
+			tier2More = true
+		}
+	}
+	if !(st.alpha > prob.Eps) {
+		return true
 	}
 	// Full coverage: every Eq.-2 term is exactly 0, so Pr(u) = 0 < α for
 	// any valid threshold above the comparison tolerance.
-	return !(st.coveredCnt == len(st.inner) && st.alpha > prob.Eps)
+	if coveredMore && st.coveredCnt == len(st.inner) {
+		st.rejectedNow = true
+		st.rejectedTier = 1
+		return false
+	}
+	// Re-derive the tier-2 reject sum only when a factor actually moved —
+	// the common fully-covering candidate never pays for it.
+	if tier2More {
+		var ub float64
+		for i, s := range st.u.Samples {
+			if !st.covered[i] {
+				ub += s.P * st.ubProd[i]
+			}
+		}
+		if prob.Less(ub, st.alpha) {
+			st.rejectedNow = true
+			st.rejectedTier = 2
+			return false
+		}
+	}
+	return true
 }
 
 // finish settles the current object or queues it for exact evaluation.
 func (st *streamState) finish(id int) decision {
-	u := st.ds.Objects[id]
+	u := st.u
 	if len(st.buf) == 0 {
 		// Every Eq.-2 factor is exactly 1, so Pr(u) = snap(Σ p_i) — the
 		// precomputed weight sum. That is usually 1, but validation
@@ -224,29 +368,50 @@ func (st *streamState) finish(id int) decision {
 		return rejected
 	}
 	if !st.opt.NoBounds {
+		if st.rejectedNow {
+			if st.rejectedTier == 2 {
+				st.stats.RejectedByTier2++
+			} else {
+				st.stats.RejectedByBound++
+			}
+			return rejected
+		}
 		if st.coveredCnt == len(st.inner) && st.alpha > prob.Eps {
 			st.stats.RejectedByBound++
 			return rejected
 		}
-		// ub ≥ Pr(u): covered samples contribute exactly 0; every other
-		// term is at most p_i (factors ≤ 1 only shrink a product, and
-		// dropping non-negative terms only shrinks a float sum).
-		// lb ≤ Pr(u): free samples contribute exactly p_i.
-		var ub, lb float64
+		// First tier — all-or-nothing MBR tests, exactly the historical
+		// bounds:
+		//   ub1 ≥ Pr(u): covered samples contribute exactly 0; every other
+		//   term is at most p_i (factors ≤ 1 only shrink a product, and
+		//   dropping non-negative terms only shrinks a float sum).
+		//   lb1 ≤ Pr(u): untouched samples (lbProd still 1) contribute
+		//   exactly p_i.
+		// Second tier — the same sums with the per-sample bound products
+		// folded in: ub2 ≤ ub1 and lb2 ≥ lb1 by construction.
+		var ub1, lb1, ub2, lb2 float64
 		for i, s := range u.Samples {
 			if !st.covered[i] {
-				ub += s.P
-			}
-			if st.free[i] {
-				lb += s.P
+				ub1 += s.P
+				ub2 += s.P * st.ubProd[i]
+				if st.lbProd[i] == 1 {
+					lb1 += s.P
+				}
+				lb2 += s.P * st.lbProd[i]
 			}
 		}
 		switch {
-		case lb >= st.alpha:
+		case lb1 >= st.alpha:
 			st.stats.AcceptedByBound++
 			return accepted
-		case prob.Less(ub, st.alpha):
+		case prob.Less(ub1, st.alpha):
 			st.stats.RejectedByBound++
+			return rejected
+		case st.sums != nil && lb2 >= st.alpha:
+			st.stats.AcceptedByTier2++
+			return accepted
+		case st.sums != nil && prob.Less(ub2, st.alpha):
+			st.stats.RejectedByTier2++
 			return rejected
 		}
 	}

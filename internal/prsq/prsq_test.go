@@ -2,6 +2,7 @@ package prsq
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -35,15 +36,24 @@ func checkSampleEquivalence(t *testing.T, ds *dataset.Uncertain, q geom.Point) {
 	for _, alpha := range testAlphas {
 		want := prob.PRSQ(ds.Objects, q, alpha)
 		for _, par := range []int{1, 4} {
-			for _, noBounds := range []bool{false, true} {
-				got, st := QueryStats(ds, q, alpha, Options{Parallel: par, NoBounds: noBounds})
+			for _, opt := range []Options{
+				{},
+				{NoBounds: true},
+				{NoTier2: true},
+			} {
+				opt.Parallel = par
+				got, st := QueryStats(ds, q, alpha, opt)
 				if !equalIDs(got, want) {
-					t.Fatalf("alpha=%g parallel=%d noBounds=%v: got %d answers %v, want %d answers %v",
-						alpha, par, noBounds, len(got), got, len(want), want)
+					t.Fatalf("alpha=%g opts=%+v: got %d answers %v, want %d answers %v",
+						alpha, opt, len(got), got, len(want), want)
 				}
-				decided := st.EmptyCandidates + st.AcceptedByBound + st.RejectedByBound + st.Evaluated
+				decided := st.EmptyCandidates + st.AcceptedByBound + st.RejectedByBound +
+					st.AcceptedByTier2 + st.RejectedByTier2 + st.Evaluated
 				if decided != ds.Len() {
 					t.Fatalf("alpha=%g: stats decide %d of %d objects (%+v)", alpha, decided, ds.Len(), st)
+				}
+				if opt.NoTier2 && (st.AcceptedByTier2 != 0 || st.RejectedByTier2 != 0) {
+					t.Fatalf("alpha=%g: tier-2 decisions recorded with NoTier2 (%+v)", alpha, st)
 				}
 			}
 		}
@@ -138,21 +148,105 @@ func TestQueryEquivalencePDFModel(t *testing.T) {
 						}
 					}
 					for _, par := range []int{1, 4} {
-						got, st := QueryPDFStats(set, q, alpha, quadNodes, Options{Parallel: par})
-						if !equalIDs(got, want) {
-							t.Fatalf("kind=%v quad=%d alpha=%g parallel=%d: got %v, want %v",
-								kind, quadNodes, alpha, par, got, want)
-						}
-						// pdf empty-candidate objects are evaluated too,
-						// so Evaluated alone complements the rejects.
-						if st.RejectedByBound+st.Evaluated != set.Len() {
-							t.Fatalf("stats decide %d of %d (%+v)",
-								st.RejectedByBound+st.Evaluated, set.Len(), st)
+						for _, noTier2 := range []bool{false, true} {
+							got, st := QueryPDFStats(set, q, alpha, quadNodes, Options{Parallel: par, NoTier2: noTier2})
+							if !equalIDs(got, want) {
+								t.Fatalf("kind=%v quad=%d alpha=%g parallel=%d noTier2=%v: got %v, want %v",
+									kind, quadNodes, alpha, par, noTier2, got, want)
+							}
+							// pdf empty-candidate objects are evaluated too,
+							// so Evaluated alone complements the rejects.
+							if st.RejectedByBound+st.RejectedByTier2+st.Evaluated != set.Len() {
+								t.Fatalf("stats decide %d of %d (%+v)",
+									st.RejectedByBound+st.RejectedByTier2+st.Evaluated, set.Len(), st)
+							}
 						}
 					}
 				}
 			}
 		})
+	}
+}
+
+// TestTier2ShrinksUndecidedBand asserts the second tier is not dead weight:
+// across overlapping workloads and high thresholds it must decide at least
+// one object the all-or-nothing tier left undecided, and never decide more
+// expensively (the evaluated band plus the stream length may only shrink).
+func TestTier2ShrinksUndecidedBand(t *testing.T) {
+	ds, err := dataset.GenerateUncertain(dataset.LUrU(400, 2, 50, 900, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	var gained, evalT1, evalT2 int
+	var pairsT1, pairsT2 int
+	for i := 0; i < 4; i++ {
+		q := geom.Point{10000 * (0.3 + 0.4*rng.Float64()), 10000 * (0.3 + 0.4*rng.Float64())}
+		for _, alpha := range []float64{0.7, 0.9, 1.0} {
+			idsT1, st1 := QueryStats(ds, q, alpha, Options{Parallel: 1, NoTier2: true})
+			idsT2, st2 := QueryStats(ds, q, alpha, Options{Parallel: 1})
+			if !equalIDs(idsT1, idsT2) {
+				t.Fatalf("alpha=%g: tier-2 changed the answers: %v vs %v", alpha, idsT2, idsT1)
+			}
+			gained += st2.AcceptedByTier2 + st2.RejectedByTier2
+			evalT1 += st1.Evaluated
+			evalT2 += st2.Evaluated
+			pairsT1 += st1.CandidatePairs
+			pairsT2 += st2.CandidatePairs
+		}
+	}
+	if gained == 0 {
+		t.Fatal("second tier decided no object on a workload built to exercise it")
+	}
+	if evalT2 >= evalT1 {
+		t.Fatalf("second tier did not shrink the undecided band: %d vs %d evaluations", evalT2, evalT1)
+	}
+	if pairsT2 > pairsT1 {
+		t.Fatalf("second tier lengthened the candidate streams: %d vs %d pairs", pairsT2, pairsT1)
+	}
+	t.Logf("tier-2: %d extra bound decisions, evaluations %d→%d, pairs %d→%d",
+		gained, evalT1, evalT2, pairsT1, pairsT2)
+}
+
+// TestSummariesPartitionObjects pins the sub-MBR summaries the second tier
+// trusts: group weights must sum to the object's raw mass, every sample must
+// lie inside its group rectangle, and every group rectangle inside the MBR.
+func TestSummariesPartitionObjects(t *testing.T) {
+	ds, err := dataset.GenerateUncertain(dataset.LUrG(250, 4, 0, 600, 19))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sums := ds.Summaries()
+	for id, o := range ds.Objects {
+		sm := sums[id]
+		if len(sm.Rects) == 0 || len(sm.Rects) != len(sm.Weights) {
+			t.Fatalf("object %d: malformed summary (%d rects, %d weights)",
+				id, len(sm.Rects), len(sm.Weights))
+		}
+		var raw, grouped float64
+		for _, s := range o.Samples {
+			raw += s.P
+			inAny := false
+			for _, r := range sm.Rects {
+				if r.ContainsPoint(s.Loc) {
+					inAny = true
+					break
+				}
+			}
+			if !inAny {
+				t.Fatalf("object %d: sample %v outside every summary rect", id, s.Loc)
+			}
+		}
+		mbr := o.MBR()
+		for k, r := range sm.Rects {
+			if !mbr.ContainsRect(r) {
+				t.Fatalf("object %d: summary rect %d escapes the MBR", id, k)
+			}
+			grouped += sm.Weights[k]
+		}
+		if math.Abs(raw-grouped) > 1e-12 {
+			t.Fatalf("object %d: summary weights sum to %v, raw mass %v", id, grouped, raw)
+		}
 	}
 }
 

@@ -1,6 +1,10 @@
 package rtree
 
-import "github.com/crsky/crsky/internal/geom"
+import (
+	"sync"
+
+	"github.com/crsky/crsky/internal/geom"
+)
 
 // WindowFunc maps a rectangle to its (conservative) search window. For the
 // branch-and-bound descent of JoinSelfStream to be correct the function
@@ -46,31 +50,56 @@ func (t *Tree) JoinSelfStream(window WindowFunc, v StreamVisitor) {
 }
 
 func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVisitor) {
+	if !nl.leaf {
+		for _, tk := range t.expandTask(joinTask{left: nl, rights: rights}, window) {
+			t.joinLeft(tk.left, tk.rights, window, v)
+		}
+		return
+	}
 	t.access(nl)
 	for _, nr := range rights {
 		if nr != nl {
 			t.access(nr)
 		}
 	}
-	if nl.leaf {
-		for i := range nl.entries {
-			el := &nl.entries[i]
-			if v.Begin != nil && !v.Begin(el.id, el.rect) {
-				continue
-			}
-			w := window(el.rect)
-			t.streamRights(el, w, rights, v)
-			if v.End != nil {
-				v.End(el.id)
-			}
+	for i := range nl.entries {
+		el := &nl.entries[i]
+		if v.Begin != nil && !v.Begin(el.id, el.rect) {
+			continue
 		}
-		return
+		w := window(el.rect)
+		t.streamRights(el, w, rights, v)
+		if v.End != nil {
+			v.End(el.id)
+		}
 	}
+}
+
+// joinTask is one unit of parallel join work: a left subtree plus the right
+// subtrees that can still contribute matches for it.
+type joinTask struct {
+	left   *node
+	rights []*node
+}
+
+// expandTask performs one internal-node expansion of the left-major descent
+// — the single copy of the non-leaf access accounting and partner-list
+// pruning, shared by the serial recursion and the parallel dispatcher —
+// and returns the child tasks.
+func (t *Tree) expandTask(tk joinTask, window WindowFunc) []joinTask {
+	nl := tk.left
+	t.access(nl)
+	for _, nr := range tk.rights {
+		if nr != nl {
+			t.access(nr)
+		}
+	}
+	out := make([]joinTask, 0, len(nl.entries))
 	for i := range nl.entries {
 		el := &nl.entries[i]
 		w := window(el.rect)
-		childRights := make([]*node, 0, len(rights))
-		for _, nr := range rights {
+		childRights := make([]*node, 0, len(tk.rights))
+		for _, nr := range tk.rights {
 			for j := range nr.entries {
 				er := &nr.entries[j]
 				if w.Intersects(er.rect) {
@@ -78,8 +107,68 @@ func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVis
 				}
 			}
 		}
-		t.joinLeft(el.child, childRights, window, v)
+		out = append(out, joinTask{left: el.child, rights: childRights})
 	}
+	return out
+}
+
+// JoinSelfStreamParallel is JoinSelfStream with the left recursion fanned out
+// over a pool of workers goroutines, one visitor per worker. The dispatcher
+// peels top-level subtrees off the left descent (going one level deeper while
+// the task list is smaller than the pool wants) and hands each (left subtree,
+// surviving rights) task to a worker, which runs the ordinary serial
+// recursion over it.
+//
+// The per-visitor contract is unchanged — every left entry is reported in a
+// contiguous Begin/Pair*/End group — but left entries are partitioned across
+// the visitors and groups from different visitors run concurrently. Callers
+// therefore keep per-object state inside each visitor (or index shared state
+// by left ID, which the partition makes race-free) and merge after the call
+// returns. Node accesses are charged exactly as in the serial join; the
+// attached counter must be safe for concurrent use (stats.Counter is).
+//
+// workers <= 1 degenerates to the serial join with a single visitor.
+func (t *Tree) JoinSelfStreamParallel(window WindowFunc, workers int, newVisitor func() StreamVisitor) {
+	if t.size == 0 {
+		return
+	}
+	if workers <= 1 || t.root.leaf {
+		t.joinLeft(t.root, []*node{t.root}, window, newVisitor())
+		return
+	}
+
+	// Grow the task frontier until there is enough slack for the pool to
+	// balance uneven subtree costs. All leaves sit at the same level
+	// (R*-tree invariant), so the frontier is homogeneous.
+	tasks := []joinTask{{left: t.root, rights: []*node{t.root}}}
+	for !tasks[0].left.leaf && len(tasks) < 4*workers {
+		next := make([]joinTask, 0, len(tasks)*t.maxEntries)
+		for _, tk := range tasks {
+			next = append(next, t.expandTask(tk, window)...)
+		}
+		if len(next) == 0 {
+			return
+		}
+		tasks = next
+	}
+
+	ch := make(chan joinTask)
+	var wg sync.WaitGroup
+	for wi := 0; wi < workers; wi++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVisitor()
+			for tk := range ch {
+				t.joinLeft(tk.left, tk.rights, window, v)
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
 }
 
 // streamRights reports the matches of one left leaf entry against the

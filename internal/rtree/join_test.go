@@ -1,0 +1,261 @@
+package rtree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// joinWindow is the test window: a symmetric outward inflation, monotone
+// under rectangle growth as JoinSelfStream requires.
+func joinWindow(pad float64) WindowFunc {
+	return func(r geom.Rect) geom.Rect {
+		w := r.Clone()
+		for i := range w.Min {
+			w.Min[i] -= pad
+			w.Max[i] += pad
+		}
+		return w
+	}
+}
+
+// bruteSelfJoin computes the reference output: for every item, the other
+// items whose rect intersects window(item.rect).
+func bruteSelfJoin(items []Item, window WindowFunc) map[int][]int {
+	out := make(map[int][]int, len(items))
+	for _, a := range items {
+		w := window(a.Rect)
+		out[a.ID] = []int{}
+		for _, b := range items {
+			if b.ID != a.ID && w.Intersects(b.Rect) {
+				out[a.ID] = append(out[a.ID], b.ID)
+			}
+		}
+		sort.Ints(out[a.ID])
+	}
+	return out
+}
+
+// collectVisitor records grouped streams, asserting the Begin/Pair*/End
+// contract as it goes.
+type collectVisitor struct {
+	t       *testing.T
+	mu      *sync.Mutex
+	streams map[int][]int
+	current int
+	open    bool
+}
+
+func (c *collectVisitor) visitor() StreamVisitor {
+	return StreamVisitor{
+		Begin: func(id int, _ geom.Rect) bool {
+			if c.open {
+				c.t.Errorf("Begin(%d) while stream %d still open", id, c.current)
+			}
+			c.open = true
+			c.current = id
+			return true
+		},
+		Pair: func(leftID, rightID int, _ geom.Rect) bool {
+			if !c.open || leftID != c.current {
+				c.t.Errorf("Pair(%d,%d) outside its Begin/End group (current %d)", leftID, rightID, c.current)
+			}
+			c.mu.Lock()
+			c.streams[leftID] = append(c.streams[leftID], rightID)
+			c.mu.Unlock()
+			return true
+		},
+		End: func(id int) {
+			if !c.open || id != c.current {
+				c.t.Errorf("End(%d) without matching Begin (current %d)", id, c.current)
+			}
+			c.open = false
+			c.mu.Lock()
+			if _, dup := c.streams[id]; !dup {
+				c.streams[id] = []int{}
+			}
+			c.mu.Unlock()
+		},
+	}
+}
+
+func randomItems(rng *rand.Rand, n, dims int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		lo := make(geom.Point, dims)
+		hi := make(geom.Point, dims)
+		for d := 0; d < dims; d++ {
+			lo[d] = rng.Float64() * 100
+			hi[d] = lo[d] + rng.Float64()*8
+		}
+		items[i] = Item{Rect: geom.Rect{Min: lo, Max: hi}, ID: i}
+	}
+	return items
+}
+
+func TestJoinSelfStreamMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{1, 7, 60, 400} {
+		items := randomItems(rng, n, 2)
+		tr := New(2, WithMaxEntries(8))
+		tr.BulkLoad(items)
+		window := joinWindow(3)
+		want := bruteSelfJoin(items, window)
+
+		c := &collectVisitor{t: t, mu: &sync.Mutex{}, streams: map[int][]int{}}
+		tr.JoinSelfStream(window, c.visitor())
+		if len(c.streams) != n {
+			t.Fatalf("n=%d: %d left streams reported, want %d", n, len(c.streams), n)
+		}
+		for id, got := range c.streams {
+			sort.Ints(got)
+			if fmt.Sprint(got) != fmt.Sprint(want[id]) {
+				t.Fatalf("n=%d id=%d: got %v, want %v", n, id, got, want[id])
+			}
+		}
+	}
+}
+
+// TestJoinSelfStreamParallelMatchesSerial pins the parallel join to the
+// serial one: identical per-left match sets, every left entry visited exactly
+// once across the pool's visitors, identical node-access totals, and the
+// grouping contract holding inside every worker.
+func TestJoinSelfStreamParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for _, n := range []int{1, 30, 500, 2000} {
+		for _, workers := range []int{1, 2, 3, 8} {
+			items := randomItems(rng, n, 3)
+			tr := New(3, WithMaxEntries(6))
+			tr.BulkLoad(items)
+			var io stats.Counter
+			tr.SetCounter(&io)
+			window := joinWindow(4)
+
+			io.Reset()
+			serial := &collectVisitor{t: t, mu: &sync.Mutex{}, streams: map[int][]int{}}
+			tr.JoinSelfStream(window, serial.visitor())
+			serialIO := io.Value()
+
+			io.Reset()
+			var mu sync.Mutex
+			streams := map[int][]int{}
+			begun := map[int]int{}
+			tr.JoinSelfStreamParallel(window, workers, func() StreamVisitor {
+				c := &collectVisitor{t: t, mu: &mu, streams: streams}
+				inner := c.visitor()
+				return StreamVisitor{
+					Begin: func(id int, r geom.Rect) bool {
+						mu.Lock()
+						begun[id]++
+						mu.Unlock()
+						return inner.Begin(id, r)
+					},
+					Pair: inner.Pair,
+					End:  inner.End,
+				}
+			})
+			parallelIO := io.Value()
+
+			if len(streams) != n {
+				t.Fatalf("n=%d workers=%d: %d left streams, want %d", n, workers, len(streams), n)
+			}
+			for id, cnt := range begun {
+				if cnt != 1 {
+					t.Fatalf("n=%d workers=%d: left %d begun %d times", n, workers, id, cnt)
+				}
+			}
+			for id, got := range streams {
+				sort.Ints(got)
+				want := append([]int(nil), serial.streams[id]...)
+				sort.Ints(want)
+				if fmt.Sprint(got) != fmt.Sprint(want) {
+					t.Fatalf("n=%d workers=%d id=%d: got %v, want %v", n, workers, id, got, want)
+				}
+			}
+			if parallelIO != serialIO {
+				t.Fatalf("n=%d workers=%d: parallel charges %d node accesses, serial %d",
+					n, workers, parallelIO, serialIO)
+			}
+		}
+	}
+}
+
+// TestJoinSelfStreamParallelEarlyStop checks that a Pair returning false
+// truncates only that left entry's stream, also under the pool.
+func TestJoinSelfStreamParallelEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	items := randomItems(rng, 300, 2)
+	tr := New(2, WithMaxEntries(5))
+	tr.BulkLoad(items)
+	window := joinWindow(6)
+	full := bruteSelfJoin(items, window)
+
+	var mu sync.Mutex
+	counts := map[int]int{}
+	tr.JoinSelfStreamParallel(window, 4, func() StreamVisitor {
+		return StreamVisitor{
+			Pair: func(leftID, _ int, _ geom.Rect) bool {
+				mu.Lock()
+				counts[leftID]++
+				c := counts[leftID]
+				mu.Unlock()
+				return c < 2 // stop each stream after two matches
+			},
+		}
+	})
+	for id, c := range counts {
+		limit := len(full[id])
+		if limit > 2 {
+			limit = 2
+		}
+		if c != limit {
+			t.Fatalf("left %d: %d pairs reported, want %d", id, c, limit)
+		}
+	}
+}
+
+// TestJoinSelfStreamParallelInsertBuilt exercises the pool over a tree grown
+// by dynamic insertion (non-uniform fills, reinsertion paths).
+func TestJoinSelfStreamParallelInsertBuilt(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	items := randomItems(rng, 700, 2)
+	tr := New(2, WithMaxEntries(4))
+	for _, it := range items {
+		tr.Insert(it.Rect, it.ID)
+	}
+	window := joinWindow(2)
+	want := bruteSelfJoin(items, window)
+
+	var mu sync.Mutex
+	streams := map[int][]int{}
+	tr.JoinSelfStreamParallel(window, 3, func() StreamVisitor {
+		return StreamVisitor{
+			Begin: func(id int, _ geom.Rect) bool {
+				mu.Lock()
+				streams[id] = []int{}
+				mu.Unlock()
+				return true
+			},
+			Pair: func(leftID, rightID int, _ geom.Rect) bool {
+				mu.Lock()
+				streams[leftID] = append(streams[leftID], rightID)
+				mu.Unlock()
+				return true
+			},
+		}
+	})
+	if len(streams) != len(items) {
+		t.Fatalf("%d left streams, want %d", len(streams), len(items))
+	}
+	for id, got := range streams {
+		sort.Ints(got)
+		if fmt.Sprint(got) != fmt.Sprint(want[id]) {
+			t.Fatalf("id=%d: got %v, want %v", id, got, want[id])
+		}
+	}
+}

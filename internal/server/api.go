@@ -2,6 +2,7 @@ package server
 
 import (
 	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/uncertain"
 )
 
 // Data models served by the registry. "uncertain" is accepted as an alias
@@ -203,6 +204,14 @@ type PoolStats struct {
 	Canceled     int64 `json:"canceled"`
 }
 
+// QuadratureStats reports the process-wide pdf cubature memo: how often
+// repeated queries reused a derived quadrature rule instead of re-deriving
+// it, and how close the memo sits to its node-count eviction cap.
+type QuadratureStats struct {
+	uncertain.QuadMemoStats
+	HitRate float64 `json:"hitRate"`
+}
+
 // RequestStats counts requests per compute endpoint since start.
 type RequestStats struct {
 	Query   int64 `json:"query"`
@@ -213,12 +222,13 @@ type RequestStats struct {
 
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
-	UptimeSeconds float64       `json:"uptimeSeconds"`
-	Datasets      []DatasetInfo `json:"datasets"`
-	Cache         CacheStats    `json:"cache"`
-	Flights       FlightStats   `json:"flights"`
-	Pool          PoolStats     `json:"pool"`
-	Requests      RequestStats  `json:"requests"`
+	UptimeSeconds float64         `json:"uptimeSeconds"`
+	Datasets      []DatasetInfo   `json:"datasets"`
+	Cache         CacheStats      `json:"cache"`
+	Flights       FlightStats     `json:"flights"`
+	Pool          PoolStats       `json:"pool"`
+	Quadrature    QuadratureStats `json:"quadrature"`
+	Requests      RequestStats    `json:"requests"`
 }
 
 // HealthResponse is the /healthz payload.

@@ -1,0 +1,64 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// TestStatsQuadratureGauge pins the /v1/stats quadrature gauge: repeated
+// pdf queries (bypassing the result cache) must be served from the cubature
+// memo, and the gauge must report the hits.
+func TestStatsQuadratureGauge(t *testing.T) {
+	uncertain.ResetQuadMemo()
+	defer uncertain.ResetQuadMemo()
+
+	c := newTestClient(t, New(Config{Workers: 2, CacheSize: 16}))
+	specs := []PDFObjectSpec{
+		{Kind: "uniform", Min: []float64{8, 8}, Max: []float64{9, 9}},
+		{Kind: "uniform", Min: []float64{2, 2}, Max: []float64{3, 3}},
+		{Kind: "gaussian", Min: []float64{-9, 4}, Max: []float64{-7, 6}},
+	}
+	c.post("/v1/datasets", &DatasetRequest{Name: "pdf", Model: ModelPDF, PDFObjects: specs},
+		nil, http.StatusCreated)
+
+	readStats := func() StatsResponse {
+		resp, raw := c.do(http.MethodGet, "/v1/stats", nil)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET /v1/stats: status %d (%s)", resp.StatusCode, raw)
+		}
+		var st StatsResponse
+		if err := json.Unmarshal(raw, &st); err != nil {
+			t.Fatalf("stats payload: %v (%s)", err, raw)
+		}
+		return st
+	}
+
+	query := func() {
+		c.post("/v1/query", &QueryRequest{Dataset: "pdf", Q: []float64{0, 0}, Alpha: 0.5,
+			QuadNodes: 4, NoCache: true}, nil, http.StatusOK)
+	}
+
+	query()
+	first := readStats()
+	if first.Quadrature.Misses == 0 {
+		t.Fatalf("no memo misses after the first pdf query: %+v", first.Quadrature)
+	}
+	if first.Quadrature.NodeCap != uncertain.DefaultQuadMemoNodeCap {
+		t.Fatalf("gauge node cap = %d, want %d", first.Quadrature.NodeCap, uncertain.DefaultQuadMemoNodeCap)
+	}
+
+	query()
+	second := readStats()
+	if second.Quadrature.Hits <= first.Quadrature.Hits {
+		t.Fatalf("repeated query gained no memo hits: %+v -> %+v", first.Quadrature, second.Quadrature)
+	}
+	if second.Quadrature.Misses != first.Quadrature.Misses {
+		t.Fatalf("repeated query re-derived quadrature rules: %+v -> %+v", first.Quadrature, second.Quadrature)
+	}
+	if second.Quadrature.HitRate <= 0 {
+		t.Fatalf("hit rate not surfaced: %+v", second.Quadrature)
+	}
+}

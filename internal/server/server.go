@@ -29,6 +29,7 @@ import (
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/stats"
+	"github.com/crsky/crsky/internal/uncertain"
 )
 
 // Cache/flight response headers: X-Crsky-Cache is "hit", "miss", or
@@ -129,12 +130,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	quad := uncertain.QuadMemoMetrics()
 	writeJSON(w, http.StatusOK, StatsResponse{
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Datasets:      s.reg.list(),
 		Cache:         s.cache.Stats(),
 		Flights:       s.flights.Stats(),
 		Pool:          s.pool.Stats(),
+		Quadrature:    QuadratureStats{QuadMemoStats: quad, HitRate: quad.HitRate()},
 		Requests: RequestStats{
 			Query:   s.reqQuery.Value(),
 			Explain: s.reqExplain.Value(),

@@ -1,0 +1,164 @@
+package uncertain
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultQuadMemoNodeCap bounds the total number of QuadNodes the process-
+// wide quadrature memo may hold. Each resident node costs 32 bytes of
+// struct (24-byte point slice header + weight) plus an 8·dims-byte
+// coordinate array and its allocator overhead, so the default cap bounds
+// the memo at roughly 50–100 MB depending on dimensionality. The cap is
+// counted in nodes rather than entries because an entry's size varies by
+// orders of magnitude with (nodesPerDim)^dims.
+const DefaultQuadMemoNodeCap = 1 << 20
+
+// quadMemo is the process-wide cubature cache keyed by (object identity,
+// nodesPerDim). PDFObjects are immutable once built, so identity keying is
+// sound; keys pin their objects in memory only while resident, and eviction
+// is LRU by total node count so a long-lived crskyd process converges to at
+// most nodeCap nodes regardless of how many datasets come and go.
+type quadMemo struct {
+	mu      sync.Mutex
+	nodeCap int
+	nodes   int
+	order   *list.List // front = most recently used; values are *quadMemoEntry
+	byKey   map[quadMemoKey]*list.Element
+
+	hits, misses, evictions atomic.Int64
+}
+
+type quadMemoKey struct {
+	obj *PDFObject
+	k   int
+}
+
+type quadMemoEntry struct {
+	key   quadMemoKey
+	nodes []QuadNode
+}
+
+var memo = &quadMemo{
+	nodeCap: DefaultQuadMemoNodeCap,
+	order:   list.New(),
+	byKey:   make(map[quadMemoKey]*list.Element),
+}
+
+// QuadratureCached is Quadrature backed by the process-wide memo: repeated
+// queries against the same object reuse the derived cubature instead of
+// re-running the Newton iterations and density normalization. The returned
+// slice is shared — callers must treat it as read-only.
+func (o *PDFObject) QuadratureCached(nodesPerDim int) []QuadNode {
+	if nodesPerDim < 1 {
+		nodesPerDim = 1
+	}
+	key := quadMemoKey{obj: o, k: nodesPerDim}
+
+	memo.mu.Lock()
+	if el, ok := memo.byKey[key]; ok {
+		memo.order.MoveToFront(el)
+		memo.mu.Unlock()
+		memo.hits.Add(1)
+		return el.Value.(*quadMemoEntry).nodes
+	}
+	memo.mu.Unlock()
+	memo.misses.Add(1)
+
+	nodes := o.Quadrature(nodesPerDim)
+
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	if el, ok := memo.byKey[key]; ok {
+		// Another goroutine computed the same rule while we did; keep the
+		// resident copy so every caller shares one slice.
+		memo.order.MoveToFront(el)
+		return el.Value.(*quadMemoEntry).nodes
+	}
+	if len(nodes) > memo.nodeCap {
+		// Larger than the whole cache: hand it to the caller uncached
+		// rather than evicting everything for a single entry.
+		return nodes
+	}
+	memo.byKey[key] = memo.order.PushFront(&quadMemoEntry{key: key, nodes: nodes})
+	memo.nodes += len(nodes)
+	for memo.nodes > memo.nodeCap {
+		last := memo.order.Back()
+		ent := last.Value.(*quadMemoEntry)
+		memo.order.Remove(last)
+		delete(memo.byKey, ent.key)
+		memo.nodes -= len(ent.nodes)
+		memo.evictions.Add(1)
+	}
+	return nodes
+}
+
+// QuadMemoStats is a point-in-time snapshot of the quadrature memo.
+type QuadMemoStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Nodes     int   `json:"nodes"`
+	NodeCap   int   `json:"nodeCap"`
+}
+
+// HitRate returns the fraction of lookups served from the memo (0 before
+// any lookup).
+func (s QuadMemoStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// QuadMemoMetrics snapshots the process-wide quadrature memo counters.
+func QuadMemoMetrics() QuadMemoStats {
+	memo.mu.Lock()
+	entries, nodes, cap := len(memo.byKey), memo.nodes, memo.nodeCap
+	memo.mu.Unlock()
+	return QuadMemoStats{
+		Hits:      memo.hits.Load(),
+		Misses:    memo.misses.Load(),
+		Evictions: memo.evictions.Load(),
+		Entries:   entries,
+		Nodes:     nodes,
+		NodeCap:   cap,
+	}
+}
+
+// SetQuadMemoNodeCap resizes the memo (<= 0 restores the default), evicting
+// LRU entries until the new cap holds, and returns the previous cap. Mostly
+// a test hook; production processes keep the default.
+func SetQuadMemoNodeCap(n int) int {
+	if n <= 0 {
+		n = DefaultQuadMemoNodeCap
+	}
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	prev := memo.nodeCap
+	memo.nodeCap = n
+	for memo.nodes > memo.nodeCap {
+		last := memo.order.Back()
+		ent := last.Value.(*quadMemoEntry)
+		memo.order.Remove(last)
+		delete(memo.byKey, ent.key)
+		memo.nodes -= len(ent.nodes)
+		memo.evictions.Add(1)
+	}
+	return prev
+}
+
+// ResetQuadMemo drops every cached rule and zeroes the counters (test hook).
+func ResetQuadMemo() {
+	memo.mu.Lock()
+	defer memo.mu.Unlock()
+	memo.order.Init()
+	memo.byKey = make(map[quadMemoKey]*list.Element)
+	memo.nodes = 0
+	memo.hits.Store(0)
+	memo.misses.Store(0)
+	memo.evictions.Store(0)
+}

@@ -1,0 +1,85 @@
+package uncertain
+
+import (
+	"math"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// FuzzQuadratureMemo hammers the cubature builder and its memo with
+// byte-derived geometry: degenerate (zero-width) regions, tiny and skewed
+// Gaussian parameters, k = 0/1 edge cases, and caps small enough to force
+// eviction mid-sequence. Properties: no panic, finite nodes inside the
+// region, weights summing to 1, and the cached rule bit-identical to a
+// fresh derivation.
+func FuzzQuadratureMemo(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(1), false, uint16(0))
+	f.Add(uint8(10), uint8(0), uint8(20), uint8(5), uint8(0), true, uint16(50)) // k=0, tight cap
+	f.Add(uint8(255), uint8(255), uint8(1), uint8(1), uint8(7), true, uint16(9))
+	f.Add(uint8(3), uint8(3), uint8(0), uint8(0), uint8(4), false, uint16(1000)) // zero-width region
+
+	f.Fuzz(func(t *testing.T, loRaw, loRaw2, wRaw, hRaw, kRaw uint8, gaussian bool, capRaw uint16) {
+		ResetQuadMemo()
+		prev := SetQuadMemoNodeCap(int(capRaw)%2000 + 1)
+		defer func() {
+			SetQuadMemoNodeCap(prev)
+			ResetQuadMemo()
+		}()
+
+		lo := geom.Point{float64(loRaw) / 4, float64(loRaw2) / 4}
+		hi := geom.Point{lo[0] + float64(wRaw)/8, lo[1] + float64(hRaw)/8}
+		region := geom.Rect{Min: lo, Max: hi}
+		var o *PDFObject
+		if gaussian {
+			o = NewGaussianPDF(1, region, nil, nil)
+		} else {
+			o = NewUniformPDF(1, region)
+		}
+		if err := o.Validate(); err != nil {
+			return
+		}
+		k := int(kRaw) % 10 // includes 0 and 1
+
+		fresh := o.Quadrature(k)
+		cached := o.QuadratureCached(k)
+		if len(fresh) != len(cached) {
+			t.Fatalf("k=%d: cached %d nodes, fresh %d", k, len(cached), len(fresh))
+		}
+		var sum float64
+		for i := range fresh {
+			if fresh[i].W != cached[i].W || !fresh[i].X.Equal(cached[i].X) {
+				t.Fatalf("k=%d node %d: cached %+v, fresh %+v", k, i, cached[i], fresh[i])
+			}
+			if math.IsNaN(cached[i].W) || math.IsInf(cached[i].W, 0) {
+				t.Fatalf("k=%d node %d: non-finite weight %v", k, i, cached[i].W)
+			}
+			for d, x := range cached[i].X {
+				if math.IsNaN(x) || x < region.Min[d]-1e-9 || x > region.Max[d]+1e-9 {
+					t.Fatalf("k=%d node %d: coordinate %v escapes region %v", k, i, x, region)
+				}
+			}
+			sum += cached[i].W
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("k=%d: weights sum to %v, want 1", k, sum)
+		}
+
+		// Second derivation at a different resolution, then re-read the
+		// first: whatever the cap evicted, contents must stay correct.
+		o.QuadratureCached(k + 1)
+		again := o.QuadratureCached(k)
+		if len(again) != len(fresh) {
+			t.Fatalf("k=%d: re-read has %d nodes, want %d", k, len(again), len(fresh))
+		}
+		for i := range again {
+			if again[i].W != fresh[i].W || !again[i].X.Equal(fresh[i].X) {
+				t.Fatalf("k=%d node %d after eviction churn: %+v, want %+v", k, i, again[i], fresh[i])
+			}
+		}
+		st := QuadMemoMetrics()
+		if st.Nodes > st.NodeCap {
+			t.Fatalf("memo holds %d nodes over cap %d", st.Nodes, st.NodeCap)
+		}
+	})
+}

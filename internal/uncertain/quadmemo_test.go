@@ -1,0 +1,125 @@
+package uncertain
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func memoRegion() geom.Rect {
+	return geom.NewRect(geom.Point{1, 2}, geom.Point{4, 7})
+}
+
+func TestQuadratureCachedMatchesFresh(t *testing.T) {
+	ResetQuadMemo()
+	defer ResetQuadMemo()
+	for _, o := range []*PDFObject{
+		NewUniformPDF(0, memoRegion()),
+		NewGaussianPDF(1, memoRegion(), nil, nil),
+	} {
+		for _, k := range []int{0, 1, 2, 9} {
+			fresh := o.Quadrature(k)
+			cached := o.QuadratureCached(k)
+			if len(fresh) != len(cached) {
+				t.Fatalf("k=%d: %d cached nodes, %d fresh", k, len(cached), len(fresh))
+			}
+			for i := range fresh {
+				if fresh[i].W != cached[i].W || !fresh[i].X.Equal(cached[i].X) {
+					t.Fatalf("k=%d node %d: cached %+v, fresh %+v", k, i, cached[i], fresh[i])
+				}
+			}
+			again := o.QuadratureCached(k)
+			if &again[0] != &cached[0] {
+				t.Fatalf("k=%d: second lookup did not reuse the resident slice", k)
+			}
+		}
+	}
+	st := QuadMemoMetrics()
+	// k=0 and k=1 normalize to the same key, so each object contributes 3
+	// distinct entries and one extra hit.
+	if st.Entries != 6 {
+		t.Fatalf("entries = %d, want 6 (%+v)", st.Entries, st)
+	}
+	if st.Hits < 8 || st.Misses != 6 {
+		t.Fatalf("hits/misses = %d/%d, want >=8/6 (%+v)", st.Hits, st.Misses, st)
+	}
+	if st.HitRate() <= 0 {
+		t.Fatalf("hit rate %v, want positive", st.HitRate())
+	}
+}
+
+func TestQuadMemoEvictsAtNodeCap(t *testing.T) {
+	ResetQuadMemo()
+	prev := SetQuadMemoNodeCap(100)
+	defer func() {
+		SetQuadMemoNodeCap(prev)
+		ResetQuadMemo()
+	}()
+
+	objs := make([]*PDFObject, 30)
+	for i := range objs {
+		objs[i] = NewUniformPDF(i, memoRegion())
+		objs[i].QuadratureCached(3) // 9 nodes each; cap fits at most 11 entries
+	}
+	st := QuadMemoMetrics()
+	if st.Nodes > 100 {
+		t.Fatalf("memo holds %d nodes, cap is 100 (%+v)", st.Nodes, st)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions despite overflow (%+v)", st)
+	}
+	// LRU: the most recent entries are resident, the oldest are not.
+	before := QuadMemoMetrics().Hits
+	objs[len(objs)-1].QuadratureCached(3)
+	if QuadMemoMetrics().Hits != before+1 {
+		t.Fatal("most recent entry was evicted")
+	}
+	objs[0].QuadratureCached(3)
+	if QuadMemoMetrics().Hits != before+1 {
+		t.Fatal("oldest entry survived past the cap")
+	}
+
+	// An entry larger than the whole cache must not wipe the memo.
+	entriesBefore := QuadMemoMetrics().Entries
+	big := NewUniformPDF(99, memoRegion())
+	if got := big.QuadratureCached(11); len(got) != 121 {
+		t.Fatalf("oversized rule has %d nodes, want 121", len(got))
+	}
+	if after := QuadMemoMetrics(); after.Entries < entriesBefore {
+		t.Fatalf("oversized rule evicted resident entries: %d -> %d", entriesBefore, after.Entries)
+	}
+}
+
+func TestQuadMemoConcurrentSharing(t *testing.T) {
+	ResetQuadMemo()
+	defer ResetQuadMemo()
+	o := NewGaussianPDF(7, memoRegion(), nil, nil)
+	var wg sync.WaitGroup
+	out := make([][]QuadNode, 16)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = o.QuadratureCached(6)
+		}(i)
+	}
+	wg.Wait()
+	var sum float64
+	for _, n := range out[0] {
+		sum += n.W
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	for i := 1; i < len(out); i++ {
+		if len(out[i]) != len(out[0]) {
+			t.Fatalf("goroutine %d saw %d nodes, want %d", i, len(out[i]), len(out[0]))
+		}
+	}
+	st := QuadMemoMetrics()
+	if st.Entries != 1 {
+		t.Fatalf("%d entries resident after concurrent lookups of one key", st.Entries)
+	}
+}

@@ -22,6 +22,7 @@ import (
 func (e *Engine) Warm() {
 	e.ds.Tree()
 	e.ds.WeightSums()
+	e.ds.Summaries()
 }
 
 // Warm forces the index build (see Engine.Warm). The certain-data index is
