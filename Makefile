@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check experiments
+.PHONY: build test race conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check experiments
 
 build:
 	go build ./...
@@ -41,6 +41,18 @@ bench-prsq:
 # simulated I/O (deterministic).
 bench-prsq-check:
 	go run ./cmd/experiments -exp prsq -scale 1 -benchfile /tmp/BENCH_prsq.head.json -against BENCH_prsq.json
+
+# Refresh the explanation hot-path trajectory (BENCH_explain.json): naive
+# oracle vs old refiner vs branch-and-bound FMCS, sample and pdf models.
+bench-explain:
+	go run ./cmd/experiments -exp explain -scale 1
+
+# Re-measure into a scratch file and fail against the committed
+# BENCH_explain.json on a >20% drop in speedup-vs-naive (hardware-neutral),
+# any growth in SubsetsExamined on serial cells (deterministic), or a
+# violated bb-beats-old-refiner subset invariant.
+bench-explain-check:
+	go run ./cmd/experiments -exp explain -scale 1 -benchfile /tmp/BENCH_explain.head.json -against BENCH_explain.json
 
 experiments:
 	go run ./cmd/experiments

@@ -26,8 +26,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "generator seed")
 		pool      = flag.Int("maxpool", 18, "refinement pool cap for selected non-answers")
 		list      = flag.Bool("list", false, "list experiments and exit")
-		benchfile = flag.String("benchfile", experiments.PRSQBenchFile, "output path for the prsq bench report")
-		against   = flag.String("against", "", "after the prsq experiment, fail if the new report regresses >20% vs this committed report")
+		benchfile = flag.String("benchfile", "", "output path for the bench report; requires -exp prsq or -exp explain (default BENCH_prsq.json / BENCH_explain.json)")
+		against   = flag.String("against", "", "fail if the new report regresses >20% vs this committed report; requires -exp prsq or -exp explain")
 	)
 	flag.Parse()
 
@@ -39,15 +39,23 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Out:       os.Stdout,
-		Seed:      *seed,
-		Runs:      *runs,
-		Scale:     *scale,
-		MaxPool:   *pool,
-		BenchFile: *benchfile,
+		Out:     os.Stdout,
+		Seed:    *seed,
+		Runs:    *runs,
+		Scale:   *scale,
+		MaxPool: *pool,
 	}
 
 	if *exp == "" {
+		// Run-all never writes bench reports: prsq and explain share the
+		// Config, so a single -benchfile would have one overwrite the
+		// other's committed baseline. Refreshing a trajectory is a
+		// deliberate act — use -exp prsq or -exp explain (make bench-prsq
+		// / make bench-explain).
+		if *benchfile != "" || *against != "" {
+			fmt.Fprintln(os.Stderr, "experiments: -benchfile/-against require -exp prsq or -exp explain")
+			os.Exit(2)
+		}
 		if err := experiments.RunAll(cfg); err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 			os.Exit(1)
@@ -59,13 +67,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (use -list)\n", *exp)
 		os.Exit(2)
 	}
+	switch e.Name {
+	case "prsq":
+		cfg.BenchFile = *benchfile
+		if cfg.BenchFile == "" {
+			cfg.BenchFile = experiments.PRSQBenchFile
+		}
+	case "explain":
+		cfg.BenchFile = *benchfile
+		if cfg.BenchFile == "" {
+			cfg.BenchFile = experiments.ExplainBenchFile
+		}
+	default:
+		// Only the bench experiments honor Config.BenchFile; silently
+		// accepting the flags here would drop the user's request (and a
+		// stray default could overwrite a committed baseline).
+		if *benchfile != "" || *against != "" {
+			fmt.Fprintf(os.Stderr, "experiments: -benchfile/-against require -exp prsq or -exp explain, not %q\n", e.Name)
+			os.Exit(2)
+		}
+	}
 	fmt.Printf("=== %s ===\n", e.Title)
 	if err := e.Run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
 		os.Exit(1)
 	}
-	if *against != "" && e.Name == "prsq" {
-		if err := experiments.PRSQCompare(cfg.BenchFile, *against, 0.20); err != nil {
+	if *against != "" {
+		var err error
+		switch e.Name {
+		case "prsq":
+			err = experiments.PRSQCompare(cfg.BenchFile, *against, 0.20)
+		case "explain":
+			err = experiments.ExplainCompare(cfg.BenchFile, *against, 0.20)
+		}
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "%v\n", err)
 			os.Exit(1)
 		}

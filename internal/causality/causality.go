@@ -42,6 +42,16 @@ type Result struct {
 	// SubsetsExamined counts contingency-set verifications performed
 	// during refinement (the work the paper's lemmas save).
 	SubsetsExamined int64
+	// GreedySeeds counts candidates for which the greedy incumbent pass
+	// produced a verified contingency-set upper bound.
+	GreedySeeds int64
+	// GreedyHits counts candidates whose final minimum contingency size
+	// equals their greedy incumbent — the search only certified
+	// minimality instead of discovering the set.
+	GreedyHits int64
+	// FilterNodeAccesses is the simulated I/O of the candidate-retrieval
+	// R-tree traversal (the Lemma-2 filter step) for this explanation.
+	FilterNodeAccesses int64
 }
 
 // Options tunes the refinement stage.
@@ -51,8 +61,13 @@ type Options struct {
 	// is exponential in the candidate count in the worst case, exactly as
 	// Theorem 1 states; the cap makes misuse fail fast instead of hanging.
 	MaxCandidates int
-	// MaxSubsets aborts with ErrSubsetBudget after this many subset
-	// verifications (0 = unlimited).
+	// MaxSubsets aborts with ErrSubsetBudget after this many refinement
+	// evaluation units — contingency-set verifications, branch points a
+	// prune killed, and the greedy incumbent pass's probability
+	// evaluations (0 = unlimited). Charging pruned branch points and the
+	// greedy pass keeps the budget a real latency bound under the
+	// branch-and-bound search: prunes convert leaf verifications into
+	// internal-node work, and the seed pass runs before any enumeration.
 	MaxSubsets int64
 	// QuadNodes is the per-dimension quadrature resolution for the
 	// pdf-model algorithms (0 = dimension-adapted default).
@@ -74,6 +89,16 @@ type Options struct {
 	NoLemma5 bool
 	NoLemma6 bool
 	NoPrune  bool
+
+	// Branch-and-bound ablations (same contract — results stay correct):
+	// NoGreedySeed skips the greedy incumbent pass that seeds per-
+	// candidate upper bounds before the exhaustive search, NoAdmissible
+	// disables the removal-gain bound that prunes enumeration subtrees,
+	// and NoMassOrder keeps pools and the candidate processing sequence
+	// in index order instead of descending dominance mass.
+	NoGreedySeed bool
+	NoAdmissible bool
+	NoMassOrder  bool
 }
 
 // Errors reported by the causality algorithms.

@@ -32,7 +32,7 @@ func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Optio
 	}
 	an := ds.Objects[anID]
 
-	candIDs := FilterCandidates(ds, q, an)
+	candIDs, filterIO := FilterCandidatesCounted(ds, q, an)
 	if opts.MaxCandidates > 0 && len(candIDs) > opts.MaxCandidates {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyCandidates, len(candIDs), opts.MaxCandidates)
 	}
@@ -47,7 +47,7 @@ func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Optio
 		return nil, fmt.Errorf("%w: Pr=%.6g, α=%.6g", ErrNotNonAnswer, pr, alpha)
 	}
 
-	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs)}
+	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs), FilterNodeAccesses: filterIO}
 
 	if prob.GEq(alpha, 1) {
 		// Lines 9–11: the only contingency set for each candidate is all
@@ -63,6 +63,7 @@ func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Optio
 	}
 	res.Causes = causes
 	res.SubsetsExamined = r.subsetsCount()
+	res.GreedySeeds, res.GreedyHits = r.greedyStats()
 	return res, nil
 }
 
@@ -73,14 +74,30 @@ func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Optio
 // Returns candidate object IDs in ascending order. Node accesses are
 // charged to the counter attached to the dataset's tree.
 func FilterCandidates(ds *dataset.Uncertain, q geom.Point, an *uncertain.Object) []int {
+	ids, _ := FilterCandidatesCounted(ds, q, an)
+	return ids
+}
+
+// FilterCandidatesCounted is FilterCandidates additionally reporting the
+// node accesses of the retrieval traversal, so explanation results can
+// attribute their filter I/O without relying on the dataset-wide counter
+// (which concurrent requests share).
+func FilterCandidatesCounted(ds *dataset.Uncertain, q geom.Point, an *uncertain.Object) ([]int, int64) {
 	recs := make([]geom.Rect, len(an.Samples))
 	anchors := make([]geom.Point, len(an.Samples))
 	for i, s := range an.Samples {
 		recs[i] = geom.DomRectOuter(s.Loc, q)
 		anchors[i] = s.Loc
 	}
+	// Windows fully contained in another window are redundant: any
+	// rectangle meeting the contained one meets its container, so the
+	// traversal's intersects-any decisions — and therefore its node
+	// accesses — are unchanged while each visited entry tests fewer
+	// windows. Samples of a tight object mostly mirror each other's
+	// dominance rectangles, so the dedup routinely collapses the list.
+	recs = dropContainedWindows(recs)
 	var ids []int
-	ds.Tree().SearchAny(recs, func(id int, _ geom.Rect) bool {
+	accesses := ds.Tree().SearchAnyCounted(recs, func(id int, _ geom.Rect) bool {
 		if id == an.ID {
 			return true
 		}
@@ -90,7 +107,37 @@ func FilterCandidates(ds *dataset.Uncertain, q geom.Point, an *uncertain.Object)
 		return true
 	})
 	sort.Ints(ids)
-	return ids
+	return ids, accesses
+}
+
+// dropContainedWindows removes every rectangle contained in another one,
+// preserving the union of the windows exactly. Quadratic in the window
+// count, which is bounded by an object's sample count.
+func dropContainedWindows(recs []geom.Rect) []geom.Rect {
+	if len(recs) < 2 {
+		return recs
+	}
+	drop := make([]bool, len(recs))
+	for i, r := range recs {
+		for j, s := range recs {
+			if i == j || drop[j] {
+				continue
+			}
+			// Break containment ties (identical rectangles) by index so
+			// exactly one survives.
+			if s.ContainsRect(r) && !(r.ContainsRect(s) && i < j) {
+				drop[i] = true
+				break
+			}
+		}
+	}
+	kept := recs[:0]
+	for i, r := range recs {
+		if !drop[i] {
+			kept = append(kept, r)
+		}
+	}
+	return kept
 }
 
 // objectCanDominate reports whether some sample of o dynamically dominates

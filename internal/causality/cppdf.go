@@ -82,7 +82,7 @@ func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Res
 	// Difference 1: sub-quadrant farthest-corner rectangles.
 	recs := prob.CandidateRectsPDF(an, q)
 	var candIDs []int
-	s.Tree().SearchAny(recs, func(id int, _ geom.Rect) bool {
+	filterIO := s.Tree().SearchAnyCounted(recs, func(id int, _ geom.Rect) bool {
 		if id != anID {
 			candIDs = append(candIDs, id)
 		}
@@ -121,7 +121,7 @@ func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Res
 		return nil, fmt.Errorf("%w: Pr=%.6g, α=%.6g", ErrNotNonAnswer, pr, alpha)
 	}
 
-	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs)}
+	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs), FilterNodeAccesses: filterIO}
 	if prob.GEq(alpha, 1) {
 		res.Causes = alphaOneCauses(candIDs)
 		return res, nil
@@ -145,5 +145,6 @@ func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Res
 	}
 	res.Causes = causes
 	res.SubsetsExamined = r.subsetsCount()
+	res.GreedySeeds, res.GreedyHits = r.greedyStats()
 	return res, nil
 }

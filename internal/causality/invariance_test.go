@@ -109,12 +109,27 @@ func TestCPSampleOrderInvariance(t *testing.T) {
 // causes untouched — the lemmas are optimizations, not semantics.
 func TestAblationFlagsPreserveResults(t *testing.T) {
 	r := rand.New(rand.NewSource(143))
-	variants := []Options{
-		{NoLemma4: true},
-		{NoLemma5: true},
-		{NoLemma6: true},
-		{NoPrune: true},
-		{NoLemma4: true, NoLemma5: true, NoLemma6: true, NoPrune: true},
+	variants := []struct {
+		opts Options
+		// monotone marks variants that only grow the search space without
+		// changing the enumeration order or the seeded bounds, for which
+		// "examines at least as many subsets as full CP" is a theorem. The
+		// order/bound ablations (NoMassOrder, NoGreedySeed) can luck into
+		// hits earlier on specific instances, so only result equality is
+		// asserted for them.
+		monotone bool
+	}{
+		{Options{NoLemma4: true}, false},
+		{Options{NoLemma5: true}, false},
+		{Options{NoLemma6: true}, true},
+		{Options{NoPrune: true}, true},
+		{Options{NoAdmissible: true}, true},
+		{Options{NoLemma4: true, NoLemma5: true, NoLemma6: true, NoPrune: true}, false},
+		{Options{NoGreedySeed: true}, false},
+		{Options{NoMassOrder: true}, false},
+		{Options{NoGreedySeed: true, NoAdmissible: true, NoMassOrder: true}, false},
+		{Options{NoLemma4: true, NoLemma5: true, NoLemma6: true, NoPrune: true,
+			NoGreedySeed: true, NoAdmissible: true, NoMassOrder: true}, false},
 	}
 	ran := 0
 	for trial := 0; trial < 80 && ran < 20; trial++ {
@@ -130,13 +145,13 @@ func TestAblationFlagsPreserveResults(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		for vi, opts := range variants {
-			got, err := CP(ds, q, anID, 0.5, opts)
+		for vi, v := range variants {
+			got, err := CP(ds, q, anID, 0.5, v.opts)
 			if err != nil {
 				t.Fatalf("variant %d: %v", vi, err)
 			}
 			causesEqual(t, got.Causes, base.Causes, "ablation variant")
-			if got.SubsetsExamined < base.SubsetsExamined {
+			if v.monotone && got.SubsetsExamined < base.SubsetsExamined {
 				t.Fatalf("variant %d examined fewer subsets (%d) than full CP (%d)",
 					vi, got.SubsetsExamined, base.SubsetsExamined)
 			}

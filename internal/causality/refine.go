@@ -20,6 +20,28 @@ import (
 // Pr >= α, every superset violates contingency condition (i) and the
 // whole enumeration branch dies.
 //
+// On top of the cardinality-ascending enumeration the refiner runs a true
+// branch-and-bound search:
+//
+//   - a greedy incumbent pass (largest-marginal-gain removals until the
+//     contingency conditions hold) seeds a per-candidate upper bound
+//     BEFORE any exhaustive work, so the search proves minimality below a
+//     tight incumbent instead of climbing from the bottom blindly
+//     (Options.NoGreedySeed ablates it);
+//   - an admissible bound prunes subtrees inside the enumeration: each
+//     candidate's removal can raise Pr(an | ·) by at most its dominance
+//     mass Σ_i w_i·d(j,i) in any context, so a branch whose `need` best
+//     remaining removals cannot lift Pr(an | · −{cc}) to α has no
+//     satisfying leaf (Options.NoAdmissible ablates it);
+//   - pools and the candidate processing order are sorted by descending
+//     dominance mass, so satisfying sets are met early and Lemma-6 bounds
+//     propagate before, not after, the expensive searches
+//     (Options.NoMassOrder ablates it).
+//
+// All three are pure search-space reductions: they never change which
+// cause IDs are reported or their responsibilities (minimum contingency
+// sizes are unique even though the witnessing sets are not).
+//
 // With Options.Parallel > 1 the per-candidate searches run on worker
 // goroutines, each owning a clone of the evaluator; the Lemma-6 bounds are
 // shared under a mutex. Bounds only ever shrink the search space, never
@@ -32,6 +54,12 @@ type refiner struct {
 	forced         []bool // Lemma 4: in every minimum contingency set
 	counterfactual []bool // Lemma 5: in no minimum contingency set
 
+	// gains[j] is the admissible removal gain of candidate j (its total
+	// dominance mass against an): an upper bound on how much removing j
+	// can raise Pr(an | ·) in any context. Computed once on the root
+	// evaluator and shared read-only across workers.
+	gains []float64
+
 	opts   Options
 	shared *refinerShared
 
@@ -42,17 +70,35 @@ type refiner struct {
 	scratchForced []int
 	scratchPool   []int
 	scratchChosen []int
+	scratchPrefix []float64
+	scratchPicked []bool
 }
+
+// admissibleSlack widens the admissible prune threshold beyond the Eps
+// already inside prob.Less: the bound and the leaf probabilities travel
+// different float paths (direct gain sums vs the incremental product), so
+// the prune keeps a full comparison-tolerance of margin to stay sound.
+const admissibleSlack = 1e-9
 
 // refinerShared is the cross-worker state.
 type refinerShared struct {
-	mu        sync.Mutex
-	bestKnown []int   // per candidate: best known contingency size (-1 unknown)
-	bestSet   [][]int // the recorded set (evaluator indexes)
+	mu         sync.Mutex
+	bestKnown  []int   // per candidate: best known contingency size (-1 unknown)
+	bestSet    [][]int // the recorded set (evaluator indexes)
+	greedySize []int   // per candidate: greedy incumbent size (-1 = no seed)
 
 	subsetsExamined atomic.Int64
-	maxSubsets      int64
-	aborted         atomic.Bool
+	// workUnits counts every enumeration node — leaves AND branch points
+	// killed by a prune. The MaxSubsets budget draws from this counter:
+	// pruning turns would-be leaf verifications into internal-node
+	// evaluations, and a budget that only counted leaves would never trip
+	// on a search that prunes everything while still churning through an
+	// exponential frontier.
+	workUnits   atomic.Int64
+	greedySeeds atomic.Int64
+	greedyHits  atomic.Int64
+	maxSubsets  int64
+	aborted     atomic.Bool
 }
 
 func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refiner {
@@ -60,10 +106,16 @@ func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refi
 	shared := &refinerShared{
 		bestKnown:  make([]int, n),
 		bestSet:    make([][]int, n),
+		greedySize: make([]int, n),
 		maxSubsets: opts.MaxSubsets,
 	}
 	for j := range shared.bestKnown {
 		shared.bestKnown[j] = -1
+		shared.greedySize[j] = -1
+	}
+	gains := make([]float64, n)
+	for j := range gains {
+		gains[j] = e.RemovalGain(j)
 	}
 	return &refiner{
 		e:              e,
@@ -71,6 +123,7 @@ func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refi
 		alpha:          alpha,
 		forced:         make([]bool, n),
 		counterfactual: make([]bool, n),
+		gains:          gains,
 		opts:           opts,
 		shared:         shared,
 	}
@@ -78,6 +131,12 @@ func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refi
 
 // subsetsExamined reports the shared verification counter.
 func (r *refiner) subsetsCount() int64 { return r.shared.subsetsExamined.Load() }
+
+// greedyStats reports how many greedy incumbents were seeded and how many
+// turned out to already be minimum contingency sets.
+func (r *refiner) greedyStats() (seeds, hits int64) {
+	return r.shared.greedySeeds.Load(), r.shared.greedyHits.Load()
+}
 
 // classify fills the forced and counterfactual marks (Lemmas 4 and 5);
 // either classification can be ablated away without affecting correctness,
@@ -115,6 +174,12 @@ func (r *refiner) run() ([]Cause, error) {
 		}
 	}
 
+	if !r.opts.NoGreedySeed {
+		if err := r.greedySeedAll(); err != nil {
+			return nil, err
+		}
+	}
+
 	perCandidate, err := r.searchAll()
 	if err != nil {
 		return nil, err
@@ -139,18 +204,38 @@ func (r *refiner) run() ([]Cause, error) {
 	return causes, nil
 }
 
+// searchOrder lists the candidates to search, skipping counterfactual ones.
+// Unless ablated, candidates are visited in descending dominance-mass order:
+// heavy candidates tend to share contingency structure, so their freshly
+// found minimum sets seed Lemma-6 bounds for the candidates still queued.
+func (r *refiner) searchOrder() []int {
+	order := make([]int, 0, r.e.N())
+	for cc := 0; cc < r.e.N(); cc++ {
+		if !r.counterfactual[cc] {
+			order = append(order, cc)
+		}
+	}
+	if !r.opts.NoMassOrder {
+		sort.Slice(order, func(a, b int) bool {
+			if r.gains[order[a]] != r.gains[order[b]] {
+				return r.gains[order[a]] > r.gains[order[b]]
+			}
+			return order[a] < order[b]
+		})
+	}
+	return order
+}
+
 // searchAll runs fmcs for every non-counterfactual candidate, serially or
 // on Options.Parallel workers, and returns the found minimum contingency
 // set per candidate (nil when not a cause or counterfactual).
 func (r *refiner) searchAll() ([][]int, error) {
 	n := r.e.N()
 	out := make([][]int, n)
+	order := r.searchOrder()
 
 	if r.opts.Parallel <= 1 {
-		for cc := 0; cc < n; cc++ {
-			if r.counterfactual[cc] {
-				continue
-			}
+		for _, cc := range order {
 			gamma, ok, err := r.fmcs(cc)
 			if err != nil {
 				return nil, err
@@ -177,6 +262,7 @@ func (r *refiner) searchAll() ([][]int, error) {
 			alpha:          r.alpha,
 			forced:         r.forced,
 			counterfactual: r.counterfactual,
+			gains:          r.gains,
 			opts:           r.opts,
 			shared:         r.shared,
 		}
@@ -199,10 +285,7 @@ func (r *refiner) searchAll() ([][]int, error) {
 			}
 		}()
 	}
-	for cc := 0; cc < n; cc++ {
-		if r.counterfactual[cc] {
-			continue
-		}
+	for _, cc := range order {
 		if r.shared.aborted.Load() {
 			break
 		}
@@ -231,11 +314,11 @@ func (r *refiner) boundSet(cc int) []int {
 	return r.shared.bestSet[cc]
 }
 
-// fmcs finds a minimum contingency set for candidate cc (Algorithm 2),
-// returning the set as evaluator indexes. ok is false when cc is not an
-// actual cause.
-func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
-	forcedSet, pool := r.scratchForced[:0], r.scratchPool[:0]
+// partition splits the candidates other than cc into the forced kernel and
+// the searchable pool, excluding counterfactual candidates (Lemma 5). The
+// returned slices alias the refiner's scratch space.
+func (r *refiner) partition(cc int) (forcedSet, pool []int) {
+	forcedSet, pool = r.scratchForced[:0], r.scratchPool[:0]
 	for j := 0; j < r.e.N(); j++ {
 		if j == cc {
 			continue
@@ -250,7 +333,153 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 		}
 	}
 	r.scratchForced, r.scratchPool = forcedSet, pool
+	return forcedSet, pool
+}
+
+// chargeWork draws n evaluation units from the MaxSubsets budget,
+// returning ErrSubsetBudget once it is exhausted.
+func (r *refiner) chargeWork(n int64) error {
+	if r.shared.maxSubsets > 0 && r.shared.workUnits.Add(n) > r.shared.maxSubsets {
+		return ErrSubsetBudget
+	}
+	return nil
+}
+
+// greedySeedAll runs the greedy incumbent pass for every searchable
+// candidate, seeding the shared upper bounds before any exhaustive search
+// begins. It runs serially on the root evaluator: the pass is quadratic in
+// the pool size — noise next to the enumeration it bounds. Its probability
+// evaluations are charged to the MaxSubsets budget like any other search
+// node, so a tight budget bounds the whole refinement, not just the
+// enumeration behind the seeds.
+func (r *refiner) greedySeedAll() error {
+	for _, cc := range r.searchOrder() {
+		if err := r.greedySeed(cc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// greedySeed builds a contingency-set incumbent for cc by repeatedly
+// removing the pool object with the largest marginal gain on
+// Pr(an | · − {cc}) until condition (ii) holds, then verifying condition
+// (i). A verified incumbent of size s bounds cc's search to cardinalities
+// < s; the search only has to prove nothing smaller exists.
+func (r *refiner) greedySeed(cc int) error {
+	forcedSet, pool := r.partition(cc)
+
+	for _, j := range forcedSet {
+		r.e.Remove(j)
+	}
+	r.e.Remove(cc)
+
+	if cap(r.scratchPicked) < r.e.N() {
+		r.scratchPicked = make([]bool, r.e.N())
+	}
+	picked := r.scratchPicked[:r.e.N()]
+	for i := range picked {
+		picked[i] = false
+	}
+
+	chosen := r.scratchChosen[:0]
+	feasible := true
+	var budgetErr error
+	for budgetErr == nil && prob.Less(r.e.Pr(), r.alpha) {
+		best, bestPr := -1, 0.0
+		for _, j := range pool {
+			if picked[j] {
+				continue
+			}
+			if budgetErr = r.chargeWork(1); budgetErr != nil {
+				break
+			}
+			if pr := r.e.PrWithout(j); best < 0 || pr > bestPr {
+				best, bestPr = j, pr
+			}
+		}
+		if budgetErr != nil {
+			break
+		}
+		if best < 0 {
+			feasible = false // pool exhausted below α: cc is not a cause
+			break
+		}
+		picked[best] = true
+		chosen = append(chosen, best)
+		r.e.Remove(best)
+	}
+	r.scratchChosen = chosen[:0]
+
+	ok := false
+	r.e.Add(cc)
+	if feasible && budgetErr == nil {
+		// Condition (ii) holds; re-adding cc must keep an a non-answer
+		// (condition (i)) for Γ = forced ∪ chosen to witness causehood.
+		ok = prob.Less(r.e.Pr(), r.alpha)
+	}
+
+	var set []int
+	if ok {
+		set = make([]int, 0, len(forcedSet)+len(chosen))
+		set = append(append(set, forcedSet...), chosen...)
+	}
+
+	// Restore the evaluator exactly (also on the budget-abort path).
+	for _, j := range chosen {
+		r.e.Add(j)
+	}
+	for _, j := range forcedSet {
+		r.e.Add(j)
+	}
+
+	if !ok {
+		return budgetErr
+	}
+	size := len(set)
+	r.shared.greedySeeds.Add(1)
+	r.shared.mu.Lock()
+	r.shared.greedySize[cc] = size
+	if r.shared.bestKnown[cc] < 0 || r.shared.bestKnown[cc] > size {
+		r.shared.bestKnown[cc] = size
+		r.shared.bestSet[cc] = set
+	}
+	r.shared.mu.Unlock()
+	return nil
+}
+
+// recordGreedyHit bumps the hit counter when cc's final minimum size equals
+// its greedy incumbent — the measure of how often the incumbent pass alone
+// found an optimal set and the search only certified it. Only the
+// bound-return path of fmcs can hit: a set found by enumeration is always
+// strictly smaller than the incumbent that capped the search.
+func (r *refiner) recordGreedyHit(cc, size int) {
+	r.shared.mu.Lock()
+	hit := r.shared.greedySize[cc] == size
+	r.shared.mu.Unlock()
+	if hit {
+		r.shared.greedyHits.Add(1)
+	}
+}
+
+// fmcs finds a minimum contingency set for candidate cc (Algorithm 2),
+// returning the set as evaluator indexes. ok is false when cc is not an
+// actual cause.
+func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
+	forcedSet, pool := r.partition(cc)
 	maxSize := len(forcedSet) + len(pool)
+
+	// Dominance-mass order: heavy removals first, so satisfying subsets
+	// appear early in each cardinality's enumeration — and so the
+	// admissible bound's best-remaining prefix is exactly a range sum.
+	if !r.opts.NoMassOrder {
+		sort.Slice(pool, func(a, b int) bool {
+			if r.gains[pool[a]] != r.gains[pool[b]] {
+				return r.gains[pool[a]] > r.gains[pool[b]]
+			}
+			return pool[a] < pool[b]
+		})
+	}
 
 	// Feasibility precheck: condition (ii) is monotone in Γ, so if even
 	// the maximal Γ (everything but cc removed) cannot make an an
@@ -272,21 +501,38 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 		return nil, false, nil
 	}
 
-	// Search cardinalities strictly below the best Lemma-6 bound.
-	upper := maxSize + 1
-	if b := r.bound(cc); b >= 0 && b < upper {
-		upper = b
+	// Admissible-bound prefix sums over the pool's gains: with the pool
+	// mass-sorted, the best `need` removals available from position
+	// `start` onward are exactly pool[start:start+need].
+	var prefix []float64
+	if !r.opts.NoAdmissible {
+		prefix = r.scratchPrefix[:0]
+		prefix = append(prefix, 0)
+		for _, j := range pool {
+			prefix = append(prefix, prefix[len(prefix)-1]+r.gains[j])
+		}
+		r.scratchPrefix = prefix
 	}
-	// The forced set is in every contingency set (Lemma 4), so it is
-	// removed for the whole search; sizes below |forcedSet| do not exist.
+
+	// Search cardinalities strictly below the best known upper bound —
+	// the greedy incumbent and/or Lemma-6 sets, else maxSize+1.
+	upper := maxSize + 1
 	found := -1
 	chosen := r.scratchChosen[:0]
-	for m := len(forcedSet); m < upper; m++ {
+	for m := len(forcedSet); ; m++ {
+		// Re-read the shared bound each cardinality: parallel workers may
+		// have tightened it since the search began.
+		if b := r.bound(cc); b >= 0 && b < upper {
+			upper = b
+		}
+		if m >= upper {
+			break
+		}
 		need := m - len(forcedSet)
 		if need > len(pool) {
 			break
 		}
-		hit, e := r.combine(cc, pool, 0, need, &chosen)
+		hit, e := r.combine(cc, pool, prefix, 0, need, &chosen)
 		if e != nil {
 			for _, j := range forcedSet {
 				r.e.Add(j)
@@ -312,7 +558,9 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 		}
 		return gamma, true, nil
 	case r.bound(cc) >= 0:
-		// Nothing smaller exists, so the Lemma-6 set is minimal.
+		// Nothing smaller exists, so the recorded incumbent (greedy or
+		// Lemma-6) is minimal.
+		r.recordGreedyHit(cc, r.bound(cc))
 		return r.boundSet(cc), true, nil
 	default:
 		return nil, false, nil
@@ -322,28 +570,51 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 // combine enumerates size-need subsets of pool[start:] on top of the
 // removals already applied to the evaluator, testing the contingency
 // conditions at the leaves. On success the selected pool entries are left
-// in *chosen (and the evaluator is restored by the unwinding).
-func (r *refiner) combine(cc int, pool []int, start, need int, chosen *[]int) (bool, error) {
+// in *chosen (and the evaluator is restored by the unwinding). Two prunes
+// guard the recursion: the monotone prune (condition (i) already violated —
+// dead for every superset) and the admissible prune (even the best `need`
+// remaining removals cannot lift Pr(an | · −{cc}) to α — no satisfying
+// leaf below).
+func (r *refiner) combine(cc int, pool []int, prefix []float64, start, need int, chosen *[]int) (bool, error) {
+	if err := r.chargeWork(1); err != nil {
+		return false, err
+	}
 	if need == 0 {
-		n := r.shared.subsetsExamined.Add(1)
-		if r.shared.maxSubsets > 0 && n > r.shared.maxSubsets {
-			return false, ErrSubsetBudget
-		}
-		if prob.Less(r.e.Pr(), r.alpha) && prob.GEq(r.e.PrWithout(cc), r.alpha) {
+		r.shared.subsetsExamined.Add(1)
+		pr, prWo := r.e.PrPair(cc)
+		if prob.Less(pr, r.alpha) && prob.GEq(prWo, r.alpha) {
 			return true, nil
 		}
 		return false, nil
 	}
-	// Monotone prune: if an is already an answer with the current
-	// removals, condition (i) fails for every superset.
-	if !r.opts.NoPrune && prob.GEq(r.e.Pr(), r.alpha) {
-		return false, nil
+	if prefix == nil {
+		// Monotone prune: if an is already an answer with the current
+		// removals, condition (i) fails for every superset. Without the
+		// admissible bound only Pr is needed, so skip PrPair's PrWithout
+		// half — this is exactly the pre-branch-and-bound node cost.
+		if !r.opts.NoPrune && prob.GEq(r.e.Pr(), r.alpha) {
+			return false, nil
+		}
+	} else {
+		pr, prWo := r.e.PrPair(cc)
+		if !r.opts.NoPrune && prob.GEq(pr, r.alpha) {
+			return false, nil
+		}
+		budget := prefix[start+need] - prefix[start]
+		if r.opts.NoMassOrder {
+			// Unsorted pool: fall back to the whole remaining mass,
+			// still admissible, just looser.
+			budget = prefix[len(pool)] - prefix[start]
+		}
+		if prob.Less(prWo+budget+admissibleSlack, r.alpha) {
+			return false, nil
+		}
 	}
 	for i := start; i+need <= len(pool); i++ {
 		j := pool[i]
 		r.e.Remove(j)
 		*chosen = append(*chosen, j)
-		hit, err := r.combine(cc, pool, i+1, need-1, chosen)
+		hit, err := r.combine(cc, pool, prefix, i+1, need-1, chosen)
 		if hit || err != nil {
 			r.e.Add(j)
 			return hit, err

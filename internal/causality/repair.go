@@ -29,11 +29,14 @@ type Repair struct {
 // MinimalRepair finds a smallest removal set R ⊆ P with
 // Pr(an | P−R) >= alpha. Only candidate causes can matter (Lemma 1), every
 // always-dominating object must be in R (its presence pins Pr(an) to 0),
-// and Pr is monotone in R, so the search enumerates pool subsets in
-// ascending cardinality on top of the forced kernel — exactly when the
-// pool is small. Pools larger than greedyThreshold (or an exceeded
-// Options.MaxSubsets budget) fall back to a greedy marginal-gain
-// construction, reported with Exact=false.
+// and Pr is monotone in R. The search runs the same branch-and-bound scheme
+// as the FMCS refiner: a greedy marginal-gain construction first yields an
+// incumbent upper bound, then (for pools up to greedyThreshold) the exact
+// phase enumerates only cardinalities BELOW the incumbent, with subtrees
+// pruned whenever even the `need` largest remaining removal gains cannot
+// lift Pr to α. If that bounded search comes up empty the incumbent is
+// provably minimum and reported Exact=true; larger pools or an exceeded
+// Options.MaxSubsets budget keep the greedy set with Exact=false.
 func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
 	if anID < 0 || anID >= ds.Len() {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
@@ -68,18 +71,57 @@ func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64,
 		return finishRepair(e, candIDs, kernel, nil, true), nil
 	}
 
-	const greedyThreshold = 24
-	if len(pool) <= greedyThreshold {
-		if chosen, ok := exactRepairSearch(e, pool, alpha, opts.MaxSubsets); ok {
-			return finishRepair(e, candIDs, kernel, chosen, true), nil
-		}
+	// Greedy incumbent: repeatedly remove the pool candidate with the
+	// largest marginal probability gain. Always a valid repair (removing
+	// the whole pool yields Pr = 1) and usually at or near the minimum.
+	greedy := greedyRepair(e, pool, alpha)
+	if greedy == nil {
+		// Cannot happen: removing every candidate yields Pr = 1.
+		return nil, fmt.Errorf("causality: repair construction failed")
+	}
+	for _, j := range greedy {
+		e.Add(j) // back to the kernel-only state for the exact phase
 	}
 
-	// Greedy fallback: repeatedly remove the pool candidate with the
-	// largest marginal probability gain.
+	const greedyThreshold = 24
+	if len(pool) <= greedyThreshold {
+		chosen, found, ok := exactRepairBelow(e, pool, alpha, opts.MaxSubsets, len(greedy))
+		if ok && found {
+			for _, j := range chosen {
+				e.Remove(j)
+			}
+			return finishRepair(e, candIDs, kernel, chosen, true), nil
+		}
+		if ok {
+			// The bounded search exhausted every smaller cardinality:
+			// the greedy incumbent is a provably minimum repair.
+			for _, j := range greedy {
+				e.Remove(j)
+			}
+			return finishRepair(e, candIDs, kernel, greedy, true), nil
+		}
+		// Budget ran out mid-proof; fall through to the inexact answer.
+	}
+
+	for _, j := range greedy {
+		e.Remove(j)
+	}
+	return finishRepair(e, candIDs, kernel, greedy, false), nil
+}
+
+// greedyRepair removes pool candidates in descending marginal-gain order
+// until the threshold is reached, returning the chosen evaluator indexes
+// (which remain removed). nil means the pool was exhausted below α.
+func greedyRepair(e *prob.Evaluator, pool []int, alpha float64) []int {
 	var chosen []int
 	remaining := append([]int{}, pool...)
-	for !prob.GEq(e.Pr(), alpha) && len(remaining) > 0 {
+	for !prob.GEq(e.Pr(), alpha) {
+		if len(remaining) == 0 {
+			for _, j := range chosen {
+				e.Add(j)
+			}
+			return nil
+		}
 		bestIdx, bestGain := -1, -1.0
 		base := e.Pr()
 		for i, j := range remaining {
@@ -92,62 +134,79 @@ func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64,
 		e.Remove(j)
 		chosen = append(chosen, j)
 	}
-	if !prob.GEq(e.Pr(), alpha) {
-		// Cannot happen: removing every candidate yields Pr = 1.
-		return nil, fmt.Errorf("causality: repair construction failed")
-	}
-	return finishRepair(e, candIDs, kernel, chosen, false), nil
+	return chosen
 }
 
-// exactRepairSearch enumerates pool subsets in ascending cardinality on an
-// evaluator whose kernel is already removed; returns the first (hence
-// minimum) subset reaching the threshold. ok=false when the budget ran out.
-func exactRepairSearch(e *prob.Evaluator, pool []int, alpha float64, budget int64) ([]int, bool) {
+// exactRepairBelow enumerates pool subsets of size < upper in ascending
+// cardinality on an evaluator whose kernel is already removed, returning
+// the first (hence minimum) subset reaching the threshold. The pool is
+// visited in descending removal-gain order and a subtree dies when even the
+// `need` largest remaining gains cannot lift the current probability to α —
+// the same admissible bound the FMCS refiner uses, so the phase only pays
+// for cardinalities the incumbent has not already ruled out. found=false
+// with ok=true means no smaller repair exists; ok=false means the budget
+// ran out. The evaluator is restored either way.
+func exactRepairBelow(e *prob.Evaluator, pool []int, alpha float64, budget int64, upper int) (chosen []int, found, ok bool) {
+	if upper <= 1 {
+		return nil, false, true // the incumbent is a singleton: nothing below it
+	}
+	gains := make(map[int]float64, len(pool))
+	for _, j := range pool {
+		gains[j] = e.RemovalGain(j)
+	}
+	ordered := append([]int{}, pool...)
+	sort.Slice(ordered, func(a, b int) bool {
+		if gains[ordered[a]] != gains[ordered[b]] {
+			return gains[ordered[a]] > gains[ordered[b]]
+		}
+		return ordered[a] < ordered[b]
+	})
+	prefix := make([]float64, len(ordered)+1)
+	for i, j := range ordered {
+		prefix[i+1] = prefix[i] + gains[j]
+	}
+
 	var examined int64
-	var chosen []int
 	var rec func(start, need int) (bool, bool)
-	rec = func(start, need int) (hit, ok bool) {
+	rec = func(start, need int) (hit, inBudget bool) {
+		// Charge every node, pruned branch points included, so the budget
+		// trips even when the admissible bound kills everything.
+		examined++
+		if budget > 0 && examined > budget {
+			return false, false
+		}
 		if need == 0 {
-			examined++
-			if budget > 0 && examined > budget {
-				return false, false
-			}
 			return prob.GEq(e.Pr(), alpha), true
 		}
-		// Monotone prune in reverse: if already above the threshold
-		// with fewer removals, the smaller subset would have been found
-		// at an earlier cardinality — still enumerate for correctness
-		// of the exact bound, but the success test short-circuits.
-		for i := start; i+need <= len(pool); i++ {
-			j := pool[i]
+		if mass := prefix[start+need] - prefix[start]; prob.Less(e.Pr()+mass+admissibleSlack, alpha) {
+			return false, true
+		}
+		for i := start; i+need <= len(ordered); i++ {
+			j := ordered[i]
 			e.Remove(j)
 			chosen = append(chosen, j)
-			hit, ok := rec(i+1, need-1)
-			if hit || !ok {
-				e.Add(j)
-				return hit, ok
+			hit, inBudget := rec(i+1, need-1)
+			e.Add(j)
+			if hit || !inBudget {
+				return hit, inBudget
 			}
 			chosen = chosen[:len(chosen)-1]
-			e.Add(j)
 		}
 		return false, true
 	}
-	for m := 1; m <= len(pool); m++ {
-		hit, ok := rec(0, m)
-		if !ok {
-			return nil, false
+	for m := 1; m < upper; m++ {
+		if m > len(ordered) {
+			break
+		}
+		hit, inBudget := rec(0, m)
+		if !inBudget {
+			return nil, false, false
 		}
 		if hit {
-			out := append([]int{}, chosen...)
-			// Leave the evaluator with the chosen set removed so the
-			// caller can read the achieved probability.
-			for _, j := range out {
-				e.Remove(j)
-			}
-			return out, true
+			return chosen, true, true
 		}
 	}
-	return nil, true // unreachable: full pool removal always reaches 1
+	return nil, false, true
 }
 
 func finishRepair(e *prob.Evaluator, candIDs, kernel, chosen []int, exact bool) *Repair {

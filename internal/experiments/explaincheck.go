@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// ExplainCompare guards the explanation-path performance trajectory the same
+// way PRSQCompare guards the query path: it loads two explain bench reports
+// (typically a fresh run and the committed BENCH_explain.json) and fails
+// when any (config, model, variant) cell present in both regressed. Absolute
+// ms/explain is never compared — hardware differs between the committed file
+// and the checking machine. The guard uses the two hardware-neutral signals:
+//
+//   - speedupVsNaive, measured within one run (the naive oracle and the
+//     refiners share the machine), must not shrink by more than tolerance
+//     (0.20 = fail below 80% of the committed speedup);
+//   - SubsetsExamined must not grow on serial cells: the enumeration is
+//     deterministic there, so for pruning-only changes the count must hold
+//     exact parity, and any growth is a real search-space regression.
+//     Parallel cells are exempt — Lemma-6 bound sharing makes their count
+//     schedule-dependent.
+//
+// In addition the fresh report must keep the in-run invariant that the
+// branch-and-bound refiner examines strictly fewer subsets than the old
+// refiner on every config where both appear — the tentpole claim of the
+// branch-and-bound rework, enforced forever.
+func ExplainCompare(nextPath, prevPath string, tolerance float64) error {
+	next, err := loadExplainReport(nextPath)
+	if err != nil {
+		return err
+	}
+	prev, err := loadExplainReport(prevPath)
+	if err != nil {
+		return err
+	}
+	type key struct {
+		config, model, variant string
+	}
+	prevCells := make(map[key]explainResult, len(prev.Results))
+	for _, r := range prev.Results {
+		prevCells[key{r.Config, r.Model, r.Variant}] = r
+	}
+	var compared int
+	for _, r := range next.Results {
+		p, ok := prevCells[key{r.Config, r.Model, r.Variant}]
+		if !ok {
+			continue
+		}
+		compared++
+		if p.SpeedupNaive > 0 && r.SpeedupNaive < p.SpeedupNaive*(1-tolerance) {
+			return fmt.Errorf("experiments: explain regression at %s/%s/%s: %.1fx speedup vs naive, committed %.1fx (<%.0f%%)",
+				r.Config, r.Model, r.Variant, r.SpeedupNaive, p.SpeedupNaive, (1-tolerance)*100)
+		}
+		if !strings.Contains(r.Variant, "parallel") && r.SubsetsExamined > p.SubsetsExamined {
+			return fmt.Errorf("experiments: explain search-space regression at %s/%s/%s: %d subsets examined vs %d committed",
+				r.Config, r.Model, r.Variant, r.SubsetsExamined, p.SubsetsExamined)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("experiments: %s and %s share no (config, model, variant) cells", nextPath, prevPath)
+	}
+	return explainInvariants(next, nextPath)
+}
+
+// explainInvariants checks the within-report branch-and-bound claims.
+func explainInvariants(rep *explainReport, path string) error {
+	type key struct{ config, model string }
+	old := make(map[key]explainResult)
+	bb := make(map[key]explainResult)
+	for _, r := range rep.Results {
+		switch r.Variant {
+		case "old-refiner":
+			old[key{r.Config, r.Model}] = r
+		case "bb":
+			bb[key{r.Config, r.Model}] = r
+		}
+	}
+	for k, o := range old {
+		b, ok := bb[k]
+		if !ok {
+			continue
+		}
+		if b.SubsetsExamined >= o.SubsetsExamined {
+			return fmt.Errorf("experiments: %s: branch-and-bound examined %d subsets on %s/%s, not fewer than the old refiner's %d",
+				path, b.SubsetsExamined, k.config, k.model, o.SubsetsExamined)
+		}
+	}
+	return nil
+}
+
+func loadExplainReport(path string) (*explainReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
+	var rep explainReport
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		return nil, fmt.Errorf("experiments: parsing %s: %w", path, err)
+	}
+	if rep.Experiment != "explain" {
+		return nil, fmt.Errorf("experiments: %s is a %q report, want explain", path, rep.Experiment)
+	}
+	return &rep, nil
+}

@@ -212,6 +212,55 @@ func (e *Evaluator) PrWithout(j int) float64 {
 	return snap(pr)
 }
 
+// PrPair returns Pr() and PrWithout(j) in one pass over the samples — the
+// contingency-condition test evaluates both at every search leaf, and the
+// fused loop reads prod/zeroCnt once instead of twice. The per-sample
+// arithmetic is exactly that of Pr and PrWithout, in the same accumulation
+// order, so both results are bit-identical to the separate calls.
+func (e *Evaluator) PrPair(j int) (pr, without float64) {
+	if e.scratch || !e.active[j] {
+		return e.Pr(), e.PrWithout(j)
+	}
+	row := e.row(j)
+	for i, w := range e.weights {
+		dv := row[i]
+		zc := e.zeroCnt[i]
+		if zc == 0 {
+			pr += w * e.prod[i]
+		}
+		if dv == 1 {
+			zc--
+		}
+		if zc > 0 {
+			continue
+		}
+		p := e.prod[i]
+		if dv != 1 && dv > 0 {
+			p /= 1 - dv
+		}
+		without += w * p
+	}
+	return snap(pr), snap(without)
+}
+
+// RemovalGain returns an admissible upper bound on how much removing
+// candidate j can raise Pr(an | ·) in ANY removal context: the gain of
+// removing j on top of a removal set Y is
+//
+//	Σ_i w_i · d(j,i) · Π_{k ∉ Y∪{j}} (1 − d(k,i))  ≤  Σ_i w_i · d(j,i),
+//
+// and by telescoping, the joint gain of removing a set is at most the sum of
+// the members' bounds. The branch-and-bound refiner prunes subtrees whose
+// remaining best-gain budget cannot lift the probability to the threshold.
+func (e *Evaluator) RemovalGain(j int) float64 {
+	var g float64
+	row := e.row(j)
+	for i, w := range e.weights {
+		g += w * row[i]
+	}
+	return g
+}
+
 // prScratch recomputes the probability exactly, optionally skipping one
 // extra candidate.
 func (e *Evaluator) prScratch(skip int) float64 {

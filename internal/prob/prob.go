@@ -6,6 +6,8 @@
 package prob
 
 import (
+	"math"
+
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/uncertain"
 )
@@ -43,7 +45,59 @@ func snap(p float64) float64 {
 // DomProb returns Pr{o ≺_anchor q}: the probability that uncertain object o
 // dynamically dominates the query object q with respect to anchor (Eq. 3) —
 // the summed probability of o's samples that dominate q w.r.t. anchor.
+//
+// The iteration runs over the object's SoA sample view: the per-dimension
+// distances |q−anchor| are hoisted out of the sample loop and the per-sample
+// test streams the dimension-contiguous coordinate arrays (rejecting most
+// samples on dimension 0 without touching the rest). Comparisons and the
+// probability accumulation order match domProbAoS exactly, so the result is
+// bit-identical to the straightforward per-sample loop.
 func DomProb(o *uncertain.Object, anchor, q geom.Point) float64 {
+	d := len(anchor)
+	if len(q) != d {
+		panic("prob: anchor/query dimensionality mismatch")
+	}
+	soa := o.SoA()
+	if soa.Len() == 0 {
+		return 0
+	}
+	if len(soa.Coords) != d {
+		panic("prob: object/query dimensionality mismatch")
+	}
+	var dbuf [8]float64
+	var db []float64
+	if d <= len(dbuf) {
+		db = dbuf[:d]
+	} else {
+		db = make([]float64, d)
+	}
+	for k := 0; k < d; k++ {
+		db[k] = math.Abs(q[k] - anchor[k])
+	}
+	var p float64
+	for i, n := 0, soa.Len(); i < n; i++ {
+		strict := false
+		dominates := true
+		for k := 0; k < d; k++ {
+			da := math.Abs(soa.Coords[k][i] - anchor[k])
+			if da > db[k] {
+				dominates = false
+				break
+			}
+			if da < db[k] {
+				strict = true
+			}
+		}
+		if dominates && strict {
+			p += soa.Probs[i]
+		}
+	}
+	return snap(p)
+}
+
+// domProbAoS is the pre-SoA reference implementation of DomProb, kept for
+// the equivalence test and the layout benchmark.
+func domProbAoS(o *uncertain.Object, anchor, q geom.Point) float64 {
 	var p float64
 	for _, s := range o.Samples {
 		if geom.DynDominates(s.Loc, q, anchor) {

@@ -1,0 +1,109 @@
+package prob
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// TestDomProbMatchesAoS: the SoA fast path must reproduce the per-sample
+// reference loop bit for bit — same comparisons, same accumulation order —
+// across dimensionalities, sample counts, and geometric configurations
+// (including exact boundary ties, which samples drawn from a coarse grid
+// produce regularly).
+func TestDomProbMatchesAoS(t *testing.T) {
+	r := rand.New(rand.NewSource(191))
+	for trial := 0; trial < 3000; trial++ {
+		d := 1 + r.Intn(4)
+		o := randObj(r, 0, d, 8, 100)
+		if r.Intn(3) == 0 {
+			// Grid-snapped coordinates force |a−ref| == |q−ref| ties.
+			for i := range o.Samples {
+				for j := range o.Samples[i].Loc {
+					o.Samples[i].Loc[j] = float64(int(o.Samples[i].Loc[j]/10) * 10)
+				}
+			}
+		}
+		anchor := make(geom.Point, d)
+		q := make(geom.Point, d)
+		for j := 0; j < d; j++ {
+			anchor[j] = float64(int(r.Float64() * 10 * 10))
+			q[j] = float64(int(r.Float64() * 10 * 10))
+		}
+		got := DomProb(o, anchor, q)
+		want := domProbAoS(o, anchor, q)
+		if got != want {
+			t.Fatalf("trial %d (d=%d, samples=%d): DomProb=%v, AoS reference=%v",
+				trial, d, len(o.Samples), got, want)
+		}
+	}
+}
+
+// TestSoAViewMatchesSamples checks the derived view verbatim.
+func TestSoAViewMatchesSamples(t *testing.T) {
+	r := rand.New(rand.NewSource(192))
+	o := randObj(r, 7, 3, 10, 50)
+	soa := o.SoA()
+	if soa.Len() != len(o.Samples) {
+		t.Fatalf("SoA has %d samples, object has %d", soa.Len(), len(o.Samples))
+	}
+	if soa != o.SoA() {
+		t.Fatal("SoA view not cached: second call returned a different pointer")
+	}
+	for i, s := range o.Samples {
+		if soa.Probs[i] != s.P {
+			t.Fatalf("sample %d: prob %v vs %v", i, soa.Probs[i], s.P)
+		}
+		for k := range s.Loc {
+			if soa.Coords[k][i] != s.Loc[k] {
+				t.Fatalf("sample %d dim %d: coord %v vs %v", i, k, soa.Coords[k][i], s.Loc[k])
+			}
+		}
+	}
+}
+
+// benchDomProbObjects builds a candidate set with many samples each, the
+// shape of the evaluator-construction inner loop on dense explanations.
+func benchDomProbObjects(nObjs, d, samples int) ([]*uncertain.Object, geom.Point, geom.Point) {
+	r := rand.New(rand.NewSource(7))
+	objs := make([]*uncertain.Object, nObjs)
+	for i := range objs {
+		locs := make([]geom.Point, samples)
+		for s := range locs {
+			p := make(geom.Point, d)
+			for j := range p {
+				p[j] = r.Float64() * 100
+			}
+			locs[s] = p
+		}
+		objs[i] = uncertain.NewUniform(i, locs)
+	}
+	anchor := make(geom.Point, d)
+	q := make(geom.Point, d)
+	for j := 0; j < d; j++ {
+		anchor[j] = 40 + 20*r.Float64()
+		q[j] = 40 + 20*r.Float64()
+	}
+	return objs, anchor, q
+}
+
+func BenchmarkDomProbSoA(b *testing.B) {
+	objs, anchor, q := benchDomProbObjects(64, 3, 20)
+	for _, o := range objs {
+		o.SoA() // build outside the timed loop, as the evaluator path amortizes it
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DomProb(objs[i%len(objs)], anchor, q)
+	}
+}
+
+func BenchmarkDomProbAoS(b *testing.B) {
+	objs, anchor, q := benchDomProbObjects(64, 3, 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		domProbAoS(objs[i%len(objs)], anchor, q)
+	}
+}

@@ -16,7 +16,8 @@ func (t *Tree) Search(window geom.Rect, visit Visitor) bool {
 	if t.size == 0 {
 		return true
 	}
-	return t.searchAny(t.root, []geom.Rect{window}, visit)
+	var accesses int64
+	return t.searchAny(t.root, []geom.Rect{window}, geom.Rect{}, visit, &accesses)
 }
 
 // SearchAny visits every data entry whose rectangle intersects at least one
@@ -27,19 +28,51 @@ func (t *Tree) Search(window geom.Rect, visit Visitor) bool {
 // costs one access on the attached counter. Entries intersecting several
 // windows are reported once.
 func (t *Tree) SearchAny(windows []geom.Rect, visit Visitor) bool {
+	_, completed := t.searchAnyRooted(windows, visit)
+	return completed
+}
+
+// SearchAnyCounted is SearchAny additionally reporting how many node
+// accesses the traversal performed — the per-query slice of the simulated
+// I/O the attached counter accumulates globally. Explanation results use it
+// to attribute candidate-retrieval cost to individual requests.
+func (t *Tree) SearchAnyCounted(windows []geom.Rect, visit Visitor) int64 {
+	accesses, _ := t.searchAnyRooted(windows, visit)
+	return accesses
+}
+
+func (t *Tree) searchAnyRooted(windows []geom.Rect, visit Visitor) (int64, bool) {
 	for _, w := range windows {
 		t.checkRect(w)
 	}
 	if t.size == 0 || len(windows) == 0 {
-		return true
+		return 0, true
 	}
-	return t.searchAny(t.root, windows, visit)
+	// Pre-test entries against the windows' bounding box: a rectangle
+	// disjoint from the union box intersects no window, so the common
+	// reject case costs one test instead of len(windows). The descent
+	// decision itself is unchanged (the per-window check still gates it),
+	// hence node accesses are identical with and without the pre-test.
+	var union geom.Rect
+	if len(windows) > 1 {
+		union = windows[0].Clone()
+		for _, w := range windows[1:] {
+			union.ExpandToRect(w)
+		}
+	}
+	var accesses int64
+	completed := t.searchAny(t.root, windows, union, visit, &accesses)
+	return accesses, completed
 }
 
-func (t *Tree) searchAny(n *node, windows []geom.Rect, visit Visitor) bool {
+func (t *Tree) searchAny(n *node, windows []geom.Rect, union geom.Rect, visit Visitor, accesses *int64) bool {
 	t.access(n)
+	*accesses++
 	for i := range n.entries {
 		e := &n.entries[i]
+		if union.Min != nil && !e.rect.Intersects(union) {
+			continue
+		}
 		if !intersectsAny(e.rect, windows) {
 			continue
 		}
@@ -47,7 +80,7 @@ func (t *Tree) searchAny(n *node, windows []geom.Rect, visit Visitor) bool {
 			if !visit(e.id, e.rect) {
 				return false
 			}
-		} else if !t.searchAny(e.child, windows, visit) {
+		} else if !t.searchAny(e.child, windows, union, visit, accesses) {
 			return false
 		}
 	}

@@ -67,12 +67,24 @@ type DatasetInfo struct {
 }
 
 // OptionsSpec tunes the refinement stage of explain/repair requests; the
-// zero value selects the library defaults.
+// zero value selects the library defaults. The No* switches ablate the
+// branch-and-bound optimizations for benchmarking — results are identical,
+// only the work differs (and the cache keys them separately).
+//
+// MaxSubsets counts refinement evaluation units — leaf verifications,
+// pruned branch points, and the greedy incumbent pass's probability
+// evaluations — so it bounds the whole refinement's latency. Before the
+// branch-and-bound rework only leaf verifications were charged; budgets
+// calibrated against the old counting trip earlier now and may need
+// raising by a small factor.
 type OptionsSpec struct {
 	MaxCandidates int   `json:"maxCandidates,omitempty"`
 	MaxSubsets    int64 `json:"maxSubsets,omitempty"`
 	QuadNodes     int   `json:"quadNodes,omitempty"`
 	Parallel      int   `json:"parallel,omitempty"`
+	NoGreedySeed  bool  `json:"noGreedySeed,omitempty"`
+	NoAdmissible  bool  `json:"noAdmissible,omitempty"`
+	NoMassOrder   bool  `json:"noMassOrder,omitempty"`
 }
 
 func (o OptionsSpec) toOptions() causality.Options {
@@ -81,6 +93,9 @@ func (o OptionsSpec) toOptions() causality.Options {
 		MaxSubsets:    o.MaxSubsets,
 		QuadNodes:     o.QuadNodes,
 		Parallel:      o.Parallel,
+		NoGreedySeed:  o.NoGreedySeed,
+		NoAdmissible:  o.NoAdmissible,
+		NoMassOrder:   o.NoMassOrder,
 	}
 }
 
@@ -138,7 +153,15 @@ type ExplainResponse struct {
 	Candidates      int         `json:"candidates"`
 	Causes          []CauseJSON `json:"causes"`
 	SubsetsExamined int64       `json:"subsetsExamined,omitempty"`
-	Verified        bool        `json:"verified,omitempty"`
+	// GreedySeeds/GreedyHits report the branch-and-bound incumbent pass:
+	// how many candidates got a greedy upper bound and how many of those
+	// bounds were already minimum contingency sets.
+	GreedySeeds int64 `json:"greedySeeds,omitempty"`
+	GreedyHits  int64 `json:"greedyHits,omitempty"`
+	// FilterNodeAccesses is the simulated I/O of this explanation's
+	// candidate-retrieval traversal.
+	FilterNodeAccesses int64 `json:"filterNodeAccesses,omitempty"`
+	Verified           bool  `json:"verified,omitempty"`
 }
 
 func causesJSON(cs []causality.Cause) []CauseJSON {
@@ -220,6 +243,20 @@ type RequestStats struct {
 	Errors  int64 `json:"errors"`
 }
 
+// ExplainStats aggregates refinement work across every computed (non-cached)
+// explanation since start: subset verifications, the greedy incumbent pass's
+// seed/hit counts, and candidate-retrieval node accesses. GreedyHitRate is
+// hits/seeds — how often the incumbent was already a minimum contingency
+// set and the search merely certified it.
+type ExplainStats struct {
+	SubsetsExamined      int64   `json:"subsetsExamined"`
+	GreedySeeds          int64   `json:"greedySeeds"`
+	GreedyHits           int64   `json:"greedyHits"`
+	GreedyHitRate        float64 `json:"greedyHitRate"`
+	FilterNodeAccesses   int64   `json:"filterNodeAccesses"`
+	ComputedExplanations int64   `json:"computedExplanations"`
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptimeSeconds"`
@@ -228,6 +265,7 @@ type StatsResponse struct {
 	Flights       FlightStats     `json:"flights"`
 	Pool          PoolStats       `json:"pool"`
 	Quadrature    QuadratureStats `json:"quadrature"`
+	Explain       ExplainStats    `json:"explain"`
 	Requests      RequestStats    `json:"requests"`
 }
 

@@ -177,7 +177,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	key := fmt.Sprintf("explain|%s|%d|%s|%d|%g|%s",
 		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
 	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
-		return ent.explain(q, req.An, alpha, opts)
+		res, err := ent.explain(q, req.An, alpha, opts)
+		if err == nil {
+			// Work gauges count computed explanations only: cache hits
+			// and deduplicated followers re-serve this computation's
+			// result without re-doing (or re-counting) its search.
+			s.explainComputed.Inc()
+			s.explainSubsets.Add(res.SubsetsExamined)
+			s.explainGreedySeeds.Add(res.GreedySeeds)
+			s.explainGreedyHits.Add(res.GreedyHits)
+			s.explainFilterIO.Add(res.FilterNodeAccesses)
+		}
+		return res, err
 	})
 	if !ok {
 		return
@@ -195,15 +206,18 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		verified = true
 	}
 	writeJSON(w, http.StatusOK, ExplainResponse{
-		Dataset:         ent.name,
-		Model:           ent.model,
-		NonAnswer:       res.NonAnswer,
-		Pr:              res.Pr,
-		Alpha:           alpha,
-		Candidates:      res.Candidates,
-		Causes:          causesJSON(res.Causes),
-		SubsetsExamined: res.SubsetsExamined,
-		Verified:        verified,
+		Dataset:            ent.name,
+		Model:              ent.model,
+		NonAnswer:          res.NonAnswer,
+		Pr:                 res.Pr,
+		Alpha:              alpha,
+		Candidates:         res.Candidates,
+		Causes:             causesJSON(res.Causes),
+		SubsetsExamined:    res.SubsetsExamined,
+		GreedySeeds:        res.GreedySeeds,
+		GreedyHits:         res.GreedyHits,
+		FilterNodeAccesses: res.FilterNodeAccesses,
+		Verified:           verified,
 	})
 }
 

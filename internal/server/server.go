@@ -78,6 +78,11 @@ type Server struct {
 
 	reqQuery, reqExplain, reqRepair, reqErrors stats.Counter
 
+	// Explanation-work gauges, accumulated per computed (non-cached)
+	// explanation inside the worker pool.
+	explainSubsets, explainGreedySeeds, explainGreedyHits stats.Counter
+	explainFilterIO, explainComputed                      stats.Counter
+
 	// computeHook, when set, runs inside every pooled computation before
 	// the engine call. Tests use it to hold computations open and make
 	// singleflight deduplication deterministic.
@@ -138,6 +143,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Flights:       s.flights.Stats(),
 		Pool:          s.pool.Stats(),
 		Quadrature:    QuadratureStats{QuadMemoStats: quad, HitRate: quad.HitRate()},
+		Explain: ExplainStats{
+			SubsetsExamined:      s.explainSubsets.Value(),
+			GreedySeeds:          s.explainGreedySeeds.Value(),
+			GreedyHits:           s.explainGreedyHits.Value(),
+			GreedyHitRate:        stats.HitRate(s.explainGreedyHits.Value(), s.explainGreedySeeds.Value()-s.explainGreedyHits.Value()),
+			FilterNodeAccesses:   s.explainFilterIO.Value(),
+			ComputedExplanations: s.explainComputed.Value(),
+		},
 		Requests: RequestStats{
 			Query:   s.reqQuery.Value(),
 			Explain: s.reqExplain.Value(),

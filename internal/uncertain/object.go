@@ -9,6 +9,7 @@ package uncertain
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"github.com/crsky/crsky/internal/geom"
 )
@@ -29,6 +30,53 @@ type Sample struct {
 type Object struct {
 	ID      int
 	Samples []Sample
+
+	soaOnce sync.Once
+	soa     *SoA
+}
+
+// SoA is a structure-of-arrays view of an object's samples: coordinates
+// stored per-dimension contiguously plus a flat probability slice. Dominance
+// tests over many samples stream each dimension's array sequentially (and
+// usually reject on dimension 0 without touching the others), instead of
+// chasing one slice header per sample — the layout the evaluator-construction
+// hot loop wants. The view preserves sample order exactly, so probability
+// sums accumulate in the same order as the Samples slice and results are
+// bit-identical to the AoS path.
+type SoA struct {
+	// Coords[d][i] is the d-th coordinate of sample i.
+	Coords [][]float64
+	// Probs[i] is the appearance probability of sample i.
+	Probs []float64
+}
+
+// Len returns the number of samples in the view.
+func (s *SoA) Len() int { return len(s.Probs) }
+
+// SoA returns the structure-of-arrays view of the object's samples, built on
+// first use and cached (concurrent first calls are safe). The view aliases
+// nothing: mutating Samples after the first SoA call leaves a stale view, so
+// treat objects as immutable once queried — every engine already does.
+func (o *Object) SoA() *SoA {
+	o.soaOnce.Do(func() {
+		d := o.Dims()
+		s := &SoA{
+			Coords: make([][]float64, d),
+			Probs:  make([]float64, len(o.Samples)),
+		}
+		flat := make([]float64, d*len(o.Samples))
+		for k := 0; k < d; k++ {
+			s.Coords[k] = flat[k*len(o.Samples) : (k+1)*len(o.Samples)]
+		}
+		for i, sm := range o.Samples {
+			s.Probs[i] = sm.P
+			for k := 0; k < d; k++ {
+				s.Coords[k][i] = sm.Loc[k]
+			}
+		}
+		o.soa = s
+	})
+	return o.soa
 }
 
 // New builds an object from explicit samples without validating them; call
