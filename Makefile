@@ -1,12 +1,24 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check experiments
+.PHONY: build test race fmt-check api-check api-update conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check experiments
 
 build:
 	go build ./...
 
 test: build
 	go test ./...
+
+# CI gate: the tree must be gofmt-clean.
+fmt-check:
+	@files="$$(gofmt -l .)"; if [ -n "$$files" ]; then echo "gofmt needed on:" $$files; exit 1; fi
+
+# CI gate: the root package's public API must match the committed api.txt.
+api-check:
+	go run ./cmd/apicheck
+
+# Regenerate api.txt after an intentional API change.
+api-update:
+	go run ./cmd/apicheck -update
 
 race:
 	go test -race ./...
@@ -41,6 +53,12 @@ bench-prsq:
 # simulated I/O (deterministic).
 bench-prsq-check:
 	go run ./cmd/experiments -exp prsq -scale 1 -benchfile /tmp/BENCH_prsq.head.json -against BENCH_prsq.json
+
+# Assert the v2 batch query contract at the committed PRSQ scale: 64 query
+# points through one shared join must charge strictly fewer node accesses
+# than 64 independent indexed queries, with element-wise identical answers.
+bench-batch:
+	go run ./cmd/experiments -exp prsqbatch -scale 1
 
 # Refresh the explanation hot-path trajectory (BENCH_explain.json): naive
 # oracle vs old refiner vs branch-and-bound FMCS, sample and pdf models.

@@ -1,0 +1,228 @@
+// Command apicheck pins the public API of the root crsky package to a
+// committed golden file (api.txt). CI runs it after every change: a v1
+// surface break — a removed function, a changed signature, a renamed type
+// — shows up as a diff against the golden instead of silently shipping.
+// Intentional API changes regenerate the golden with -update, making the
+// surface change explicit in review.
+//
+//	go run ./cmd/apicheck            # verify api.txt matches the source
+//	go run ./cmd/apicheck -update    # rewrite api.txt from the source
+//
+// The tool is deliberately self-contained (go/ast + go/printer only, no
+// module downloads): it renders one sorted line per exported declaration —
+// functions and methods with full signatures, type aliases, struct types
+// with their exported fields, interfaces with their method sets, and
+// const/var names.
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	var (
+		dir    = flag.String("dir", ".", "package directory to scan")
+		golden = flag.String("golden", "api.txt", "golden API file (relative to -dir)")
+		update = flag.Bool("update", false, "rewrite the golden file instead of checking it")
+	)
+	flag.Parse()
+
+	lines, err := apiLines(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+		os.Exit(1)
+	}
+	content := "# Public API of package crsky. Regenerate with: go run ./cmd/apicheck -update\n" +
+		strings.Join(lines, "\n") + "\n"
+	path := filepath.Join(*dir, *golden)
+
+	if *update {
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "apicheck: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("apicheck: wrote %d API lines to %s\n", len(lines), path)
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "apicheck: %v (run with -update to create the golden)\n", err)
+		os.Exit(1)
+	}
+	if string(want) == content {
+		fmt.Printf("apicheck: %s is in sync (%d API lines)\n", path, len(lines))
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: public API differs from %s\n", path)
+	diff(strings.Split(strings.TrimRight(string(want), "\n"), "\n"),
+		strings.Split(strings.TrimRight(content, "\n"), "\n"))
+	fmt.Fprintf(os.Stderr, "\nIf the change is intentional, regenerate with: go run ./cmd/apicheck -update\n")
+	os.Exit(1)
+}
+
+// diff prints a set-wise comparison: lines only in the golden (removed
+// from the API) and lines only in the source (added).
+func diff(want, got []string) {
+	wantSet := map[string]bool{}
+	for _, l := range want {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range got {
+		gotSet[l] = true
+	}
+	for _, l := range want {
+		if !gotSet[l] {
+			fmt.Fprintf(os.Stderr, "  - %s\n", l)
+		}
+	}
+	for _, l := range got {
+		if !wantSet[l] {
+			fmt.Fprintf(os.Stderr, "  + %s\n", l)
+		}
+	}
+}
+
+// apiLines renders one line per exported declaration of the package in
+// dir, sorted.
+func apiLines(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		if strings.HasSuffix(pkg.Name, "_test") || pkg.Name == "main" {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(fset, decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+func declLines(fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		sig := renderFuncType(fset, d.Type)
+		if d.Recv != nil {
+			recv := render(fset, d.Recv.List[0].Type)
+			if !exportedRecv(recv) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, sig)}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, sig)}
+
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.ValueSpec:
+				kw := "var"
+				if d.Tok == token.CONST {
+					kw = "const"
+				}
+				for _, name := range s.Names {
+					if name.IsExported() {
+						out = append(out, fmt.Sprintf("%s %s", kw, name.Name))
+					}
+				}
+			case *ast.TypeSpec:
+				if !s.Name.IsExported() {
+					continue
+				}
+				out = append(out, typeLine(fset, s))
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedRecv reports whether a receiver type like "*Engine" or "Engine"
+// names an exported type.
+func exportedRecv(recv string) bool {
+	name := strings.TrimLeft(recv, "*")
+	return name != "" && ast.IsExported(name)
+}
+
+func typeLine(fset *token.FileSet, s *ast.TypeSpec) string {
+	eq := ""
+	if s.Assign != token.NoPos {
+		eq = "= "
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		var fields []string
+		for _, f := range t.Fields.List {
+			ft := render(fset, f.Type)
+			if len(f.Names) == 0 { // embedded
+				if exportedRecv(ft) {
+					fields = append(fields, ft)
+				}
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					fields = append(fields, n.Name+" "+ft)
+				}
+			}
+		}
+		return fmt.Sprintf("type %s %sstruct { %s }", s.Name.Name, eq, strings.Join(fields, "; "))
+	case *ast.InterfaceType:
+		var methods []string
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 { // embedded interface
+				methods = append(methods, render(fset, m.Type))
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						methods = append(methods, n.Name+renderFuncType(fset, ft))
+					} else {
+						methods = append(methods, n.Name+" "+render(fset, m.Type))
+					}
+				}
+			}
+		}
+		return fmt.Sprintf("type %s %sinterface { %s }", s.Name.Name, eq, strings.Join(methods, "; "))
+	default:
+		return fmt.Sprintf("type %s %s%s", s.Name.Name, eq, render(fset, s.Type))
+	}
+}
+
+// render prints an AST expression as flattened single-line Go source.
+func render(fset *token.FileSet, n ast.Node) string {
+	var buf bytes.Buffer
+	_ = printer.Fprint(&buf, fset, n)
+	return strings.Join(strings.Fields(buf.String()), " ")
+}
+
+// renderFuncType prints a function signature without the leading "func"
+// keyword.
+func renderFuncType(fset *token.FileSet, ft *ast.FuncType) string {
+	return strings.TrimPrefix(render(fset, ft), "func")
+}

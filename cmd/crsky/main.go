@@ -4,14 +4,18 @@
 // Subcommands:
 //
 //	crsky gen     -out data.csv [-kind lUrU|lUrG|lSrU|lSrG|ind|cor|ant|clu|nba|cardb] [-n N] [-d D] [-seed S]
-//	crsky query   -data data.csv [-uncertain] -q "x,y,..." [-alpha A]
-//	crsky explain -data data.csv [-uncertain] -q "x,y,..." -an ID [-alpha A] [-json]
+//	crsky query   -data data.csv [-uncertain] -q "x,y[;x2,y2;...]" [-alpha A] [-timeout D]
+//	crsky explain -data data.csv [-uncertain] -q "x,y,..." -an ID [-alpha A] [-timeout D] [-json]
 //
 // Certain data is one CSV row per point; uncertain data is one row per
-// sample (id,prob,coords...).
+// sample (id,prob,coords...). Query and explain dispatch through the
+// model-generic crsky.Explainer interface — the only model-specific code
+// is loading the CSV; multiple `;`-separated query points run as one
+// amortized batch.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -20,13 +24,12 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
-	"github.com/crsky/crsky/internal/prsq"
-	"github.com/crsky/crsky/internal/rtree"
-	"github.com/crsky/crsky/internal/skyline"
 )
 
 func main() {
@@ -136,14 +139,74 @@ func parsePoint(s string) (geom.Point, error) {
 	return p, nil
 }
 
+// parsePoints splits a `;`-separated list of comma-separated points.
+func parsePoints(s string) ([]crsky.Point, error) {
+	var out []crsky.Point
+	for _, part := range strings.Split(s, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, err := parsePoint(part)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, crsky.Point(p))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no query points in %q", s)
+	}
+	return out, nil
+}
+
+// loadExplainer builds the v2 engine for a CSV dataset: the one place the
+// CLI distinguishes models. Certain data pins alpha to 1 (membership is
+// exact); the given alpha passes through for uncertain data.
+func loadExplainer(path string, uncertain bool, alpha float64) (crsky.Explainer, float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	if uncertain {
+		ds, err := dataset.LoadUncertainCSV(f)
+		if err != nil {
+			return nil, 0, err
+		}
+		eng, err := crsky.NewEngine(ds.Objects)
+		if err != nil {
+			return nil, 0, err
+		}
+		return eng, alpha, nil
+	}
+	ds, err := dataset.LoadCertainCSV(f)
+	if err != nil {
+		return nil, 0, err
+	}
+	eng, err := crsky.NewCertainEngine(ds.Points)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng, 1, nil
+}
+
+// queryContext derives the command context from -timeout (0 = none).
+func queryContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(context.Background(), timeout)
+	}
+	return context.Background(), func() {}
+}
+
 func cmdQuery(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("query", flag.ContinueOnError)
 	var (
 		data      = fs.String("data", "", "dataset CSV path (required)")
 		uncertain = fs.Bool("uncertain", false, "dataset is uncertain (id,prob,coords rows)")
-		qStr      = fs.String("q", "", "query point, comma-separated (required)")
+		qStr      = fs.String("q", "", "query point(s): comma-separated coords, `;` between points (required)")
 		alpha     = fs.Float64("alpha", 0.5, "probability threshold (uncertain data)")
-		limit     = fs.Int("limit", 20, "max results to print")
+		timeout   = fs.Duration("timeout", 0, "abort the query after this long (0 = no deadline)")
+		limit     = fs.Int("limit", 20, "max results to print per query point")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -151,36 +214,40 @@ func cmdQuery(args []string, out io.Writer) error {
 	if *data == "" || *qStr == "" {
 		return fmt.Errorf("query: -data and -q are required")
 	}
-	q, err := parsePoint(*qStr)
+	qs, err := parsePoints(*qStr)
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*data)
+	eng, a, err := loadExplainer(*data, *uncertain, *alpha)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
+	label := "reverse skyline"
 	if *uncertain {
-		ds, err := dataset.LoadUncertainCSV(f)
+		label = "probabilistic reverse skyline"
+	}
+
+	// One generic path for every model and batch size: a single point is
+	// a QueryCtx call, several run as one amortized QueryBatch.
+	if len(qs) == 1 {
+		answers, _, err := eng.QueryCtx(ctx, qs[0], a, crsky.QueryOptions{})
 		if err != nil {
 			return err
 		}
-		// Index-accelerated batch query: one R-tree self-join with online
-		// bound pruning instead of one filter traversal per object.
-		answers := prsq.Query(ds, q, *alpha, prsq.Options{})
-		fmt.Fprintf(out, "probabilistic reverse skyline of %v at α=%.2f: %d objects\n", q, *alpha, len(answers))
+		fmt.Fprintf(out, "%s of %v at α=%.2f: %d objects\n", label, qs[0], a, len(answers))
 		printIDs(out, answers, *limit)
 		return nil
 	}
-	ds, err := dataset.LoadCertainCSV(f)
+	batches, _, err := eng.QueryBatch(ctx, qs, a, crsky.QueryOptions{})
 	if err != nil {
 		return err
 	}
-	ix := skyline.NewIndex(ds.Points, rtree.WithPageSize(rtree.DefaultPageSize))
-	answers := ix.ReverseSkyline(q)
-	fmt.Fprintf(out, "reverse skyline of %v: %d points\n", q, len(answers))
-	printIDs(out, answers, *limit)
+	for i, answers := range batches {
+		fmt.Fprintf(out, "%s of %v at α=%.2f: %d objects\n", label, qs[i], a, len(answers))
+		printIDs(out, answers, *limit)
+	}
 	return nil
 }
 
@@ -192,6 +259,7 @@ func cmdExplain(args []string, out io.Writer) error {
 		qStr      = fs.String("q", "", "query point, comma-separated (required)")
 		anID      = fs.Int("an", -1, "non-answer object ID/index (required)")
 		alpha     = fs.Float64("alpha", 0.5, "probability threshold (uncertain data)")
+		timeout   = fs.Duration("timeout", 0, "abort the explanation after this long (0 = no deadline)")
 		maxCand   = fs.Int("maxcand", 0, "abort if more candidates than this (0 = unlimited)")
 		asJSON    = fs.Bool("json", false, "emit the explanation as JSON")
 	)
@@ -205,33 +273,16 @@ func cmdExplain(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	f, err := os.Open(*data)
+	eng, a, err := loadExplainer(*data, *uncertain, *alpha)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	ctx, cancel := queryContext(*timeout)
+	defer cancel()
 
-	opts := causality.Options{MaxCandidates: *maxCand}
-	var res *causality.Result
-	if *uncertain {
-		ds, err := dataset.LoadUncertainCSV(f)
-		if err != nil {
-			return err
-		}
-		res, err = causality.CP(ds, q, *anID, *alpha, opts)
-		if err != nil {
-			return err
-		}
-	} else {
-		ds, err := dataset.LoadCertainCSV(f)
-		if err != nil {
-			return err
-		}
-		ix := skyline.NewIndex(ds.Points, rtree.WithPageSize(rtree.DefaultPageSize))
-		res, err = causality.CR(ix, q, *anID)
-		if err != nil {
-			return err
-		}
+	res, err := eng.ExplainCtx(ctx, *anID, crsky.Point(q), a, causality.Options{MaxCandidates: *maxCand})
+	if err != nil {
+		return err
 	}
 	if *asJSON {
 		enc := json.NewEncoder(out)
@@ -239,7 +290,7 @@ func cmdExplain(args []string, out io.Writer) error {
 		return enc.Encode(explainJSON{
 			NonAnswer:  res.NonAnswer,
 			Pr:         res.Pr,
-			Alpha:      *alpha,
+			Alpha:      a,
 			Candidates: res.Candidates,
 			Causes:     res.Causes,
 		})

@@ -26,6 +26,8 @@
 package crsky
 
 import (
+	"sync"
+
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
@@ -213,6 +215,13 @@ func (e *Engine) SuggestRepair(id int, q Point, alpha float64, opts Options) (*R
 type CertainEngine struct {
 	ix *skyline.Index
 	io stats.Counter
+
+	// redMu guards red, the lazily built (and warmed) Section-4 reduction
+	// dataset backing Verify/SuggestRepair and their v2 counterparts.
+	// Insert and Delete invalidate it: the reduction must stay
+	// index-aligned with the live points.
+	redMu sync.Mutex
+	red   *dataset.Uncertain
 }
 
 // NewCertainEngine validates the points and builds the engine with a
@@ -266,12 +275,23 @@ func (e *CertainEngine) ExplainNaive(i int, q Point, opts Options) (*Explanation
 }
 
 // Insert adds a point to the engine and returns its index. Existing
-// indexes remain valid.
-func (e *CertainEngine) Insert(p Point) int { return e.ix.Insert(p) }
+// indexes remain valid. The reduction cache is invalidated AFTER the
+// mutation: invalidating first would let a concurrent Verify/SuggestRepair
+// rebuild and cache the pre-mutation reduction, which would then stay
+// stale past this call.
+func (e *CertainEngine) Insert(p Point) int {
+	idx := e.ix.Insert(p)
+	e.invalidateReduction()
+	return idx
+}
 
 // Delete removes the point with the given index; the index becomes a
-// tombstone and is never reused.
-func (e *CertainEngine) Delete(i int) error { return e.ix.Delete(i) }
+// tombstone and is never reused. See Insert for the invalidation order.
+func (e *CertainEngine) Delete(i int) error {
+	err := e.ix.Delete(i)
+	e.invalidateReduction()
+	return err
+}
 
 // Deleted reports whether index i is a tombstone.
 func (e *CertainEngine) Deleted(i int) bool { return e.ix.Deleted(i) }

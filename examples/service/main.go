@@ -10,6 +10,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -94,6 +95,54 @@ func main() {
 		Options: server.OptionsSpec{MaxCandidates: 24}}, &rr)
 	fmt.Printf("\nminimal repair: remove %v → Pr=%.4f (exact=%t)\n", rr.Removed, rr.NewPr, rr.Exact)
 
+	// v2: batch explain with a per-request deadline. One request carries
+	// many non-answers; the response is NDJSON (one item per line, with
+	// per-item errors), and ?timeout= cancels the branch-and-bound search
+	// mid-run — releasing the server's worker-pool slot — if it cannot
+	// finish in time.
+	items := []server.BatchExplainItemRequest{
+		{Q: q, An: an},
+		{Q: q, An: qr.Answers[0]}, // an answer: fails per-item, not per-batch
+	}
+	for id := an + 1; id < info.Size && len(items) < 4; id++ {
+		if !answers[id] {
+			items = append(items, server.BatchExplainItemRequest{Q: q, An: id})
+		}
+	}
+	lines := postNDJSON(base+"/v2/explain?timeout=10s", &server.BatchExplainRequest{
+		Dataset: "demo", Items: items, Alpha: alpha,
+		Options: server.OptionsSpec{MaxCandidates: 24},
+	})
+	fmt.Printf("\n/v2/explain batch (%d items, 10s deadline):\n", len(items))
+	for _, line := range lines {
+		var item server.BatchExplainItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			log.Fatal(err)
+		}
+		switch {
+		case item.Error != "":
+			fmt.Printf("  item %d: error: %s\n", item.Index, item.Error)
+		default:
+			fmt.Printf("  item %d: object %d has %d causes (Pr=%.4f)\n",
+				item.Index, item.Explain.NonAnswer, len(item.Explain.Causes), item.Explain.Pr)
+		}
+	}
+
+	// v2: batch query — many query points amortizing one index traversal.
+	qlines := postNDJSON(base+"/v2/query", &server.BatchQueryRequest{
+		Dataset: "demo",
+		Qs:      [][]float64{q, {4000, 4000}, {6000, 6000}},
+		Alpha:   alpha,
+	})
+	fmt.Printf("\n/v2/query batch:\n")
+	for _, line := range qlines {
+		var item server.BatchQueryItem
+		if err := json.Unmarshal(line, &item); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  q #%d: %d answers\n", item.Index, item.Count)
+	}
+
 	// Serving metrics.
 	resp, err := http.Get(base + "/v1/stats")
 	if err != nil {
@@ -113,6 +162,33 @@ func post(url string, req, out any) {
 	if !tryPost(url, req, out) {
 		log.Fatalf("POST %s failed", url)
 	}
+}
+
+// postNDJSON posts req and returns the response's NDJSON lines.
+func postNDJSON(url string, req any) [][]byte {
+	raw, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode >= 300 {
+		log.Fatalf("POST %s: %d %s", url, resp.StatusCode, body)
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	return lines
 }
 
 // tryPost returns false on a 4xx rejection (e.g. "not a non-answer" or

@@ -7,9 +7,12 @@
 package causality
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+
+	"github.com/crsky/crsky/internal/ctxutil"
 )
 
 // Cause is one actual cause for a non-answer, with its responsibility and a
@@ -113,6 +116,15 @@ var (
 	// ErrBadObject reports an unknown object reference.
 	ErrBadObject = errors.New("causality: object index out of range")
 )
+
+// canceled and precheck are thin aliases over the shared ctxutil helpers,
+// binding this package's partial-statistic (the subset counter) into the
+// typed cancellation error.
+func canceled(err error, subsets int64) error {
+	return ctxutil.WrapCanceled(err, subsets, 0)
+}
+
+func precheck(ctx context.Context) error { return ctxutil.Precheck(ctx) }
 
 func sortCauses(causes []Cause) {
 	sort.Slice(causes, func(i, j int) bool {

@@ -1,6 +1,7 @@
 package causality
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -24,10 +25,24 @@ import (
 //     each remaining candidate's minimum contingency set is found by FMCS
 //     with Γ1 forcing (Lemma 4) and Lemma 6 bound propagation.
 func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
+	return CPCtx(context.Background(), ds, q, anID, alpha, opts)
+}
+
+// CPCtx is CP under a context: the refinement polls ctx every
+// ctxutil.DefaultStride search nodes (reusing the MaxSubsets budget-charging
+// points, so the check never perturbs the search order) and returns a typed
+// *ctxutil.CanceledError wrapping the context error — with the partial
+// SubsetsExamined counter — when canceled. The engine state is fully
+// restored on cancellation; a subsequent call computes the same result an
+// uncanceled run would have.
+func CPCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
 	if anID < 0 || anID >= ds.Len() {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, ds.Dims(), alpha); err != nil {
+		return nil, err
+	}
+	if err := precheck(ctx); err != nil {
 		return nil, err
 	}
 	an := ds.Objects[anID]
@@ -56,7 +71,7 @@ func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Optio
 		return res, nil
 	}
 
-	r := newRefiner(e, candIDs, alpha, opts)
+	r := newRefiner(ctx, e, candIDs, alpha, opts)
 	causes, err := r.run()
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package causality
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -71,10 +72,20 @@ func (s *PDFSet) Tree(opts ...rtree.Option) *rtree.Tree {
 //     exact per-dimension products, and Pr(an | ·) integrates over an's
 //     region with Gauss–Legendre cubature (Options.QuadNodes per dim).
 func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
+	return CPPDFCtx(context.Background(), s, q, anID, alpha, opts)
+}
+
+// CPPDFCtx is CPPDF under a context, with the same cancellation contract as
+// CPCtx: an amortized poll at the budget-charging points and a typed
+// *ctxutil.CanceledError with partial statistics on cancellation.
+func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
 	if anID < 0 || anID >= s.Len() {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, s.Dims(), alpha); err != nil {
+		return nil, err
+	}
+	if err := precheck(ctx); err != nil {
 		return nil, err
 	}
 	an := s.Objects[anID]
@@ -127,7 +138,7 @@ func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Res
 		return res, nil
 	}
 
-	r := newRefiner(e, candIDs, alpha, opts)
+	r := newRefiner(ctx, e, candIDs, alpha, opts)
 	// Difference 2: geometric Γ1 certification via the nearest-corner
 	// rectangle. The evaluator's mass-based AlwaysDominates (set in
 	// classify) and this test agree on exact arithmetic; the geometric

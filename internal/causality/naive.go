@@ -1,9 +1,11 @@
 package causality
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
+	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/prob"
@@ -16,12 +18,23 @@ import (
 // without Lemma 4/5/6 or any pruning. The first subset satisfying the
 // contingency conditions is the minimum by construction.
 func NaiveI(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
+	return NaiveICtx(context.Background(), ds, q, anID, alpha, opts)
+}
+
+// NaiveICtx is NaiveI under a context: the exhaustive enumeration polls ctx
+// with the same amortized stride as the refiner, so even the baseline is
+// cancellable when used as an online oracle.
+func NaiveICtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
 	if anID < 0 || anID >= ds.Len() {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, ds.Dims(), alpha); err != nil {
 		return nil, err
 	}
+	if err := precheck(ctx); err != nil {
+		return nil, err
+	}
+	poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
 	an := ds.Objects[anID]
 	candIDs := FilterCandidates(ds, q, an)
 	if opts.MaxCandidates > 0 && len(candIDs) > opts.MaxCandidates {
@@ -47,9 +60,9 @@ func NaiveI(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts O
 				pool = append(pool, j)
 			}
 		}
-		gamma, ok, err := naiveFMCS(e, cc, pool, alpha, &res.SubsetsExamined, opts.MaxSubsets)
+		gamma, ok, err := naiveFMCS(e, cc, pool, alpha, &res.SubsetsExamined, opts.MaxSubsets, poll)
 		if err != nil {
-			return nil, err
+			return nil, canceled(err, res.SubsetsExamined)
 		}
 		if !ok {
 			continue
@@ -72,10 +85,13 @@ func NaiveI(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts O
 
 // naiveFMCS enumerates every subset of pool in ascending cardinality and
 // returns the first contingency set for cc.
-func naiveFMCS(e *prob.Evaluator, cc int, pool []int, alpha float64, counter *int64, budget int64) ([]int, bool, error) {
+func naiveFMCS(e *prob.Evaluator, cc int, pool []int, alpha float64, counter *int64, budget int64, poll *ctxutil.Poll) ([]int, bool, error) {
 	var chosen []int
 	var rec func(start, need int) (bool, error)
 	rec = func(start, need int) (bool, error) {
+		if err := poll.Check(); err != nil {
+			return false, err
+		}
 		if need == 0 {
 			*counter++
 			if budget > 0 && *counter > budget {

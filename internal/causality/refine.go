@@ -1,10 +1,12 @@
 package causality
 
 import (
+	"context"
 	"sort"
 	"sync"
 	"sync/atomic"
 
+	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/prob"
 )
 
@@ -50,6 +52,14 @@ type refiner struct {
 	e     *prob.Evaluator
 	ids   []int // candidate object IDs, parallel to evaluator indexes
 	alpha float64
+
+	// ctx cancels the search; poll amortizes the check to one ctx.Err()
+	// read per ctxutil.DefaultStride charged work units (each parallel
+	// worker owns its own poll over the shared ctx). The poll sits inside
+	// chargeWork, so it never perturbs the search order or the budget
+	// counters of an uncanceled run.
+	ctx  context.Context
+	poll *ctxutil.Poll
 
 	forced         []bool // Lemma 4: in every minimum contingency set
 	counterfactual []bool // Lemma 5: in no minimum contingency set
@@ -101,7 +111,7 @@ type refinerShared struct {
 	aborted     atomic.Bool
 }
 
-func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refiner {
+func newRefiner(ctx context.Context, e *prob.Evaluator, ids []int, alpha float64, opts Options) *refiner {
 	n := e.N()
 	shared := &refinerShared{
 		bestKnown:  make([]int, n),
@@ -121,12 +131,21 @@ func newRefiner(e *prob.Evaluator, ids []int, alpha float64, opts Options) *refi
 		e:              e,
 		ids:            ids,
 		alpha:          alpha,
+		ctx:            ctx,
+		poll:           ctxutil.NewPoll(ctx, ctxutil.DefaultStride),
 		forced:         make([]bool, n),
 		counterfactual: make([]bool, n),
 		gains:          gains,
 		opts:           opts,
 		shared:         shared,
 	}
+}
+
+// wrapCanceled converts a context error escaping the refinement into the
+// typed CanceledError carrying the partial subset counter; every other
+// error (ErrSubsetBudget in particular) passes through unchanged.
+func (r *refiner) wrapCanceled(err error) error {
+	return canceled(err, r.subsetsCount())
 }
 
 // subsetsExamined reports the shared verification counter.
@@ -176,13 +195,13 @@ func (r *refiner) run() ([]Cause, error) {
 
 	if !r.opts.NoGreedySeed {
 		if err := r.greedySeedAll(); err != nil {
-			return nil, err
+			return nil, r.wrapCanceled(err)
 		}
 	}
 
 	perCandidate, err := r.searchAll()
 	if err != nil {
-		return nil, err
+		return nil, r.wrapCanceled(err)
 	}
 	for cc, gamma := range perCandidate {
 		if gamma == nil {
@@ -216,12 +235,7 @@ func (r *refiner) searchOrder() []int {
 		}
 	}
 	if !r.opts.NoMassOrder {
-		sort.Slice(order, func(a, b int) bool {
-			if r.gains[order[a]] != r.gains[order[b]] {
-				return r.gains[order[a]] > r.gains[order[b]]
-			}
-			return order[a] < order[b]
-		})
+		sortPoolByGain(order, func(j int) float64 { return r.gains[j] })
 	}
 	return order
 }
@@ -260,6 +274,8 @@ func (r *refiner) searchAll() ([][]int, error) {
 			e:              r.e.Clone(),
 			ids:            r.ids,
 			alpha:          r.alpha,
+			ctx:            r.ctx,
+			poll:           ctxutil.NewPoll(r.ctx, ctxutil.DefaultStride),
 			forced:         r.forced,
 			counterfactual: r.counterfactual,
 			gains:          r.gains,
@@ -270,11 +286,20 @@ func (r *refiner) searchAll() ([][]int, error) {
 		go func() {
 			defer wg.Done()
 			for cc := range jobs {
+				// Drain without working once any worker aborted: returning
+				// instead would let the dispatcher block forever on the
+				// unbuffered channel when every worker dies between its
+				// aborted-check and the send (all workers fail near-
+				// simultaneously under a canceled context or an exhausted
+				// budget).
+				if errs[w] != nil || r.shared.aborted.Load() {
+					continue
+				}
 				gamma, ok, err := wr.fmcs(cc)
 				if err != nil {
 					errs[w] = err
 					r.shared.aborted.Store(true)
-					return
+					continue
 				}
 				if ok {
 					if gamma == nil {
@@ -337,8 +362,14 @@ func (r *refiner) partition(cc int) (forcedSet, pool []int) {
 }
 
 // chargeWork draws n evaluation units from the MaxSubsets budget,
-// returning ErrSubsetBudget once it is exhausted.
+// returning ErrSubsetBudget once it is exhausted. It is also the single
+// cancellation point of the refinement: the amortized context poll fires
+// here, so every budget-charging site — leaves, pruned branch points, the
+// greedy incumbent pass — observes a cancellation within one stride.
 func (r *refiner) chargeWork(n int64) error {
+	if err := r.poll.Charge(n); err != nil {
+		return err
+	}
 	if r.shared.maxSubsets > 0 && r.shared.workUnits.Add(n) > r.shared.maxSubsets {
 		return ErrSubsetBudget
 	}
@@ -473,12 +504,7 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 	// appear early in each cardinality's enumeration — and so the
 	// admissible bound's best-remaining prefix is exactly a range sum.
 	if !r.opts.NoMassOrder {
-		sort.Slice(pool, func(a, b int) bool {
-			if r.gains[pool[a]] != r.gains[pool[b]] {
-				return r.gains[pool[a]] > r.gains[pool[b]]
-			}
-			return pool[a] < pool[b]
-		})
+		sortPoolByGain(pool, func(j int) float64 { return r.gains[j] })
 	}
 
 	// Feasibility precheck: condition (ii) is monotone in Γ, so if even
@@ -506,12 +532,43 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 	// `start` onward are exactly pool[start:start+need].
 	var prefix []float64
 	if !r.opts.NoAdmissible {
-		prefix = r.scratchPrefix[:0]
-		prefix = append(prefix, 0)
-		for _, j := range pool {
-			prefix = append(prefix, prefix[len(prefix)-1]+r.gains[j])
-		}
+		prefix = gainPrefix(pool, func(j int) float64 { return r.gains[j] }, r.scratchPrefix)
 		r.scratchPrefix = prefix
+	}
+
+	// The shared budgeted enumeration with the FMCS leaf and prunes
+	// plugged in. Two prunes guard each branch point: the monotone prune
+	// (condition (i) already violated — dead for every superset) and the
+	// admissible prune (even the best `need` remaining removals cannot
+	// lift Pr(an | · −{cc}) to α — no satisfying leaf below).
+	search := &subsetSearch{
+		e:      r.e,
+		pool:   pool,
+		charge: r.chargeWork,
+		leaf: func() (bool, error) {
+			r.shared.subsetsExamined.Add(1)
+			pr, prWo := r.e.PrPair(cc)
+			return prob.Less(pr, r.alpha) && prob.GEq(prWo, r.alpha), nil
+		},
+		prune: func(start, need int) bool {
+			if prefix == nil {
+				// Without the admissible bound only Pr is needed, so skip
+				// PrPair's PrWithout half — this is exactly the
+				// pre-branch-and-bound node cost.
+				return !r.opts.NoPrune && prob.GEq(r.e.Pr(), r.alpha)
+			}
+			pr, prWo := r.e.PrPair(cc)
+			if !r.opts.NoPrune && prob.GEq(pr, r.alpha) {
+				return true
+			}
+			budget := prefix[start+need] - prefix[start]
+			if r.opts.NoMassOrder {
+				// Unsorted pool: fall back to the whole remaining mass,
+				// still admissible, just looser.
+				budget = prefix[len(pool)] - prefix[start]
+			}
+			return prob.Less(prWo+budget+admissibleSlack, r.alpha)
+		},
 	}
 
 	// Search cardinalities strictly below the best known upper bound —
@@ -532,7 +589,7 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 		if need > len(pool) {
 			break
 		}
-		hit, e := r.combine(cc, pool, prefix, 0, need, &chosen)
+		hit, e := search.run(0, need, &chosen)
 		if e != nil {
 			for _, j := range forcedSet {
 				r.e.Add(j)
@@ -565,64 +622,6 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 	default:
 		return nil, false, nil
 	}
-}
-
-// combine enumerates size-need subsets of pool[start:] on top of the
-// removals already applied to the evaluator, testing the contingency
-// conditions at the leaves. On success the selected pool entries are left
-// in *chosen (and the evaluator is restored by the unwinding). Two prunes
-// guard the recursion: the monotone prune (condition (i) already violated —
-// dead for every superset) and the admissible prune (even the best `need`
-// remaining removals cannot lift Pr(an | · −{cc}) to α — no satisfying
-// leaf below).
-func (r *refiner) combine(cc int, pool []int, prefix []float64, start, need int, chosen *[]int) (bool, error) {
-	if err := r.chargeWork(1); err != nil {
-		return false, err
-	}
-	if need == 0 {
-		r.shared.subsetsExamined.Add(1)
-		pr, prWo := r.e.PrPair(cc)
-		if prob.Less(pr, r.alpha) && prob.GEq(prWo, r.alpha) {
-			return true, nil
-		}
-		return false, nil
-	}
-	if prefix == nil {
-		// Monotone prune: if an is already an answer with the current
-		// removals, condition (i) fails for every superset. Without the
-		// admissible bound only Pr is needed, so skip PrPair's PrWithout
-		// half — this is exactly the pre-branch-and-bound node cost.
-		if !r.opts.NoPrune && prob.GEq(r.e.Pr(), r.alpha) {
-			return false, nil
-		}
-	} else {
-		pr, prWo := r.e.PrPair(cc)
-		if !r.opts.NoPrune && prob.GEq(pr, r.alpha) {
-			return false, nil
-		}
-		budget := prefix[start+need] - prefix[start]
-		if r.opts.NoMassOrder {
-			// Unsorted pool: fall back to the whole remaining mass,
-			// still admissible, just looser.
-			budget = prefix[len(pool)] - prefix[start]
-		}
-		if prob.Less(prWo+budget+admissibleSlack, r.alpha) {
-			return false, nil
-		}
-	}
-	for i := start; i+need <= len(pool); i++ {
-		j := pool[i]
-		r.e.Remove(j)
-		*chosen = append(*chosen, j)
-		hit, err := r.combine(cc, pool, prefix, i+1, need-1, chosen)
-		if hit || err != nil {
-			r.e.Add(j)
-			return hit, err
-		}
-		*chosen = (*chosen)[:len(*chosen)-1]
-		r.e.Add(j)
-	}
-	return false, nil
 }
 
 // propagateLemma6 records contingency sets for the members of a freshly

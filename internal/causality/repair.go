@@ -1,9 +1,12 @@
 package causality
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 
+	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/prob"
@@ -38,12 +41,26 @@ type Repair struct {
 // provably minimum and reported Exact=true; larger pools or an exceeded
 // Options.MaxSubsets budget keep the greedy set with Exact=false.
 func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
+	return MinimalRepairCtx(context.Background(), ds, q, anID, alpha, opts)
+}
+
+// MinimalRepairCtx is MinimalRepair under a context, with the same
+// cancellation contract as CPCtx: the greedy construction and the exact
+// phase poll ctx with an amortized stride and return a typed
+// *ctxutil.CanceledError on cancellation. Unlike a MaxSubsets exhaustion —
+// which degrades to the greedy answer — a cancellation is an error: the
+// caller asked the computation to stop, so no partial repair is reported.
+func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
 	if anID < 0 || anID >= ds.Len() {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, ds.Dims(), alpha); err != nil {
 		return nil, err
 	}
+	if err := precheck(ctx); err != nil {
+		return nil, err
+	}
+	poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
 	an := ds.Objects[anID]
 	candIDs := FilterCandidates(ds, q, an)
 	cands := make([]*uncertain.Object, len(candIDs))
@@ -74,7 +91,10 @@ func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64,
 	// Greedy incumbent: repeatedly remove the pool candidate with the
 	// largest marginal probability gain. Always a valid repair (removing
 	// the whole pool yields Pr = 1) and usually at or near the minimum.
-	greedy := greedyRepair(e, pool, alpha)
+	greedy, err := greedyRepair(e, pool, alpha, poll)
+	if err != nil {
+		return nil, canceled(err, 0)
+	}
 	if greedy == nil {
 		// Cannot happen: removing every candidate yields Pr = 1.
 		return nil, fmt.Errorf("causality: repair construction failed")
@@ -85,7 +105,10 @@ func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64,
 
 	const greedyThreshold = 24
 	if len(pool) <= greedyThreshold {
-		chosen, found, ok := exactRepairBelow(e, pool, alpha, opts.MaxSubsets, len(greedy))
+		chosen, found, ok, err := exactRepairBelow(e, pool, alpha, opts.MaxSubsets, len(greedy), poll)
+		if err != nil {
+			return nil, canceled(err, 0)
+		}
 		if ok && found {
 			for _, j := range chosen {
 				e.Remove(j)
@@ -111,8 +134,10 @@ func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64,
 
 // greedyRepair removes pool candidates in descending marginal-gain order
 // until the threshold is reached, returning the chosen evaluator indexes
-// (which remain removed). nil means the pool was exhausted below α.
-func greedyRepair(e *prob.Evaluator, pool []int, alpha float64) []int {
+// (which remain removed). nil means the pool was exhausted below α. On
+// cancellation the evaluator is restored to the kernel-only state and the
+// context error is returned.
+func greedyRepair(e *prob.Evaluator, pool []int, alpha float64, poll *ctxutil.Poll) ([]int, error) {
 	var chosen []int
 	remaining := append([]int{}, pool...)
 	for !prob.GEq(e.Pr(), alpha) {
@@ -120,11 +145,17 @@ func greedyRepair(e *prob.Evaluator, pool []int, alpha float64) []int {
 			for _, j := range chosen {
 				e.Add(j)
 			}
-			return nil
+			return nil, nil
 		}
 		bestIdx, bestGain := -1, -1.0
 		base := e.Pr()
 		for i, j := range remaining {
+			if err := poll.Check(); err != nil {
+				for _, k := range chosen {
+					e.Add(k)
+				}
+				return nil, err
+			}
 			if gain := e.PrWithout(j) - base; gain > bestGain {
 				bestIdx, bestGain = i, gain
 			}
@@ -134,79 +165,78 @@ func greedyRepair(e *prob.Evaluator, pool []int, alpha float64) []int {
 		e.Remove(j)
 		chosen = append(chosen, j)
 	}
-	return chosen
+	return chosen, nil
 }
+
+// errRepairBudget distinguishes MaxSubsets exhaustion (degrade to the
+// greedy incumbent) from a context cancellation (a real error) inside the
+// shared subset search.
+var errRepairBudget = errors.New("causality: repair enumeration budget exhausted")
 
 // exactRepairBelow enumerates pool subsets of size < upper in ascending
 // cardinality on an evaluator whose kernel is already removed, returning
-// the first (hence minimum) subset reaching the threshold. The pool is
-// visited in descending removal-gain order and a subtree dies when even the
-// `need` largest remaining gains cannot lift the current probability to α —
-// the same admissible bound the FMCS refiner uses, so the phase only pays
-// for cardinalities the incumbent has not already ruled out. found=false
-// with ok=true means no smaller repair exists; ok=false means the budget
-// ran out. The evaluator is restored either way.
-func exactRepairBelow(e *prob.Evaluator, pool []int, alpha float64, budget int64, upper int) (chosen []int, found, ok bool) {
+// the first (hence minimum) subset reaching the threshold. It runs the
+// shared sorted-pool/prefix-sum/budgeted search (subsetSearch) with the
+// repair leaf plugged in: the pool is visited in descending removal-gain
+// order and a subtree dies when even the `need` largest remaining gains
+// cannot lift the current probability to α — the same admissible bound the
+// FMCS refiner uses, so the phase only pays for cardinalities the incumbent
+// has not already ruled out. found=false with ok=true means no smaller
+// repair exists; ok=false means the budget ran out; a non-nil err is a
+// context cancellation. The evaluator is restored in every case.
+func exactRepairBelow(e *prob.Evaluator, pool []int, alpha float64, budget int64, upper int, poll *ctxutil.Poll) (chosen []int, found, ok bool, err error) {
 	if upper <= 1 {
-		return nil, false, true // the incumbent is a singleton: nothing below it
+		return nil, false, true, nil // the incumbent is a singleton: nothing below it
 	}
 	gains := make(map[int]float64, len(pool))
 	for _, j := range pool {
 		gains[j] = e.RemovalGain(j)
 	}
+	gain := func(j int) float64 { return gains[j] }
 	ordered := append([]int{}, pool...)
-	sort.Slice(ordered, func(a, b int) bool {
-		if gains[ordered[a]] != gains[ordered[b]] {
-			return gains[ordered[a]] > gains[ordered[b]]
-		}
-		return ordered[a] < ordered[b]
-	})
-	prefix := make([]float64, len(ordered)+1)
-	for i, j := range ordered {
-		prefix[i+1] = prefix[i] + gains[j]
-	}
+	sortPoolByGain(ordered, gain)
+	prefix := gainPrefix(ordered, gain, nil)
 
 	var examined int64
-	var rec func(start, need int) (bool, bool)
-	rec = func(start, need int) (hit, inBudget bool) {
+	search := &subsetSearch{
+		e:    e,
+		pool: ordered,
 		// Charge every node, pruned branch points included, so the budget
-		// trips even when the admissible bound kills everything.
-		examined++
-		if budget > 0 && examined > budget {
-			return false, false
-		}
-		if need == 0 {
-			return prob.GEq(e.Pr(), alpha), true
-		}
-		if mass := prefix[start+need] - prefix[start]; prob.Less(e.Pr()+mass+admissibleSlack, alpha) {
-			return false, true
-		}
-		for i := start; i+need <= len(ordered); i++ {
-			j := ordered[i]
-			e.Remove(j)
-			chosen = append(chosen, j)
-			hit, inBudget := rec(i+1, need-1)
-			e.Add(j)
-			if hit || !inBudget {
-				return hit, inBudget
+		// trips even when the admissible bound kills everything. The
+		// context poll rides on the same charging point.
+		charge: func(n int64) error {
+			if err := poll.Charge(n); err != nil {
+				// Type the error here, where the partial node count lives,
+				// so the CanceledError reports the abandoned work.
+				return &ctxutil.CanceledError{Err: err, SubsetsExamined: examined}
 			}
-			chosen = chosen[:len(chosen)-1]
-		}
-		return false, true
+			if examined += n; budget > 0 && examined > budget {
+				return errRepairBudget
+			}
+			return nil
+		},
+		leaf: func() (bool, error) { return prob.GEq(e.Pr(), alpha), nil },
+		prune: func(start, need int) bool {
+			mass := prefix[start+need] - prefix[start]
+			return prob.Less(e.Pr()+mass+admissibleSlack, alpha)
+		},
 	}
 	for m := 1; m < upper; m++ {
 		if m > len(ordered) {
 			break
 		}
-		hit, inBudget := rec(0, m)
-		if !inBudget {
-			return nil, false, false
+		hit, err := search.run(0, m, &chosen)
+		if errors.Is(err, errRepairBudget) {
+			return nil, false, false, nil
+		}
+		if err != nil {
+			return nil, false, false, err
 		}
 		if hit {
-			return chosen, true, true
+			return chosen, true, true, nil
 		}
 	}
-	return nil, false, true
+	return nil, false, true, nil
 }
 
 func finishRepair(e *prob.Evaluator, candIDs, kernel, chosen []int, exact bool) *Repair {

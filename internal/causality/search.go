@@ -1,0 +1,91 @@
+package causality
+
+import (
+	"sort"
+
+	"github.com/crsky/crsky/internal/prob"
+)
+
+// This file holds the one copy of the sorted-pool / prefix-sum / budgeted-
+// recursion search shape shared by the FMCS refiner (refine.go) and the
+// exact repair phase (repair.go). Both enumerate size-need subsets of a
+// dominance-mass-sorted pool on top of removals already applied to an
+// incremental evaluator, prune subtrees with an admissible removal-gain
+// bound over prefix sums, and charge every enumeration node — leaves and
+// pruned branch points alike — to a work budget. Only the leaf predicate
+// and the branch-point prune differ, so they plug in as callbacks; the
+// context-cancellation poll of the v2 API lands in exactly one place (the
+// charge callback), instead of being duplicated per search.
+
+// subsetSearch enumerates size-need subsets of pool[start:] on top of the
+// removals already applied to the evaluator. charge draws one unit per
+// enumeration node from the caller's budget (and is where context
+// cancellation is polled); leaf tests the contingency/repair condition at
+// need == 0; prune (optional) kills a branch point before its children are
+// enumerated. On success the selected pool entries are left in *chosen and
+// the evaluator is restored by the unwinding; on a miss or an error the
+// evaluator and *chosen are restored exactly.
+type subsetSearch struct {
+	e      *prob.Evaluator
+	pool   []int
+	charge func(n int64) error
+	leaf   func() (bool, error)
+	prune  func(start, need int) bool
+}
+
+func (s *subsetSearch) run(start, need int, chosen *[]int) (bool, error) {
+	if err := s.charge(1); err != nil {
+		return false, err
+	}
+	if need == 0 {
+		return s.leaf()
+	}
+	if s.prune != nil && s.prune(start, need) {
+		return false, nil
+	}
+	for i := start; i+need <= len(s.pool); i++ {
+		j := s.pool[i]
+		s.e.Remove(j)
+		*chosen = append(*chosen, j)
+		hit, err := s.run(i+1, need-1, chosen)
+		if hit || err != nil {
+			s.e.Add(j)
+			if err != nil {
+				// Pop this level's selection so the error unwind restores
+				// *chosen exactly, as the contract above promises — a
+				// caller retrying with the same slice must not inherit a
+				// stale partial path.
+				*chosen = (*chosen)[:len(*chosen)-1]
+			}
+			return hit, err
+		}
+		*chosen = (*chosen)[:len(*chosen)-1]
+		s.e.Add(j)
+	}
+	return false, nil
+}
+
+// sortPoolByGain orders pool by descending removal gain, breaking ties by
+// ascending index so the order is deterministic. With the pool mass-sorted,
+// the best `need` removals available from position `start` onward are
+// exactly pool[start:start+need] — the fact the admissible prefix bound
+// relies on.
+func sortPoolByGain(pool []int, gain func(j int) float64) {
+	sort.Slice(pool, func(a, b int) bool {
+		if gain(pool[a]) != gain(pool[b]) {
+			return gain(pool[a]) > gain(pool[b])
+		}
+		return pool[a] < pool[b]
+	})
+}
+
+// gainPrefix appends the prefix sums of the pool's gains to buf[:0]:
+// prefix[i] is the total gain of pool[:i], so a range sum is one
+// subtraction. The returned slice has length len(pool)+1.
+func gainPrefix(pool []int, gain func(j int) float64, buf []float64) []float64 {
+	prefix := append(buf[:0], 0)
+	for _, j := range pool {
+		prefix = append(prefix, prefix[len(prefix)-1]+gain(j))
+	}
+	return prefix
+}

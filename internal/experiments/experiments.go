@@ -106,6 +106,7 @@ func All() []Experiment {
 		{"ablation", "Extra: lemma ablation study for CP", Ablation},
 		{"pdf", "Extra: continuous pdf model demonstration", PDFDemo},
 		{"prsq", "Extra: indexed vs naive probabilistic reverse skyline query (writes BENCH_prsq.json)", PRSQBench},
+		{"prsqbatch", "Extra: v2 batch query vs independent queries (fails unless strictly fewer node accesses)", PRSQBatch},
 		{"explain", "Extra: naive vs old refiner vs branch-and-bound FMCS (writes BENCH_explain.json)", ExplainBench},
 	}
 }

@@ -47,8 +47,8 @@ func TestLookup(t *testing.T) {
 	if _, ok := Lookup("nope"); ok {
 		t.Fatal("unknown experiment should not resolve")
 	}
-	if len(All()) != 14 {
-		t.Fatalf("expected 14 experiments, got %d", len(All()))
+	if len(All()) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(All()))
 	}
 }
 

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prsq"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// PRSQBatch measures the v2 batch query layer on the committed PRSQ
+// configuration (lUrU, d=3, α=0.5, n=20k at -scale 1): 64 query points
+// answered by one shared left-descent join (prsq.QueryBatch) against 64
+// independent indexed queries. It FAILS — non-zero exit under
+// cmd/experiments — unless the batch performs strictly fewer total node
+// accesses with element-wise identical answer sets, which is exactly the
+// acceptance contract of the batch API.
+func PRSQBatch(cfg Config) error {
+	cfg.fillDefaults()
+	const (
+		alpha   = 0.5
+		dims    = 3
+		family  = "lUrU"
+		queries = 64
+	)
+	n := cfg.scaled(20_000)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	ds, err := uncertainFamily(family, n, dims, 0, 5, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	var counter stats.Counter
+	ds.Tree().SetCounter(&counter)
+	ds.WeightSums()
+	ds.Summaries()
+
+	qs := make([]geom.Point, queries)
+	for i := range qs {
+		qs[i] = domainQuery(rng, dims, 10000)
+	}
+	opt := prsq.Options{}
+
+	counter.Reset()
+	start := time.Now()
+	single := make([][]int, queries)
+	for i, q := range qs {
+		single[i], _ = prsq.QueryStats(ds, q, alpha, opt)
+	}
+	singleMs := ms(time.Since(start))
+	singleIO := counter.Value()
+
+	counter.Reset()
+	start = time.Now()
+	batch, bst := prsq.QueryBatchStats(ds, qs, alpha, opt)
+	batchMs := ms(time.Since(start))
+	batchIO := counter.Value()
+
+	for i := range qs {
+		if len(batch[i]) != len(single[i]) {
+			return fmt.Errorf("experiments: batch query #%d returned %d answers, per-query run %d",
+				i, len(batch[i]), len(single[i]))
+		}
+		for j := range batch[i] {
+			if batch[i][j] != single[i][j] {
+				return fmt.Errorf("experiments: batch query #%d diverges from the per-query run at answer %d", i, j)
+			}
+		}
+	}
+
+	tab := stats.Table{
+		Title:  fmt.Sprintf("PRSQ batch: %d queries, n=%d, α=%g", queries, n, alpha),
+		Header: []string{"variant", "total ms", "total node accesses", "IO vs per-query"},
+		Caption: "One shared left-descent join for the whole batch; answer sets element-wise " +
+			"identical to independent queries by construction (and checked here).",
+	}
+	tab.AddRow("per-query x64", fmt.Sprintf("%.1f", singleMs), fmt.Sprintf("%d", singleIO), "1.00x")
+	ratio := float64(singleIO) / float64(batchIO)
+	tab.AddRow("batch", fmt.Sprintf("%.1f", batchMs), fmt.Sprintf("%d", batchIO), fmt.Sprintf("%.2fx fewer", ratio))
+	tab.Render(cfg.Out)
+	fmt.Fprintf(cfg.Out, "batch evaluated %d object-decisions, %d exact evaluations\n", bst.Objects, bst.Evaluated)
+
+	if batchIO >= singleIO {
+		return fmt.Errorf("experiments: batch query charged %d node accesses, not strictly below the per-query total %d",
+			batchIO, singleIO)
+	}
+	return nil
+}

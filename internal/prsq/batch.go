@@ -1,0 +1,192 @@
+package prsq
+
+import (
+	"context"
+	"sync"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/rtree"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// This file is the batch query layer: many query points answered in ONE
+// shared left-major descent of the R-tree (rtree.JoinSelfStreamBatch)
+// instead of one full self-join per point. The per-query online bounds,
+// early stream stops, and exact evaluations are exactly the single-query
+// machinery — the same streamState/pdfStreamState runs per (worker, query)
+// — so each query's answer set is element-wise identical to its individual
+// ProbabilisticReverseSkyline call, while the left-descent node accesses
+// are paid once for the whole batch: for more than one query the total
+// simulated I/O is strictly below the sum of the independent queries'.
+// The undecided bands of all queries merge into one exact-evaluation pass
+// sharing the worker pool, so a query with a hard band cannot serialize
+// behind its siblings.
+
+// batchItem is one undecided (query, object) pair awaiting exact
+// evaluation.
+type batchItem struct {
+	q  int
+	id int
+}
+
+// batchState is the per-(worker, query) stream state: both models'
+// stream states satisfy it, so one core drives the sample and pdf
+// batches.
+type batchState interface {
+	begin(id int, r geom.Rect) bool
+	pair(leftID, rightID int, rightRect geom.Rect) bool
+	finish(id int) decision
+	harvest() (Stats, []int, [][]int32)
+}
+
+func (st *streamState) harvest() (Stats, []int, [][]int32) {
+	return st.stats, st.undecidedIDs, st.undecidedCands
+}
+
+func (st *pdfStreamState) harvest() (Stats, []int, [][]int32) {
+	return st.stats, st.undecidedIDs, st.undecidedCands
+}
+
+// queryBatchCore runs the shared-descent join with per-query states and
+// the merged exact stage — the one copy of the batch orchestration, with
+// the model plugged in through newState (fresh per-query stream state for
+// a join worker) and isAnswer (the exact evaluation of one undecided
+// (query, object) pair). Stats.Objects counts object-decisions,
+// n × len(qs).
+func queryBatchCore(ctx context.Context, tree *rtree.Tree, n int, qs []geom.Point, opt Options,
+	newState func(k int) batchState,
+	isAnswer func(qIdx, id int, cands []int32) bool) ([][]int, Stats, error) {
+
+	nQ := len(qs)
+	if nQ == 0 {
+		return [][]int{}, Stats{}, nil
+	}
+	verdicts := make([][]decision, nQ)
+	for k := range verdicts {
+		verdicts[k] = make([]decision, n)
+	}
+	windows := make([]rtree.WindowFunc, nQ)
+	for k := range qs {
+		q := qs[k]
+		windows[k] = func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	}
+
+	var mu sync.Mutex
+	var workerStates [][]batchState
+	err := tree.JoinSelfStreamBatch(ctx, windows, opt.workers(n), func() rtree.BatchStreamVisitor {
+		states := make([]batchState, nQ)
+		for k := range states {
+			states[k] = newState(k)
+		}
+		mu.Lock()
+		workerStates = append(workerStates, states)
+		mu.Unlock()
+		return rtree.BatchStreamVisitor{
+			Begin: func(k, id int, r geom.Rect) bool { return states[k].begin(id, r) },
+			Pair:  func(k, leftID, rightID int, rr geom.Rect) bool { return states[k].pair(leftID, rightID, rr) },
+			End:   func(k, id int) { verdicts[k][id] = states[k].finish(id) },
+		}
+	})
+	if err != nil {
+		return nil, Stats{Objects: n * nQ}, wrapCanceled(err, 0)
+	}
+
+	stats := Stats{Objects: n * nQ}
+	var items []batchItem
+	var cands [][]int32
+	for _, states := range workerStates {
+		for k, st := range states {
+			s, ids, cs := st.harvest()
+			stats.add(s)
+			for i, id := range ids {
+				items = append(items, batchItem{q: k, id: id})
+				cands = append(cands, cs[i])
+			}
+		}
+	}
+
+	evaluated, err := evaluate(ctx, cands, opt,
+		func(k int) bool { return isAnswer(items[k].q, items[k].id, cands[k]) },
+		func(k int, d decision) { verdicts[items[k].q][items[k].id] = d })
+	if err != nil {
+		return nil, stats, wrapCanceled(err, evaluated)
+	}
+	stats.Evaluated = len(items)
+
+	out := make([][]int, nQ)
+	for k := range verdicts {
+		out[k] = collect(verdicts[k])
+	}
+	return out, stats, nil
+}
+
+// QueryBatch answers the probabilistic reverse skyline for every query
+// point at once, returning one ascending answer-ID slice per query point —
+// element-wise identical to calling Query per point.
+func QueryBatch(ds *dataset.Uncertain, qs []geom.Point, alpha float64, opt Options) [][]int {
+	out, _, _ := QueryBatchStatsCtx(context.Background(), ds, qs, alpha, opt)
+	return out
+}
+
+// QueryBatchStats is QueryBatch with execution statistics aggregated over
+// the whole batch (Stats.Objects counts object-decisions, n × len(qs)).
+func QueryBatchStats(ds *dataset.Uncertain, qs []geom.Point, alpha float64, opt Options) ([][]int, Stats) {
+	out, st, _ := QueryBatchStatsCtx(context.Background(), ds, qs, alpha, opt)
+	return out, st
+}
+
+// QueryBatchStatsCtx is QueryBatchStats under a context, with the
+// cancellation contract of QueryStatsCtx.
+func QueryBatchStatsCtx(ctx context.Context, ds *dataset.Uncertain, qs []geom.Point, alpha float64, opt Options) ([][]int, Stats, error) {
+	wsum := ds.WeightSums()
+	var sums []dataset.Summary
+	if !opt.NoBounds && !opt.NoTier2 {
+		sums = ds.Summaries()
+	}
+	return queryBatchCore(ctx, ds.Tree(), ds.Len(), qs, opt,
+		func(k int) batchState {
+			return &streamState{ds: ds, q: qs[k], alpha: alpha, opt: opt, wsum: wsum, sums: sums}
+		},
+		func(qIdx, id int, cs []int32) bool {
+			bufp := candPool.Get().(*[]*uncertain.Object)
+			objs := (*bufp)[:0]
+			for _, cid := range cs {
+				objs = append(objs, ds.Objects[cid])
+			}
+			ok := prob.GEq(prob.PrReverseSkyline(ds.Objects[id], qs[qIdx], objs), alpha)
+			*bufp = objs[:0]
+			candPool.Put(bufp)
+			return ok
+		})
+}
+
+// QueryBatchPDF is the continuous-model batch query: the same shared
+// left-descent join with the pdf per-query stream states, one merged
+// quadrature pass over all queries' survivors.
+func QueryBatchPDF(set *causality.PDFSet, qs []geom.Point, alpha float64, quadNodes int, opt Options) [][]int {
+	out, _, _ := QueryBatchPDFStatsCtx(context.Background(), set, qs, alpha, quadNodes, opt)
+	return out
+}
+
+// QueryBatchPDFStatsCtx is QueryBatchPDF with statistics and a context,
+// mirroring QueryBatchStatsCtx.
+func QueryBatchPDFStatsCtx(ctx context.Context, set *causality.PDFSet, qs []geom.Point, alpha float64, quadNodes int, opt Options) ([][]int, Stats, error) {
+	return queryBatchCore(ctx, set.Tree(), set.Len(), qs, opt,
+		func(k int) batchState {
+			return &pdfStreamState{set: set, q: qs[k], alpha: alpha, opt: opt}
+		},
+		func(qIdx, id int, cs []int32) bool {
+			bufp := pdfCandPool.Get().(*[]*uncertain.PDFObject)
+			objs := (*bufp)[:0]
+			for _, cid := range cs {
+				objs = append(objs, set.Objects[cid])
+			}
+			ok := prob.GEq(prob.PrReverseSkylinePDF(set.Objects[id], qs[qIdx], objs, quadNodes), alpha)
+			*bufp = objs[:0]
+			pdfCandPool.Put(bufp)
+			return ok
+		})
+}

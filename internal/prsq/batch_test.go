@@ -1,0 +1,136 @@
+package prsq
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/stats"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// TestQueryBatchMatchesPerQuery asserts element-wise identity between the
+// batch query and independent per-point queries across models, thresholds,
+// and worker counts, and — the batch layer's reason to exist — strictly
+// fewer total node accesses than the independent queries on multi-point
+// batches.
+func TestQueryBatchMatchesPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := dataset.LUrU(1500, 3, 0, 5, 11)
+	ds, err := dataset.GenerateUncertain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var io stats.Counter
+	ds.Tree().SetCounter(&io)
+	ds.WeightSums()
+	ds.Summaries()
+
+	qs := make([]geom.Point, 16)
+	for i := range qs {
+		qs[i] = geom.Point{
+			cfg.Domain * rng.Float64(),
+			cfg.Domain * rng.Float64(),
+			cfg.Domain * rng.Float64(),
+		}
+	}
+	for _, alpha := range []float64{0.3, 0.9} {
+		for _, par := range []int{1, 4} {
+			opt := Options{Parallel: par}
+
+			io.Reset()
+			want := make([][]int, len(qs))
+			for i, q := range qs {
+				want[i], _ = QueryStats(ds, q, alpha, opt)
+			}
+			singleIO := io.Value()
+
+			io.Reset()
+			got, st := QueryBatchStats(ds, qs, alpha, opt)
+			batchIO := io.Value()
+
+			for i := range qs {
+				if !equalIDs(got[i], want[i]) {
+					t.Fatalf("alpha=%g par=%d q#%d: batch %v, per-query %v", alpha, par, i, got[i], want[i])
+				}
+			}
+			decided := st.EmptyCandidates + st.AcceptedByBound + st.RejectedByBound +
+				st.AcceptedByTier2 + st.RejectedByTier2 + st.Evaluated
+			if decided != ds.Len()*len(qs) {
+				t.Fatalf("alpha=%g par=%d: stats decide %d of %d object-queries (%+v)",
+					alpha, par, decided, ds.Len()*len(qs), st)
+			}
+			if batchIO >= singleIO {
+				t.Fatalf("alpha=%g par=%d: batch charged %d node accesses, per-query total %d — no amortization",
+					alpha, par, batchIO, singleIO)
+			}
+		}
+	}
+}
+
+// TestQueryBatchPDFMatchesPerQuery is the continuous-model counterpart on a
+// smaller instance (quadrature is the dominant cost).
+func TestQueryBatchPDFMatchesPerQuery(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cfg := dataset.LUrU(150, 2, 10, 400, 12)
+	objs, err := dataset.GenerateUncertainPDF(cfg, uncertain.Uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := causality.NewPDFSet(objs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var io stats.Counter
+	set.Tree().SetCounter(&io)
+
+	qs := make([]geom.Point, 8)
+	for i := range qs {
+		qs[i] = geom.Point{cfg.Domain * rng.Float64(), cfg.Domain * rng.Float64()}
+	}
+	const quad = 4
+	for _, alpha := range []float64{0.4, 0.9} {
+		opt := Options{Parallel: 2}
+		io.Reset()
+		want := make([][]int, len(qs))
+		for i, q := range qs {
+			want[i], _ = QueryPDFStats(set, q, alpha, quad, opt)
+		}
+		singleIO := io.Value()
+
+		io.Reset()
+		got, _, err := QueryBatchPDFStatsCtx(context.Background(), set, qs, alpha, quad, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batchIO := io.Value()
+
+		for i := range qs {
+			if !equalIDs(got[i], want[i]) {
+				t.Fatalf("alpha=%g q#%d: batch %v, per-query %v", alpha, i, got[i], want[i])
+			}
+		}
+		if batchIO >= singleIO {
+			t.Fatalf("alpha=%g: batch charged %d node accesses, per-query total %d", alpha, batchIO, singleIO)
+		}
+	}
+}
+
+// TestQueryBatchCanceled asserts a dead context stops the batch before any
+// verdict is produced and surfaces the typed error.
+func TestQueryBatchCanceled(t *testing.T) {
+	ds, err := dataset.GenerateUncertain(dataset.LUrU(200, 2, 0, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	qs := []geom.Point{{100, 100}, {500, 500}}
+	out, _, err := QueryBatchStatsCtx(ctx, ds, qs, 0.5, Options{Parallel: 1})
+	if err == nil || out != nil {
+		t.Fatalf("canceled batch returned out=%v err=%v", out, err)
+	}
+}

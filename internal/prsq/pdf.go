@@ -1,6 +1,7 @@
 package prsq
 
 import (
+	"context"
 	"sync"
 
 	"github.com/crsky/crsky/internal/causality"
@@ -43,13 +44,22 @@ func QueryPDF(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int,
 // probability is the quadrature weight sum, which coarse grids may leave
 // just below 1).
 func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int, opt Options) ([]int, Stats) {
+	ids, st, _ := QueryPDFStatsCtx(context.Background(), set, q, alpha, quadNodes, opt)
+	return ids, st
+}
+
+// QueryPDFStatsCtx is QueryPDFStats under a context, with the same
+// cancellation contract as QueryStatsCtx: amortized polls in the join and
+// between quadrature evaluations, and a typed *ctxutil.CanceledError with
+// the completed evaluation count on cancellation.
+func QueryPDFStatsCtx(ctx context.Context, set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int, opt Options) ([]int, Stats, error) {
 	n := set.Len()
 	verdicts := make([]decision, n)
 
 	var mu sync.Mutex
 	var states []*pdfStreamState
 	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
-	set.Tree().JoinSelfStreamParallel(window, opt.workers(n), func() rtree.StreamVisitor {
+	err := set.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
 		st := &pdfStreamState{set: set, q: q, alpha: alpha, opt: opt}
 		mu.Lock()
 		states = append(states, st)
@@ -62,6 +72,9 @@ func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes
 			},
 		}
 	})
+	if err != nil {
+		return nil, Stats{Objects: n}, wrapCanceled(err, 0)
+	}
 
 	stats := Stats{Objects: n}
 	var undecidedIDs []int
@@ -72,7 +85,7 @@ func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes
 		undecidedCands = append(undecidedCands, st.undecidedCands...)
 	}
 
-	evaluate(verdicts, undecidedIDs, undecidedCands, opt, func(id int, cands []int32) bool {
+	isAnswer := func(id int, cands []int32) bool {
 		bufp := pdfCandPool.Get().(*[]*uncertain.PDFObject)
 		objs := (*bufp)[:0]
 		for _, cid := range cands {
@@ -82,10 +95,16 @@ func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes
 		*bufp = objs[:0]
 		pdfCandPool.Put(bufp)
 		return ok
-	})
+	}
+	evaluated, err := evaluate(ctx, undecidedCands, opt,
+		func(k int) bool { return isAnswer(undecidedIDs[k], undecidedCands[k]) },
+		func(k int, d decision) { verdicts[undecidedIDs[k]] = d })
+	if err != nil {
+		return nil, stats, wrapCanceled(err, evaluated)
+	}
 	stats.Evaluated = len(undecidedIDs)
 
-	return collect(verdicts), stats
+	return collect(verdicts), stats, nil
 }
 
 // pdfCandPool recycles per-worker pdf candidate slices across queries.

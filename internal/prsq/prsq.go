@@ -29,10 +29,13 @@
 package prsq
 
 import (
+	"context"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/prob"
@@ -57,6 +60,11 @@ type Options struct {
 	// the all-or-nothing MBR tests in place (ablation switch; results are
 	// unchanged).
 	NoTier2 bool
+	// QuadNodes is the per-dimension quadrature resolution for the pdf
+	// model (<= 0 selects the dimension-adapted default). The sample and
+	// certain models ignore it; it lives here so the model-generic v2
+	// query API needs no per-model signature.
+	QuadNodes int
 }
 
 func (o Options) workers(n int) int {
@@ -132,6 +140,16 @@ func Query(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) []in
 
 // QueryStats is Query with execution statistics.
 func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) ([]int, Stats) {
+	ids, st, _ := QueryStatsCtx(context.Background(), ds, q, alpha, opt)
+	return ids, st
+}
+
+// QueryStatsCtx is QueryStats under a context: the filtering join and the
+// exact-evaluation workers poll ctx (amortized) and stop mid-query when it
+// fires, returning a typed *ctxutil.CanceledError that wraps the context
+// error and carries the exact evaluations completed before the stop. An
+// uncanceled run is bit-identical to QueryStats, node accesses included.
+func QueryStatsCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) ([]int, Stats, error) {
 	n := ds.Len()
 	wsum := ds.WeightSums()
 	var sums []dataset.Summary
@@ -145,7 +163,7 @@ func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options)
 	var mu sync.Mutex
 	var states []*streamState
 	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
-	ds.Tree().JoinSelfStreamParallel(window, opt.workers(n), func() rtree.StreamVisitor {
+	err := ds.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
 		st := &streamState{ds: ds, q: q, alpha: alpha, opt: opt, wsum: wsum, sums: sums}
 		mu.Lock()
 		states = append(states, st)
@@ -158,6 +176,9 @@ func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options)
 			},
 		}
 	})
+	if err != nil {
+		return nil, Stats{Objects: n}, wrapCanceled(err, 0)
+	}
 
 	stats := Stats{Objects: n}
 	var undecidedIDs []int
@@ -168,7 +189,7 @@ func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options)
 		undecidedCands = append(undecidedCands, st.undecidedCands...)
 	}
 
-	evaluate(verdicts, undecidedIDs, undecidedCands, opt, func(id int, cands []int32) bool {
+	isAnswer := func(id int, cands []int32) bool {
 		bufp := candPool.Get().(*[]*uncertain.Object)
 		objs := (*bufp)[:0]
 		for _, cid := range cands {
@@ -178,10 +199,23 @@ func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options)
 		*bufp = objs[:0]
 		candPool.Put(bufp)
 		return ok
-	})
+	}
+	evaluated, err := evaluate(ctx, undecidedCands, opt,
+		func(k int) bool { return isAnswer(undecidedIDs[k], undecidedCands[k]) },
+		func(k int, d decision) { verdicts[undecidedIDs[k]] = d })
+	if err != nil {
+		return nil, stats, wrapCanceled(err, evaluated)
+	}
 	stats.Evaluated = len(undecidedIDs)
 
-	return collect(verdicts), stats
+	return collect(verdicts), stats, nil
+}
+
+// wrapCanceled binds the query path's partial statistic (exact
+// evaluations completed before the stop) into the shared typed
+// cancellation error.
+func wrapCanceled(err error, evaluated int) error {
+	return ctxutil.WrapCanceled(err, 0, evaluated)
 }
 
 // streamState is the per-worker state of the online filter+bound pass. The
@@ -421,43 +455,65 @@ func (st *streamState) finish(id int) decision {
 }
 
 // evaluate runs the exact stage over the undecided band, serially or on a
-// worker pool, overwriting each undecided verdict with the exact decision.
-// Candidate lists are sorted ascending first: that is the brute-force
-// multiplication order, and superset entries that dominate nothing multiply
-// by exactly 1, so the result is bit-identical to prob.PRSQ.
-func evaluate(verdicts []decision, ids []int, cands [][]int32, opt Options,
-	isAnswer func(id int, cands []int32) bool) {
+// worker pool, feeding each item's exact decision to set. Candidate lists
+// are sorted ascending first: that is the brute-force multiplication order,
+// and superset entries that dominate nothing multiply by exactly 1, so the
+// result is bit-identical to prob.PRSQ. Each worker polls ctx between
+// items (exact evaluations are the expensive unit, so the poll stride is
+// 1) and the first context error is returned together with the number of
+// items decided before the stop.
+func evaluate(ctx context.Context, cands [][]int32, opt Options,
+	decide func(k int) bool, set func(k int, d decision)) (int, error) {
 
 	for _, c := range cands {
 		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
 	}
-	decide := func(k int) {
-		if isAnswer(ids[k], cands[k]) {
-			verdicts[ids[k]] = accepted
+	settle := func(k int) {
+		if decide(k) {
+			set(k, accepted)
 		} else {
-			verdicts[ids[k]] = rejected
+			set(k, rejected)
 		}
 	}
-	workers := opt.workers(len(ids))
+	n := len(cands)
+	workers := opt.workers(n)
 	if workers <= 1 {
-		for k := range ids {
-			decide(k)
+		poll := ctxutil.NewPoll(ctx, 1)
+		for k := 0; k < n; k++ {
+			if err := poll.Check(); err != nil {
+				return k, err
+			}
+			settle(k)
 		}
-		return
+		return n, nil
 	}
 	var wg sync.WaitGroup
+	var done atomic.Int64
+	errs := make([]error, workers)
 	for wi := 0; wi < workers; wi++ {
 		wi := wi
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			poll := ctxutil.NewPoll(ctx, 1)
 			// Strided sharding; verdict slots are disjoint per worker.
-			for k := wi; k < len(ids); k += workers {
-				decide(k)
+			for k := wi; k < n; k += workers {
+				if err := poll.Check(); err != nil {
+					errs[wi] = err
+					return
+				}
+				settle(k)
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return int(done.Load()), err
+		}
+	}
+	return n, nil
 }
 
 // candPool recycles the evaluation stage's candidate object slices across

@@ -1,0 +1,220 @@
+package rtree
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"github.com/crsky/crsky/internal/ctxutil"
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// BatchStreamVisitor is the multi-query form of StreamVisitor: every
+// callback additionally names the query index k the event belongs to. For
+// each left data entry the joins of all queries are reported back to back —
+// Begin(0)…End(0), Begin(1)…End(1), … — before the next left entry, and the
+// per-query substream obeys the single-query contract exactly (Begin may
+// skip, Pair may stop early, End closes the possibly truncated stream).
+type BatchStreamVisitor struct {
+	Begin func(k, leftID int, leftRect geom.Rect) bool
+	Pair  func(k, leftID, rightID int, rightRect geom.Rect) bool
+	End   func(k, leftID int)
+}
+
+// batchTask is one unit of batch join work: a left subtree plus, for each
+// query, the right subtrees that can still contribute matches under that
+// query's window.
+type batchTask struct {
+	left   *node
+	rights [][]*node
+}
+
+// JoinSelfStreamBatch runs the left-major self-join once for len(windows)
+// queries simultaneously: the left descent — the traversal every
+// single-query join repeats identically — is shared, while the right
+// partner lists are pruned per query with that query's window. The
+// per-query pair streams are exactly the streams the single-query
+// JoinSelfStream would produce (same pairs, same order), so results built
+// from them are element-wise identical to independent joins.
+//
+// Node accesses are where the batch wins: each expanded left node is
+// charged once instead of once per query, and each surviving right node is
+// charged once per expansion even when several queries retain it (the
+// union of the per-query partner lists, mirroring a join that pins the
+// left page and streams each needed right page once for all queries).
+// For Q > 1 queries the total is therefore strictly below Q independent
+// joins — the left-descent charges alone shrink Q-fold.
+//
+// Workers and the context poll behave as in JoinSelfStreamParallelCtx;
+// workers <= 1 runs serially with a single visitor.
+func (t *Tree) JoinSelfStreamBatch(ctx context.Context, windows []WindowFunc, workers int, newVisitor func() BatchStreamVisitor) error {
+	if t.size == 0 || len(windows) == 0 {
+		return nil
+	}
+	rootRights := make([][]*node, len(windows))
+	for k := range rootRights {
+		rootRights[k] = []*node{t.root}
+	}
+	root := batchTask{left: t.root, rights: rootRights}
+
+	if workers <= 1 || t.root.leaf {
+		return t.batchJoinLeft(root, windows, newVisitor(), ctxutil.NewPoll(ctx, ctxutil.DefaultStride), newBatchScratch())
+	}
+
+	// Grow the task frontier exactly like the single-query parallel join.
+	frontierScratch := newBatchScratch()
+	tasks := []batchTask{root}
+	for !tasks[0].left.leaf && len(tasks) < 4*workers {
+		next := make([]batchTask, 0, len(tasks)*t.maxEntries)
+		for _, tk := range tasks {
+			next = append(next, t.expandBatchTask(tk, windows, frontierScratch)...)
+		}
+		if len(next) == 0 {
+			return nil
+		}
+		tasks = next
+	}
+
+	ch := make(chan batchTask)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	var aborted atomic.Bool
+	for wi := 0; wi < workers; wi++ {
+		wi := wi
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v := newVisitor()
+			poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
+			sc := newBatchScratch()
+			for tk := range ch {
+				if errs[wi] != nil {
+					continue
+				}
+				if err := t.batchJoinLeft(tk, windows, v, poll, sc); err != nil {
+					errs[wi] = err
+					aborted.Store(true)
+				}
+			}
+		}()
+	}
+	for _, tk := range tasks {
+		if aborted.Load() {
+			break
+		}
+		ch <- tk
+	}
+	close(ch)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batchScratch is per-worker reusable state for the union-access
+// accounting: the seen set is cleared (capacity retained) between nodes,
+// so the hot descent performs no per-node allocation.
+type batchScratch struct {
+	seen map[*node]struct{}
+}
+
+func newBatchScratch() *batchScratch {
+	return &batchScratch{seen: make(map[*node]struct{}, 64)}
+}
+
+// accessBatchRights charges the left node once and every distinct right
+// node of the per-query partner lists once — the union across queries,
+// excluding the pinned left node itself, mirroring expandTask/joinLeft.
+func (t *Tree) accessBatchRights(nl *node, rights [][]*node, sc *batchScratch) {
+	t.access(nl)
+	clear(sc.seen)
+	sc.seen[nl] = struct{}{}
+	for _, rs := range rights {
+		for _, nr := range rs {
+			if _, dup := sc.seen[nr]; !dup {
+				sc.seen[nr] = struct{}{}
+				t.access(nr)
+			}
+		}
+	}
+}
+
+// expandBatchTask performs one internal-node expansion of the shared left
+// descent: one access pass over the union of partner lists, then per-query
+// pruning of each child's partner list with that query's window.
+func (t *Tree) expandBatchTask(tk batchTask, windows []WindowFunc, sc *batchScratch) []batchTask {
+	nl := tk.left
+	t.accessBatchRights(nl, tk.rights, sc)
+	out := make([]batchTask, 0, len(nl.entries))
+	for i := range nl.entries {
+		el := &nl.entries[i]
+		childRights := make([][]*node, len(windows))
+		for k, wf := range windows {
+			w := wf(el.rect)
+			var crs []*node
+			for _, nr := range tk.rights[k] {
+				for j := range nr.entries {
+					if w.Intersects(nr.entries[j].rect) {
+						crs = append(crs, nr.entries[j].child)
+					}
+				}
+			}
+			childRights[k] = crs
+		}
+		out = append(out, batchTask{left: el.child, rights: childRights})
+	}
+	return out
+}
+
+// batchJoinLeft is the batch form of joinLeft: the serial recursion over
+// one left subtree, reporting each left entry's per-query streams in query
+// order.
+func (t *Tree) batchJoinLeft(tk batchTask, windows []WindowFunc, v BatchStreamVisitor, poll *ctxutil.Poll, sc *batchScratch) error {
+	if err := poll.Check(); err != nil {
+		return err
+	}
+	nl := tk.left
+	if !nl.leaf {
+		for _, child := range t.expandBatchTask(tk, windows, sc) {
+			if err := t.batchJoinLeft(child, windows, v, poll, sc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t.accessBatchRights(nl, tk.rights, sc)
+	for i := range nl.entries {
+		el := &nl.entries[i]
+		for k := range windows {
+			if v.Begin != nil && !v.Begin(k, el.id, el.rect) {
+				continue
+			}
+			w := windows[k](el.rect)
+			t.streamRightsBatch(k, el, w, tk.rights[k], v)
+			if v.End != nil {
+				v.End(k, el.id)
+			}
+		}
+	}
+	return nil
+}
+
+// streamRightsBatch reports the matches of one left leaf entry for query k
+// against that query's surviving right leaves, honoring the early-stop
+// contract of Pair.
+func (t *Tree) streamRightsBatch(k int, el *entry, w geom.Rect, rights []*node, v BatchStreamVisitor) {
+	for _, nr := range rights {
+		for j := range nr.entries {
+			er := &nr.entries[j]
+			if er.id == el.id || !w.Intersects(er.rect) {
+				continue
+			}
+			if !v.Pair(k, el.id, er.id, er.rect) {
+				return
+			}
+		}
+	}
+}

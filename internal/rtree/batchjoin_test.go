@@ -1,0 +1,199 @@
+package rtree
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/stats"
+)
+
+// batchCollect records the per-query grouped streams of a batch join,
+// asserting the per-query Begin/Pair*/End contract.
+type batchCollect struct {
+	t       *testing.T
+	mu      *sync.Mutex
+	streams []map[int][]int // per query: left id -> right ids in order
+	current int
+	curQ    int
+	open    bool
+}
+
+func (c *batchCollect) visitor() BatchStreamVisitor {
+	return BatchStreamVisitor{
+		Begin: func(k, id int, _ geom.Rect) bool {
+			if c.open {
+				c.t.Errorf("Begin(q%d,%d) while stream q%d/%d still open", k, id, c.curQ, c.current)
+			}
+			c.open, c.curQ, c.current = true, k, id
+			return true
+		},
+		Pair: func(k, leftID, rightID int, _ geom.Rect) bool {
+			if !c.open || leftID != c.current || k != c.curQ {
+				c.t.Errorf("Pair(q%d,%d,%d) outside its group (current q%d/%d)", k, leftID, rightID, c.curQ, c.current)
+			}
+			c.mu.Lock()
+			c.streams[k][leftID] = append(c.streams[k][leftID], rightID)
+			c.mu.Unlock()
+			return true
+		},
+		End: func(k, id int) {
+			if !c.open || id != c.current || k != c.curQ {
+				c.t.Errorf("End(q%d,%d) without matching Begin (current q%d/%d)", k, id, c.curQ, c.current)
+			}
+			c.open = false
+			c.mu.Lock()
+			if _, dup := c.streams[k][id]; !dup {
+				c.streams[k][id] = []int{}
+			}
+			c.mu.Unlock()
+		},
+	}
+}
+
+// TestJoinSelfStreamBatchMatchesSingle pins the batch join to per-query
+// single joins: identical per-(query, left) match streams (same pairs, same
+// order), every left entry visited once per query, and — for more than one
+// query — strictly fewer node accesses than the single joins combined.
+// With exactly one query the accounting must match the single join to the
+// node.
+func TestJoinSelfStreamBatchMatchesSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, n := range []int{1, 40, 400, 1500} {
+		for _, numQ := range []int{1, 2, 5} {
+			for _, workers := range []int{1, 4} {
+				items := randomItems(rng, n, 2)
+				tr := New(2, WithMaxEntries(8))
+				tr.BulkLoad(items)
+				var io stats.Counter
+				tr.SetCounter(&io)
+
+				windows := make([]WindowFunc, numQ)
+				for k := range windows {
+					windows[k] = joinWindow(1.5 + 2*float64(k))
+				}
+
+				// Reference: one single-query join per window, with ordered
+				// streams and summed node accesses.
+				singleIO := int64(0)
+				want := make([]map[int][]int, numQ)
+				for k := range windows {
+					io.Reset()
+					c := &collectVisitor{t: t, mu: &sync.Mutex{}, streams: map[int][]int{}}
+					tr.JoinSelfStream(windows[k], c.visitor())
+					singleIO += io.Value()
+					want[k] = c.streams
+				}
+
+				io.Reset()
+				bc := &batchCollect{t: t, mu: &sync.Mutex{}}
+				bc.streams = make([]map[int][]int, numQ)
+				for k := range bc.streams {
+					bc.streams[k] = map[int][]int{}
+				}
+				newVisitor := func() BatchStreamVisitor {
+					// One shared collector per test run is fine: workers > 1
+					// guards with the mutex, and the contract fields are only
+					// asserted when workers == 1 (each worker owns disjoint
+					// left entries, so cross-worker interleaving is legal).
+					if workers > 1 {
+						w := &batchCollect{t: t, mu: bc.mu, streams: bc.streams, open: false}
+						v := w.visitor()
+						v.Begin = func(k, id int, _ geom.Rect) bool { w.curQ, w.current, w.open = k, id, true; return true }
+						return v
+					}
+					return bc.visitor()
+				}
+				if err := tr.JoinSelfStreamBatch(context.Background(), windows, workers, newVisitor); err != nil {
+					t.Fatalf("n=%d Q=%d workers=%d: %v", n, numQ, workers, err)
+				}
+				batchIO := io.Value()
+
+				for k := range windows {
+					if len(bc.streams[k]) != n {
+						t.Fatalf("n=%d Q=%d workers=%d q=%d: %d left streams, want %d",
+							n, numQ, workers, k, len(bc.streams[k]), n)
+					}
+					for id, got := range bc.streams[k] {
+						if fmt.Sprint(got) != fmt.Sprint(want[k][id]) {
+							t.Fatalf("n=%d Q=%d workers=%d q=%d id=%d: got %v, want %v",
+								n, numQ, workers, k, id, got, want[k][id])
+						}
+					}
+				}
+
+				if workers == 1 {
+					if numQ == 1 && batchIO != singleIO {
+						t.Fatalf("n=%d: single-query batch join charged %d node accesses, single join %d",
+							n, batchIO, singleIO)
+					}
+					if numQ > 1 && n > 1 && batchIO >= singleIO {
+						t.Fatalf("n=%d Q=%d: batch join charged %d node accesses, not below the single joins' %d",
+							n, numQ, batchIO, singleIO)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestJoinSelfStreamBatchEarlyStop asserts a Pair returning false truncates
+// only that (query, left) stream.
+func TestJoinSelfStreamBatchEarlyStop(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	items := randomItems(rng, 120, 2)
+	tr := New(2, WithMaxEntries(8))
+	tr.BulkLoad(items)
+	windows := []WindowFunc{joinWindow(3), joinWindow(3)}
+
+	full := map[int][]int{}
+	tr.JoinSelfStream(windows[0], StreamVisitor{
+		Pair: func(l, r int, _ geom.Rect) bool { full[l] = append(full[l], r); return true },
+	})
+
+	got := make([]map[int][]int, 2)
+	got[0], got[1] = map[int][]int{}, map[int][]int{}
+	err := tr.JoinSelfStreamBatch(context.Background(), windows, 1, func() BatchStreamVisitor {
+		return BatchStreamVisitor{
+			Pair: func(k, l, r int, _ geom.Rect) bool {
+				got[k][l] = append(got[k][l], r)
+				return k != 0 || len(got[0][l]) < 2 // query 0 stops after two pairs
+			},
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l, want := range full {
+		if len(want) > 2 && len(got[0][l]) != 2 {
+			t.Fatalf("left %d: query-0 stream has %d pairs, want truncation at 2", l, len(got[0][l]))
+		}
+		if fmt.Sprint(got[1][l]) != fmt.Sprint(want) {
+			t.Fatalf("left %d: query-1 stream truncated too: got %v want %v", l, got[1][l], want)
+		}
+	}
+}
+
+// TestJoinSelfStreamBatchCanceled asserts a pre-canceled context stops the
+// batch join with the context's error.
+func TestJoinSelfStreamBatchCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(49))
+	items := randomItems(rng, 300, 2)
+	tr := New(2, WithMaxEntries(8))
+	tr.BulkLoad(items)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pairs := 0
+	err := tr.JoinSelfStreamBatch(ctx, []WindowFunc{joinWindow(3)}, 1, func() BatchStreamVisitor {
+		return BatchStreamVisitor{Pair: func(k, l, r int, _ geom.Rect) bool { pairs++; return true }}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if pairs != 0 {
+		t.Fatalf("canceled join still streamed %d pairs", pairs)
+	}
+}

@@ -15,7 +15,7 @@ import (
 // reference.
 func FuzzJoinSelfStream(f *testing.F) {
 	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, uint8(3), false)
-	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(1), true)       // coincident zero-area rects
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0}, uint8(1), true) // coincident zero-area rects
 	f.Add([]byte{255, 0, 255, 0, 128, 128, 7, 9}, uint8(5), false)
 	f.Add([]byte{10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10, 10}, uint8(2), true)
 

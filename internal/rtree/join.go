@@ -1,8 +1,11 @@
 package rtree
 
 import (
+	"context"
 	"sync"
+	"sync/atomic"
 
+	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/geom"
 )
 
@@ -43,18 +46,32 @@ type StreamVisitor struct {
 // right node at each left node expansion, mirroring a join that pins the
 // left page while streaming the right pages of its pruned partner list.
 func (t *Tree) JoinSelfStream(window WindowFunc, v StreamVisitor) {
-	if t.size == 0 {
-		return
-	}
-	t.joinLeft(t.root, []*node{t.root}, window, v)
+	_ = t.JoinSelfStreamCtx(context.Background(), window, v)
 }
 
-func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVisitor) {
+// JoinSelfStreamCtx is JoinSelfStream under a context: the descent polls
+// ctx once per visited node (amortized through ctxutil.Poll, so an
+// uncancelable context costs nothing) and stops mid-join when it fires,
+// returning the context's error. Node-access accounting up to the stop is
+// exactly the serial join's prefix.
+func (t *Tree) JoinSelfStreamCtx(ctx context.Context, window WindowFunc, v StreamVisitor) error {
+	if t.size == 0 {
+		return nil
+	}
+	return t.joinLeft(t.root, []*node{t.root}, window, v, ctxutil.NewPoll(ctx, ctxutil.DefaultStride))
+}
+
+func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVisitor, poll *ctxutil.Poll) error {
+	if err := poll.Check(); err != nil {
+		return err
+	}
 	if !nl.leaf {
 		for _, tk := range t.expandTask(joinTask{left: nl, rights: rights}, window) {
-			t.joinLeft(tk.left, tk.rights, window, v)
+			if err := t.joinLeft(tk.left, tk.rights, window, v, poll); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	t.access(nl)
 	for _, nr := range rights {
@@ -73,6 +90,7 @@ func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVis
 			v.End(el.id)
 		}
 	}
+	return nil
 }
 
 // joinTask is one unit of parallel join work: a left subtree plus the right
@@ -129,12 +147,19 @@ func (t *Tree) expandTask(tk joinTask, window WindowFunc) []joinTask {
 //
 // workers <= 1 degenerates to the serial join with a single visitor.
 func (t *Tree) JoinSelfStreamParallel(window WindowFunc, workers int, newVisitor func() StreamVisitor) {
+	_ = t.JoinSelfStreamParallelCtx(context.Background(), window, workers, newVisitor)
+}
+
+// JoinSelfStreamParallelCtx is JoinSelfStreamParallel under a context. Each
+// worker polls ctx with its own amortized checker and abandons its
+// remaining tasks when it fires; the dispatcher stops handing out tasks as
+// well, and the first context error is returned after all workers drain.
+func (t *Tree) JoinSelfStreamParallelCtx(ctx context.Context, window WindowFunc, workers int, newVisitor func() StreamVisitor) error {
 	if t.size == 0 {
-		return
+		return nil
 	}
 	if workers <= 1 || t.root.leaf {
-		t.joinLeft(t.root, []*node{t.root}, window, newVisitor())
-		return
+		return t.joinLeft(t.root, []*node{t.root}, window, newVisitor(), ctxutil.NewPoll(ctx, ctxutil.DefaultStride))
 	}
 
 	// Grow the task frontier until there is enough slack for the pool to
@@ -147,28 +172,47 @@ func (t *Tree) JoinSelfStreamParallel(window WindowFunc, workers int, newVisitor
 			next = append(next, t.expandTask(tk, window)...)
 		}
 		if len(next) == 0 {
-			return
+			return nil
 		}
 		tasks = next
 	}
 
 	ch := make(chan joinTask)
+	errs := make([]error, workers)
 	var wg sync.WaitGroup
+	var aborted atomic.Bool
 	for wi := 0; wi < workers; wi++ {
+		wi := wi
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			v := newVisitor()
+			poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
 			for tk := range ch {
-				t.joinLeft(tk.left, tk.rights, window, v)
+				if errs[wi] != nil {
+					continue // drain without working after a cancellation
+				}
+				if err := t.joinLeft(tk.left, tk.rights, window, v, poll); err != nil {
+					errs[wi] = err
+					aborted.Store(true)
+				}
 			}
 		}()
 	}
 	for _, tk := range tasks {
+		if aborted.Load() {
+			break
+		}
 		ch <- tk
 	}
 	close(ch)
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // streamRights reports the matches of one left leaf entry against the

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// The /v2 API is the batch, deadline-aware surface over the model-generic
+// engine interface: one request carries many query points (or many
+// non-answers), responses stream back as NDJSON — one JSON object per line
+// — and a `?timeout=` query parameter bounds the whole request. Unlike the
+// /v1 handlers, the v2 compute runs on the live request context: a client
+// disconnect or an elapsed deadline cancels the engine work mid-search and
+// frees the worker-pool slot.
+
+// BatchQueryRequest is the body of POST /v2/query: the (probabilistic)
+// reverse skyline of every point in Qs at one threshold. Alpha is ignored
+// (forced to 1) for certain data; QuadNodes tunes pdf quadrature.
+type BatchQueryRequest struct {
+	Dataset   string      `json:"dataset"`
+	Qs        [][]float64 `json:"qs"`
+	Alpha     float64     `json:"alpha,omitempty"`
+	QuadNodes int         `json:"quadNodes,omitempty"`
+	NoCache   bool        `json:"noCache,omitempty"`
+}
+
+// cacheKey canonically encodes every semantically relevant field —
+// including the batch shape — so two requests share a cached result
+// exactly when the engine would compute the same thing. NoCache (a cache
+// directive) and the request deadline (delivery, not semantics) are
+// deliberately excluded; TestV2CacheKeysCoverEveryField enforces coverage
+// of everything else by reflection.
+func (r *BatchQueryRequest) cacheKey(ent *entry) string {
+	var b strings.Builder
+	// r.Dataset (== ent.name for every resolvable request) keys the name;
+	// the entry contributes the generation so a re-registered dataset
+	// retires its predecessor's cached batches.
+	fmt.Fprintf(&b, "v2query|%s|%d|%g|%d|n=%d", r.Dataset, ent.gen, r.Alpha, r.QuadNodes, len(r.Qs))
+	for _, q := range r.Qs {
+		b.WriteByte('|')
+		b.WriteString(pointKey(geom.Point(q)))
+	}
+	return b.String()
+}
+
+// BatchQueryItem is one NDJSON line of the /v2/query response, in request
+// order. Queries have no per-item failure mode — a batch query fails as a
+// whole — so unlike BatchExplainItem there is no error field.
+type BatchQueryItem struct {
+	Index   int   `json:"index"`
+	Count   int   `json:"count"`
+	Answers []int `json:"answers"`
+}
+
+// BatchExplainItemRequest is one non-answer to explain.
+type BatchExplainItemRequest struct {
+	Q  []float64 `json:"q"`
+	An int       `json:"an"`
+}
+
+// BatchExplainRequest is the body of POST /v2/explain: causality
+// explanations for many non-answers, with per-item errors (an item that is
+// actually an answer fails alone, its siblings still return). Verify
+// re-checks every successful explanation against Definition 1 before it is
+// reported.
+type BatchExplainRequest struct {
+	Dataset string                    `json:"dataset"`
+	Items   []BatchExplainItemRequest `json:"items"`
+	Alpha   float64                   `json:"alpha,omitempty"`
+	Options OptionsSpec               `json:"options,omitempty"`
+	Verify  bool                      `json:"verify,omitempty"`
+	NoCache bool                      `json:"noCache,omitempty"`
+}
+
+// cacheKey mirrors BatchQueryRequest.cacheKey: every field except NoCache,
+// batch shape included.
+func (r *BatchExplainRequest) cacheKey(ent *entry) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "v2explain|%s|%d|%g|%s|v=%t|n=%d",
+		r.Dataset, ent.gen, r.Alpha, r.Options.toOptions().Key(), r.Verify, len(r.Items))
+	for _, it := range r.Items {
+		fmt.Fprintf(&b, "|%d@%s", it.An, pointKey(geom.Point(it.Q)))
+	}
+	return b.String()
+}
+
+// BatchExplainItem is one NDJSON line of the /v2/explain response, in
+// request order: either an explanation or a per-item error.
+type BatchExplainItem struct {
+	Index   int              `json:"index"`
+	Explain *ExplainResponse `json:"explain,omitempty"`
+	Error   string           `json:"error,omitempty"`
+}

@@ -84,9 +84,11 @@ func (s *Server) resolve(name string, qs []float64, alpha float64) (*entry, geom
 // The computation deliberately runs on a context detached from the
 // request: a flight's result may be shared by many callers, so the
 // leader's client disconnecting must not fail everyone else (or poison
-// the thundering-herd retry by caching nothing).
+// the thundering-herd retry by caching nothing). fn receives that
+// detached context; the v2 batch handlers, which are not deduplicated,
+// run the live request context instead (see computeV2).
 func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
-	fn func() (any, error)) (any, bool) {
+	fn func(ctx context.Context) (any, error)) (any, bool) {
 
 	if noCache {
 		w.Header().Set(headerCache, "bypass")
@@ -97,12 +99,13 @@ func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string,
 		w.Header().Set(headerCache, "miss")
 	}
 
+	detached := context.WithoutCancel(ctx)
 	v, err, shared := s.flights.Do(key, func() (any, error) {
-		return s.pool.Do(context.WithoutCancel(ctx), func() (any, error) {
+		return s.pool.Do(detached, func() (any, error) {
 			if s.computeHook != nil {
 				s.computeHook()
 			}
-			return fn()
+			return fn(detached)
 		})
 	})
 	if shared {
@@ -140,8 +143,8 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	key := fmt.Sprintf("query|%s|%d|%s|%g|%d", ent.name, ent.gen, pointKey(q), alpha, req.QuadNodes)
-	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
-		return ent.query(q, alpha, req.QuadNodes), nil
+	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
+		return ent.queryCtx(ctx, q, alpha, req.QuadNodes)
 	})
 	if !ok {
 		return
@@ -176,8 +179,8 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	}
 	key := fmt.Sprintf("explain|%s|%d|%s|%d|%g|%s",
 		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
-	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
-		res, err := ent.explain(q, req.An, alpha, opts)
+	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
+		res, err := ent.explainCtx(ctx, q, req.An, alpha, opts)
 		if err == nil {
 			// Work gauges count computed explanations only: cache hits
 			// and deduplicated followers re-serve this computation's
@@ -196,7 +199,11 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	res := v.(*causality.Result)
 	verified := false
 	if req.Verify {
-		if err := ent.verify(q, alpha, res); err != nil {
+		// v1 keeps detached-computation semantics end to end: a client
+		// disconnect must not surface as a verification "failure" that
+		// evicts a good cached result and poisons the thundering-herd
+		// retry.
+		if err := ent.verifyCtx(context.WithoutCancel(r.Context()), q, alpha, res); err != nil {
 			// Never keep serving a result the verifier just rejected.
 			s.cache.Remove(key)
 			s.writeError(w, http.StatusInternalServerError,
@@ -236,8 +243,8 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	opts := req.Options.toOptions()
 	key := fmt.Sprintf("repair|%s|%d|%s|%d|%g|%s",
 		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
-	v, ok := s.compute(w, r.Context(), key, req.NoCache, func() (any, error) {
-		return ent.repair(q, req.An, alpha, opts)
+	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
+		return ent.repairCtx(ctx, q, req.An, alpha, opts)
 	})
 	if !ok {
 		return

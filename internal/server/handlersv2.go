@@ -1,0 +1,243 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/geom"
+)
+
+// errVerificationFailed marks a server-side integrity failure — the
+// engine produced an explanation the independent Definition-1 verifier
+// rejected — which must surface as a 500, never a client error.
+var errVerificationFailed = errors.New("explanation failed verification")
+
+// withTimeout derives the request context: `?timeout=` (a Go duration,
+// e.g. 250ms or 2s) adds a deadline on top of the client-disconnect
+// cancellation the request context already carries.
+func withTimeout(r *http.Request) (context.Context, context.CancelFunc, error) {
+	t := r.URL.Query().Get("timeout")
+	if t == "" {
+		return r.Context(), func() {}, nil
+	}
+	d, err := time.ParseDuration(t)
+	if err != nil || d <= 0 {
+		return nil, nil, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 250ms)", t)
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+// resolveBatch validates the shared (dataset, alpha) pair and every query
+// point of a batch request, mirroring resolve.
+func (s *Server) resolveBatch(name string, qss [][]float64, alpha float64) (*entry, []geom.Point, float64, int, error) {
+	if len(qss) == 0 {
+		return nil, nil, 0, http.StatusBadRequest, fmt.Errorf("at least one query point is required")
+	}
+	ent, _, alpha, status, err := s.resolve(name, qss[0], alpha)
+	if err != nil {
+		return nil, nil, 0, status, err
+	}
+	qs := make([]geom.Point, len(qss))
+	for i, raw := range qss {
+		q := geom.Point(raw)
+		if q.Dims() != ent.dims {
+			return nil, nil, 0, http.StatusBadRequest,
+				fmt.Errorf("q #%d has %d dims, dataset %q has %d", i, q.Dims(), name, ent.dims)
+		}
+		if !q.IsFinite() {
+			return nil, nil, 0, http.StatusBadRequest, fmt.Errorf("q #%d has non-finite coordinates", i)
+		}
+		qs[i] = q
+	}
+	return ent, qs, alpha, 0, nil
+}
+
+// computeV2 runs fn on a worker-pool slot under the LIVE request context —
+// the v2 half of compute: no singleflight (a canceled leader must not fail
+// followers, and batch bodies rarely collide byte-for-byte in flight), the
+// cache in front, and pool slots released as soon as a disconnect or
+// deadline cancels fn.
+func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
+	fn func(ctx context.Context) (any, error)) (any, bool) {
+
+	if noCache {
+		w.Header().Set(headerCache, "bypass")
+	} else if v, ok := s.cache.Get(key); ok {
+		w.Header().Set(headerCache, "hit")
+		return v, true
+	} else {
+		w.Header().Set(headerCache, "miss")
+	}
+
+	v, err := s.pool.Do(ctx, func() (any, error) {
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		return fn(ctx)
+	})
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			s.writeError(w, http.StatusServiceUnavailable, err)
+		case errors.Is(err, errComputePanic), errors.Is(err, errVerificationFailed):
+			s.writeError(w, http.StatusInternalServerError, err)
+		default:
+			s.writeError(w, statusFor(err), err)
+		}
+		return nil, false
+	}
+	if !noCache {
+		s.cache.Put(key, v)
+	}
+	return v, true
+}
+
+// writeNDJSON streams items as application/x-ndjson, one JSON object per
+// line.
+func writeNDJSON[T any](w http.ResponseWriter, items []T) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w) // Encode appends the newline separator
+	for _, it := range items {
+		_ = enc.Encode(it)
+	}
+}
+
+func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
+	s.reqQuery.Inc()
+	var req BatchQueryRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	ent, qs, alpha, status, err := s.resolveBatch(req.Dataset, req.Qs, req.Alpha)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	// Key on the resolved alpha (certain data forces 1), so requests that
+	// compute the same thing share the cached result.
+	req.Alpha = alpha
+	ctx, cancel, err := withTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	v, ok := s.computeV2(w, ctx, req.cacheKey(ent), req.NoCache, func(ctx context.Context) (any, error) {
+		answers, err := ent.queryBatchCtx(ctx, qs, alpha, req.QuadNodes)
+		if err != nil {
+			return nil, err
+		}
+		items := make([]BatchQueryItem, len(answers))
+		for i, ids := range answers {
+			items[i] = BatchQueryItem{Index: i, Count: len(ids), Answers: ids}
+		}
+		return items, nil
+	})
+	if !ok {
+		return
+	}
+	writeNDJSON(w, v.([]BatchQueryItem))
+}
+
+func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
+	s.reqExplain.Inc()
+	var req BatchExplainRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	if len(req.Items) == 0 {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("at least one item is required"))
+		return
+	}
+	qss := make([][]float64, len(req.Items))
+	for i, it := range req.Items {
+		qss[i] = it.Q
+	}
+	ent, qs, alpha, status, err := s.resolveBatch(req.Dataset, qss, req.Alpha)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	// Canonicalize BEFORE the cache key is built: the key encodes the
+	// resolved alpha and the canonicalized options, so requests that run
+	// the same computation share one cache entry. Algorithm CR takes no
+	// options (Lemma 7 needs no refinement), hence the certain-model
+	// options collapse to the zero value.
+	req.Alpha = alpha
+	if ent.model == ModelCertain {
+		req.Options = OptionsSpec{}
+	}
+	opts := req.Options.toOptions()
+	ctx, cancel, err := withTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	v, ok := s.computeV2(w, ctx, req.cacheKey(ent), req.NoCache, func(ctx context.Context) (any, error) {
+		reqs := make([]crsky.ExplainRequest, len(req.Items))
+		for i, it := range req.Items {
+			reqs[i] = crsky.ExplainRequest{ID: it.An, Q: qs[i], Alpha: alpha}
+		}
+		results := ent.eng.ExplainBatch(ctx, reqs, opts)
+		items := make([]BatchExplainItem, len(results))
+		for i, res := range results {
+			items[i] = BatchExplainItem{Index: res.Index}
+			if res.Err != nil {
+				// A canceled item fails the whole batch: the caller gave up,
+				// and a partially canceled result set must never be cached
+				// as if it were the full answer.
+				if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
+					return nil, res.Err
+				}
+				items[i].Error = res.Err.Error()
+				continue
+			}
+			if req.Verify {
+				if err := ent.verifyCtx(ctx, qs[i], alpha, res.Result); err != nil {
+					// A deadline hitting during verification is a plain
+					// cancellation (503), not an integrity failure.
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						return nil, err
+					}
+					return nil, fmt.Errorf("%w: item %d: %v", errVerificationFailed, i, err)
+				}
+			}
+			s.explainComputed.Inc()
+			s.explainSubsets.Add(res.Result.SubsetsExamined)
+			s.explainGreedySeeds.Add(res.Result.GreedySeeds)
+			s.explainGreedyHits.Add(res.Result.GreedyHits)
+			s.explainFilterIO.Add(res.Result.FilterNodeAccesses)
+			items[i].Explain = &ExplainResponse{
+				Dataset:            ent.name,
+				Model:              ent.model,
+				NonAnswer:          res.Result.NonAnswer,
+				Pr:                 res.Result.Pr,
+				Alpha:              alpha,
+				Candidates:         res.Result.Candidates,
+				Causes:             causesJSON(res.Result.Causes),
+				SubsetsExamined:    res.Result.SubsetsExamined,
+				GreedySeeds:        res.Result.GreedySeeds,
+				GreedyHits:         res.Result.GreedyHits,
+				FilterNodeAccesses: res.Result.FilterNodeAccesses,
+				Verified:           req.Verify,
+			}
+		}
+		return items, nil
+	})
+	if !ok {
+		return
+	}
+	writeNDJSON(w, v.([]BatchExplainItem))
+}

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -14,102 +15,77 @@ import (
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
-// entry is one registered dataset with its warmed engine(s). Entries are
-// immutable after registration, so any number of requests may read them
-// concurrently; replacing a dataset installs a fresh entry with a new
-// generation instead of mutating the old one (in-flight requests on the
-// old entry finish against the data they started with, and the generation
-// in every cache key retires the old entry's cached results).
+// entry is one registered dataset with its warmed engine behind the
+// model-generic crsky.Explainer interface — every compute path (v1 and v2,
+// single and batch) dispatches through it with no per-model switch.
+// Entries are immutable after registration, so any number of requests may
+// read them concurrently; replacing a dataset installs a fresh entry with
+// a new generation instead of mutating the old one (in-flight requests on
+// the old entry finish against the data they started with, and the
+// generation in every cache key retires the old entry's cached results).
 type entry struct {
 	name  string
 	model string
 	gen   uint64
 	size  int
 	dims  int
-
-	sample  *crsky.Engine // sample model; also the Section-4 reduction for certain data
-	certain *crsky.CertainEngine
-	pdf     *crsky.PDFEngine
+	eng   crsky.Explainer
 }
 
 func (e *entry) info() DatasetInfo {
 	return DatasetInfo{
-		Name:       e.name,
-		Model:      e.model,
-		Size:       e.size,
-		Dims:       e.dims,
-		Generation: e.gen,
-		NodeAccesses: func() int64 {
-			var n int64
-			if e.sample != nil {
-				n += e.sample.NodeAccesses()
-			}
-			if e.certain != nil {
-				n += e.certain.NodeAccesses()
-			}
-			if e.pdf != nil {
-				n += e.pdf.NodeAccesses()
-			}
-			return n
-		}(),
+		Name:         e.name,
+		Model:        e.model,
+		Size:         e.size,
+		Dims:         e.dims,
+		Generation:   e.gen,
+		NodeAccesses: e.eng.NodeAccesses(),
 	}
 }
 
-// query computes the (probabilistic) reverse skyline, ascending IDs. The
-// sample and pdf models run the index-accelerated batch path (internal/prsq):
-// one shared R-tree filtering pass, bound-based pruning, and parallel exact
-// evaluation of the undecided band. Certain data keeps the branch-and-bound
-// BBRS traversal, which is already index-driven.
-func (e *entry) query(q geom.Point, alpha float64, quadNodes int) []int {
-	var ids []int
-	switch e.model {
-	case ModelCertain:
-		ids = e.certain.ReverseSkylineBBRS(q)
-	case ModelSample:
-		ids = e.sample.ProbabilisticReverseSkyline(q, alpha)
-	case ModelPDF:
-		ids = e.pdf.ProbabilisticReverseSkyline(q, alpha, quadNodes)
+// The entry methods below are the v2 compute core: thin interface calls
+// shared by the v1 handlers (which wrap them in a detached context) and
+// the v2 batch handlers (which pass the request context straight through,
+// so a client disconnect cancels the engine work and frees the pool slot).
+
+// queryCtx computes the (probabilistic) reverse skyline, ascending IDs,
+// never nil.
+func (e *entry) queryCtx(ctx context.Context, q geom.Point, alpha float64, quadNodes int) ([]int, error) {
+	ids, _, err := e.eng.QueryCtx(ctx, q, alpha, crsky.QueryOptions{QuadNodes: quadNodes})
+	if err != nil {
+		return nil, err
 	}
-	sort.Ints(ids)
 	if ids == nil {
 		ids = []int{}
 	}
-	return ids
+	return ids, nil
 }
 
-func (e *entry) explain(q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Result, error) {
-	switch e.model {
-	case ModelCertain:
-		return e.certain.Explain(an, q)
-	case ModelSample:
-		return e.sample.Explain(an, q, alpha, opts)
-	default:
-		return e.pdf.Explain(an, q, alpha, opts)
+// queryBatchCtx answers many query points in one engine call, sharing the
+// index traversal across the batch.
+func (e *entry) queryBatchCtx(ctx context.Context, qs []geom.Point, alpha float64, quadNodes int) ([][]int, error) {
+	out, _, err := e.eng.QueryBatch(ctx, qs, alpha, crsky.QueryOptions{QuadNodes: quadNodes})
+	if err != nil {
+		return nil, err
 	}
+	for i := range out {
+		if out[i] == nil {
+			out[i] = []int{}
+		}
+	}
+	return out, nil
 }
 
-// verify re-checks an explanation against Definition 1. The pdf model has
-// no independent verifier yet.
-func (e *entry) verify(q geom.Point, alpha float64, res *causality.Result) error {
-	switch e.model {
-	case ModelCertain:
-		return e.sample.Verify(q, 1, res)
-	case ModelSample:
-		return e.sample.Verify(q, alpha, res)
-	default:
-		return fmt.Errorf("verify is not supported for the pdf model")
-	}
+func (e *entry) explainCtx(ctx context.Context, q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Result, error) {
+	return e.eng.ExplainCtx(ctx, an, q, alpha, opts)
 }
 
-func (e *entry) repair(q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Repair, error) {
-	switch e.model {
-	case ModelCertain:
-		return e.sample.SuggestRepair(an, q, 1, opts)
-	case ModelSample:
-		return e.sample.SuggestRepair(an, q, alpha, opts)
-	default:
-		return nil, fmt.Errorf("repair is not supported for the pdf model")
-	}
+func (e *entry) verifyCtx(ctx context.Context, q geom.Point, alpha float64, res *causality.Result) error {
+	return e.eng.VerifyCtx(ctx, q, alpha, res)
+}
+
+func (e *entry) repairCtx(ctx context.Context, q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Repair, error) {
+	return e.eng.RepairCtx(ctx, an, q, alpha, opts)
 }
 
 // registry maps dataset names to entries. The generation counter is global
@@ -181,6 +157,9 @@ func buildEntry(req *DatasetRequest) (*entry, error) {
 	if model == "uncertain" {
 		model = ModelSample
 	}
+	// Registration is the single place that knows the three concrete
+	// engine types; everything downstream sees crsky.Explainer.
+	var eng crsky.Explainer
 	switch model {
 	case ModelCertain:
 		pts, err := certainPoints(req)
@@ -191,18 +170,7 @@ func buildEntry(req *DatasetRequest) (*entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		// The Section-4 reduction engine powers verify and repair.
-		objs := make([]*uncertain.Object, len(pts))
-		for i, p := range pts {
-			objs[i] = uncertain.Certain(i, p)
-		}
-		se, err := crsky.NewEngine(objs)
-		if err != nil {
-			return nil, err
-		}
-		ce.Warm()
-		se.Warm()
-		return &entry{model: model, size: ce.Len(), dims: ce.Dims(), certain: ce, sample: se}, nil
+		eng = ce
 
 	case ModelSample:
 		objs, err := sampleObjects(req)
@@ -213,8 +181,7 @@ func buildEntry(req *DatasetRequest) (*entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		se.Warm()
-		return &entry{model: model, size: se.Len(), dims: se.Dims(), sample: se}, nil
+		eng = se
 
 	case ModelPDF:
 		objs, err := pdfObjects(req)
@@ -225,12 +192,13 @@ func buildEntry(req *DatasetRequest) (*entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		pe.Warm()
-		return &entry{model: model, size: pe.Len(), dims: pe.Dims(), pdf: pe}, nil
+		eng = pe
 
 	default:
 		return nil, fmt.Errorf("unknown model %q (want certain, sample, or pdf)", req.Model)
 	}
+	eng.Warm()
+	return &entry{model: model, size: eng.Len(), dims: eng.Dims(), eng: eng}, nil
 }
 
 func certainPoints(req *DatasetRequest) ([]geom.Point, error) {

@@ -110,6 +110,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
 	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	// v2: batch, NDJSON, live request context (deadline via ?timeout=,
+	// pool slots released on client disconnect). The v1 handlers delegate
+	// to the same interface-dispatched compute core.
+	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
+	s.mux.HandleFunc("POST /v2/explain", s.handleExplainV2)
 	return s
 }
 

@@ -1,0 +1,269 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// --- cache-key completeness -------------------------------------------
+
+// perturb sets a field of a v2 request struct to a non-zero value, so the
+// key test can demand a distinct cache key per field. Unknown kinds fail
+// loudly: a new field of a new shape must teach this function (and the
+// cache keys) about itself.
+func perturb(t *testing.T, fv reflect.Value, name string) {
+	t.Helper()
+	switch fv.Interface().(type) {
+	case string:
+		fv.SetString("x")
+	case float64:
+		fv.SetFloat(0.5)
+	case int:
+		fv.SetInt(7)
+	case bool:
+		fv.SetBool(true)
+	case [][]float64:
+		fv.Set(reflect.ValueOf([][]float64{{1, 2}}))
+	case []BatchExplainItemRequest:
+		fv.Set(reflect.ValueOf([]BatchExplainItemRequest{{Q: []float64{1, 2}, An: 3}}))
+	case OptionsSpec:
+		fv.Set(reflect.ValueOf(OptionsSpec{MaxSubsets: 9}))
+	default:
+		t.Fatalf("field %s has type %s: teach the v2 key test (and the cache key) how to handle it", name, fv.Type())
+	}
+}
+
+// TestV2CacheKeysCoverEveryField walks both v2 request structs by
+// reflection, perturbs one field at a time, and demands a distinct cache
+// key for every perturbation except the declared cache directives. A field
+// the key ignores would let the server serve a cached batch computed for a
+// different request — the bug class this test makes impossible to
+// reintroduce silently.
+func TestV2CacheKeysCoverEveryField(t *testing.T) {
+	ent := &entry{name: "d", gen: 1}
+	exempt := map[string]bool{"NoCache": true} // cache directive, not semantics
+
+	check := func(t *testing.T, zero any, key func(v reflect.Value) string) {
+		typ := reflect.TypeOf(zero)
+		base := key(reflect.New(typ).Elem())
+		seen := map[string]string{base: "<zero>"}
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			v := reflect.New(typ).Elem()
+			perturb(t, v.Field(i), typ.Name()+"."+f.Name)
+			k := key(v)
+			if exempt[f.Name] {
+				if k != base {
+					t.Errorf("%s.%s is exempt but still feeds the key", typ.Name(), f.Name)
+				}
+				continue
+			}
+			if k == base {
+				t.Errorf("%s.%s is not covered by the cache key", typ.Name(), f.Name)
+				continue
+			}
+			if prev, dup := seen[k]; dup {
+				t.Errorf("%s: fields %s and %s collide on key %q", typ.Name(), prev, f.Name, k)
+			}
+			seen[k] = f.Name
+		}
+	}
+
+	check(t, BatchQueryRequest{}, func(v reflect.Value) string {
+		r := v.Interface().(BatchQueryRequest)
+		return r.cacheKey(ent)
+	})
+	check(t, BatchExplainRequest{}, func(v reflect.Value) string {
+		r := v.Interface().(BatchExplainRequest)
+		return r.cacheKey(ent)
+	})
+}
+
+// TestV2CacheKeyCoversBatchShape spot-checks that permuting or truncating
+// the batch changes the key: the shape is part of the semantics.
+func TestV2CacheKeyCoversBatchShape(t *testing.T) {
+	ent := &entry{name: "d", gen: 1}
+	a := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{1, 2}, {3, 4}}, Alpha: 0.5}
+	b := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{3, 4}, {1, 2}}, Alpha: 0.5}
+	c := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{1, 2}}, Alpha: 0.5}
+	if a.cacheKey(ent) == b.cacheKey(ent) {
+		t.Error("permuting the batch left the key unchanged")
+	}
+	if a.cacheKey(ent) == c.cacheKey(ent) {
+		t.Error("truncating the batch left the key unchanged")
+	}
+}
+
+// --- NDJSON helpers ----------------------------------------------------
+
+func decodeNDJSON[T any](t *testing.T, raw []byte) []T {
+	t.Helper()
+	var out []T
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	for dec.More() {
+		var item T
+		if err := dec.Decode(&item); err != nil {
+			t.Fatalf("bad NDJSON line %d: %v (body %s)", len(out), err, raw)
+		}
+		out = append(out, item)
+	}
+	return out
+}
+
+// --- end-to-end --------------------------------------------------------
+
+// TestServerV2QueryBatch drives /v2/query against the library ground truth
+// per point, asserts request-ordered NDJSON, and checks the second
+// identical request is served from the cache.
+func TestServerV2QueryBatch(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	qs := [][]float64{w.q, {w.q[0] * 0.8, w.q[1] * 1.1}, {w.q[0] * 1.3, w.q[1] * 0.7}}
+	req := &BatchQueryRequest{Dataset: "demo", Qs: qs, Alpha: 0.5}
+	resp, raw := c.do(http.MethodPost, "/v2/query", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %s)", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type %q, want application/x-ndjson", ct)
+	}
+	if got := resp.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("first request cache header %q, want miss", got)
+	}
+	items := decodeNDJSON[BatchQueryItem](t, raw)
+	if len(items) != len(qs) {
+		t.Fatalf("%d NDJSON items, want %d", len(items), len(qs))
+	}
+	for i, it := range items {
+		if it.Index != i {
+			t.Fatalf("item %d has index %d: responses must be request-ordered", i, it.Index)
+		}
+		want := w.eng.ProbabilisticReverseSkylineNaive(qs[i], 0.5)
+		if fmt.Sprint(it.Answers) != fmt.Sprint(append([]int{}, want...)) {
+			t.Fatalf("q #%d: got %v, want %v", i, it.Answers, want)
+		}
+		if it.Count != len(want) {
+			t.Fatalf("q #%d: count %d, want %d", i, it.Count, len(want))
+		}
+	}
+
+	resp2, raw2 := c.do(http.MethodPost, "/v2/query", req)
+	if got := resp2.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("second request cache header %q, want hit", got)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatalf("cached response differs from computed one:\n%s\nvs\n%s", raw, raw2)
+	}
+}
+
+// TestServerV2ExplainBatch drives /v2/explain with a mix of tractable
+// non-answers and an answer, asserting per-item results crossed against
+// the direct library engine and a per-item error for the answer.
+func TestServerV2ExplainBatch(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	// One known answer for the per-item error path.
+	answers := w.eng.ProbabilisticReverseSkyline(w.q, 0.5)
+	if len(answers) == 0 {
+		t.Fatal("workload has no answers")
+	}
+	items := []BatchExplainItemRequest{
+		{Q: w.q, An: w.ids[0]},
+		{Q: w.q, An: answers[0]},
+		{Q: w.q, An: w.ids[1]},
+	}
+	req := &BatchExplainRequest{
+		Dataset: "demo", Items: items, Alpha: 0.5,
+		Options: OptionsSpec{MaxCandidates: 60}, Verify: true,
+	}
+	resp, raw := c.do(http.MethodPost, "/v2/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %s)", resp.StatusCode, raw)
+	}
+	got := decodeNDJSON[BatchExplainItem](t, raw)
+	if len(got) != len(items) {
+		t.Fatalf("%d NDJSON items, want %d", len(got), len(items))
+	}
+	for i, an := range []int{w.ids[0], answers[0], w.ids[1]} {
+		it := got[i]
+		if it.Index != i {
+			t.Fatalf("item %d has index %d", i, it.Index)
+		}
+		if i == 1 {
+			if it.Error == "" || it.Explain != nil {
+				t.Fatalf("item %d (an answer) should fail per-item, got %+v", i, it)
+			}
+			continue
+		}
+		if it.Error != "" || it.Explain == nil {
+			t.Fatalf("item %d: unexpected error %q", i, it.Error)
+		}
+		want, err := w.eng.Explain(an, w.q, 0.5, req.Options.toOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(it.Explain.Causes) != len(want.Causes) {
+			t.Fatalf("item %d: %d causes, library says %d", i, len(it.Explain.Causes), len(want.Causes))
+		}
+		for j := range want.Causes {
+			if it.Explain.Causes[j].ID != want.Causes[j].ID ||
+				it.Explain.Causes[j].Responsibility != want.Causes[j].Responsibility {
+				t.Fatalf("item %d cause %d: got %+v, want %+v", i, j, it.Explain.Causes[j], want.Causes[j])
+			}
+		}
+		if !it.Explain.Verified {
+			t.Fatalf("item %d not marked verified", i)
+		}
+	}
+}
+
+// TestServerV2DeadlineReleasesPool asserts an expired ?timeout= fails with
+// 503 while leaving the worker pool fully available: the slot is released
+// the moment the engine observes the cancellation, and the next request
+// computes normally.
+func TestServerV2DeadlineReleasesPool(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{Workers: 1})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	req := &BatchQueryRequest{Dataset: "demo", Qs: [][]float64{w.q}, Alpha: 0.5, NoCache: true}
+	resp, raw := c.do(http.MethodPost, "/v2/query?timeout=1ns", req)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("expired deadline: status %d, want 503 (body %s)", resp.StatusCode, raw)
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for s.pool.Stats().InFlight != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("pool slot still held after canceled request: %+v", s.pool.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp2, raw2 := c.do(http.MethodPost, "/v2/query", req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("request after cancellation: status %d (body %s) — slot not released?", resp2.StatusCode, raw2)
+	}
+}
+
+// TestServerV2BadTimeout asserts a malformed timeout is rejected up front.
+func TestServerV2BadTimeout(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+	req := &BatchQueryRequest{Dataset: "demo", Qs: [][]float64{w.q}, Alpha: 0.5}
+	c.post("/v2/query?timeout=banana", req, nil, http.StatusBadRequest)
+}

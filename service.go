@@ -25,20 +25,32 @@ func (e *Engine) Warm() {
 	e.ds.Summaries()
 }
 
-// Warm forces the index build (see Engine.Warm). The certain-data index is
-// built eagerly, so this only exists for engine-generic serving code; it
-// is a no-op.
-func (e *CertainEngine) Warm() {}
+// Warm forces the lazy derived caches (see Engine.Warm). The certain-data
+// index itself is built eagerly, but the Section-4 reduction behind
+// Verify/SuggestRepair is lazy; warming builds it up front so the first
+// verify/repair request does not pay the O(n) conversion and R-tree build
+// inside a serving slot. The build can legitimately fail (deleted points
+// leave the reduction unbuildable) — that error resurfaces on the calls
+// that need the reduction, so Warm ignores it.
+func (e *CertainEngine) Warm() { _, _ = e.reduction() }
 
 // Warm forces the lazy R-tree index build (see Engine.Warm).
 func (e *PDFEngine) Warm() { e.set.Tree() }
 
-// asUncertain converts the engine's live points into the degenerate
-// uncertain dataset of Section 4's reduction (one sample, probability 1).
+// reduction returns the engine's points as the degenerate uncertain
+// dataset of Section 4's reduction (one sample, probability 1), built and
+// warmed once and cached until Insert/Delete invalidate it — long-lived
+// serving layers verify and repair against the same engine repeatedly, so
+// the O(n) conversion and the R-tree build are paid once, not per call.
 // It fails when points have been deleted: tombstones have no location, so
 // the reduction — which requires object IDs to stay index-aligned — is no
 // longer faithful.
-func (e *CertainEngine) asUncertain() (*dataset.Uncertain, error) {
+func (e *CertainEngine) reduction() (*dataset.Uncertain, error) {
+	e.redMu.Lock()
+	defer e.redMu.Unlock()
+	if e.red != nil {
+		return e.red, nil
+	}
 	pts := e.ix.Points()
 	objs := make([]*uncertain.Object, len(pts))
 	for i, p := range pts {
@@ -47,7 +59,26 @@ func (e *CertainEngine) asUncertain() (*dataset.Uncertain, error) {
 		}
 		objs[i] = uncertain.Certain(i, p)
 	}
-	return dataset.NewUncertain(objs)
+	ds, err := dataset.NewUncertain(objs)
+	if err != nil {
+		return nil, err
+	}
+	// Warm the lazy derived state under the lock so concurrent callers of
+	// Verify/SuggestRepair never race on the builds, and charge the
+	// reduction tree's traversals to the engine's I/O counter so
+	// verify/repair node accesses stay visible in NodeAccesses.
+	ds.Tree().SetCounter(&e.io)
+	ds.WeightSums()
+	ds.Summaries()
+	e.red = ds
+	return ds, nil
+}
+
+// invalidateReduction drops the cached reduction after a mutation.
+func (e *CertainEngine) invalidateReduction() {
+	e.redMu.Lock()
+	e.red = nil
+	e.redMu.Unlock()
 }
 
 // Verify independently re-checks a CR explanation against Definition 1 via
@@ -57,7 +88,7 @@ func (e *CertainEngine) asUncertain() (*dataset.Uncertain, error) {
 // Explain, mirroring Engine.Verify. It fails when points have been deleted
 // since the engine was built.
 func (e *CertainEngine) Verify(q Point, res *Explanation) error {
-	ds, err := e.asUncertain()
+	ds, err := e.reduction()
 	if err != nil {
 		return err
 	}
@@ -69,7 +100,7 @@ func (e *CertainEngine) Verify(q Point, res *Explanation) error {
 // (α = 1). Mirrors Engine.SuggestRepair; see there for the exact/greedy
 // contract.
 func (e *CertainEngine) SuggestRepair(i int, q Point, opts Options) (*Repair, error) {
-	ds, err := e.asUncertain()
+	ds, err := e.reduction()
 	if err != nil {
 		return nil, err
 	}

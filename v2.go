@@ -1,0 +1,418 @@
+package crsky
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/ctxutil"
+	"github.com/crsky/crsky/internal/prsq"
+)
+
+// This file is the v2 engine API: one model-generic, context-first surface
+// implemented by all three engines. The paper defines a single
+// causality/responsibility semantics (Definition 1, responsibility
+// 1/(1+|Γ|)) instantiated over three data models; v2 makes the public API
+// mirror that fact, so serving layers, CLIs, and conformance harnesses
+// dispatch through one interface instead of re-implementing model switches.
+//
+// Contract, uniform across engines:
+//
+//   - Every *Ctx method observes ctx: searches poll it with an amortized
+//     stride (ctxutil.DefaultStride work units) at the existing budget
+//     charging points, so cancellation support never perturbs search
+//     order, results, or node-access accounting of uncanceled runs.
+//   - A canceled call returns an error wrapping *CanceledError (and
+//     therefore matching errors.Is(err, context.Canceled) /
+//     context.DeadlineExceeded) carrying partial work statistics; engine
+//     state is fully restored, so the next call behaves as if the
+//     canceled one never happened.
+//   - alpha is always present. The probabilistic engines require
+//     alpha ∈ (0, 1]; CertainEngine accepts the parameter and validates
+//     it is exactly 1 (certain-data membership is exact), failing with
+//     ErrBadAlpha otherwise.
+//   - The legacy context-free methods (Explain, ProbabilisticReverseSkyline,
+//     SuggestRepair, …) remain as thin context.Background() wrappers and
+//     are frozen; new call sites should use the v2 methods.
+
+// CanceledError is the typed error wrapped into every cancellation return:
+// it unwraps to the context error and carries the partial work counters
+// (subsets examined on explanation paths, exact evaluations on query
+// paths).
+type CanceledError = ctxutil.CanceledError
+
+// ErrUnsupported reports a v2 operation the engine cannot provide (e.g.
+// verification or repair on the pdf model, which has no independent
+// verifier yet). Test with errors.Is.
+var ErrUnsupported = errors.New("crsky: operation not supported by this engine")
+
+// ErrBadAlpha reports a probability threshold outside the engine's domain:
+// (0, 1] for the probabilistic engines, exactly 1 for CertainEngine.
+var ErrBadAlpha = errors.New("crsky: alpha out of range for this engine")
+
+// ExplainRequest is one item of an ExplainBatch call.
+type ExplainRequest struct {
+	// ID is the non-answer object to explain.
+	ID int
+	// Q is the query point.
+	Q Point
+	// Alpha is the probability threshold (must be 1 for CertainEngine).
+	Alpha float64
+}
+
+// ExplainItem is the per-item outcome of an ExplainBatch call: exactly one
+// of Result and Err is set. Index is the position in the request slice.
+type ExplainItem struct {
+	Index  int
+	Result *Explanation
+	Err    error
+}
+
+// Querier is the model-generic query surface shared by all three engines.
+type Querier interface {
+	// Len returns the number of objects.
+	Len() int
+	// Dims returns the dataset dimensionality.
+	Dims() int
+	// Warm forces the lazy index and derived-cache builds so concurrent
+	// readers never race on them.
+	Warm()
+	// NodeAccesses returns the simulated I/O since the last reset — the
+	// paper's primary cost metric.
+	NodeAccesses() int64
+	// ResetCounters zeroes the I/O counter.
+	ResetCounters()
+	// QueryCtx returns the IDs (ascending) of every object whose
+	// probability of being a reverse skyline point of q is at least
+	// alpha, with execution statistics.
+	QueryCtx(ctx context.Context, q Point, alpha float64, opts QueryOptions) ([]int, QueryStats, error)
+	// QueryBatch answers many query points at once — one answer slice per
+	// point, element-wise identical to per-point QueryCtx calls — sharing
+	// index traversal, warm-up, and the evaluation worker pool across the
+	// batch.
+	QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error)
+}
+
+// Explainer is the full v2 engine surface: queries plus causality
+// explanations, minimal repairs, and independent verification.
+type Explainer interface {
+	Querier
+	// ExplainCtx computes the causality and responsibility for non-answer
+	// id (ErrNotNonAnswer if it is an answer).
+	ExplainCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error)
+	// ExplainBatch explains many non-answers with per-item results and
+	// errors; one item's failure (or cancellation after some items have
+	// finished) never discards its siblings' results.
+	ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem
+	// RepairCtx finds a smallest removal set making non-answer id an
+	// answer (ErrUnsupported on the pdf model).
+	RepairCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Repair, error)
+	// VerifyCtx independently re-checks an explanation against
+	// Definition 1 (ErrUnsupported on the pdf model). The check itself is
+	// not interruptible; ctx is observed on entry.
+	VerifyCtx(ctx context.Context, q Point, alpha float64, res *Explanation) error
+}
+
+// Compile-time conformance of all three engines.
+var (
+	_ Explainer = (*Engine)(nil)
+	_ Explainer = (*CertainEngine)(nil)
+	_ Explainer = (*PDFEngine)(nil)
+)
+
+// checkAlphaUnit validates a probabilistic threshold.
+func checkAlphaUnit(alpha float64) error {
+	if !(alpha > 0 && alpha <= 1) {
+		return fmt.Errorf("%w: alpha %v out of (0, 1]", ErrBadAlpha, alpha)
+	}
+	return nil
+}
+
+// checkAlphaOne validates the certain-data threshold: the parameter is
+// accepted for signature uniformity but must be exactly 1.
+func checkAlphaOne(alpha float64) error {
+	if alpha != 1 {
+		return fmt.Errorf("%w: certain-data membership is exact, alpha must be 1 (got %v)", ErrBadAlpha, alpha)
+	}
+	return nil
+}
+
+func checkDims(q Point, dims int) error {
+	if q.Dims() != dims {
+		return fmt.Errorf("crsky: query point has %d dims, dataset has %d", q.Dims(), dims)
+	}
+	if !q.IsFinite() {
+		return fmt.Errorf("crsky: query point has non-finite coordinates")
+	}
+	return nil
+}
+
+// ctxPrecheck returns the wrapped cancellation error of an already-dead
+// context (the shared ctxutil helper, re-exported for this file's
+// engine methods).
+func ctxPrecheck(ctx context.Context) error { return ctxutil.Precheck(ctx) }
+
+// explainBatch fans reqs out over worker goroutines, collecting per-item
+// results. The item fan-out provides the first level of parallelism
+// (bounded by opts.Parallel or GOMAXPROCS); when the batch is smaller
+// than the worker budget, the leftover budget is redistributed into each
+// item's own search (per-item Parallel = budget / item workers), so a
+// two-item batch on an eight-way budget still uses eight cores. A
+// single-item batch degenerates to one ExplainCtx call with the caller's
+// options untouched. After a cancellation the unstarted items are marked
+// with the wrapped context error; finished items keep their results.
+func explainBatch(ctx context.Context, reqs []ExplainRequest, opts Options,
+	explain func(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error)) []ExplainItem {
+
+	items := make([]ExplainItem, len(reqs))
+	for i := range items {
+		items[i].Index = i
+	}
+	if len(reqs) == 0 {
+		return items
+	}
+	if len(reqs) == 1 {
+		items[0].Result, items[0].Err = explain(ctx, reqs[0].ID, reqs[0].Q, reqs[0].Alpha, opts)
+		return items
+	}
+	budget := opts.Parallel
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	workers := budget
+	if workers > len(reqs) {
+		workers = len(reqs)
+	}
+	itemOpts := opts
+	itemOpts.Parallel = budget / workers
+
+	// runItem isolates one item, converting a panic into that item's error:
+	// these worker goroutines are not under net/http's recover, so an
+	// unrecovered engine panic would kill the whole process instead of one
+	// batch item.
+	runItem := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				items[i].Err = fmt.Errorf("crsky: explain item %d panicked: %v", i, r)
+			}
+		}()
+		items[i].Result, items[i].Err = explain(ctx, reqs[i].ID, reqs[i].Q, reqs[i].Alpha, itemOpts)
+	}
+	jobs := make(chan int)
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := range jobs {
+				if err := ctxPrecheck(ctx); err != nil {
+					items[i].Err = err
+					continue
+				}
+				runItem(i)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := range reqs {
+		jobs <- i
+	}
+	close(jobs)
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	return items
+}
+
+// --- Engine (discrete-sample model) -----------------------------------
+
+// QueryCtx implements Querier: the index-accelerated batch path of
+// ProbabilisticReverseSkylineOpts under a context.
+func (e *Engine) QueryCtx(ctx context.Context, q Point, alpha float64, opts QueryOptions) ([]int, QueryStats, error) {
+	if err := checkDims(q, e.Dims()); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := checkAlphaUnit(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return prsq.QueryStatsCtx(ctx, e.ds, q, alpha, opts)
+}
+
+// QueryBatch implements Querier: one shared left-descent R-tree self-join
+// answers every query point, with strictly fewer total node accesses than
+// the equivalent per-point QueryCtx calls for batches of two or more.
+func (e *Engine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error) {
+	for _, q := range qs {
+		if err := checkDims(q, e.Dims()); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	if err := checkAlphaUnit(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return prsq.QueryBatchStatsCtx(ctx, e.ds, qs, alpha, opts)
+}
+
+// ExplainCtx implements Explainer: algorithm CP under a context.
+func (e *Engine) ExplainCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error) {
+	return causality.CPCtx(ctx, e.ds, q, id, alpha, opts)
+}
+
+// ExplainBatch implements Explainer.
+func (e *Engine) ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem {
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx)
+}
+
+// RepairCtx implements Explainer: MinimalRepair under a context.
+func (e *Engine) RepairCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Repair, error) {
+	return causality.MinimalRepairCtx(ctx, e.ds, q, id, alpha, opts)
+}
+
+// VerifyCtx implements Explainer: the Definition-1 re-check of Verify.
+func (e *Engine) VerifyCtx(ctx context.Context, q Point, alpha float64, res *Explanation) error {
+	if err := ctxPrecheck(ctx); err != nil {
+		return err
+	}
+	return causality.VerifyExplanation(e.ds, q, alpha, res)
+}
+
+// --- CertainEngine (certain data, Section 4) --------------------------
+
+// QueryCtx implements Querier over certain data: alpha is validated to be
+// exactly 1, and the reverse skyline is computed with the branch-and-bound
+// BBRS traversal (ascending IDs).
+func (e *CertainEngine) QueryCtx(ctx context.Context, q Point, alpha float64, opts QueryOptions) ([]int, QueryStats, error) {
+	if err := checkDims(q, e.Dims()); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := checkAlphaOne(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := ctxPrecheck(ctx); err != nil {
+		return nil, QueryStats{}, err
+	}
+	ids := e.ix.ReverseSkylineBBRS(q)
+	sort.Ints(ids)
+	if ids == nil {
+		ids = []int{}
+	}
+	// Evaluated counts exact Eq.-2 evaluations; BBRS performs none, so the
+	// stat stays zero and cross-model aggregation stays meaningful.
+	return ids, QueryStats{Objects: e.Len()}, nil
+}
+
+// QueryBatch implements Querier. BBRS is already a single index-driven
+// traversal per point, so the batch form amortizes only the ctx/validation
+// overhead; it exists for signature uniformity.
+func (e *CertainEngine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error) {
+	out := make([][]int, len(qs))
+	var agg QueryStats
+	for i, q := range qs {
+		ids, st, err := e.QueryCtx(ctx, q, alpha, opts)
+		if err != nil {
+			return nil, agg, err
+		}
+		out[i] = ids
+		agg.Objects += st.Objects
+		agg.Evaluated += st.Evaluated
+	}
+	return out, agg, nil
+}
+
+// ExplainCtx implements Explainer: algorithm CR (Lemma 7 — single window
+// query, no refinement, so opts carries no tuning for this engine). alpha
+// is validated to be exactly 1.
+func (e *CertainEngine) ExplainCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error) {
+	if err := checkAlphaOne(alpha); err != nil {
+		return nil, err
+	}
+	if err := ctxPrecheck(ctx); err != nil {
+		return nil, err
+	}
+	return causality.CR(e.ix, q, id)
+}
+
+// ExplainBatch implements Explainer.
+func (e *CertainEngine) ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem {
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx)
+}
+
+// RepairCtx implements Explainer via the cached Section-4 reduction.
+func (e *CertainEngine) RepairCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Repair, error) {
+	if err := checkAlphaOne(alpha); err != nil {
+		return nil, err
+	}
+	ds, err := e.reduction()
+	if err != nil {
+		return nil, err
+	}
+	return causality.MinimalRepairCtx(ctx, ds, q, id, 1, opts)
+}
+
+// VerifyCtx implements Explainer via the cached Section-4 reduction.
+func (e *CertainEngine) VerifyCtx(ctx context.Context, q Point, alpha float64, res *Explanation) error {
+	if err := checkAlphaOne(alpha); err != nil {
+		return err
+	}
+	if err := ctxPrecheck(ctx); err != nil {
+		return err
+	}
+	ds, err := e.reduction()
+	if err != nil {
+		return err
+	}
+	return causality.VerifyExplanation(ds, q, 1, res)
+}
+
+// --- PDFEngine (continuous model) --------------------------------------
+
+// QueryCtx implements Querier: the index-accelerated pdf batch path under
+// a context. The quadrature resolution comes from opts.QuadNodes (<= 0
+// selects the dimension-adapted default).
+func (e *PDFEngine) QueryCtx(ctx context.Context, q Point, alpha float64, opts QueryOptions) ([]int, QueryStats, error) {
+	if err := checkDims(q, e.Dims()); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := checkAlphaUnit(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return prsq.QueryPDFStatsCtx(ctx, e.set, q, alpha, opts.QuadNodes, opts)
+}
+
+// QueryBatch implements Querier with the shared left-descent join of the
+// sample model applied to the pdf geometry.
+func (e *PDFEngine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error) {
+	for _, q := range qs {
+		if err := checkDims(q, e.Dims()); err != nil {
+			return nil, QueryStats{}, err
+		}
+	}
+	if err := checkAlphaUnit(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return prsq.QueryBatchPDFStatsCtx(ctx, e.set, qs, alpha, opts.QuadNodes, opts)
+}
+
+// ExplainCtx implements Explainer: the pdf-model variant of CP under a
+// context.
+func (e *PDFEngine) ExplainCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error) {
+	return causality.CPPDFCtx(ctx, e.set, q, id, alpha, opts)
+}
+
+// ExplainBatch implements Explainer.
+func (e *PDFEngine) ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem {
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx)
+}
+
+// RepairCtx implements Explainer; the pdf model has no repair construction
+// yet.
+func (e *PDFEngine) RepairCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Repair, error) {
+	return nil, fmt.Errorf("%w: repair on the pdf model", ErrUnsupported)
+}
+
+// VerifyCtx implements Explainer; the pdf model has no independent
+// verifier yet.
+func (e *PDFEngine) VerifyCtx(ctx context.Context, q Point, alpha float64, res *Explanation) error {
+	return fmt.Errorf("%w: verify on the pdf model", ErrUnsupported)
+}
