@@ -1,12 +1,16 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race fmt-check api-check api-update conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check experiments
+.PHONY: build test race vet fmt-check api-check api-update conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
 
 build:
 	go build ./...
 
 test: build
 	go test ./...
+
+# CI gate: go vet across the whole tree.
+vet:
+	go vet ./...
 
 # CI gate: the tree must be gofmt-clean.
 fmt-check:
@@ -71,6 +75,19 @@ bench-explain:
 # violated bb-beats-old-refiner subset invariant.
 bench-explain-check:
 	go run ./cmd/experiments -exp explain -scale 1 -benchfile /tmp/BENCH_explain.head.json -against BENCH_explain.json
+
+# Refresh the serving-path benchmark (BENCH_serve.json): mixed
+# query/explain/batch traffic against an in-process server, client-side
+# latency percentiles and throughput per (mix, model) cell.
+bench-serve:
+	go run ./cmd/crskyload -n 240 -benchfile BENCH_serve.json
+
+# Re-measure a shorter run and apply the hardware-neutral gates against the
+# committed BENCH_serve.json: zero errors, identical mix cells, ordered
+# positive percentiles, histogram record path under 1% of every cell's
+# median request.
+bench-serve-check:
+	go run ./cmd/crskyload -n 60 -benchfile /tmp/BENCH_serve.head.json -against BENCH_serve.json
 
 experiments:
 	go run ./cmd/experiments

@@ -4,7 +4,8 @@
 // cache-backed service.
 //
 //	crskyd [-addr :8372] [-cache 1024] [-workers N]
-//	       [-preload name=model=path ...]
+//	       [-admin addr] [-slow-query dur] [-slow-query-log path]
+//	       [-drain 10s] [-preload name=model=path ...]
 //
 // Endpoints:
 //
@@ -17,9 +18,27 @@
 //	POST   /v1/query              (probabilistic) reverse skyline
 //	POST   /v1/explain            causes + responsibilities for a non-answer
 //	POST   /v1/repair             smallest removal set making an an answer
+//	POST   /v2/query              batch query, NDJSON stream
+//	POST   /v2/explain            batch explain, NDJSON stream
+//
+// Every /v1/* and /v2/* request is recorded into route × model × outcome
+// latency histograms; append ?trace=1 to any compute request for a
+// per-stage timing breakdown in the response.
+//
+// -admin exposes the operator surface on a SEPARATE listener (bind it to
+// loopback): GET /metrics in the Prometheus text format plus the
+// net/http/pprof profiling endpoints under /debug/pprof/.
+//
+// -slow-query enables the structured slow-query log: requests slower than
+// the threshold are written as one JSON line each — route, dataset, model,
+// outcome, duration, and the full stage trace — to -slow-query-log
+// (default stderr).
 //
 // -preload registers CSV datasets at startup; model is "certain" or
 // "sample" (the CSV formats of the crsky CLI).
+//
+// On SIGINT/SIGTERM the server stops accepting connections and drains
+// in-flight requests for up to -drain before exiting.
 package main
 
 import (
@@ -27,6 +46,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net/http"
 	"os"
@@ -46,19 +66,38 @@ func (p *preloadFlag) Set(v string) error { *p = append(*p, v); return nil }
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8372", "listen address")
-		cache    = flag.Int("cache", 1024, "result cache capacity in entries (negative disables)")
-		workers  = flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
-		maxBody  = flag.Int64("max-body", 64<<20, "request body size cap in bytes")
-		preloads preloadFlag
+		addr      = flag.String("addr", ":8372", "listen address")
+		adminAddr = flag.String("admin", "", "admin listen address for /metrics and /debug/pprof (empty = disabled; bind to loopback)")
+		cache     = flag.Int("cache", 1024, "result cache capacity in entries (negative disables)")
+		workers   = flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
+		maxBody   = flag.Int64("max-body", 64<<20, "request body size cap in bytes")
+		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
+		slowQuery = flag.Duration("slow-query", 0, "slow-query log threshold (0 disables)")
+		slowLog   = flag.String("slow-query-log", "", "slow-query log destination path (default stderr)")
+		preloads  preloadFlag
 	)
 	flag.Var(&preloads, "preload", "dataset to register at startup, as name=model=path (repeatable)")
 	flag.Parse()
 
+	var slowW io.Writer
+	if *slowQuery > 0 {
+		slowW = os.Stderr
+		if *slowLog != "" {
+			f, err := os.OpenFile(*slowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				log.Fatalf("crskyd: open slow-query log: %v", err)
+			}
+			defer f.Close()
+			slowW = f
+		}
+	}
+
 	srv := server.New(server.Config{
-		CacheSize:    *cache,
-		Workers:      *workers,
-		MaxBodyBytes: *maxBody,
+		CacheSize:          *cache,
+		Workers:            *workers,
+		MaxBodyBytes:       *maxBody,
+		SlowQueryThreshold: *slowQuery,
+		SlowQueryLog:       slowW,
 	})
 	for _, spec := range preloads {
 		if err := preload(srv, spec); err != nil {
@@ -72,19 +111,47 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		adminSrv = &http.Server{
+			Addr:              *adminAddr,
+			Handler:           srv.AdminHandler(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("crskyd: admin listening on %s (/metrics, /debug/pprof)", *adminAddr)
+			if err := adminSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Fatalf("crskyd: admin: %v", err)
+			}
+		}()
+	}
+
+	// Drain handshake: ListenAndServe returns ErrServerClosed the moment
+	// Shutdown is CALLED, not when it finishes — main must wait for the
+	// drained channel or it exits with requests still in flight.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	drained := make(chan struct{})
 	go func() {
+		defer close(drained)
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		log.Printf("crskyd: shutting down (draining up to %s)", *drain)
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
-		_ = httpSrv.Shutdown(shutdownCtx)
+		if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("crskyd: drain incomplete: %v", err)
+		}
+		if adminSrv != nil {
+			_ = adminSrv.Shutdown(shutdownCtx)
+		}
 	}()
 
 	log.Printf("crskyd: listening on %s (cache=%d workers=%d)", *addr, *cache, *workers)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalf("crskyd: %v", err)
 	}
+	stop() // also reach here on a listener error: unblock the drain goroutine
+	<-drained
 	log.Printf("crskyd: shut down")
 }
 

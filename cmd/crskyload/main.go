@@ -1,0 +1,485 @@
+// Command crskyload is the serving-path load harness: it drives mixed
+// query / explain / batch-query traffic against a crskyd server at a
+// configurable concurrency and reports client-observed latency percentiles
+// and throughput per (mix, dataset-model) cell, plus the server-side
+// saturation counters it scraped afterwards.
+//
+//	crskyload [-target http://host:8372] [-c 8] [-n 240] [-size 2000]
+//	          [-benchfile BENCH_serve.json] [-against BENCH_serve.json]
+//
+// With no -target it starts an in-process server (the same code path as
+// crskyd) on a loopback listener, so the measurement includes the full
+// HTTP stack but no network. The workloads are seeded and deterministic:
+// two datasets (certain and sample models), 32 rotating query points each
+// — a realistic mix of cache hits and computed requests — and the
+// tractable non-answers selected by the experiments package for explain.
+//
+// -benchfile writes the report as JSON (the committed BENCH_serve.json).
+// -against re-checks a fresh run against a committed baseline with
+// hardware-neutral gates only: zero errors, the same mix cells, sane
+// percentiles, and a histogram record-path overhead under 1% of the
+// median request — the observability acceptance bound.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/experiments"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
+	"github.com/crsky/crsky/internal/server"
+)
+
+// MixResult is one (mix, model) cell of the serving benchmark.
+type MixResult struct {
+	Mix       string `json:"mix"`   // query | explain | batch
+	Model     string `json:"model"` // certain | sample
+	Requests  int    `json:"requests"`
+	Errors    int    `json:"errors"`
+	CacheHits int    `json:"cacheHits"`
+
+	P50Ms         float64 `json:"p50Ms"`
+	P90Ms         float64 `json:"p90Ms"`
+	P99Ms         float64 `json:"p99Ms"`
+	MeanMs        float64 `json:"meanMs"`
+	ThroughputRps float64 `json:"throughputRps"`
+
+	// HistogramOverheadPct is the measured cost of one histogram Observe
+	// relative to this cell's median request — the instrumentation budget
+	// check (must stay far under 1).
+	HistogramOverheadPct float64 `json:"histogramOverheadPct"`
+}
+
+// ServerSide is the post-run scrape of /v1/stats: the saturation story the
+// new observability surfaces.
+type ServerSide struct {
+	CacheHitRate      float64 `json:"cacheHitRate"`
+	FlightsDeduped    int64   `json:"flightsDeduped"`
+	PoolPeakInFlight  int64   `json:"poolPeakInFlight"`
+	PoolPeakQueue     int64   `json:"poolPeakQueueDepth"`
+	PoolWaitP99Ms     float64 `json:"poolWaitP99Ms"`
+	ComputedExplains  int64   `json:"computedExplanations"`
+	RequestErrors     int64   `json:"requestErrors"`
+	DatasetNodeIOSeen int64   `json:"datasetNodeAccesses"`
+}
+
+// Report is the BENCH_serve.json schema.
+type Report struct {
+	Experiment         string      `json:"experiment"`
+	Seed               int64       `json:"seed"`
+	Concurrency        int         `json:"concurrency"`
+	RequestsPerMix     int         `json:"requestsPerMix"`
+	DatasetSize        int         `json:"datasetSize"`
+	HistogramObserveNs float64     `json:"histogramObserveNs"`
+	Results            []MixResult `json:"results"`
+	Server             ServerSide  `json:"server"`
+}
+
+func main() {
+	var (
+		target    = flag.String("target", "", "server base URL (empty = in-process server)")
+		conc      = flag.Int("c", 8, "concurrent client workers per mix")
+		nPerMix   = flag.Int("n", 240, "requests per (mix, model) cell")
+		size      = flag.Int("size", 2000, "objects per generated dataset")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		workers   = flag.Int("workers", 0, "in-process server pool size (0 = GOMAXPROCS)")
+		benchfile = flag.String("benchfile", "", "write the JSON report here")
+		against   = flag.String("against", "", "committed baseline to check this run against")
+	)
+	flag.Parse()
+
+	base := *target
+	if base == "" {
+		srv := server.New(server.Config{Workers: *workers, CacheSize: 1024})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	lg := &loadgen{base: base, client: client}
+
+	certain, sample, err := buildWorkloads(*seed, *size)
+	if err != nil {
+		log.Fatalf("crskyload: workloads: %v", err)
+	}
+	for _, wl := range []*workload{certain, sample} {
+		if err := lg.upload(wl); err != nil {
+			log.Fatalf("crskyload: upload %s: %v", wl.name, err)
+		}
+	}
+
+	observeNs := measureObserve()
+	rep := &Report{
+		Experiment:         "serve",
+		Seed:               *seed,
+		Concurrency:        *conc,
+		RequestsPerMix:     *nPerMix,
+		DatasetSize:        *size,
+		HistogramObserveNs: observeNs,
+	}
+	for _, wl := range []*workload{certain, sample} {
+		for _, mix := range []string{"query", "explain", "batch"} {
+			res := lg.runMix(mix, wl, *nPerMix, *conc)
+			res.HistogramOverheadPct = overheadPct(observeNs, res.P50Ms)
+			rep.Results = append(rep.Results, res)
+			log.Printf("crskyload: %-7s %-7s  p50=%.2fms p90=%.2fms p99=%.2fms  %.0f req/s  errors=%d cacheHits=%d",
+				res.Mix, res.Model, res.P50Ms, res.P90Ms, res.P99Ms, res.ThroughputRps, res.Errors, res.CacheHits)
+		}
+	}
+	if err := lg.scrapeStats(&rep.Server); err != nil {
+		log.Fatalf("crskyload: stats scrape: %v", err)
+	}
+
+	if *benchfile != "" {
+		raw, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*benchfile, append(raw, '\n'), 0o644); err != nil {
+			log.Fatalf("crskyload: write %s: %v", *benchfile, err)
+		}
+		log.Printf("crskyload: wrote %s", *benchfile)
+	}
+	if *against != "" {
+		if err := check(rep, *against); err != nil {
+			log.Fatalf("crskyload: regression check vs %s: %v", *against, err)
+		}
+		log.Printf("crskyload: regression check vs %s passed", *against)
+	}
+}
+
+// --- workloads --------------------------------------------------------
+
+const (
+	queryRotation = 32 // distinct query points per dataset
+	batchSize     = 16 // points per /v2/query request
+	maxCandidates = 60
+	sampleAlpha   = 0.5
+)
+
+type workload struct {
+	name       string
+	model      string
+	register   *server.DatasetRequest
+	queries    []geom.Point // rotating query points
+	nonAnswers []int        // tractable explain targets
+	alpha      float64
+}
+
+// buildWorkloads generates the two seeded datasets: an independent certain
+// set and a cluster-region uncertain (sample-model) set, each with a
+// rotation of perturbed query points around a data-adjacent base query.
+func buildWorkloads(seed int64, size int) (*workload, *workload, error) {
+	cfg := experiments.Config{Seed: seed, Runs: 12, Out: io.Discard}
+
+	ix, cq, cids, err := experiments.BenchWorkloadCR(cfg, dataset.Independent, size, 2, maxCandidates)
+	if err != nil {
+		return nil, nil, fmt.Errorf("certain: %w", err)
+	}
+	pts := ix.Points()
+	raw := make([][]float64, len(pts))
+	for i, p := range pts {
+		raw[i] = p
+	}
+	certain := &workload{
+		name:  "load-certain",
+		model: server.ModelCertain,
+		register: &server.DatasetRequest{
+			Name: "load-certain", Model: server.ModelCertain, Points: raw,
+		},
+		queries:    rotateQueries(seed+10, cq),
+		nonAnswers: cids,
+		alpha:      1,
+	}
+
+	ds, sq, sids, err := experiments.BenchWorkloadCP(cfg, "lUrU", size, 2, 1, 5, sampleAlpha, maxCandidates)
+	if err != nil {
+		return nil, nil, fmt.Errorf("sample: %w", err)
+	}
+	specs := make([]server.ObjectSpec, ds.Len())
+	for i, o := range ds.Objects {
+		ss := make([]server.SampleSpec, len(o.Samples))
+		for j, s := range o.Samples {
+			ss[j] = server.SampleSpec{P: s.P, Loc: s.Loc}
+		}
+		specs[i] = server.ObjectSpec{Samples: ss}
+	}
+	sample := &workload{
+		name:  "load-sample",
+		model: server.ModelSample,
+		register: &server.DatasetRequest{
+			Name: "load-sample", Model: server.ModelSample, Objects: specs,
+		},
+		queries:    rotateQueries(seed+20, sq),
+		nonAnswers: sids,
+		alpha:      sampleAlpha,
+	}
+	return certain, sample, nil
+}
+
+// rotateQueries perturbs the base query into queryRotation distinct
+// points (±2% per coordinate), deterministic in the seed. Repeats of the
+// same point across the run exercise the result cache the way production
+// traffic with hot queries would.
+func rotateQueries(seed int64, q geom.Point) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]geom.Point, queryRotation)
+	for i := range out {
+		p := make(geom.Point, len(q))
+		for d, v := range q {
+			p[d] = v * (1 + 0.02*(rng.Float64()*2-1))
+		}
+		out[i] = p
+	}
+	return out
+}
+
+// --- load generation --------------------------------------------------
+
+type loadgen struct {
+	base   string
+	client *http.Client
+}
+
+func (lg *loadgen) post(path string, body any) (*http.Response, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := lg.client.Post(lg.base+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, out, nil
+}
+
+func (lg *loadgen) upload(wl *workload) error {
+	resp, out, err := lg.post("/v1/datasets", wl.register)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, out)
+	}
+	return nil
+}
+
+// request issues the i-th request of a mix and reports whether it
+// succeeded and whether the server answered from cache.
+func (lg *loadgen) request(mix string, wl *workload, i int) (ok, cached bool) {
+	var (
+		resp *http.Response
+		err  error
+	)
+	switch mix {
+	case "query":
+		q := wl.queries[i%len(wl.queries)]
+		resp, _, err = lg.post("/v1/query", &server.QueryRequest{
+			Dataset: wl.name, Q: q, Alpha: wl.alpha,
+		})
+	case "explain":
+		an := wl.nonAnswers[i%len(wl.nonAnswers)]
+		resp, _, err = lg.post("/v1/explain", &server.ExplainRequest{
+			Dataset: wl.name, Q: wl.queries[0], An: an, Alpha: wl.alpha,
+			Options: server.OptionsSpec{MaxCandidates: maxCandidates},
+		})
+	case "batch":
+		qs := make([][]float64, batchSize)
+		for j := range qs {
+			qs[j] = wl.queries[(i+j)%len(wl.queries)]
+		}
+		resp, _, err = lg.post("/v2/query", &server.BatchQueryRequest{
+			Dataset: wl.name, Qs: qs, Alpha: wl.alpha,
+		})
+	default:
+		panic("unknown mix " + mix)
+	}
+	if err != nil {
+		return false, false
+	}
+	return resp.StatusCode == http.StatusOK, resp.Header.Get("X-Crsky-Cache") == "hit"
+}
+
+// runMix fires n requests of one mix at the given concurrency and
+// aggregates exact client-side latencies.
+func (lg *loadgen) runMix(mix string, wl *workload, n, conc int) MixResult {
+	lats := make([]float64, n) // ms; index = request number
+	var errs, hits int64
+	var mu sync.Mutex
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				t0 := time.Now()
+				ok, cached := lg.request(mix, wl, i)
+				d := time.Since(t0)
+				mu.Lock()
+				lats[i] = float64(d.Nanoseconds()) / 1e6
+				if !ok {
+					errs++
+				}
+				if cached {
+					hits++
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	wall := time.Since(start).Seconds()
+
+	sorted := append([]float64(nil), lats...)
+	sort.Float64s(sorted)
+	var sum float64
+	for _, v := range sorted {
+		sum += v
+	}
+	pct := func(p float64) float64 {
+		if len(sorted) == 0 {
+			return 0
+		}
+		idx := int(p * float64(len(sorted)-1))
+		return sorted[idx]
+	}
+	return MixResult{
+		Mix:           mix,
+		Model:         wl.model,
+		Requests:      n,
+		Errors:        int(errs),
+		CacheHits:     int(hits),
+		P50Ms:         pct(0.50),
+		P90Ms:         pct(0.90),
+		P99Ms:         pct(0.99),
+		MeanMs:        sum / float64(len(sorted)),
+		ThroughputRps: float64(n) / wall,
+	}
+}
+
+func (lg *loadgen) scrapeStats(out *ServerSide) error {
+	resp, err := lg.client.Get(lg.base + "/v1/stats")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	var st server.StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return err
+	}
+	out.CacheHitRate = st.Cache.HitRate
+	out.FlightsDeduped = st.Flights.Deduped
+	out.PoolPeakInFlight = st.Pool.PeakInFlight
+	out.PoolPeakQueue = st.Pool.PeakQueueDepth
+	out.PoolWaitP99Ms = st.Pool.WaitP99Ms
+	out.ComputedExplains = st.Explain.ComputedExplanations
+	out.RequestErrors = st.Requests.Errors
+	for _, ds := range st.Datasets {
+		out.DatasetNodeIOSeen += ds.NodeAccesses
+	}
+	return nil
+}
+
+// --- instrumentation budget -------------------------------------------
+
+// measureObserve times the histogram record path (three atomic adds) the
+// way the middleware hits it.
+func measureObserve() float64 {
+	h := &obs.Histogram{}
+	const iters = 1_000_000
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		h.Observe(time.Duration(i%1000) * time.Microsecond)
+	}
+	return float64(time.Since(start).Nanoseconds()) / iters
+}
+
+func overheadPct(observeNs, p50Ms float64) float64 {
+	if p50Ms <= 0 {
+		return 0
+	}
+	return observeNs / (p50Ms * 1e6) * 100
+}
+
+// --- regression guard -------------------------------------------------
+
+// check applies the hardware-neutral gates: the fresh run must have zero
+// errors, cover exactly the committed mix cells, keep ordered positive
+// percentiles, and keep the histogram record path under 1% of every
+// cell's median request.
+func check(fresh *Report, baselinePath string) error {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return err
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("parse baseline: %w", err)
+	}
+	cells := func(r *Report) map[string]bool {
+		m := map[string]bool{}
+		for _, res := range r.Results {
+			m[res.Mix+"/"+res.Model] = true
+		}
+		return m
+	}
+	freshCells, baseCells := cells(fresh), cells(&base)
+	for cell := range baseCells {
+		if !freshCells[cell] {
+			return fmt.Errorf("cell %s in baseline but missing from this run", cell)
+		}
+	}
+	for cell := range freshCells {
+		if !baseCells[cell] {
+			return fmt.Errorf("cell %s measured but absent from baseline (refresh BENCH_serve.json)", cell)
+		}
+	}
+	for _, res := range fresh.Results {
+		cell := res.Mix + "/" + res.Model
+		if res.Errors != 0 {
+			return fmt.Errorf("cell %s: %d errors", cell, res.Errors)
+		}
+		if res.Requests == 0 {
+			return fmt.Errorf("cell %s: no requests", cell)
+		}
+		if !(res.P50Ms > 0) || res.P90Ms < res.P50Ms || res.P99Ms < res.P90Ms {
+			return fmt.Errorf("cell %s: broken percentiles p50=%v p90=%v p99=%v",
+				cell, res.P50Ms, res.P90Ms, res.P99Ms)
+		}
+		if !(res.ThroughputRps > 0) {
+			return fmt.Errorf("cell %s: throughput %v", cell, res.ThroughputRps)
+		}
+		if res.HistogramOverheadPct >= 1 {
+			return fmt.Errorf("cell %s: histogram overhead %.3f%% breaches the 1%% budget",
+				cell, res.HistogramOverheadPct)
+		}
+	}
+	if fresh.Server.RequestErrors != 0 {
+		return fmt.Errorf("server counted %d request errors", fresh.Server.RequestErrors)
+	}
+	return nil
+}

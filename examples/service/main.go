@@ -95,6 +95,20 @@ func main() {
 		Options: server.OptionsSpec{MaxCandidates: 24}}, &rr)
 	fmt.Printf("\nminimal repair: remove %v → Pr=%.4f (exact=%t)\n", rr.Removed, rr.NewPr, rr.Exact)
 
+	// ?trace=1: any compute request returns its stage-level timing
+	// breakdown — where the wall time went (join, exact evaluation,
+	// refinement search, pool wait) plus the engine effort counters.
+	var traced server.QueryResponse
+	post(base+"/v1/query?trace=1", &server.QueryRequest{Dataset: "demo", Q: q, Alpha: alpha, NoCache: true}, &traced)
+	fmt.Printf("\n?trace=1 stage breakdown (%.2fms wall):\n", traced.Trace.WallMs)
+	for _, sp := range traced.Trace.Spans {
+		fmt.Printf("  %-12s %8.3fms (start +%.3fms)\n", sp.Name, sp.DurMs, sp.StartMs)
+	}
+	fmt.Printf("  counters: joinNodeAccesses=%d objects=%d evaluated=%d\n",
+		traced.Trace.Counters["rtree.joinNodeAccesses"],
+		traced.Trace.Counters["prsq.objects"],
+		traced.Trace.Counters["prsq.evaluated"])
+
 	// v2: batch explain with a per-request deadline. One request carries
 	// many non-answers; the response is NDJSON (one item per line, with
 	// per-item errors), and ?timeout= cancels the branch-and-bound search
@@ -156,6 +170,29 @@ func main() {
 	fmt.Printf("\nstats: cache %d/%d hit rate %.2f, %d computations (%d deduped), peak in-flight %d\n",
 		st.Cache.Hits, st.Cache.Hits+st.Cache.Misses, st.Cache.HitRate,
 		st.Flights.Executed, st.Flights.Deduped, st.Pool.PeakInFlight)
+
+	// The admin surface (crskyd -admin) serves Prometheus-format /metrics
+	// and the pprof endpoints on a separate listener.
+	adminLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go http.Serve(adminLn, srv.AdminHandler())
+	mresp, err := http.Get("http://" + adminLn.Addr().String() + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n/metrics (%d bytes); request-latency series:\n", len(metrics))
+	for _, line := range bytes.Split(metrics, []byte("\n")) {
+		if bytes.HasPrefix(line, []byte("crsky_request_duration_seconds_count")) {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 }
 
 func post(url string, req, out any) {

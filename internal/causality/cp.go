@@ -7,6 +7,7 @@ import (
 
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/uncertain"
 )
@@ -47,7 +48,10 @@ func CPCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, a
 	}
 	an := ds.Objects[anID]
 
+	tr := obs.FromContext(ctx)
+	endFilter := tr.StartSpan("explain.filter")
 	candIDs, filterIO := FilterCandidatesCounted(ds, q, an)
+	endFilter()
 	if opts.MaxCandidates > 0 && len(candIDs) > opts.MaxCandidates {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyCandidates, len(candIDs), opts.MaxCandidates)
 	}
@@ -68,6 +72,7 @@ func CPCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, a
 		// Lines 9–11: the only contingency set for each candidate is all
 		// the other candidates, so responsibilities are all 1/|Cc|.
 		res.Causes = alphaOneCauses(candIDs)
+		res.addToTrace(tr)
 		return res, nil
 	}
 
@@ -79,7 +84,22 @@ func CPCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, a
 	res.Causes = causes
 	res.SubsetsExamined = r.subsetsCount()
 	res.GreedySeeds, res.GreedyHits = r.greedyStats()
+	res.addToTrace(tr)
 	return res, nil
+}
+
+// addToTrace folds the explanation's effort counters into a request trace
+// (nil tr is a no-op) — the same vocabulary the ?trace=1 response and the
+// slow-query log share.
+func (r *Result) addToTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Add("explain.candidates", int64(r.Candidates))
+	tr.Add("explain.filterNodeAccesses", r.FilterNodeAccesses)
+	tr.Add("explain.subsetsExamined", r.SubsetsExamined)
+	tr.Add("explain.greedySeeds", r.GreedySeeds)
+	tr.Add("explain.greedyHits", r.GreedyHits)
 }
 
 // FilterCandidates performs the Lemma-2 filtering step: a single

@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/rtree"
 	"github.com/crsky/crsky/internal/uncertain"
@@ -91,6 +92,8 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 	an := s.Objects[anID]
 
 	// Difference 1: sub-quadrant farthest-corner rectangles.
+	tr := obs.FromContext(ctx)
+	endFilter := tr.StartSpan("explain.filter")
 	recs := prob.CandidateRectsPDF(an, q)
 	var candIDs []int
 	filterIO := s.Tree().SearchAnyCounted(recs, func(id int, _ geom.Rect) bool {
@@ -99,6 +102,7 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 		}
 		return true
 	})
+	endFilter()
 	sort.Ints(candIDs)
 	if opts.MaxCandidates > 0 && len(candIDs) > opts.MaxCandidates {
 		return nil, fmt.Errorf("%w: %d > %d", ErrTooManyCandidates, len(candIDs), opts.MaxCandidates)
@@ -135,6 +139,7 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs), FilterNodeAccesses: filterIO}
 	if prob.GEq(alpha, 1) {
 		res.Causes = alphaOneCauses(candIDs)
+		res.addToTrace(tr)
 		return res, nil
 	}
 
@@ -157,5 +162,6 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 	res.Causes = causes
 	res.SubsetsExamined = r.subsetsCount()
 	res.GreedySeeds, res.GreedyHits = r.greedyStats()
+	res.addToTrace(tr)
 	return res, nil
 }

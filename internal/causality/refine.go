@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"github.com/crsky/crsky/internal/ctxutil"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 )
 
@@ -193,13 +194,19 @@ func (r *refiner) run() ([]Cause, error) {
 		}
 	}
 
+	tr := obs.FromContext(r.ctx)
 	if !r.opts.NoGreedySeed {
-		if err := r.greedySeedAll(); err != nil {
+		endGreedy := tr.StartSpan("explain.greedy")
+		err := r.greedySeedAll()
+		endGreedy()
+		if err != nil {
 			return nil, r.wrapCanceled(err)
 		}
 	}
 
+	endSearch := tr.StartSpan("explain.search")
 	perCandidate, err := r.searchAll()
+	endSearch()
 	if err != nil {
 		return nil, r.wrapCanceled(err)
 	}

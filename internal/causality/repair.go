@@ -9,6 +9,7 @@ import (
 	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/uncertain"
 )
@@ -62,7 +63,10 @@ func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, 
 	}
 	poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
 	an := ds.Objects[anID]
+	tr := obs.FromContext(ctx)
+	endFilter := tr.StartSpan("repair.filter")
 	candIDs := FilterCandidates(ds, q, an)
+	endFilter()
 	cands := make([]*uncertain.Object, len(candIDs))
 	for i, id := range candIDs {
 		cands[i] = ds.Objects[id]
@@ -91,7 +95,9 @@ func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, 
 	// Greedy incumbent: repeatedly remove the pool candidate with the
 	// largest marginal probability gain. Always a valid repair (removing
 	// the whole pool yields Pr = 1) and usually at or near the minimum.
+	endGreedy := tr.StartSpan("repair.greedy")
 	greedy, err := greedyRepair(e, pool, alpha, poll)
+	endGreedy()
 	if err != nil {
 		return nil, canceled(err, 0)
 	}
@@ -105,7 +111,9 @@ func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, 
 
 	const greedyThreshold = 24
 	if len(pool) <= greedyThreshold {
+		endSearch := tr.StartSpan("repair.search")
 		chosen, found, ok, err := exactRepairBelow(e, pool, alpha, opts.MaxSubsets, len(greedy), poll)
+		endSearch()
 		if err != nil {
 			return nil, canceled(err, 0)
 		}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// This file renders metrics in the Prometheus text exposition format
+// (version 0.0.4) without importing a client library: the format is a few
+// lines of escaping rules, and keeping obs dependency-free means every
+// internal package can link it.
+
+// Label is one name="value" pair on a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// PromHead writes the # HELP / # TYPE preamble for a metric family.
+func PromHead(w io.Writer, name, typ, help string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help))
+	fmt.Fprintf(w, "# TYPE %s %s\n", name, typ)
+}
+
+// PromValue writes one sample line: name{labels} value.
+func PromValue(w io.Writer, name string, labels []Label, value float64) {
+	io.WriteString(w, name)
+	writeLabels(w, labels)
+	io.WriteString(w, " ")
+	io.WriteString(w, formatFloat(value))
+	io.WriteString(w, "\n")
+}
+
+// PromHistogram writes one histogram series: cumulative _bucket lines for
+// every finite bound plus +Inf, then _sum and _count. The extra labels are
+// appended to each line before the le label.
+func PromHistogram(w io.Writer, name string, labels []Label, s HistogramSnapshot) {
+	bounds := upperBoundsSeconds
+	var cum uint64
+	for i := 0; i < NumBuckets; i++ {
+		cum += s.Counts[i]
+		lb := append(append([]Label(nil), labels...), Label{"le", formatFloat(bounds[i])})
+		PromValue(w, name+"_bucket", lb, float64(cum))
+	}
+	cum += s.Counts[NumBuckets]
+	lb := append(append([]Label(nil), labels...), Label{"le", "+Inf"})
+	PromValue(w, name+"_bucket", lb, float64(cum))
+	PromValue(w, name+"_sum", labels, s.SumSeconds)
+	PromValue(w, name+"_count", labels, float64(s.Count))
+}
+
+// PromHistogramVec writes every series of a vector under one family head.
+func PromHistogramVec(w io.Writer, name, help string, v *HistogramVec) {
+	PromHead(w, name, "histogram", help)
+	names := v.LabelNames()
+	for _, ls := range v.Snapshots() {
+		labels := make([]Label, len(names))
+		for i := range names {
+			labels[i] = Label{names[i], ls.LabelValues[i]}
+		}
+		PromHistogram(w, name, labels, ls.Snapshot)
+	}
+}
+
+func writeLabels(w io.Writer, labels []Label) {
+	if len(labels) == 0 {
+		return
+	}
+	io.WriteString(w, "{")
+	for i, l := range labels {
+		if i > 0 {
+			io.WriteString(w, ",")
+		}
+		io.WriteString(w, l.Name)
+		io.WriteString(w, "=\"")
+		io.WriteString(w, escapeLabel(l.Value))
+		io.WriteString(w, "\"")
+	}
+	io.WriteString(w, "}")
+}
+
+func formatFloat(v float64) string {
+	// Integers render without an exponent so counters read naturally.
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}
+
+func escapeHelp(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+	return r.Replace(s)
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	tr.StartSpan("x")()
+	tr.Add("c", 1)
+	tr.SetLabel("k", "v")
+	if tr.Snapshot() != nil {
+		t.Fatal("nil trace snapshot not nil")
+	}
+	if tr.Counter("c") != 0 || tr.Spans() != nil {
+		t.Fatal("nil trace leaked state")
+	}
+	// A context without a trace yields nil.
+	if FromContext(context.Background()) != nil {
+		t.Fatal("FromContext on bare context not nil")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := New()
+	ctx := WithTrace(context.Background(), tr)
+	got := FromContext(ctx)
+	if got != tr {
+		t.Fatal("FromContext did not return the stored trace")
+	}
+	end := got.StartSpan("stage.a")
+	time.Sleep(2 * time.Millisecond)
+	end()
+	got.Add("work", 41)
+	got.Add("work", 1)
+	got.SetLabel("cache", "miss")
+
+	js := got.Snapshot()
+	if js == nil || len(js.Spans) != 1 {
+		t.Fatalf("snapshot = %+v", js)
+	}
+	sp := js.Spans[0]
+	if sp.Name != "stage.a" || sp.DurMs <= 0 || sp.DurMs > js.WallMs {
+		t.Errorf("span = %+v wall=%g", sp, js.WallMs)
+	}
+	if js.Counters["work"] != 42 || js.Labels["cache"] != "miss" {
+		t.Errorf("counters/labels = %+v %+v", js.Counters, js.Labels)
+	}
+	// JSON wire form stays stable.
+	b, err := json.Marshal(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"wallMs"`, `"spans"`, `"stage.a"`, `"counters"`, `"labels"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("marshal missing %s: %s", want, b)
+		}
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				end := tr.StartSpan("s")
+				tr.Add("n", 1)
+				end()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tr.Counter("n"); got != 1600 {
+		t.Fatalf("counter = %d, want 1600", got)
+	}
+	if got := len(tr.Spans()); got != 1600 {
+		t.Fatalf("spans = %d, want 1600", got)
+	}
+}
+
+func TestSlowLog(t *testing.T) {
+	var buf bytes.Buffer
+	l := NewSlowLog(&buf, 10*time.Millisecond)
+	l.Record(5*time.Millisecond, SlowEntry{Route: "/v1/query", Outcome: "ok", Status: 200})
+	if buf.Len() != 0 {
+		t.Fatal("fast request logged")
+	}
+	tr := New()
+	tr.StartSpan("prsq.join")()
+	l.Record(25*time.Millisecond, SlowEntry{
+		Route: "/v1/explain", Dataset: "d", Model: "sample",
+		Outcome: "ok", Status: 200, Trace: tr.Snapshot(),
+	})
+	if l.Written() != 1 {
+		t.Fatalf("written = %d", l.Written())
+	}
+	var entry SlowEntry
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &entry); err != nil {
+		t.Fatalf("slow log line not valid JSON: %v\n%s", err, buf.String())
+	}
+	if entry.Route != "/v1/explain" || entry.DurMs != 25 || entry.Trace == nil {
+		t.Errorf("entry = %+v", entry)
+	}
+	if entry.Time == "" {
+		t.Error("missing timestamp")
+	}
+}
+
+func TestSlowLogDisabled(t *testing.T) {
+	if NewSlowLog(nil, time.Second) != nil {
+		t.Fatal("nil writer should disable")
+	}
+	if NewSlowLog(&bytes.Buffer{}, 0) != nil {
+		t.Fatal("zero threshold should disable")
+	}
+	var l *SlowLog
+	l.Record(time.Hour, SlowEntry{}) // must not panic
+	if l.Written() != 0 || l.Errors() != 0 || l.Threshold() != 0 {
+		t.Fatal("nil slow log leaked state")
+	}
+}

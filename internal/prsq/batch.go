@@ -7,6 +7,7 @@ import (
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/rtree"
 	"github.com/crsky/crsky/internal/uncertain"
@@ -76,6 +77,8 @@ func queryBatchCore(ctx context.Context, tree *rtree.Tree, n int, qs []geom.Poin
 
 	var mu sync.Mutex
 	var workerStates [][]batchState
+	tr := obs.FromContext(ctx)
+	endJoin := tr.StartSpan("prsq.batchJoin")
 	err := tree.JoinSelfStreamBatch(ctx, windows, opt.workers(n), func() rtree.BatchStreamVisitor {
 		states := make([]batchState, nQ)
 		for k := range states {
@@ -90,6 +93,7 @@ func queryBatchCore(ctx context.Context, tree *rtree.Tree, n int, qs []geom.Poin
 			End:   func(k, id int) { verdicts[k][id] = states[k].finish(id) },
 		}
 	})
+	endJoin()
 	if err != nil {
 		return nil, Stats{Objects: n * nQ}, wrapCanceled(err, 0)
 	}
@@ -108,13 +112,16 @@ func queryBatchCore(ctx context.Context, tree *rtree.Tree, n int, qs []geom.Poin
 		}
 	}
 
+	endExact := tr.StartSpan("prsq.batchExact")
 	evaluated, err := evaluate(ctx, cands, opt,
 		func(k int) bool { return isAnswer(items[k].q, items[k].id, cands[k]) },
 		func(k int, d decision) { verdicts[items[k].q][items[k].id] = d })
+	endExact()
 	if err != nil {
 		return nil, stats, wrapCanceled(err, evaluated)
 	}
 	stats.Evaluated = len(items)
+	stats.addToTrace(tr)
 
 	out := make([][]int, nQ)
 	for k := range verdicts {

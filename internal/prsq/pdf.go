@@ -6,6 +6,7 @@ import (
 
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/rtree"
 	"github.com/crsky/crsky/internal/uncertain"
@@ -59,6 +60,8 @@ func QueryPDFStatsCtx(ctx context.Context, set *causality.PDFSet, q geom.Point, 
 	var mu sync.Mutex
 	var states []*pdfStreamState
 	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	tr := obs.FromContext(ctx)
+	endJoin := tr.StartSpan("prsq.join")
 	err := set.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
 		st := &pdfStreamState{set: set, q: q, alpha: alpha, opt: opt}
 		mu.Lock()
@@ -72,6 +75,7 @@ func QueryPDFStatsCtx(ctx context.Context, set *causality.PDFSet, q geom.Point, 
 			},
 		}
 	})
+	endJoin()
 	if err != nil {
 		return nil, Stats{Objects: n}, wrapCanceled(err, 0)
 	}
@@ -96,13 +100,16 @@ func QueryPDFStatsCtx(ctx context.Context, set *causality.PDFSet, q geom.Point, 
 		pdfCandPool.Put(bufp)
 		return ok
 	}
+	endExact := tr.StartSpan("prsq.exact")
 	evaluated, err := evaluate(ctx, undecidedCands, opt,
 		func(k int) bool { return isAnswer(undecidedIDs[k], undecidedCands[k]) },
 		func(k int, d decision) { verdicts[undecidedIDs[k]] = d })
+	endExact()
 	if err != nil {
 		return nil, stats, wrapCanceled(err, evaluated)
 	}
 	stats.Evaluated = len(undecidedIDs)
+	stats.addToTrace(tr)
 
 	return collect(verdicts), stats, nil
 }

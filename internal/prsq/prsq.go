@@ -38,6 +38,7 @@ import (
 	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/rtree"
 	"github.com/crsky/crsky/internal/uncertain"
@@ -157,12 +158,14 @@ func QueryStatsCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, alp
 		sums = ds.Summaries()
 	}
 	verdicts := make([]decision, n)
+	tr := obs.FromContext(ctx)
 
 	// One stream state per join worker; verdict slots are disjoint per
 	// left object, so the workers never write the same element.
 	var mu sync.Mutex
 	var states []*streamState
 	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	endJoin := tr.StartSpan("prsq.join")
 	err := ds.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
 		st := &streamState{ds: ds, q: q, alpha: alpha, opt: opt, wsum: wsum, sums: sums}
 		mu.Lock()
@@ -176,6 +179,7 @@ func QueryStatsCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, alp
 			},
 		}
 	})
+	endJoin()
 	if err != nil {
 		return nil, Stats{Objects: n}, wrapCanceled(err, 0)
 	}
@@ -200,15 +204,35 @@ func QueryStatsCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, alp
 		candPool.Put(bufp)
 		return ok
 	}
+	endExact := tr.StartSpan("prsq.exact")
 	evaluated, err := evaluate(ctx, undecidedCands, opt,
 		func(k int) bool { return isAnswer(undecidedIDs[k], undecidedCands[k]) },
 		func(k int, d decision) { verdicts[undecidedIDs[k]] = d })
+	endExact()
 	if err != nil {
 		return nil, stats, wrapCanceled(err, evaluated)
 	}
 	stats.Evaluated = len(undecidedIDs)
+	stats.addToTrace(tr)
 
 	return collect(verdicts), stats, nil
+}
+
+// addToTrace folds the query's effort counters into a request trace (nil tr
+// is a no-op). Counter names are the Stats field names with a prsq prefix —
+// the vocabulary the ?trace=1 response and the slow-query log share.
+func (s Stats) addToTrace(tr *obs.Trace) {
+	if tr == nil {
+		return
+	}
+	tr.Add("prsq.objects", int64(s.Objects))
+	tr.Add("prsq.candidatePairs", int64(s.CandidatePairs))
+	tr.Add("prsq.emptyCandidates", int64(s.EmptyCandidates))
+	tr.Add("prsq.acceptedByBound", int64(s.AcceptedByBound))
+	tr.Add("prsq.rejectedByBound", int64(s.RejectedByBound))
+	tr.Add("prsq.acceptedByTier2", int64(s.AcceptedByTier2))
+	tr.Add("prsq.rejectedByTier2", int64(s.RejectedByTier2))
+	tr.Add("prsq.evaluated", int64(s.Evaluated))
 }
 
 // wrapCanceled binds the query path's partial statistic (exact

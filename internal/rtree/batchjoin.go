@@ -7,6 +7,7 @@ import (
 
 	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/stats"
 )
 
 // BatchStreamVisitor is the multi-query form of StreamVisitor: every
@@ -56,9 +57,11 @@ func (t *Tree) JoinSelfStreamBatch(ctx context.Context, windows []WindowFunc, wo
 		rootRights[k] = []*node{t.root}
 	}
 	root := batchTask{left: t.root, rights: rootRights}
+	tally, flush := joinTally(ctx)
+	defer flush()
 
 	if workers <= 1 || t.root.leaf {
-		return t.batchJoinLeft(root, windows, newVisitor(), ctxutil.NewPoll(ctx, ctxutil.DefaultStride), newBatchScratch())
+		return t.batchJoinLeft(root, windows, newVisitor(), ctxutil.NewPoll(ctx, ctxutil.DefaultStride), newBatchScratch(), tally)
 	}
 
 	// Grow the task frontier exactly like the single-query parallel join.
@@ -67,7 +70,7 @@ func (t *Tree) JoinSelfStreamBatch(ctx context.Context, windows []WindowFunc, wo
 	for !tasks[0].left.leaf && len(tasks) < 4*workers {
 		next := make([]batchTask, 0, len(tasks)*t.maxEntries)
 		for _, tk := range tasks {
-			next = append(next, t.expandBatchTask(tk, windows, frontierScratch)...)
+			next = append(next, t.expandBatchTask(tk, windows, frontierScratch, tally)...)
 		}
 		if len(next) == 0 {
 			return nil
@@ -91,7 +94,7 @@ func (t *Tree) JoinSelfStreamBatch(ctx context.Context, windows []WindowFunc, wo
 				if errs[wi] != nil {
 					continue
 				}
-				if err := t.batchJoinLeft(tk, windows, v, poll, sc); err != nil {
+				if err := t.batchJoinLeft(tk, windows, v, poll, sc, tally); err != nil {
 					errs[wi] = err
 					aborted.Store(true)
 				}
@@ -128,8 +131,9 @@ func newBatchScratch() *batchScratch {
 // accessBatchRights charges the left node once and every distinct right
 // node of the per-query partner lists once — the union across queries,
 // excluding the pinned left node itself, mirroring expandTask/joinLeft.
-func (t *Tree) accessBatchRights(nl *node, rights [][]*node, sc *batchScratch) {
+func (t *Tree) accessBatchRights(nl *node, rights [][]*node, sc *batchScratch, tally *stats.Counter) {
 	t.access(nl)
+	tally.Inc()
 	clear(sc.seen)
 	sc.seen[nl] = struct{}{}
 	for _, rs := range rights {
@@ -137,6 +141,7 @@ func (t *Tree) accessBatchRights(nl *node, rights [][]*node, sc *batchScratch) {
 			if _, dup := sc.seen[nr]; !dup {
 				sc.seen[nr] = struct{}{}
 				t.access(nr)
+				tally.Inc()
 			}
 		}
 	}
@@ -145,9 +150,9 @@ func (t *Tree) accessBatchRights(nl *node, rights [][]*node, sc *batchScratch) {
 // expandBatchTask performs one internal-node expansion of the shared left
 // descent: one access pass over the union of partner lists, then per-query
 // pruning of each child's partner list with that query's window.
-func (t *Tree) expandBatchTask(tk batchTask, windows []WindowFunc, sc *batchScratch) []batchTask {
+func (t *Tree) expandBatchTask(tk batchTask, windows []WindowFunc, sc *batchScratch, tally *stats.Counter) []batchTask {
 	nl := tk.left
-	t.accessBatchRights(nl, tk.rights, sc)
+	t.accessBatchRights(nl, tk.rights, sc, tally)
 	out := make([]batchTask, 0, len(nl.entries))
 	for i := range nl.entries {
 		el := &nl.entries[i]
@@ -172,20 +177,20 @@ func (t *Tree) expandBatchTask(tk batchTask, windows []WindowFunc, sc *batchScra
 // batchJoinLeft is the batch form of joinLeft: the serial recursion over
 // one left subtree, reporting each left entry's per-query streams in query
 // order.
-func (t *Tree) batchJoinLeft(tk batchTask, windows []WindowFunc, v BatchStreamVisitor, poll *ctxutil.Poll, sc *batchScratch) error {
+func (t *Tree) batchJoinLeft(tk batchTask, windows []WindowFunc, v BatchStreamVisitor, poll *ctxutil.Poll, sc *batchScratch, tally *stats.Counter) error {
 	if err := poll.Check(); err != nil {
 		return err
 	}
 	nl := tk.left
 	if !nl.leaf {
-		for _, child := range t.expandBatchTask(tk, windows, sc) {
-			if err := t.batchJoinLeft(child, windows, v, poll, sc); err != nil {
+		for _, child := range t.expandBatchTask(tk, windows, sc, tally) {
+			if err := t.batchJoinLeft(child, windows, v, poll, sc, tally); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
-	t.accessBatchRights(nl, tk.rights, sc)
+	t.accessBatchRights(nl, tk.rights, sc, tally)
 	for i := range nl.entries {
 		el := &nl.entries[i]
 		for k := range windows {

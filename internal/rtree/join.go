@@ -7,7 +7,24 @@ import (
 
 	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
+	"github.com/crsky/crsky/internal/stats"
 )
+
+// joinTally returns a per-call node-access counter for a traced join plus
+// the flush that folds it into the request trace, or (nil, no-op) when ctx
+// carries no trace. The tree-wide io counter is shared by every concurrent
+// request on the dataset, so per-request attribution needs its own tally;
+// stats.Counter methods are nil-safe, making the untraced fast path a
+// single branch per access.
+func joinTally(ctx context.Context) (*stats.Counter, func()) {
+	tr := obs.FromContext(ctx)
+	if tr == nil {
+		return nil, func() {}
+	}
+	c := new(stats.Counter)
+	return c, func() { tr.Add("rtree.joinNodeAccesses", c.Value()) }
+}
 
 // WindowFunc maps a rectangle to its (conservative) search window. For the
 // branch-and-bound descent of JoinSelfStream to be correct the function
@@ -58,25 +75,29 @@ func (t *Tree) JoinSelfStreamCtx(ctx context.Context, window WindowFunc, v Strea
 	if t.size == 0 {
 		return nil
 	}
-	return t.joinLeft(t.root, []*node{t.root}, window, v, ctxutil.NewPoll(ctx, ctxutil.DefaultStride))
+	tally, flush := joinTally(ctx)
+	defer flush()
+	return t.joinLeft(t.root, []*node{t.root}, window, v, ctxutil.NewPoll(ctx, ctxutil.DefaultStride), tally)
 }
 
-func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVisitor, poll *ctxutil.Poll) error {
+func (t *Tree) joinLeft(nl *node, rights []*node, window WindowFunc, v StreamVisitor, poll *ctxutil.Poll, tally *stats.Counter) error {
 	if err := poll.Check(); err != nil {
 		return err
 	}
 	if !nl.leaf {
-		for _, tk := range t.expandTask(joinTask{left: nl, rights: rights}, window) {
-			if err := t.joinLeft(tk.left, tk.rights, window, v, poll); err != nil {
+		for _, tk := range t.expandTask(joinTask{left: nl, rights: rights}, window, tally) {
+			if err := t.joinLeft(tk.left, tk.rights, window, v, poll, tally); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
 	t.access(nl)
+	tally.Inc()
 	for _, nr := range rights {
 		if nr != nl {
 			t.access(nr)
+			tally.Inc()
 		}
 	}
 	for i := range nl.entries {
@@ -104,12 +125,14 @@ type joinTask struct {
 // — the single copy of the non-leaf access accounting and partner-list
 // pruning, shared by the serial recursion and the parallel dispatcher —
 // and returns the child tasks.
-func (t *Tree) expandTask(tk joinTask, window WindowFunc) []joinTask {
+func (t *Tree) expandTask(tk joinTask, window WindowFunc, tally *stats.Counter) []joinTask {
 	nl := tk.left
 	t.access(nl)
+	tally.Inc()
 	for _, nr := range tk.rights {
 		if nr != nl {
 			t.access(nr)
+			tally.Inc()
 		}
 	}
 	out := make([]joinTask, 0, len(nl.entries))
@@ -158,8 +181,10 @@ func (t *Tree) JoinSelfStreamParallelCtx(ctx context.Context, window WindowFunc,
 	if t.size == 0 {
 		return nil
 	}
+	tally, flush := joinTally(ctx)
+	defer flush()
 	if workers <= 1 || t.root.leaf {
-		return t.joinLeft(t.root, []*node{t.root}, window, newVisitor(), ctxutil.NewPoll(ctx, ctxutil.DefaultStride))
+		return t.joinLeft(t.root, []*node{t.root}, window, newVisitor(), ctxutil.NewPoll(ctx, ctxutil.DefaultStride), tally)
 	}
 
 	// Grow the task frontier until there is enough slack for the pool to
@@ -169,7 +194,7 @@ func (t *Tree) JoinSelfStreamParallelCtx(ctx context.Context, window WindowFunc,
 	for !tasks[0].left.leaf && len(tasks) < 4*workers {
 		next := make([]joinTask, 0, len(tasks)*t.maxEntries)
 		for _, tk := range tasks {
-			next = append(next, t.expandTask(tk, window)...)
+			next = append(next, t.expandTask(tk, window, tally)...)
 		}
 		if len(next) == 0 {
 			return nil
@@ -192,7 +217,7 @@ func (t *Tree) JoinSelfStreamParallelCtx(ctx context.Context, window WindowFunc,
 				if errs[wi] != nil {
 					continue // drain without working after a cancellation
 				}
-				if err := t.joinLeft(tk.left, tk.rights, window, v, poll); err != nil {
+				if err := t.joinLeft(tk.left, tk.rights, window, v, poll, tally); err != nil {
 					errs[wi] = err
 					aborted.Store(true)
 				}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
@@ -110,13 +111,17 @@ type QueryRequest struct {
 	NoCache   bool      `json:"noCache,omitempty"`
 }
 
-// QueryResponse lists the answer object IDs in ascending order.
+// QueryResponse lists the answer object IDs in ascending order. Trace is
+// present only on ?trace=1 requests: the stage spans and effort counters
+// of this request (cache hits show the disposition labels and no engine
+// spans — the engine never ran).
 type QueryResponse struct {
-	Dataset string  `json:"dataset"`
-	Model   string  `json:"model"`
-	Alpha   float64 `json:"alpha"`
-	Count   int     `json:"count"`
-	Answers []int   `json:"answers"`
+	Dataset string         `json:"dataset"`
+	Model   string         `json:"model"`
+	Alpha   float64        `json:"alpha"`
+	Count   int            `json:"count"`
+	Answers []int          `json:"answers"`
+	Trace   *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // ExplainRequest asks why object An is NOT in the (probabilistic) reverse
@@ -162,6 +167,8 @@ type ExplainResponse struct {
 	// candidate-retrieval traversal.
 	FilterNodeAccesses int64 `json:"filterNodeAccesses,omitempty"`
 	Verified           bool  `json:"verified,omitempty"`
+	// Trace is present only on ?trace=1 requests.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 func causesJSON(cs []causality.Cause) []CauseJSON {
@@ -198,6 +205,15 @@ type RepairResponse struct {
 	Removed []int   `json:"removed"`
 	NewPr   float64 `json:"newPr"`
 	Exact   bool    `json:"exact"`
+	// Trace is present only on ?trace=1 requests.
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
+}
+
+// BatchTraceItem is the final NDJSON line of a ?trace=1 batch response:
+// the whole batch shares one engine call, so the stage trace is
+// request-level, not per-item.
+type BatchTraceItem struct {
+	Trace *obs.TraceJSON `json:"trace"`
 }
 
 // CacheStats reports result-cache effectiveness.
@@ -218,13 +234,19 @@ type FlightStats struct {
 	Deduped  int64 `json:"deduped"`
 }
 
-// PoolStats reports worker-pool load.
+// PoolStats reports worker-pool load and saturation: QueueDepth is the
+// number of requests currently waiting for a slot, and the wait
+// percentiles summarize how long admission has been taking.
 type PoolStats struct {
-	Workers      int   `json:"workers"`
-	InFlight     int64 `json:"inFlight"`
-	PeakInFlight int64 `json:"peakInFlight"`
-	Completed    int64 `json:"completed"`
-	Canceled     int64 `json:"canceled"`
+	Workers        int     `json:"workers"`
+	InFlight       int64   `json:"inFlight"`
+	PeakInFlight   int64   `json:"peakInFlight"`
+	QueueDepth     int64   `json:"queueDepth"`
+	PeakQueueDepth int64   `json:"peakQueueDepth"`
+	Completed      int64   `json:"completed"`
+	Canceled       int64   `json:"canceled"`
+	WaitP50Ms      float64 `json:"waitP50Ms"`
+	WaitP99Ms      float64 `json:"waitP99Ms"`
 }
 
 // QuadratureStats reports the process-wide pdf cubature memo: how often

@@ -90,15 +90,22 @@ func (s *Server) resolve(name string, qs []float64, alpha float64) (*entry, geom
 func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
 	fn func(ctx context.Context) (any, error)) (any, bool) {
 
+	tr := obsTrace(ctx)
 	if noCache {
 		w.Header().Set(headerCache, "bypass")
+		tr.SetLabel("cache", "bypass")
 	} else if v, ok := s.cache.Get(key); ok {
 		w.Header().Set(headerCache, "hit")
+		tr.SetLabel("cache", "hit")
 		return v, true
 	} else {
 		w.Header().Set(headerCache, "miss")
+		tr.SetLabel("cache", "miss")
 	}
 
+	// WithoutCancel keeps the context VALUES — the trace flows into the
+	// detached computation, so a traced leader's envelope carries the
+	// engine stage spans.
 	detached := context.WithoutCancel(ctx)
 	v, err, shared := s.flights.Do(key, func() (any, error) {
 		return s.pool.Do(detached, func() (any, error) {
@@ -110,12 +117,17 @@ func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string,
 	})
 	if shared {
 		w.Header().Set(headerFlight, "shared")
+		tr.SetLabel("flight", "shared")
 	} else {
 		w.Header().Set(headerFlight, "leader")
+		tr.SetLabel("flight", "leader")
 	}
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// The caller gave up (or the pool never freed a slot in time):
+			// tell well-behaved clients when to come back.
+			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, errComputePanic):
 			s.writeError(w, http.StatusInternalServerError, err)
@@ -142,6 +154,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
+	annotate(r.Context(), ent)
 	key := fmt.Sprintf("query|%s|%d|%s|%g|%d", ent.name, ent.gen, pointKey(q), alpha, req.QuadNodes)
 	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
 		return ent.queryCtx(ctx, q, alpha, req.QuadNodes)
@@ -156,6 +169,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		Alpha:   alpha,
 		Count:   len(ids),
 		Answers: ids,
+		Trace:   traceJSON(r),
 	})
 }
 
@@ -171,6 +185,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
+	annotate(r.Context(), ent)
 	opts := req.Options.toOptions()
 	if ent.model == ModelCertain {
 		// Algorithm CR takes no options (Lemma 7 needs no refinement);
@@ -225,6 +240,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		GreedyHits:         res.GreedyHits,
 		FilterNodeAccesses: res.FilterNodeAccesses,
 		Verified:           verified,
+		Trace:              traceJSON(r),
 	})
 }
 
@@ -240,6 +256,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
+	annotate(r.Context(), ent)
 	opts := req.Options.toOptions()
 	key := fmt.Sprintf("repair|%s|%d|%s|%d|%g|%s",
 		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
@@ -258,5 +275,6 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		Removed: rep.Removed,
 		NewPr:   rep.NewPr,
 		Exact:   rep.Exact,
+		Trace:   traceJSON(r),
 	})
 }

@@ -66,13 +66,17 @@ func (s *Server) resolveBatch(name string, qss [][]float64, alpha float64) (*ent
 func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
 	fn func(ctx context.Context) (any, error)) (any, bool) {
 
+	tr := obsTrace(ctx)
 	if noCache {
 		w.Header().Set(headerCache, "bypass")
+		tr.SetLabel("cache", "bypass")
 	} else if v, ok := s.cache.Get(key); ok {
 		w.Header().Set(headerCache, "hit")
+		tr.SetLabel("cache", "hit")
 		return v, true
 	} else {
 		w.Header().Set(headerCache, "miss")
+		tr.SetLabel("cache", "miss")
 	}
 
 	v, err := s.pool.Do(ctx, func() (any, error) {
@@ -84,6 +88,7 @@ func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key strin
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			w.Header().Set("Retry-After", "1")
 			s.writeError(w, http.StatusServiceUnavailable, err)
 		case errors.Is(err, errComputePanic), errors.Is(err, errVerificationFailed):
 			s.writeError(w, http.StatusInternalServerError, err)
@@ -99,13 +104,18 @@ func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key strin
 }
 
 // writeNDJSON streams items as application/x-ndjson, one JSON object per
-// line.
-func writeNDJSON[T any](w http.ResponseWriter, items []T) {
+// line. On ?trace=1 requests a final {"trace": {...}} line follows the
+// items — opt-in, so clients that did not ask keep a byte-identical
+// stream.
+func writeNDJSON[T any](w http.ResponseWriter, r *http.Request, items []T) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w) // Encode appends the newline separator
 	for _, it := range items {
 		_ = enc.Encode(it)
+	}
+	if tj := traceJSON(r); tj != nil {
+		_ = enc.Encode(BatchTraceItem{Trace: tj})
 	}
 }
 
@@ -121,6 +131,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
+	annotate(r.Context(), ent)
 	// Key on the resolved alpha (certain data forces 1), so requests that
 	// compute the same thing share the cached result.
 	req.Alpha = alpha
@@ -145,7 +156,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeNDJSON(w, v.([]BatchQueryItem))
+	writeNDJSON(w, r, v.([]BatchQueryItem))
 }
 
 func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
@@ -168,6 +179,7 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, status, err)
 		return
 	}
+	annotate(r.Context(), ent)
 	// Canonicalize BEFORE the cache key is built: the key encodes the
 	// resolved alpha and the canonicalized options, so requests that run
 	// the same computation share one cache entry. Algorithm CR takes no
@@ -239,5 +251,5 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	writeNDJSON(w, v.([]BatchExplainItem))
+	writeNDJSON(w, r, v.([]BatchExplainItem))
 }

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"strings"
+	"time"
+
+	"github.com/crsky/crsky/internal/obs"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// handleMetrics renders the process metrics in the Prometheus text
+// exposition format (0.0.4), hand-written over the obs primitives — the
+// service takes no dependency on a client library. Families:
+//
+//	crsky_request_duration_seconds{route,model,outcome}  histogram
+//	crsky_pool_wait_seconds                              histogram
+//	crsky_pool_*, crsky_cache_*, crsky_flights_*         gauges/counters
+//	crsky_requests_total{endpoint}, crsky_explain_*      counters
+//	crsky_quadrature_*, crsky_dataset_*                  gauges/counters
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var b strings.Builder
+
+	obs.PromHistogramVec(&b, "crsky_request_duration_seconds",
+		"Request latency by route, dataset model, and outcome.", s.reqHist)
+	obs.PromHead(&b, "crsky_pool_wait_seconds", "histogram",
+		"Time compute requests spent queued for a worker-pool slot.")
+	obs.PromHistogram(&b, "crsky_pool_wait_seconds", nil, s.pool.wait.Snapshot())
+
+	ps := s.pool.Stats()
+	obs.PromHead(&b, "crsky_pool_workers", "gauge", "Worker-pool capacity.")
+	obs.PromValue(&b, "crsky_pool_workers", nil, float64(ps.Workers))
+	obs.PromHead(&b, "crsky_pool_inflight", "gauge", "Compute requests currently executing.")
+	obs.PromValue(&b, "crsky_pool_inflight", nil, float64(ps.InFlight))
+	obs.PromHead(&b, "crsky_pool_queue_depth", "gauge", "Compute requests waiting for a pool slot.")
+	obs.PromValue(&b, "crsky_pool_queue_depth", nil, float64(ps.QueueDepth))
+	obs.PromHead(&b, "crsky_pool_completed_total", "counter", "Pooled computations completed.")
+	obs.PromValue(&b, "crsky_pool_completed_total", nil, float64(ps.Completed))
+	obs.PromHead(&b, "crsky_pool_canceled_total", "counter", "Requests canceled while waiting for a slot.")
+	obs.PromValue(&b, "crsky_pool_canceled_total", nil, float64(ps.Canceled))
+
+	cs := s.cache.Stats()
+	obs.PromHead(&b, "crsky_cache_entries", "gauge", "Result-cache entries.")
+	obs.PromValue(&b, "crsky_cache_entries", nil, float64(cs.Size))
+	obs.PromHead(&b, "crsky_cache_hits_total", "counter", "Result-cache hits.")
+	obs.PromValue(&b, "crsky_cache_hits_total", nil, float64(cs.Hits))
+	obs.PromHead(&b, "crsky_cache_misses_total", "counter", "Result-cache misses.")
+	obs.PromValue(&b, "crsky_cache_misses_total", nil, float64(cs.Misses))
+	obs.PromHead(&b, "crsky_cache_evictions_total", "counter", "Result-cache evictions.")
+	obs.PromValue(&b, "crsky_cache_evictions_total", nil, float64(cs.Evictions))
+
+	fs := s.flights.Stats()
+	obs.PromHead(&b, "crsky_flights_executed_total", "counter", "Singleflight computations executed.")
+	obs.PromValue(&b, "crsky_flights_executed_total", nil, float64(fs.Executed))
+	obs.PromHead(&b, "crsky_flights_deduped_total", "counter", "Requests that shared an in-flight computation.")
+	obs.PromValue(&b, "crsky_flights_deduped_total", nil, float64(fs.Deduped))
+
+	obs.PromHead(&b, "crsky_requests_total", "counter", "Compute requests by endpoint.")
+	obs.PromValue(&b, "crsky_requests_total", []obs.Label{{Name: "endpoint", Value: "query"}}, float64(s.reqQuery.Value()))
+	obs.PromValue(&b, "crsky_requests_total", []obs.Label{{Name: "endpoint", Value: "explain"}}, float64(s.reqExplain.Value()))
+	obs.PromValue(&b, "crsky_requests_total", []obs.Label{{Name: "endpoint", Value: "repair"}}, float64(s.reqRepair.Value()))
+	obs.PromHead(&b, "crsky_request_errors_total", "counter", "Requests answered with an error response.")
+	obs.PromValue(&b, "crsky_request_errors_total", nil, float64(s.reqErrors.Value()))
+
+	obs.PromHead(&b, "crsky_explain_computed_total", "counter", "Explanations computed (cache hits excluded).")
+	obs.PromValue(&b, "crsky_explain_computed_total", nil, float64(s.explainComputed.Value()))
+	obs.PromHead(&b, "crsky_explain_subsets_examined_total", "counter", "Refinement subset verifications.")
+	obs.PromValue(&b, "crsky_explain_subsets_examined_total", nil, float64(s.explainSubsets.Value()))
+	obs.PromHead(&b, "crsky_explain_greedy_seeds_total", "counter", "Greedy incumbent seeds.")
+	obs.PromValue(&b, "crsky_explain_greedy_seeds_total", nil, float64(s.explainGreedySeeds.Value()))
+	obs.PromHead(&b, "crsky_explain_greedy_hits_total", "counter", "Greedy incumbents that were already minimal.")
+	obs.PromValue(&b, "crsky_explain_greedy_hits_total", nil, float64(s.explainGreedyHits.Value()))
+	obs.PromHead(&b, "crsky_explain_filter_node_accesses_total", "counter", "Candidate-retrieval node accesses.")
+	obs.PromValue(&b, "crsky_explain_filter_node_accesses_total", nil, float64(s.explainFilterIO.Value()))
+
+	quad := uncertain.QuadMemoMetrics()
+	obs.PromHead(&b, "crsky_quadrature_memo_hits_total", "counter", "Quadrature rule memo hits.")
+	obs.PromValue(&b, "crsky_quadrature_memo_hits_total", nil, float64(quad.Hits))
+	obs.PromHead(&b, "crsky_quadrature_memo_misses_total", "counter", "Quadrature rule memo misses.")
+	obs.PromValue(&b, "crsky_quadrature_memo_misses_total", nil, float64(quad.Misses))
+
+	infos := s.reg.list()
+	obs.PromHead(&b, "crsky_datasets", "gauge", "Registered datasets.")
+	obs.PromValue(&b, "crsky_datasets", nil, float64(len(infos)))
+	obs.PromHead(&b, "crsky_dataset_objects", "gauge", "Objects per registered dataset.")
+	for _, info := range infos {
+		obs.PromValue(&b, "crsky_dataset_objects",
+			[]obs.Label{{Name: "dataset", Value: info.Name}, {Name: "model", Value: info.Model}}, float64(info.Size))
+	}
+	obs.PromHead(&b, "crsky_dataset_node_accesses_total", "counter", "Simulated index I/O per dataset since registration.")
+	for _, info := range infos {
+		obs.PromValue(&b, "crsky_dataset_node_accesses_total",
+			[]obs.Label{{Name: "dataset", Value: info.Name}, {Name: "model", Value: info.Model}}, float64(info.NodeAccesses))
+	}
+
+	if s.slow != nil {
+		obs.PromHead(&b, "crsky_slow_queries_total", "counter", "Requests logged above the slow-query threshold.")
+		obs.PromValue(&b, "crsky_slow_queries_total", nil, float64(s.slow.Written()))
+	}
+
+	obs.PromHead(&b, "crsky_uptime_seconds", "gauge", "Seconds since server start.")
+	obs.PromValue(&b, "crsky_uptime_seconds", nil, time.Since(s.start).Seconds())
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}
+
+// AdminHandler returns the opt-in admin mux: /metrics (Prometheus text)
+// and the net/http/pprof profiling endpoints. It is intentionally separate
+// from Handler so deployments bind it to a loopback or otherwise shielded
+// listener — profiles and metrics are operator surface, not client API.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

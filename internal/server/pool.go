@@ -2,7 +2,9 @@ package server
 
 import (
 	"context"
+	"time"
 
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/stats"
 )
 
@@ -12,9 +14,16 @@ import (
 // seize every core and starve the process. Excess requests queue on the
 // semaphore in FIFO-ish goroutine order and honor context cancellation
 // while waiting.
+//
+// Saturation is made visible: queued tracks the requests currently waiting
+// for a slot, and wait is the log-bucketed histogram of how long they
+// waited — the first metric that moves when the pool is undersized, well
+// before latency percentiles drown in queueing delay.
 type workerPool struct {
-	sem chan struct{}
+	sem  chan struct{}
+	wait obs.Histogram
 
+	queued    stats.Gauge
 	inflight  stats.Gauge
 	completed stats.Counter
 	canceled  stats.Counter
@@ -29,14 +38,24 @@ func newWorkerPool(workers int) *workerPool {
 
 // Do runs fn on a pool slot, waiting for one to free up. It returns
 // ctx.Err() when the caller gives up (or the server shuts down) before a
-// slot becomes available.
+// slot becomes available. The slot wait is recorded in the pool_wait
+// histogram and, on traced requests, as a "pool.wait" span.
 func (p *workerPool) Do(ctx context.Context, fn func() (any, error)) (any, error) {
+	endWait := obs.FromContext(ctx).StartSpan("pool.wait")
+	p.queued.Inc()
+	start := time.Now()
 	select {
 	case p.sem <- struct{}{}:
 	case <-ctx.Done():
+		p.queued.Dec()
+		p.wait.Observe(time.Since(start))
+		endWait()
 		p.canceled.Inc()
 		return nil, ctx.Err()
 	}
+	p.queued.Dec()
+	p.wait.Observe(time.Since(start))
+	endWait()
 	p.inflight.Inc()
 	defer func() {
 		p.inflight.Dec()
@@ -46,13 +65,20 @@ func (p *workerPool) Do(ctx context.Context, fn func() (any, error)) (any, error
 	return fn()
 }
 
-// Stats snapshots the pool gauges.
+// Stats snapshots the pool gauges. The wait percentiles are reported in
+// milliseconds for the JSON surface; the raw histogram is exported on
+// /metrics.
 func (p *workerPool) Stats() PoolStats {
+	ws := p.wait.Snapshot()
 	return PoolStats{
-		Workers:      cap(p.sem),
-		InFlight:     p.inflight.Value(),
-		PeakInFlight: p.inflight.Peak(),
-		Completed:    p.completed.Value(),
-		Canceled:     p.canceled.Value(),
+		Workers:        cap(p.sem),
+		InFlight:       p.inflight.Value(),
+		PeakInFlight:   p.inflight.Peak(),
+		QueueDepth:     p.queued.Value(),
+		PeakQueueDepth: p.queued.Peak(),
+		Completed:      p.completed.Value(),
+		Canceled:       p.canceled.Value(),
+		WaitP50Ms:      obs.MsRound(ws.P50()),
+		WaitP99Ms:      obs.MsRound(ws.P99()),
 	}
 }

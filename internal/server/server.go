@@ -20,6 +20,7 @@ package server
 import (
 	"encoding/json"
 	"errors"
+	"io"
 	"net/http"
 	"runtime"
 	"strconv"
@@ -28,6 +29,7 @@ import (
 
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/stats"
 	"github.com/crsky/crsky/internal/uncertain"
 )
@@ -51,6 +53,13 @@ type Config struct {
 	Workers int
 	// MaxBodyBytes caps request bodies (default 64 MiB).
 	MaxBodyBytes int64
+	// SlowQueryThreshold enables the structured slow-query log: requests
+	// slower than this are written to SlowQueryLog as one JSON line each,
+	// stage trace included. Zero disables the log.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives the slow-query lines (required when
+	// SlowQueryThreshold > 0; typically os.Stderr or a log file).
+	SlowQueryLog io.Writer
 }
 
 func (c *Config) fillDefaults() {
@@ -76,6 +85,12 @@ type Server struct {
 	mux     *http.ServeMux
 	start   time.Time
 
+	// reqHist is the route × dataset-model × outcome latency histogram
+	// family behind /metrics; slow is the structured slow-query log (nil
+	// when disabled).
+	reqHist *obs.HistogramVec
+	slow    *obs.SlowLog
+
 	reqQuery, reqExplain, reqRepair, reqErrors stats.Counter
 
 	// Explanation-work gauges, accumulated per computed (non-cached)
@@ -100,21 +115,27 @@ func New(cfg Config) *Server {
 		pool:    newWorkerPool(cfg.Workers),
 		mux:     http.NewServeMux(),
 		start:   time.Now(),
+		reqHist: obs.NewHistogramVec("route", "model", "outcome"),
+		slow:    obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("POST /v1/datasets", s.handleDatasetRegister)
-	s.mux.HandleFunc("GET /v1/datasets", s.handleDatasetList)
-	s.mux.HandleFunc("GET /v1/datasets/{name}", s.handleDatasetGet)
-	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.handleDatasetDelete)
-	s.mux.HandleFunc("POST /v1/query", s.handleQuery)
-	s.mux.HandleFunc("POST /v1/explain", s.handleExplain)
-	s.mux.HandleFunc("POST /v1/repair", s.handleRepair)
+	// Every /v1/* and /v2/* route goes through the instrument middleware:
+	// latency histogram (route × model × outcome), optional ?trace=1 stage
+	// trace, slow-query log. The route string is fixed at registration
+	// because the middleware runs outside the mux's pattern matching.
+	s.mux.HandleFunc("GET /v1/stats", s.instrument("/v1/stats", s.handleStats))
+	s.mux.HandleFunc("POST /v1/datasets", s.instrument("/v1/datasets", s.handleDatasetRegister))
+	s.mux.HandleFunc("GET /v1/datasets", s.instrument("/v1/datasets", s.handleDatasetList))
+	s.mux.HandleFunc("GET /v1/datasets/{name}", s.instrument("/v1/datasets/{name}", s.handleDatasetGet))
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}", s.instrument("/v1/datasets/{name}", s.handleDatasetDelete))
+	s.mux.HandleFunc("POST /v1/query", s.instrument("/v1/query", s.handleQuery))
+	s.mux.HandleFunc("POST /v1/explain", s.instrument("/v1/explain", s.handleExplain))
+	s.mux.HandleFunc("POST /v1/repair", s.instrument("/v1/repair", s.handleRepair))
 	// v2: batch, NDJSON, live request context (deadline via ?timeout=,
 	// pool slots released on client disconnect). The v1 handlers delegate
 	// to the same interface-dispatched compute core.
-	s.mux.HandleFunc("POST /v2/query", s.handleQueryV2)
-	s.mux.HandleFunc("POST /v2/explain", s.handleExplainV2)
+	s.mux.HandleFunc("POST /v2/query", s.instrument("/v2/query", s.handleQueryV2))
+	s.mux.HandleFunc("POST /v2/explain", s.instrument("/v2/explain", s.handleExplainV2))
 	return s
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/ctxutil"
+	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/prsq"
 )
 
@@ -274,6 +275,7 @@ func (e *Engine) VerifyCtx(ctx context.Context, q Point, alpha float64, res *Exp
 	if err := ctxPrecheck(ctx); err != nil {
 		return err
 	}
+	defer obs.FromContext(ctx).StartSpan("explain.verify")()
 	return causality.VerifyExplanation(e.ds, q, alpha, res)
 }
 
@@ -292,7 +294,9 @@ func (e *CertainEngine) QueryCtx(ctx context.Context, q Point, alpha float64, op
 	if err := ctxPrecheck(ctx); err != nil {
 		return nil, QueryStats{}, err
 	}
+	endBBRS := obs.FromContext(ctx).StartSpan("query.bbrs")
 	ids := e.ix.ReverseSkylineBBRS(q)
+	endBBRS()
 	sort.Ints(ids)
 	if ids == nil {
 		ids = []int{}
@@ -362,6 +366,7 @@ func (e *CertainEngine) VerifyCtx(ctx context.Context, q Point, alpha float64, r
 	if err != nil {
 		return err
 	}
+	defer obs.FromContext(ctx).StartSpan("explain.verify")()
 	return causality.VerifyExplanation(ds, q, 1, res)
 }
 
