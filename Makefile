@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race vet fmt-check api-check api-update conformance fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
+.PHONY: build test race vet fmt-check api-check api-update conformance chaos-smoke fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
 
 build:
 	go build ./...
@@ -31,6 +31,13 @@ race:
 # failing case with CRSKY_CONFORMANCE_SEED=<seed> make conformance.
 conformance:
 	go test -race -count=1 ./internal/conformance/
+
+# The fault-injection chaos harness under the race detector: concurrent
+# mixed traffic against a server with injected slot delays, engine errors,
+# and panics must yield only contract-conforming responses, leak no pool
+# slots, and answer exactly afterwards.
+chaos-smoke:
+	go test -race -count=1 -run 'TestChaos|TestApproxConformance' ./internal/conformance/
 
 # A short coverage-guided run of every fuzz target (go test -fuzz accepts a
 # single target per package invocation, hence one line each).

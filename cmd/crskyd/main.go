@@ -4,6 +4,7 @@
 // cache-backed service.
 //
 //	crskyd [-addr :8372] [-cache 1024] [-workers N]
+//	       [-max-queue N] [-approx-workers N]
 //	       [-admin addr] [-slow-query dur] [-slow-query-log path]
 //	       [-drain 10s] [-preload name=model=path ...]
 //
@@ -37,8 +38,18 @@
 // -preload registers CSV datasets at startup; model is "certain" or
 // "sample" (the CSV formats of the crsky CLI).
 //
-// On SIGINT/SIGTERM the server stops accepting connections and drains
-// in-flight requests for up to -drain before exiting.
+// Overload never hangs clients: admission control in front of the worker
+// pool sheds excess work early as 503s with a computed Retry-After
+// (shedding batch traffic before explains before queries; override a
+// request's class with the X-Crsky-Priority header), -max-queue sets the
+// queue budget, and queries sent with "approx": "auto" fall back to a
+// Monte Carlo answer tier — approximate answers with per-object confidence
+// intervals served from the -approx-workers reserved pool.
+//
+// On SIGINT/SIGTERM the server stops accepting new compute work
+// immediately (admission sheds with Retry-After) and drains in-flight
+// requests for up to -drain before exiting; work still running at the
+// deadline is canceled.
 package main
 
 import (
@@ -71,6 +82,8 @@ func main() {
 		cache     = flag.Int("cache", 1024, "result cache capacity in entries (negative disables)")
 		workers   = flag.Int("workers", 0, "max concurrent computations (0 = GOMAXPROCS)")
 		maxBody   = flag.Int64("max-body", 64<<20, "request body size cap in bytes")
+		maxQueue  = flag.Int("max-queue", 0, "admission-control queue budget in requests (0 = workers*8)")
+		approxW   = flag.Int("approx-workers", 0, "reserved degraded-tier pool size (0 = workers/4, min 1)")
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		slowQuery = flag.Duration("slow-query", 0, "slow-query log threshold (0 disables)")
 		slowLog   = flag.String("slow-query-log", "", "slow-query log destination path (default stderr)")
@@ -95,6 +108,8 @@ func main() {
 	srv := server.New(server.Config{
 		CacheSize:          *cache,
 		Workers:            *workers,
+		MaxQueue:           *maxQueue,
+		ApproxWorkers:      *approxW,
 		MaxBodyBytes:       *maxBody,
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       slowW,
@@ -136,6 +151,11 @@ func main() {
 		defer close(drained)
 		<-ctx.Done()
 		log.Printf("crskyd: shutting down (draining up to %s)", *drain)
+		// BeginDrain flips admission to shed-everything (503 + Retry-After,
+		// so load balancers fail over at once) and arms the hard-cancel
+		// timer that stops even v1's detached computations, keeping
+		// Shutdown's deadline honest against a long-running search.
+		srv.BeginDrain(*drain)
 		shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := httpSrv.Shutdown(shutdownCtx); err != nil {

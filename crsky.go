@@ -66,6 +66,16 @@ type (
 	// QueryStats reports how an accelerated query was answered: how many
 	// objects the bounds decided and how many needed exact evaluation.
 	QueryStats = prsq.Stats
+	// ApproxOptions tunes the Monte Carlo approximate query tier (error
+	// budget, confidence, seed, iteration cap).
+	ApproxOptions = prsq.ApproxOptions
+	// ApproxResult is an approximate query answer: membership under the
+	// estimates plus per-object confidence intervals for the estimated
+	// band.
+	ApproxResult = prsq.ApproxResult
+	// ApproxInterval is one Monte Carlo estimate with its confidence
+	// interval.
+	ApproxInterval = prsq.ApproxInterval
 )
 
 // Errors re-exported from the causality engine.

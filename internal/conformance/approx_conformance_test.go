@@ -1,0 +1,80 @@
+package conformance
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/prob"
+)
+
+// TestApproxConformanceCoverage drives the degraded Monte Carlo tier
+// through the public Explainer surface and cross-checks it against the
+// naive oracle: objects the filter bounds decided must match the oracle
+// exactly, a sampled object may flip membership only when its true
+// probability sits within the error budget of the threshold, and the
+// Hoeffding intervals must cover the true per-object probability at the
+// requested confidence (with the binomial miss budget that 95% coverage
+// implies).
+func TestApproxConformanceCoverage(t *testing.T) {
+	const workloads = 10
+	const eps = 0.04
+	forEachCaseSeed(t, 7_000, workloads, func(t *testing.T, seed int64) {
+		w := newSampleWorkload(t, seed)
+		eng, err := crsky.NewEngine(w.ds.Objects)
+		if err != nil {
+			t.Errorf("%v: %v", w, err)
+			return
+		}
+		for _, q := range w.qs {
+			alpha := w.alphas[0]
+			res, _, err := eng.QueryApprox(context.Background(), q, alpha,
+				crsky.QueryOptions{}, crsky.ApproxOptions{Epsilon: eps, Seed: seed})
+			if err != nil {
+				t.Errorf("%v q=%v: %v", w, q, err)
+				return
+			}
+			oracle := eng.ProbabilisticReverseSkylineNaive(q, alpha)
+			sampled := make(map[int]bool, len(res.Intervals))
+			for _, iv := range res.Intervals {
+				sampled[iv.ID] = true
+			}
+			inApprox := make(map[int]bool, len(res.Answers))
+			for _, id := range res.Answers {
+				inApprox[id] = true
+			}
+			inOracle := make(map[int]bool, len(oracle))
+			for _, id := range oracle {
+				inOracle[id] = true
+			}
+
+			misses := 0
+			for _, iv := range res.Intervals {
+				truth := prob.PrReverseSkyline(w.ds.Objects[iv.ID], q, w.ds.Objects)
+				if truth < iv.Lo || truth > iv.Hi {
+					misses++
+				}
+				if inApprox[iv.ID] != inOracle[iv.ID] && math.Abs(truth-alpha) > 2*eps {
+					t.Errorf("%v q=%v: object %d flipped membership far from the threshold (truth %.4f, alpha %.3f)",
+						w, q, iv.ID, truth, alpha)
+					return
+				}
+			}
+			for id := 0; id < w.ds.Len(); id++ {
+				if sampled[id] {
+					continue
+				}
+				if inApprox[id] != inOracle[id] {
+					t.Errorf("%v q=%v: bound-decided object %d disagrees with the oracle", w, q, id)
+					return
+				}
+			}
+			if budget := 1 + len(res.Intervals)/10; misses > budget {
+				t.Errorf("%v q=%v: %d of %d intervals miss the true probability (budget %d)",
+					w, q, misses, len(res.Intervals), budget)
+				return
+			}
+		}
+	})
+}

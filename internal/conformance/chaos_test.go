@@ -1,0 +1,300 @@
+package conformance
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/faultinject"
+	"github.com/crsky/crsky/internal/server"
+)
+
+// The chaos harness: a real HTTP server with a deterministic fault injector
+// wired into its worker pools (delayed slots) and its engine (injected
+// errors and panics), hammered by concurrent mixed traffic that also
+// misbehaves client-side — canceled requests and slow NDJSON consumers.
+// The assertions are the service's overload/fault contract:
+//
+//   - every response is 200, an expected client error, 500 (only when the
+//     injector actually fired), or 503 with an integer Retry-After >= 1;
+//   - every 200 exact answer matches the naive oracle — faults may fail a
+//     request, never corrupt one;
+//   - afterwards both pools are fully drained (no slot leaks, no deadlock)
+//     and a fresh request still answers exactly.
+
+type chaosStats struct {
+	ok, approx, shed, injected, clientErr, canceled atomic.Int64
+}
+
+func chaosPost(ts *httptest.Server, ctx context.Context, path string, body any, slowRead bool) (*http.Response, []byte, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+path, bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if slowRead {
+		// A misbehaving consumer: drain the NDJSON stream a few bytes at a
+		// time so the handler experiences backpressure mid-response.
+		chunk := make([]byte, 7)
+		for {
+			n, rerr := resp.Body.Read(chunk)
+			buf.Write(chunk[:n])
+			if rerr != nil {
+				if rerr == io.EOF {
+					break
+				}
+				return resp, buf.Bytes(), rerr
+			}
+			time.Sleep(50 * time.Microsecond)
+		}
+	} else if _, err := io.Copy(&buf, resp.Body); err != nil {
+		return resp, buf.Bytes(), err
+	}
+	return resp, buf.Bytes(), nil
+}
+
+func TestChaosServingConformance(t *testing.T) {
+	const seed = 4242
+	w := newSampleWorkload(t, seed)
+	oracleEng, err := crsky.NewEngine(w.ds.Objects)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha := w.alphas[0]
+	oracle := make(map[string][]int, len(w.qs))
+	for _, q := range w.qs {
+		oracle[fmt.Sprint([]float64(q))] = oracleEng.ProbabilisticReverseSkylineNaive(q, alpha)
+	}
+	// A non-answer for the explain traffic.
+	an := -1
+	inAns := map[int]bool{}
+	for _, id := range oracle[fmt.Sprint([]float64(w.qs[0]))] {
+		inAns[id] = true
+	}
+	for id := 0; id < w.ds.Len(); id++ {
+		if !inAns[id] {
+			an = id
+			break
+		}
+	}
+
+	in := faultinject.New(faultinject.Config{
+		Seed:         seed,
+		SlotDelayP:   0.30,
+		SlotDelayMax: 2 * time.Millisecond,
+		ErrP:         0.12,
+		PanicP:       0.04,
+	})
+	srv := server.New(server.Config{
+		Workers: 2, ApproxWorkers: 1, MaxQueue: 3, CacheSize: 64,
+		Faults:     in,
+		WrapEngine: func(e crsky.Explainer) crsky.Explainer { return faultinject.Wrap(e, in) },
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Register over HTTP like any client.
+	specs := make([]server.ObjectSpec, w.ds.Len())
+	for i, o := range w.ds.Objects {
+		ss := make([]server.SampleSpec, len(o.Samples))
+		for j, s := range o.Samples {
+			ss[j] = server.SampleSpec{P: s.P, Loc: s.Loc}
+		}
+		specs[i] = server.ObjectSpec{Samples: ss}
+	}
+	resp, raw, err := chaosPost(ts, context.Background(), "/v1/datasets",
+		&server.DatasetRequest{Name: "chaos", Model: server.ModelSample, Objects: specs}, false)
+	if err != nil || resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: %v status=%v body=%s", err, resp, raw)
+	}
+
+	var st chaosStats
+	var wg sync.WaitGroup
+	const clients, perClient = 8, 24
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(g)*1000))
+			for i := 0; i < perClient; i++ {
+				q := w.qs[rng.Intn(len(w.qs))]
+				ctx := context.Background()
+				var cancel context.CancelFunc = func() {}
+				if rng.Float64() < 0.15 {
+					// Client gives up almost immediately.
+					ctx, cancel = context.WithTimeout(ctx, time.Duration(1+rng.Intn(4))*time.Millisecond)
+				}
+				kind := rng.Intn(10)
+				var (
+					resp *http.Response
+					body []byte
+					err  error
+				)
+				switch {
+				case kind < 5: // v1 query, all approx modes
+					mode := []string{"", "never", "auto", "always"}[rng.Intn(4)]
+					resp, body, err = chaosPost(ts, ctx, "/v1/query", &server.QueryRequest{
+						Dataset: "chaos", Q: q, Alpha: alpha,
+						NoCache: rng.Intn(2) == 0, Approx: mode,
+					}, false)
+				case kind < 8: // v2 batch, sometimes consumed slowly
+					resp, body, err = chaosPost(ts, ctx, "/v2/query", &server.BatchQueryRequest{
+						Dataset: "chaos", Qs: [][]float64{w.qs[0], w.qs[1]}, Alpha: alpha,
+						NoCache: rng.Intn(2) == 0,
+					}, rng.Intn(2) == 0)
+				default: // v1 explain of a known non-answer
+					resp, body, err = chaosPost(ts, ctx, "/v1/explain", &server.ExplainRequest{
+						Dataset: "chaos", Q: w.qs[0], An: an, Alpha: alpha,
+						Options: server.OptionsSpec{MaxCandidates: 48},
+						NoCache: rng.Intn(2) == 0,
+					}, false)
+				}
+				cancel()
+				if err != nil {
+					// The only allowed transport failure is the cancellation
+					// this client itself caused.
+					if ctx.Err() == nil {
+						t.Errorf("client %d req %d: transport error without client cancel: %v", g, i, err)
+						return
+					}
+					st.canceled.Add(1)
+					continue
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					st.ok.Add(1)
+					if resp.Request.URL.Path == "/v1/query" {
+						var qr server.QueryResponse
+						if err := json.Unmarshal(body, &qr); err != nil {
+							t.Errorf("bad 200 body: %v (%s)", err, body)
+							return
+						}
+						if qr.Approx {
+							st.approx.Add(1)
+							for _, iv := range qr.Intervals {
+								if !(0 <= iv.Lo && iv.Lo <= iv.Pr && iv.Pr <= iv.Hi && iv.Hi <= 1) {
+									t.Errorf("malformed interval %+v", iv)
+									return
+								}
+							}
+						} else if want := oracle[fmt.Sprint([]float64(q))]; !equalIDs(qr.Answers, want) {
+							t.Errorf("chaos corrupted an exact answer: q=%v got %v want %v", q, qr.Answers, want)
+							return
+						}
+					}
+				case resp.StatusCode == http.StatusServiceUnavailable:
+					st.shed.Add(1)
+					ra := resp.Header.Get("Retry-After")
+					if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+						t.Errorf("503 with Retry-After %q, want integer >= 1", ra)
+						return
+					}
+				case resp.StatusCode == http.StatusInternalServerError:
+					st.injected.Add(1)
+					var e server.ErrorResponse
+					if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+						t.Errorf("malformed 500 body %s", body)
+						return
+					}
+				case resp.StatusCode >= 400 && resp.StatusCode < 500:
+					// Explain may legitimately reject (e.g. candidate budget);
+					// the envelope must still be well-formed.
+					st.clientErr.Add(1)
+					var e server.ErrorResponse
+					if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+						t.Errorf("malformed %d body %s", resp.StatusCode, body)
+						return
+					}
+				default:
+					t.Errorf("unexpected status %d (body %s)", resp.StatusCode, body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// No slot leaks, no deadlock: both pools fully drain.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var sr server.StatsResponse
+		resp, raw, err := chaosGet(ts, "/v1/stats")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("stats: %v %v", err, resp)
+		}
+		if err := json.Unmarshal(raw, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Pool.InFlight == 0 && sr.Pool.QueueDepth == 0 &&
+			sr.ApproxPool.InFlight == 0 && sr.ApproxPool.QueueDepth == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("pools did not drain after chaos: %+v / %+v", sr.Pool, sr.ApproxPool)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// 500s are only acceptable if the injector actually fired.
+	counts := in.Counts()
+	if st.injected.Load() > 0 && counts.Errors+counts.Panics == 0 {
+		t.Fatalf("saw %d 500s but the injector never fired", st.injected.Load())
+	}
+	t.Logf("chaos: ok=%d approx=%d shed=%d injected5xx=%d clientErr=%d canceled=%d faults=%+v",
+		st.ok.Load(), st.approx.Load(), st.shed.Load(), st.injected.Load(),
+		st.clientErr.Load(), st.canceled.Load(), counts)
+
+	// The server still answers exactly after the storm (retrying past the
+	// injector's ongoing faults).
+	want := oracle[fmt.Sprint([]float64(w.qs[0]))]
+	for attempt := 0; ; attempt++ {
+		resp, body, err := chaosPost(ts, context.Background(), "/v1/query", &server.QueryRequest{
+			Dataset: "chaos", Q: w.qs[0], Alpha: alpha, NoCache: true}, false)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			var qr server.QueryResponse
+			if err := json.Unmarshal(body, &qr); err != nil {
+				t.Fatal(err)
+			}
+			if !equalIDs(qr.Answers, want) {
+				t.Fatalf("post-chaos answer %v, want %v", qr.Answers, want)
+			}
+			break
+		}
+		if attempt > 50 {
+			t.Fatalf("no successful query in 50 post-chaos attempts (last: %v %v %s)", err, resp, body)
+		}
+	}
+}
+
+func chaosGet(ts *httptest.Server, path string) (*http.Response, []byte, error) {
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	return resp, raw, err
+}

@@ -39,6 +39,37 @@ func PrReverseSkylineMC(u *uncertain.Object, q geom.Point, others []*uncertain.O
 	return float64(hits) / float64(iters)
 }
 
+// PrReverseSkylineMCPDF is the continuous-model twin of PrReverseSkylineMC:
+// each iteration draws one anchor from u's density and one location per
+// candidate, and checks the materialized world for a dominator of q w.r.t.
+// the anchor. Same unbiasedness and error bound as the sample-model
+// estimator.
+func PrReverseSkylineMCPDF(u *uncertain.PDFObject, q geom.Point, others []*uncertain.PDFObject,
+	iters int, rng *rand.Rand) float64 {
+
+	if iters <= 0 {
+		iters = 10_000
+	}
+	hits := 0
+	for it := 0; it < iters; it++ {
+		anchor := u.SampleFrom(rng)
+		member := true
+		for _, o := range others {
+			if o == u {
+				continue
+			}
+			if geom.DynDominates(o.SampleFrom(rng), q, anchor) {
+				member = false
+				break
+			}
+		}
+		if member {
+			hits++
+		}
+	}
+	return float64(hits) / float64(iters)
+}
+
 // drawSample draws one location according to the object's sample
 // probabilities.
 func drawSample(o *uncertain.Object, rng *rand.Rand) geom.Point {

@@ -54,40 +54,15 @@ func QueryPDFStats(set *causality.PDFSet, q geom.Point, alpha float64, quadNodes
 // between quadrature evaluations, and a typed *ctxutil.CanceledError with
 // the completed evaluation count on cancellation.
 func QueryPDFStatsCtx(ctx context.Context, set *causality.PDFSet, q geom.Point, alpha float64, quadNodes int, opt Options) ([]int, Stats, error) {
-	n := set.Len()
-	verdicts := make([]decision, n)
-
-	var mu sync.Mutex
-	var states []*pdfStreamState
-	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
 	tr := obs.FromContext(ctx)
-	endJoin := tr.StartSpan("prsq.join")
-	err := set.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
-		st := &pdfStreamState{set: set, q: q, alpha: alpha, opt: opt}
-		mu.Lock()
-		states = append(states, st)
-		mu.Unlock()
-		return rtree.StreamVisitor{
-			Begin: st.begin,
-			Pair:  st.pair,
-			End: func(id int) {
-				verdicts[id] = st.finish(id)
-			},
-		}
-	})
-	endJoin()
+	joinCtx, endSlice := opt.joinSlice(ctx)
+	f, err := filterPDF(joinCtx, set, q, alpha, opt)
+	endSlice()
 	if err != nil {
-		return nil, Stats{Objects: n}, wrapCanceled(err, 0)
+		return nil, f.stats, err
 	}
-
-	stats := Stats{Objects: n}
-	var undecidedIDs []int
-	var undecidedCands [][]int32
-	for _, st := range states {
-		stats.add(st.stats)
-		undecidedIDs = append(undecidedIDs, st.undecidedIDs...)
-		undecidedCands = append(undecidedCands, st.undecidedCands...)
-	}
+	verdicts, stats := f.verdicts, f.stats
+	undecidedIDs, undecidedCands := f.undecidedIDs, f.undecidedCands
 
 	isAnswer := func(id int, cands []int32) bool {
 		bufp := pdfCandPool.Get().(*[]*uncertain.PDFObject)
@@ -117,6 +92,44 @@ func QueryPDFStatsCtx(ctx context.Context, set *causality.PDFSet, q geom.Point, 
 // pdfCandPool recycles per-worker pdf candidate slices across queries.
 var pdfCandPool = sync.Pool{
 	New: func() any { return new([]*uncertain.PDFObject) },
+}
+
+// filterPDF runs the streaming self-join with the Section-3.2 reject bounds
+// over the continuous model — the filter stage of QueryPDFStatsCtx — and
+// returns the filtered verdicts (pdf data has no accept bound, so every
+// non-rejected object lands in the undecided band).
+func filterPDF(ctx context.Context, set *causality.PDFSet, q geom.Point, alpha float64, opt Options) (*filtered, error) {
+	n := set.Len()
+	f := &filtered{verdicts: make([]decision, n), stats: Stats{Objects: n}}
+
+	var mu sync.Mutex
+	var states []*pdfStreamState
+	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	tr := obs.FromContext(ctx)
+	endJoin := tr.StartSpan("prsq.join")
+	err := set.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
+		st := &pdfStreamState{set: set, q: q, alpha: alpha, opt: opt}
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+		return rtree.StreamVisitor{
+			Begin: st.begin,
+			Pair:  st.pair,
+			End: func(id int) {
+				f.verdicts[id] = st.finish(id)
+			},
+		}
+	})
+	endJoin()
+	if err != nil {
+		return f, wrapCanceled(err, 0)
+	}
+	for _, st := range states {
+		f.stats.add(st.stats)
+		f.undecidedIDs = append(f.undecidedIDs, st.undecidedIDs...)
+		f.undecidedCands = append(f.undecidedCands, st.undecidedCands...)
+	}
+	return f, nil
 }
 
 type pdfStreamState struct {

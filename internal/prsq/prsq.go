@@ -34,6 +34,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/crsky/crsky/internal/ctxutil"
 	"github.com/crsky/crsky/internal/dataset"
@@ -66,6 +67,29 @@ type Options struct {
 	// certain models ignore it; it lives here so the model-generic v2
 	// query API needs no per-model signature.
 	QuadNodes int
+	// StageBudget, when the context carries a deadline, caps the filtering
+	// join at half the remaining budget: a join that stalls (skewed data,
+	// injected faults) then times out with a slice of the deadline still
+	// unspent, leaving the refinement stage — or a degraded fallback armed
+	// by the caller — a guaranteed share instead of inheriting an already
+	// exhausted context. Without a deadline, or unset, nothing changes.
+	StageBudget bool
+}
+
+// joinSlice derives the filtering join's stage context under StageBudget.
+func (o Options) joinSlice(ctx context.Context) (context.Context, context.CancelFunc) {
+	if !o.StageBudget {
+		return ctx, func() {}
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return ctx, func() {}
+	}
+	rem := time.Until(dl)
+	if rem <= 0 {
+		return ctx, func() {}
+	}
+	return context.WithDeadline(ctx, time.Now().Add(rem/2))
 }
 
 func (o Options) workers(n int) int {
@@ -151,47 +175,15 @@ func QueryStats(ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options)
 // error and carries the exact evaluations completed before the stop. An
 // uncanceled run is bit-identical to QueryStats, node accesses included.
 func QueryStatsCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) ([]int, Stats, error) {
-	n := ds.Len()
-	wsum := ds.WeightSums()
-	var sums []dataset.Summary
-	if !opt.NoBounds && !opt.NoTier2 {
-		sums = ds.Summaries()
-	}
-	verdicts := make([]decision, n)
 	tr := obs.FromContext(ctx)
-
-	// One stream state per join worker; verdict slots are disjoint per
-	// left object, so the workers never write the same element.
-	var mu sync.Mutex
-	var states []*streamState
-	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
-	endJoin := tr.StartSpan("prsq.join")
-	err := ds.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
-		st := &streamState{ds: ds, q: q, alpha: alpha, opt: opt, wsum: wsum, sums: sums}
-		mu.Lock()
-		states = append(states, st)
-		mu.Unlock()
-		return rtree.StreamVisitor{
-			Begin: st.begin,
-			Pair:  st.pair,
-			End: func(id int) {
-				verdicts[id] = st.finish(id)
-			},
-		}
-	})
-	endJoin()
+	joinCtx, endSlice := opt.joinSlice(ctx)
+	f, err := filterSample(joinCtx, ds, q, alpha, opt)
+	endSlice()
 	if err != nil {
-		return nil, Stats{Objects: n}, wrapCanceled(err, 0)
+		return nil, f.stats, err
 	}
-
-	stats := Stats{Objects: n}
-	var undecidedIDs []int
-	var undecidedCands [][]int32
-	for _, st := range states {
-		stats.add(st.stats)
-		undecidedIDs = append(undecidedIDs, st.undecidedIDs...)
-		undecidedCands = append(undecidedCands, st.undecidedCands...)
-	}
+	verdicts, stats := f.verdicts, f.stats
+	undecidedIDs, undecidedCands := f.undecidedIDs, f.undecidedCands
 
 	isAnswer := func(id int, cands []int32) bool {
 		bufp := candPool.Get().(*[]*uncertain.Object)
@@ -240,6 +232,63 @@ func (s Stats) addToTrace(tr *obs.Trace) {
 // cancellation error.
 func wrapCanceled(err error, evaluated int) error {
 	return ctxutil.WrapCanceled(err, 0, evaluated)
+}
+
+// filtered is the outcome of the shared filter-and-bound stage: per-object
+// verdicts for everything the bounds decided, plus the undecided band with
+// its candidate lists. Both the exact tier (Eq.-2 evaluation) and the
+// approximate tier (Monte Carlo estimation) consume the same filtered form,
+// so the two tiers disagree only on how the undecided band is settled.
+type filtered struct {
+	verdicts       []decision
+	stats          Stats
+	undecidedIDs   []int
+	undecidedCands [][]int32
+}
+
+// filterSample runs the streaming self-join with online bound pruning over
+// the sample model — the first two stages of QueryStatsCtx — and returns the
+// filtered verdicts. On a canceled join it returns the partial stats and the
+// wrapped cancellation error.
+func filterSample(ctx context.Context, ds *dataset.Uncertain, q geom.Point, alpha float64, opt Options) (*filtered, error) {
+	n := ds.Len()
+	wsum := ds.WeightSums()
+	var sums []dataset.Summary
+	if !opt.NoBounds && !opt.NoTier2 {
+		sums = ds.Summaries()
+	}
+	f := &filtered{verdicts: make([]decision, n), stats: Stats{Objects: n}}
+	tr := obs.FromContext(ctx)
+
+	// One stream state per join worker; verdict slots are disjoint per
+	// left object, so the workers never write the same element.
+	var mu sync.Mutex
+	var states []*streamState
+	window := func(r geom.Rect) geom.Rect { return geom.DomRectUnionOuter(r, q) }
+	endJoin := tr.StartSpan("prsq.join")
+	err := ds.Tree().JoinSelfStreamParallelCtx(ctx, window, opt.workers(n), func() rtree.StreamVisitor {
+		st := &streamState{ds: ds, q: q, alpha: alpha, opt: opt, wsum: wsum, sums: sums}
+		mu.Lock()
+		states = append(states, st)
+		mu.Unlock()
+		return rtree.StreamVisitor{
+			Begin: st.begin,
+			Pair:  st.pair,
+			End: func(id int) {
+				f.verdicts[id] = st.finish(id)
+			},
+		}
+	})
+	endJoin()
+	if err != nil {
+		return f, wrapCanceled(err, 0)
+	}
+	for _, st := range states {
+		f.stats.add(st.stats)
+		f.undecidedIDs = append(f.undecidedIDs, st.undecidedIDs...)
+		f.undecidedCands = append(f.undecidedCands, st.undecidedCands...)
+	}
+	return f, nil
 }
 
 // streamState is the per-worker state of the online filter+bound pass. The

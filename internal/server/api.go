@@ -1,6 +1,7 @@
 package server
 
 import (
+	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/uncertain"
@@ -109,6 +110,16 @@ type QueryRequest struct {
 	Alpha     float64   `json:"alpha,omitempty"`
 	QuadNodes int       `json:"quadNodes,omitempty"`
 	NoCache   bool      `json:"noCache,omitempty"`
+	// Approx selects the degraded Monte Carlo tier: "" or "never" is exact
+	// only; "auto" falls back to the approximate tier when admission sheds
+	// the request or the exact attempt times out; "always" skips the exact
+	// tier entirely. Approximate responses carry approx: true with
+	// per-object confidence intervals and are never cached.
+	Approx string `json:"approx,omitempty"`
+	// Epsilon and Confidence set the approximate tier's error budget
+	// (defaults 0.05 at 0.95); ignored when the exact tier answers.
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // QueryResponse lists the answer object IDs in ascending order. Trace is
@@ -116,12 +127,24 @@ type QueryRequest struct {
 // of this request (cache hits show the disposition labels and no engine
 // spans — the engine never ran).
 type QueryResponse struct {
-	Dataset string         `json:"dataset"`
-	Model   string         `json:"model"`
-	Alpha   float64        `json:"alpha"`
-	Count   int            `json:"count"`
-	Answers []int          `json:"answers"`
-	Trace   *obs.TraceJSON `json:"trace,omitempty"`
+	Dataset string  `json:"dataset"`
+	Model   string  `json:"model"`
+	Alpha   float64 `json:"alpha"`
+	Count   int     `json:"count"`
+	Answers []int   `json:"answers"`
+	// Approx marks a degraded-tier answer: membership was estimated by
+	// Monte Carlo for the interval-carrying objects below (everything else
+	// was still decided exactly by the filter bounds).
+	Approx bool `json:"approx,omitempty"`
+	// Intervals are the Hoeffding confidence intervals of the estimated
+	// objects (ascending ID); at confidence level Confidence each interval
+	// contains the true probability.
+	Intervals  []crsky.ApproxInterval `json:"intervals,omitempty"`
+	Epsilon    float64                `json:"epsilon,omitempty"`
+	Confidence float64                `json:"confidence,omitempty"`
+	// Iters is the per-object Monte Carlo iteration count used.
+	Iters int            `json:"iters,omitempty"`
+	Trace *obs.TraceJSON `json:"trace,omitempty"`
 }
 
 // ExplainRequest asks why object An is NOT in the (probabilistic) reverse
@@ -257,12 +280,28 @@ type QuadratureStats struct {
 	HitRate float64 `json:"hitRate"`
 }
 
-// RequestStats counts requests per compute endpoint since start.
+// RequestStats counts requests per compute endpoint since start. Approx
+// counts degraded-tier answers served; Panics counts handler panics the
+// recovery middleware converted to 500s.
 type RequestStats struct {
 	Query   int64 `json:"query"`
 	Explain int64 `json:"explain"`
 	Repair  int64 `json:"repair"`
 	Errors  int64 `json:"errors"`
+	Approx  int64 `json:"approx"`
+	Panics  int64 `json:"panics"`
+}
+
+// AdmissionStats reports the admission controller: the queue budget, the
+// current estimated queue wait for a new arrival, shed counts per priority
+// class, and whether the server is draining.
+type AdmissionStats struct {
+	MaxQueue    int     `json:"maxQueue"`
+	EstWaitMs   float64 `json:"estWaitMs"`
+	ShedBatch   int64   `json:"shedBatch"`
+	ShedExplain int64   `json:"shedExplain"`
+	ShedQuery   int64   `json:"shedQuery"`
+	Draining    bool    `json:"draining"`
 }
 
 // ExplainStats aggregates refinement work across every computed (non-cached)
@@ -286,6 +325,8 @@ type StatsResponse struct {
 	Cache         CacheStats      `json:"cache"`
 	Flights       FlightStats     `json:"flights"`
 	Pool          PoolStats       `json:"pool"`
+	ApproxPool    PoolStats       `json:"approxPool"`
+	Admission     AdmissionStats  `json:"admission"`
 	Quadrature    QuadratureStats `json:"quadrature"`
 	Explain       ExplainStats    `json:"explain"`
 	Requests      RequestStats    `json:"requests"`

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/geom"
 )
 
@@ -24,6 +25,14 @@ type BatchQueryRequest struct {
 	Alpha     float64     `json:"alpha,omitempty"`
 	QuadNodes int         `json:"quadNodes,omitempty"`
 	NoCache   bool        `json:"noCache,omitempty"`
+	// Approx selects the degraded Monte Carlo tier ("" / "never" / "auto" /
+	// "always" — see QueryRequest.Approx). Approximate batch responses are
+	// never cached, so like NoCache these three fields are delivery
+	// directives excluded from the cache key: the exact computation they
+	// may fall back from is identical with or without them.
+	Approx     string  `json:"approx,omitempty"`
+	Epsilon    float64 `json:"epsilon,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
 }
 
 // cacheKey canonically encodes every semantically relevant field —
@@ -47,11 +56,14 @@ func (r *BatchQueryRequest) cacheKey(ent *entry) string {
 
 // BatchQueryItem is one NDJSON line of the /v2/query response, in request
 // order. Queries have no per-item failure mode — a batch query fails as a
-// whole — so unlike BatchExplainItem there is no error field.
+// whole — so unlike BatchExplainItem there is no error field. Approx and
+// Intervals mirror QueryResponse: present only on degraded-tier items.
 type BatchQueryItem struct {
-	Index   int   `json:"index"`
-	Count   int   `json:"count"`
-	Answers []int `json:"answers"`
+	Index     int                    `json:"index"`
+	Count     int                    `json:"count"`
+	Answers   []int                  `json:"answers"`
+	Approx    bool                   `json:"approx,omitempty"`
+	Intervals []crsky.ApproxInterval `json:"intervals,omitempty"`
 }
 
 // BatchExplainItemRequest is one non-answer to explain.

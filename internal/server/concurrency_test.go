@@ -152,7 +152,10 @@ func TestServerConcurrentExplain(t *testing.T) {
 // pool never runs computations concurrently.
 func TestServerWorkerPoolBounds(t *testing.T) {
 	w := sampleWorkload(t)
-	s := New(Config{Workers: 1, CacheSize: -1})
+	// MaxQueue is raised past the flood size so admission control (whose
+	// explain-class cap is MaxQueue/2) admits all 12: this test bounds the
+	// pool, the admission tests bound the queue.
+	s := New(Config{Workers: 1, CacheSize: -1, MaxQueue: 64})
 	s.computeHook = func() { time.Sleep(2 * time.Millisecond) }
 	c := newTestClient(t, s)
 	c.registerSample("lUrU", w.ds)

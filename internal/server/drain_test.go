@@ -1,0 +1,121 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"testing"
+	"time"
+)
+
+type drainResult struct {
+	resp *http.Response
+	raw  []byte
+}
+
+// TestDrainCompletesInFlightBatch is the graceful half of the drain
+// handshake: a v2 NDJSON batch caught in flight by BeginDrain + Shutdown
+// runs to completion and streams its items, while new work is rejected
+// immediately with a Retry-After.
+func TestDrainCompletesInFlightBatch(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{Workers: 1, CacheSize: -1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	s.computeHook = func() { entered <- struct{}{}; <-release }
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	got := make(chan drainResult, 1)
+	go func() {
+		resp, raw := c.do(http.MethodPost, "/v2/query", &BatchQueryRequest{
+			Dataset: "demo", Qs: [][]float64{w.q}, Alpha: 0.5, NoCache: true})
+		got <- drainResult{resp, raw}
+	}()
+	<-entered
+
+	s.BeginDrain(10 * time.Second)
+
+	// New compute work is shed the moment the drain begins.
+	resp, raw := c.do(http.MethodPost, "/v1/query", &QueryRequest{
+		Dataset: "demo", Q: w.q, Alpha: 0.5, NoCache: true})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request during drain: status %d, want 503 (body %s)", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("drain 503 carries no Retry-After")
+	}
+
+	// The crskyd handshake: Shutdown stops the listener and waits for the
+	// in-flight batch, which completes normally once its work finishes.
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	shutdownErr := make(chan error, 1)
+	go func() { shutdownErr <- c.ts.Config.Shutdown(shCtx) }()
+	close(release)
+
+	r := <-got
+	if r.resp.StatusCode != http.StatusOK {
+		t.Fatalf("in-flight batch during graceful drain: status %d (body %s)", r.resp.StatusCode, r.raw)
+	}
+	items := decodeNDJSON[BatchQueryItem](t, r.raw)
+	if len(items) != 1 || items[0].Index != 0 {
+		t.Fatalf("in-flight batch items = %+v, want the single requested item", items)
+	}
+	if err := <-shutdownErr; err != nil {
+		t.Fatalf("Shutdown after drain: %v", err)
+	}
+	if ps := s.pool.Stats(); ps.InFlight != 0 || ps.QueueDepth != 0 {
+		t.Fatalf("pool not empty after drain: %+v", ps)
+	}
+}
+
+// TestDrainDeadlineCancelsStuckWork is the forcible half: a computation
+// that never yields on its own is canceled when the drain grace elapses,
+// and the client receives a well-formed 503 error body instead of a hung
+// or torn connection.
+func TestDrainDeadlineCancelsStuckWork(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{Workers: 1, CacheSize: -1})
+	// A pathological computation: blocks until the drain context fires,
+	// then (like the real engine's cancellation polls) observes the
+	// canceled context and unwinds.
+	s.computeHook = func() { <-s.drainCtx.Done() }
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	got := make(chan drainResult, 1)
+	go func() {
+		resp, raw := c.do(http.MethodPost, "/v2/query", &BatchQueryRequest{
+			Dataset: "demo", Qs: [][]float64{w.q}, Alpha: 0.5, NoCache: true})
+		got <- drainResult{resp, raw}
+	}()
+	waitFor(t, "batch in flight", func() bool { return s.pool.Stats().InFlight == 1 })
+
+	start := time.Now()
+	s.BeginDrain(50 * time.Millisecond)
+
+	var r drainResult
+	select {
+	case r = <-got:
+	case <-time.After(3 * time.Second):
+		t.Fatal("stuck computation survived the drain deadline")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("drain deadline not honored: request held for %s", elapsed)
+	}
+	if r.resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("canceled batch: status %d, want 503 (body %s)", r.resp.StatusCode, r.raw)
+	}
+	var e ErrorResponse
+	decodeInto(t, r.raw, &e)
+	if e.Error == "" {
+		t.Fatal("canceled batch returned no error envelope")
+	}
+	if r.resp.Header.Get("Retry-After") == "" {
+		t.Fatal("canceled batch carries no Retry-After")
+	}
+	waitFor(t, "pool to drain", func() bool {
+		ps := s.pool.Stats()
+		return ps.InFlight == 0 && ps.QueueDepth == 0
+	})
+}

@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"time"
 
+	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/geom"
 )
@@ -77,18 +79,54 @@ func (s *Server) resolve(name string, qs []float64, alpha float64) (*entry, geom
 	return ent, q, alpha, 0, nil
 }
 
+// writeComputeError renders a compute-path failure: cancellations and
+// admission sheds become 503s with the COMPUTED Retry-After (queue depth ×
+// recent median slot wait, capped — see retryAfter), panics and integrity
+// failures 500s, engine errors their mapped client status.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errShed),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		w.Header().Set("Retry-After", s.retryAfter())
+		s.writeError(w, http.StatusServiceUnavailable, err)
+	case errors.Is(err, errComputePanic), errors.Is(err, errVerificationFailed):
+		s.writeError(w, http.StatusInternalServerError, err)
+	default:
+		s.writeError(w, statusFor(err), err)
+	}
+}
+
+// degradable reports whether a compute failure may fall back to the
+// approximate tier: admission sheds and deadline/cancellation failures
+// (capacity problems the degraded tier exists for) qualify; semantic
+// errors, panics, and injected faults do not — they would fail identically
+// on the approximate path.
+func degradable(err error) bool {
+	return errors.Is(err, errShed) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}
+
 // compute runs fn behind the singleflight group and the worker pool,
 // caching a successful result under key unless the request bypassed the
-// cache. It sets the cache/flight response headers.
+// cache. It sets the cache/flight response headers and returns the error
+// instead of writing it, so callers with a degraded tier can fall back;
+// plain callers pass the error to writeComputeError.
 //
 // The computation deliberately runs on a context detached from the
 // request: a flight's result may be shared by many callers, so the
 // leader's client disconnecting must not fail everyone else (or poison
-// the thundering-herd retry by caching nothing). fn receives that
-// detached context; the v2 batch handlers, which are not deduplicated,
+// the thundering-herd retry by caching nothing). That detached context is
+// re-bound to the server's drain context (a hard drain must stop detached
+// work too) and, when timeout > 0, to a deadline — the v1 half of
+// deadline propagation. The v2 batch handlers, which are not deduplicated,
 // run the live request context instead (see computeV2).
+//
+// class gates admission: cache hits are served unconditionally, everything
+// else must pass the admission controller before it may queue.
 func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
-	fn func(ctx context.Context) (any, error)) (any, bool) {
+	class priorityClass, timeout time.Duration, fn func(ctx context.Context) (any, error)) (any, error) {
 
 	tr := obsTrace(ctx)
 	if noCache {
@@ -97,16 +135,27 @@ func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string,
 	} else if v, ok := s.cache.Get(key); ok {
 		w.Header().Set(headerCache, "hit")
 		tr.SetLabel("cache", "hit")
-		return v, true
+		return v, nil
 	} else {
 		w.Header().Set(headerCache, "miss")
 		tr.SetLabel("cache", "miss")
 	}
 
+	if err := s.admit(class, remainingBudget(ctx, timeout)); err != nil {
+		tr.SetLabel("admission", "shed")
+		return nil, err
+	}
+
 	// WithoutCancel keeps the context VALUES — the trace flows into the
 	// detached computation, so a traced leader's envelope carries the
 	// engine stage spans.
-	detached := context.WithoutCancel(ctx)
+	detached, undrain := mergeCancel(context.WithoutCancel(ctx), s.drainCtx)
+	defer undrain()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		detached, cancel = context.WithTimeout(detached, timeout)
+		defer cancel()
+	}
 	v, err, shared := s.flights.Do(key, func() (any, error) {
 		return s.pool.Do(detached, func() (any, error) {
 			if s.computeHook != nil {
@@ -123,23 +172,102 @@ func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string,
 		tr.SetLabel("flight", "leader")
 	}
 	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			// The caller gave up (or the pool never freed a slot in time):
-			// tell well-behaved clients when to come back.
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, errComputePanic):
-			s.writeError(w, http.StatusInternalServerError, err)
-		default:
-			s.writeError(w, statusFor(err), err)
-		}
-		return nil, false
+		return nil, err
 	}
 	if !noCache {
 		s.cache.Put(key, v)
 	}
-	return v, true
+	return v, nil
+}
+
+// approx tier selection, from the request's "approx" field.
+type approxMode int
+
+const (
+	approxNever  approxMode = iota // exact only (default)
+	approxAuto                     // exact first, degrade on capacity failures
+	approxAlways                   // straight to the Monte Carlo tier
+)
+
+func parseApproxMode(s string) (approxMode, error) {
+	switch s {
+	case "", "never":
+		return approxNever, nil
+	case "auto":
+		return approxAuto, nil
+	case "always":
+		return approxAlways, nil
+	}
+	return 0, fmt.Errorf("bad approx mode %q (want never, auto, or always)", s)
+}
+
+// requestTimeout parses ?timeout= into a plain duration. The v1 handlers
+// cannot use withTimeout: their computations run on a detached context, so
+// the deadline must be applied inside compute, not to the live request
+// context.
+func requestTimeout(r *http.Request) (time.Duration, error) {
+	t := r.URL.Query().Get("timeout")
+	if t == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(t)
+	if err != nil || d <= 0 {
+		return 0, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 250ms)", t)
+	}
+	return d, nil
+}
+
+// serveApprox answers a query from the degraded Monte Carlo tier on the
+// reserved approximate pool — the path that keeps an overloaded server
+// useful: bounded work (Hoeffding-sized sampling on the surviving
+// candidates), answers tagged approx with per-object confidence intervals,
+// never cached.
+func (s *Server) serveApprox(w http.ResponseWriter, r *http.Request, ent *entry,
+	q geom.Point, alpha float64, quadNodes int, ap crsky.ApproxOptions, timeout time.Duration) {
+
+	tr := obsTrace(r.Context())
+	tr.SetLabel("tier", "approx")
+	w.Header().Set(headerCache, "bypass")
+	// The reserved pool must itself degrade by shedding, not by queueing
+	// without bound — it exists to absorb the exact tier's overflow, so its
+	// backlog is capped at a small multiple of its (few) slots.
+	if st := s.approxPool.Stats(); st.QueueDepth >= int64(st.Workers)*16 || s.Draining() {
+		s.shedFor(classQuery).Inc()
+		s.writeComputeError(w, errShed)
+		return
+	}
+	ctx, undrain := mergeCancel(r.Context(), s.drainCtx)
+	defer undrain()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	v, err := s.approxPool.Do(ctx, func() (any, error) {
+		return ent.queryApproxCtx(ctx, q, alpha, quadNodes, ap)
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	res := v.(*crsky.ApproxResult)
+	s.approxAnswers.Inc()
+	resp := QueryResponse{
+		Dataset: ent.name,
+		Model:   ent.model,
+		Alpha:   alpha,
+		Count:   len(res.Answers),
+		Answers: res.Answers,
+		Approx:  !res.Exact,
+		Trace:   traceJSON(r),
+	}
+	if !res.Exact {
+		resp.Intervals = res.Intervals
+		resp.Epsilon = res.Epsilon
+		resp.Confidence = res.Confidence
+		resp.Iters = res.Iters
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -155,11 +283,53 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	annotate(r.Context(), ent)
+	mode, err := parseApproxMode(req.Approx)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	timeout, err := requestTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ap := crsky.ApproxOptions{Epsilon: req.Epsilon, Confidence: req.Confidence, Seed: s.cfg.ApproxSeed}
+
+	if mode == approxAlways {
+		s.serveApprox(w, r, ent, q, alpha, req.QuadNodes, ap, timeout)
+		return
+	}
+
+	// Under auto, the exact attempt gets 3/4 of the request budget so a
+	// timed-out exact query still leaves the fallback a guaranteed slice;
+	// the absolute deadline is fixed up front so the two tiers together
+	// never exceed what the client asked for.
+	exactTimeout := timeout
+	var fullDeadline time.Time
+	if mode == approxAuto && timeout > 0 {
+		fullDeadline = time.Now().Add(timeout)
+		exactTimeout = timeout * 3 / 4
+	}
 	key := fmt.Sprintf("query|%s|%d|%s|%g|%d", ent.name, ent.gen, pointKey(q), alpha, req.QuadNodes)
-	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
-		return ent.queryCtx(ctx, q, alpha, req.QuadNodes)
-	})
-	if !ok {
+	v, err := s.compute(w, r.Context(), key, req.NoCache, priorityFrom(r, classQuery), exactTimeout,
+		func(ctx context.Context) (any, error) {
+			return ent.queryCtx(ctx, q, alpha, req.QuadNodes)
+		})
+	if err != nil {
+		// Degrade only when the client is still there and the failure is a
+		// capacity problem, not a semantic one.
+		if mode == approxAuto && degradable(err) && r.Context().Err() == nil {
+			rest := time.Duration(0)
+			if !fullDeadline.IsZero() {
+				if rest = time.Until(fullDeadline); rest <= 0 {
+					s.writeComputeError(w, err)
+					return
+				}
+			}
+			s.serveApprox(w, r, ent, q, alpha, req.QuadNodes, ap, rest)
+			return
+		}
+		s.writeComputeError(w, err)
 		return
 	}
 	ids := v.([]int)
@@ -192,23 +362,30 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		// canonicalize so identical certain requests share a cache key.
 		opts = causality.Options{}
 	}
+	timeout, err := requestTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	key := fmt.Sprintf("explain|%s|%d|%s|%d|%g|%s",
 		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
-	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
-		res, err := ent.explainCtx(ctx, q, req.An, alpha, opts)
-		if err == nil {
-			// Work gauges count computed explanations only: cache hits
-			// and deduplicated followers re-serve this computation's
-			// result without re-doing (or re-counting) its search.
-			s.explainComputed.Inc()
-			s.explainSubsets.Add(res.SubsetsExamined)
-			s.explainGreedySeeds.Add(res.GreedySeeds)
-			s.explainGreedyHits.Add(res.GreedyHits)
-			s.explainFilterIO.Add(res.FilterNodeAccesses)
-		}
-		return res, err
-	})
-	if !ok {
+	v, err := s.compute(w, r.Context(), key, req.NoCache, priorityFrom(r, classExplain), timeout,
+		func(ctx context.Context) (any, error) {
+			res, err := ent.explainCtx(ctx, q, req.An, alpha, opts)
+			if err == nil {
+				// Work gauges count computed explanations only: cache hits
+				// and deduplicated followers re-serve this computation's
+				// result without re-doing (or re-counting) its search.
+				s.explainComputed.Inc()
+				s.explainSubsets.Add(res.SubsetsExamined)
+				s.explainGreedySeeds.Add(res.GreedySeeds)
+				s.explainGreedyHits.Add(res.GreedyHits)
+				s.explainFilterIO.Add(res.FilterNodeAccesses)
+			}
+			return res, err
+		})
+	if err != nil {
+		s.writeComputeError(w, err)
 		return
 	}
 	res := v.(*causality.Result)
@@ -258,12 +435,19 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	}
 	annotate(r.Context(), ent)
 	opts := req.Options.toOptions()
+	timeout, err := requestTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	key := fmt.Sprintf("repair|%s|%d|%s|%d|%g|%s",
 		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
-	v, ok := s.compute(w, r.Context(), key, req.NoCache, func(ctx context.Context) (any, error) {
-		return ent.repairCtx(ctx, q, req.An, alpha, opts)
-	})
-	if !ok {
+	v, err := s.compute(w, r.Context(), key, req.NoCache, priorityFrom(r, classExplain), timeout,
+		func(ctx context.Context) (any, error) {
+			return ent.repairCtx(ctx, q, req.An, alpha, opts)
+		})
+	if err != nil {
+		s.writeComputeError(w, err)
 		return
 	}
 	rep := v.(*causality.Repair)

@@ -6,7 +6,6 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
-	"time"
 
 	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/geom"
@@ -21,13 +20,12 @@ var errVerificationFailed = errors.New("explanation failed verification")
 // e.g. 250ms or 2s) adds a deadline on top of the client-disconnect
 // cancellation the request context already carries.
 func withTimeout(r *http.Request) (context.Context, context.CancelFunc, error) {
-	t := r.URL.Query().Get("timeout")
-	if t == "" {
-		return r.Context(), func() {}, nil
+	d, err := requestTimeout(r)
+	if err != nil {
+		return nil, nil, err
 	}
-	d, err := time.ParseDuration(t)
-	if err != nil || d <= 0 {
-		return nil, nil, fmt.Errorf("bad timeout %q (want a positive Go duration, e.g. 250ms)", t)
+	if d == 0 {
+		return r.Context(), func() {}, nil
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	return ctx, cancel, nil
@@ -61,10 +59,11 @@ func (s *Server) resolveBatch(name string, qss [][]float64, alpha float64) (*ent
 // computeV2 runs fn on a worker-pool slot under the LIVE request context —
 // the v2 half of compute: no singleflight (a canceled leader must not fail
 // followers, and batch bodies rarely collide byte-for-byte in flight), the
-// cache in front, and pool slots released as soon as a disconnect or
-// deadline cancels fn.
+// cache in front, admission after a cache miss, and pool slots released as
+// soon as a disconnect, deadline, or drain cancels fn. Errors are returned,
+// not written, so callers with a degraded tier can fall back.
 func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
-	fn func(ctx context.Context) (any, error)) (any, bool) {
+	class priorityClass, fn func(ctx context.Context) (any, error)) (any, error) {
 
 	tr := obsTrace(ctx)
 	if noCache {
@@ -73,12 +72,19 @@ func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key strin
 	} else if v, ok := s.cache.Get(key); ok {
 		w.Header().Set(headerCache, "hit")
 		tr.SetLabel("cache", "hit")
-		return v, true
+		return v, nil
 	} else {
 		w.Header().Set(headerCache, "miss")
 		tr.SetLabel("cache", "miss")
 	}
 
+	if err := s.admit(class, remainingBudget(ctx, 0)); err != nil {
+		tr.SetLabel("admission", "shed")
+		return nil, err
+	}
+
+	ctx, undrain := mergeCancel(ctx, s.drainCtx)
+	defer undrain()
 	v, err := s.pool.Do(ctx, func() (any, error) {
 		if s.computeHook != nil {
 			s.computeHook()
@@ -86,21 +92,12 @@ func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key strin
 		return fn(ctx)
 	})
 	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-			w.Header().Set("Retry-After", "1")
-			s.writeError(w, http.StatusServiceUnavailable, err)
-		case errors.Is(err, errComputePanic), errors.Is(err, errVerificationFailed):
-			s.writeError(w, http.StatusInternalServerError, err)
-		default:
-			s.writeError(w, statusFor(err), err)
-		}
-		return nil, false
+		return nil, err
 	}
 	if !noCache {
 		s.cache.Put(key, v)
 	}
-	return v, true
+	return v, nil
 }
 
 // writeNDJSON streams items as application/x-ndjson, one JSON object per
@@ -135,27 +132,97 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	// Key on the resolved alpha (certain data forces 1), so requests that
 	// compute the same thing share the cached result.
 	req.Alpha = alpha
-	ctx, cancel, err := withTimeout(r)
+	mode, err := parseApproxMode(req.Approx)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	defer cancel()
+	d, err := requestTimeout(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx := r.Context()
+	if d > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, d)
+		defer cancel()
+	}
+	ap := crsky.ApproxOptions{Epsilon: req.Epsilon, Confidence: req.Confidence, Seed: s.cfg.ApproxSeed}
 
-	v, ok := s.computeV2(w, ctx, req.cacheKey(ent), req.NoCache, func(ctx context.Context) (any, error) {
-		answers, err := ent.queryBatchCtx(ctx, qs, alpha, req.QuadNodes)
-		if err != nil {
-			return nil, err
+	if mode == approxAlways {
+		s.serveApproxBatch(w, r, ctx, ent, qs, alpha, req.QuadNodes, ap)
+		return
+	}
+
+	// Under auto, the exact attempt gets 3/4 of the request deadline so the
+	// fallback keeps a guaranteed slice of the budget the client set.
+	exactCtx := ctx
+	if mode == approxAuto && d > 0 {
+		var cancel context.CancelFunc
+		exactCtx, cancel = context.WithTimeout(ctx, d*3/4)
+		defer cancel()
+	}
+
+	v, err := s.computeV2(w, exactCtx, req.cacheKey(ent), req.NoCache, priorityFrom(r, classBatch),
+		func(ctx context.Context) (any, error) {
+			answers, err := ent.queryBatchCtx(ctx, qs, alpha, req.QuadNodes)
+			if err != nil {
+				return nil, err
+			}
+			items := make([]BatchQueryItem, len(answers))
+			for i, ids := range answers {
+				items[i] = BatchQueryItem{Index: i, Count: len(ids), Answers: ids}
+			}
+			return items, nil
+		})
+	if err != nil {
+		if mode == approxAuto && degradable(err) && ctx.Err() == nil {
+			s.serveApproxBatch(w, r, ctx, ent, qs, alpha, req.QuadNodes, ap)
+			return
 		}
-		items := make([]BatchQueryItem, len(answers))
-		for i, ids := range answers {
-			items[i] = BatchQueryItem{Index: i, Count: len(ids), Answers: ids}
+		s.writeComputeError(w, err)
+		return
+	}
+	writeNDJSON(w, r, v.([]BatchQueryItem))
+}
+
+// serveApproxBatch answers a whole batch from the degraded tier in ONE
+// reserved-pool slot: under overload the approximate pool is tiny, and a
+// batch spread over several slots would starve the single-point fallbacks.
+// Approximate batches are never cached.
+func (s *Server) serveApproxBatch(w http.ResponseWriter, r *http.Request, ctx context.Context,
+	ent *entry, qs []geom.Point, alpha float64, quadNodes int, ap crsky.ApproxOptions) {
+
+	tr := obsTrace(r.Context())
+	tr.SetLabel("tier", "approx")
+	w.Header().Set(headerCache, "bypass")
+	if st := s.approxPool.Stats(); st.QueueDepth >= int64(st.Workers)*16 || s.Draining() {
+		s.shedFor(classBatch).Inc()
+		s.writeComputeError(w, errShed)
+		return
+	}
+	ctx, undrain := mergeCancel(ctx, s.drainCtx)
+	defer undrain()
+	v, err := s.approxPool.Do(ctx, func() (any, error) {
+		items := make([]BatchQueryItem, len(qs))
+		for i, q := range qs {
+			res, err := ent.queryApproxCtx(ctx, q, alpha, quadNodes, ap)
+			if err != nil {
+				return nil, err
+			}
+			items[i] = BatchQueryItem{Index: i, Count: len(res.Answers), Answers: res.Answers, Approx: !res.Exact}
+			if !res.Exact {
+				items[i].Intervals = res.Intervals
+			}
 		}
 		return items, nil
 	})
-	if !ok {
+	if err != nil {
+		s.writeComputeError(w, err)
 		return
 	}
+	s.approxAnswers.Inc()
 	writeNDJSON(w, r, v.([]BatchQueryItem))
 }
 
@@ -197,7 +264,7 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	v, ok := s.computeV2(w, ctx, req.cacheKey(ent), req.NoCache, func(ctx context.Context) (any, error) {
+	v, err := s.computeV2(w, ctx, req.cacheKey(ent), req.NoCache, priorityFrom(r, classExplain), func(ctx context.Context) (any, error) {
 		reqs := make([]crsky.ExplainRequest, len(req.Items))
 		for i, it := range req.Items {
 			reqs[i] = crsky.ExplainRequest{ID: it.An, Q: qs[i], Alpha: alpha}
@@ -248,7 +315,8 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 		}
 		return items, nil
 	})
-	if !ok {
+	if err != nil {
+		s.writeComputeError(w, err)
 		return
 	}
 	writeNDJSON(w, r, v.([]BatchExplainItem))

@@ -2,7 +2,10 @@ package server
 
 import (
 	"context"
+	"fmt"
+	"log"
 	"net/http"
+	"runtime/debug"
 	"time"
 
 	"github.com/crsky/crsky/internal/obs"
@@ -106,6 +109,31 @@ func outcomeFor(status int) string {
 
 const modelNone = "-" // routes (or failures) with no resolved dataset
 
+// recovering runs fn and converts a handler-goroutine panic into a 500 with
+// a counted, stack-logged crash record instead of a torn-down connection —
+// the last-resort net under the compute-path panic containment (singleflight
+// tags pooled panics as errComputePanic; this catches everything else,
+// including panics in the handlers themselves). http.ErrAbortHandler is
+// re-raised: it is the sanctioned way to abort a response, not a crash.
+func (s *Server) recovering(route string, sw *statusWriter, fn func()) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if rec == http.ErrAbortHandler {
+			panic(rec)
+		}
+		s.panics.Inc()
+		log.Printf("crskyd: panic serving %s: %v\n%s", route, rec, debug.Stack())
+		if sw.status == 0 {
+			s.writeError(sw, http.StatusInternalServerError,
+				fmt.Errorf("internal error: panic while serving %s", route))
+		}
+	}()
+	fn()
+}
+
 // instrument wraps a handler with the per-request observability pipeline.
 // route is the fixed registration pattern (the middleware runs outside the
 // mux, so it cannot recover the matched pattern itself).
@@ -119,7 +147,7 @@ func (s *Server) instrument(route string, h http.HandlerFunc) http.HandlerFunc {
 		}
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
-		h(sw, r.WithContext(ctx))
+		s.recovering(route, sw, func() { h(sw, r.WithContext(ctx)) })
 		dur := time.Since(start)
 
 		status := sw.status

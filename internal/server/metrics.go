@@ -40,6 +40,31 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.PromHead(&b, "crsky_pool_canceled_total", "counter", "Requests canceled while waiting for a slot.")
 	obs.PromValue(&b, "crsky_pool_canceled_total", nil, float64(ps.Canceled))
 
+	as := s.approxPool.Stats()
+	obs.PromHead(&b, "crsky_approx_pool_workers", "gauge", "Reserved degraded-tier pool capacity.")
+	obs.PromValue(&b, "crsky_approx_pool_workers", nil, float64(as.Workers))
+	obs.PromHead(&b, "crsky_approx_pool_inflight", "gauge", "Degraded-tier computations currently executing.")
+	obs.PromValue(&b, "crsky_approx_pool_inflight", nil, float64(as.InFlight))
+	obs.PromHead(&b, "crsky_approx_pool_queue_depth", "gauge", "Degraded-tier computations waiting for a slot.")
+	obs.PromValue(&b, "crsky_approx_pool_queue_depth", nil, float64(as.QueueDepth))
+	obs.PromHead(&b, "crsky_approx_answers_total", "counter", "Responses served from the approximate Monte Carlo tier.")
+	obs.PromValue(&b, "crsky_approx_answers_total", nil, float64(s.approxAnswers.Value()))
+
+	obs.PromHead(&b, "crsky_shed_total", "counter", "Requests rejected by admission control, by priority class.")
+	obs.PromValue(&b, "crsky_shed_total", []obs.Label{{Name: "class", Value: "batch"}}, float64(s.shedBatch.Value()))
+	obs.PromValue(&b, "crsky_shed_total", []obs.Label{{Name: "class", Value: "explain"}}, float64(s.shedExplain.Value()))
+	obs.PromValue(&b, "crsky_shed_total", []obs.Label{{Name: "class", Value: "query"}}, float64(s.shedQuery.Value()))
+	obs.PromHead(&b, "crsky_admission_est_wait_seconds", "gauge", "Estimated pool wait (queue depth x median slot wait).")
+	obs.PromValue(&b, "crsky_admission_est_wait_seconds", nil, s.estWait().Seconds())
+	obs.PromHead(&b, "crsky_draining", "gauge", "1 while the server is draining for shutdown.")
+	draining := 0.0
+	if s.Draining() {
+		draining = 1
+	}
+	obs.PromValue(&b, "crsky_draining", nil, draining)
+	obs.PromHead(&b, "crsky_panics_total", "counter", "Handler panics recovered into 500 responses.")
+	obs.PromValue(&b, "crsky_panics_total", nil, float64(s.panics.Value()))
+
 	cs := s.cache.Stats()
 	obs.PromHead(&b, "crsky_cache_entries", "gauge", "Result-cache entries.")
 	obs.PromValue(&b, "crsky_cache_entries", nil, float64(cs.Size))

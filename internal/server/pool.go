@@ -27,6 +27,12 @@ type workerPool struct {
 	inflight  stats.Gauge
 	completed stats.Counter
 	canceled  stats.Counter
+
+	// slotDelay, when set (fault injection only), stalls each acquired
+	// slot before its computation runs — simulated slow storage. The delay
+	// happens inside the slot so it consumes capacity, exactly like the
+	// real fault would.
+	slotDelay func() time.Duration
 }
 
 func newWorkerPool(workers int) *workerPool {
@@ -62,6 +68,15 @@ func (p *workerPool) Do(ctx context.Context, fn func() (any, error)) (any, error
 		p.completed.Inc()
 		<-p.sem
 	}()
+	if p.slotDelay != nil {
+		if d := p.slotDelay(); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+	}
 	return fn()
 }
 

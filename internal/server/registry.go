@@ -51,7 +51,10 @@ func (e *entry) info() DatasetInfo {
 // queryCtx computes the (probabilistic) reverse skyline, ascending IDs,
 // never nil.
 func (e *entry) queryCtx(ctx context.Context, q geom.Point, alpha float64, quadNodes int) ([]int, error) {
-	ids, _, err := e.eng.QueryCtx(ctx, q, alpha, crsky.QueryOptions{QuadNodes: quadNodes})
+	// StageBudget splits a request deadline between the join and the exact
+	// stage, so a stalled join leaves the refinement (or the approximate
+	// fallback) a guaranteed slice; without a deadline it is a no-op.
+	ids, _, err := e.eng.QueryCtx(ctx, q, alpha, crsky.QueryOptions{QuadNodes: quadNodes, StageBudget: true})
 	if err != nil {
 		return nil, err
 	}
@@ -61,10 +64,17 @@ func (e *entry) queryCtx(ctx context.Context, q geom.Point, alpha float64, quadN
 	return ids, nil
 }
 
+// queryApproxCtx runs the degraded-tier Monte Carlo query.
+func (e *entry) queryApproxCtx(ctx context.Context, q geom.Point, alpha float64, quadNodes int, ap crsky.ApproxOptions) (*crsky.ApproxResult, error) {
+	res, _, err := e.eng.QueryApprox(ctx, q, alpha,
+		crsky.QueryOptions{QuadNodes: quadNodes, StageBudget: true}, ap)
+	return res, err
+}
+
 // queryBatchCtx answers many query points in one engine call, sharing the
 // index traversal across the batch.
 func (e *entry) queryBatchCtx(ctx context.Context, qs []geom.Point, alpha float64, quadNodes int) ([][]int, error) {
-	out, _, err := e.eng.QueryBatch(ctx, qs, alpha, crsky.QueryOptions{QuadNodes: quadNodes})
+	out, _, err := e.eng.QueryBatch(ctx, qs, alpha, crsky.QueryOptions{QuadNodes: quadNodes, StageBudget: true})
 	if err != nil {
 		return nil, err
 	}
@@ -95,10 +105,13 @@ type registry struct {
 	mu  sync.RWMutex
 	m   map[string]*entry
 	gen atomic.Uint64
+	// wrap, when set (fault injection only), decorates every engine at
+	// registration time.
+	wrap func(crsky.Explainer) crsky.Explainer
 }
 
-func newRegistry() *registry {
-	return &registry{m: make(map[string]*entry)}
+func newRegistry(wrap func(crsky.Explainer) crsky.Explainer) *registry {
+	return &registry{m: make(map[string]*entry), wrap: wrap}
 }
 
 func (r *registry) get(name string) (*entry, bool) {
@@ -143,6 +156,9 @@ func (r *registry) register(req *DatasetRequest) (*entry, error) {
 	e, err := buildEntry(req)
 	if err != nil {
 		return nil, err
+	}
+	if r.wrap != nil {
+		e.eng = r.wrap(e.eng)
 	}
 	e.name = name
 	e.gen = r.gen.Add(1)

@@ -18,6 +18,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"io"
@@ -25,9 +26,12 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/faultinject"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/stats"
@@ -60,6 +64,27 @@ type Config struct {
 	// SlowQueryLog receives the slow-query lines (required when
 	// SlowQueryThreshold > 0; typically os.Stderr or a log file).
 	SlowQueryLog io.Writer
+	// MaxQueue is the admission controller's queue-depth budget on the
+	// exact pool (default Workers × 8; the per-class thresholds are
+	// fractions of it — see queueCap). Requests beyond their class's
+	// threshold are shed with 503 + Retry-After instead of queueing.
+	MaxQueue int
+	// ApproxWorkers sizes the reserved approximate-tier pool (default
+	// max(1, Workers/4)). The approximate Monte Carlo path runs on these
+	// slots, so degraded answers keep flowing when the exact pool is
+	// saturated.
+	ApproxWorkers int
+	// ApproxSeed seeds the Monte Carlo approximate tier (default 1): with
+	// a fixed seed, identical approximate requests return bit-identical
+	// estimates, which conformance checks rely on.
+	ApproxSeed int64
+	// Faults installs a fault injector on the worker pools (tests and the
+	// load harness only; nil in production). Injected slot delays simulate
+	// slow storage or noisy neighbors.
+	Faults *faultinject.Injector
+	// WrapEngine, when set, decorates every engine at registration (tests
+	// only; faultinject.Wrap is the intended value).
+	WrapEngine func(crsky.Explainer) crsky.Explainer
 }
 
 func (c *Config) fillDefaults() {
@@ -72,6 +97,22 @@ func (c *Config) fillDefaults() {
 	if c.MaxBodyBytes == 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	if c.MaxQueue <= 0 {
+		w := c.Workers
+		if w <= 0 {
+			w = 1
+		}
+		c.MaxQueue = w * 8
+	}
+	if c.ApproxWorkers <= 0 {
+		c.ApproxWorkers = c.Workers / 4
+		if c.ApproxWorkers < 1 {
+			c.ApproxWorkers = 1
+		}
+	}
+	if c.ApproxSeed == 0 {
+		c.ApproxSeed = 1
+	}
 }
 
 // Server is the crskyd HTTP service. Create with New, expose with
@@ -82,8 +123,23 @@ type Server struct {
 	cache   *lruCache
 	flights *flightGroup
 	pool    *workerPool
-	mux     *http.ServeMux
-	start   time.Time
+	// approxPool is the small reserved slot pool of the degraded tier:
+	// approximate Monte Carlo queries run here, so exact-pool saturation
+	// never starves them.
+	approxPool *workerPool
+	mux        *http.ServeMux
+	start      time.Time
+
+	// Admission/degradation state: draining flips on BeginDrain and makes
+	// admission reject everything; drainCtx cancels every running
+	// computation when the drain grace expires.
+	draining    atomic.Bool
+	drainCtx    context.Context
+	drainCancel context.CancelFunc
+
+	shedBatch, shedExplain, shedQuery stats.Counter
+	approxAnswers                     stats.Counter
+	panics                            stats.Counter
 
 	// reqHist is the route × dataset-model × outcome latency histogram
 	// family behind /metrics; slow is the structured slow-query log (nil
@@ -108,15 +164,21 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     newRegistry(),
-		cache:   newLRUCache(cfg.CacheSize),
-		flights: newFlightGroup(),
-		pool:    newWorkerPool(cfg.Workers),
-		mux:     http.NewServeMux(),
-		start:   time.Now(),
-		reqHist: obs.NewHistogramVec("route", "model", "outcome"),
-		slow:    obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold),
+		cfg:        cfg,
+		reg:        newRegistry(cfg.WrapEngine),
+		cache:      newLRUCache(cfg.CacheSize),
+		flights:    newFlightGroup(),
+		pool:       newWorkerPool(cfg.Workers),
+		approxPool: newWorkerPool(cfg.ApproxWorkers),
+		mux:        http.NewServeMux(),
+		start:      time.Now(),
+		reqHist:    obs.NewHistogramVec("route", "model", "outcome"),
+		slow:       obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold),
+	}
+	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	if cfg.Faults != nil {
+		s.pool.slotDelay = cfg.Faults.SlotDelay
+		s.approxPool.slotDelay = cfg.Faults.SlotDelay
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	// Every /v1/* and /v2/* route goes through the instrument middleware:
@@ -168,7 +230,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         s.cache.Stats(),
 		Flights:       s.flights.Stats(),
 		Pool:          s.pool.Stats(),
-		Quadrature:    QuadratureStats{QuadMemoStats: quad, HitRate: quad.HitRate()},
+		ApproxPool:    s.approxPool.Stats(),
+		Admission: AdmissionStats{
+			MaxQueue:    s.cfg.MaxQueue,
+			EstWaitMs:   obs.MsRound(s.estWait().Seconds()),
+			ShedBatch:   s.shedBatch.Value(),
+			ShedExplain: s.shedExplain.Value(),
+			ShedQuery:   s.shedQuery.Value(),
+			Draining:    s.draining.Load(),
+		},
+		Quadrature: QuadratureStats{QuadMemoStats: quad, HitRate: quad.HitRate()},
 		Explain: ExplainStats{
 			SubsetsExamined:      s.explainSubsets.Value(),
 			GreedySeeds:          s.explainGreedySeeds.Value(),
@@ -182,6 +253,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			Explain: s.reqExplain.Value(),
 			Repair:  s.reqRepair.Value(),
 			Errors:  s.reqErrors.Value(),
+			Approx:  s.approxAnswers.Value(),
+			Panics:  s.panics.Value(),
 		},
 	})
 }
@@ -209,11 +282,14 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 
 // statusFor maps engine errors to HTTP statuses: bad references are 404,
 // semantic rejections (the object is an answer, budget exhaustion) are
-// 422, everything else is a plain 400.
+// 422, injected infrastructure faults are 500, everything else is a plain
+// 400.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, causality.ErrBadObject):
 		return http.StatusNotFound
+	case errors.Is(err, faultinject.ErrInjected):
+		return http.StatusInternalServerError
 	case errors.Is(err, causality.ErrNotNonAnswer),
 		errors.Is(err, causality.ErrTooManyCandidates),
 		errors.Is(err, causality.ErrSubsetBudget):

@@ -46,7 +46,10 @@ func perturb(t *testing.T, fv reflect.Value, name string) {
 // reintroduce silently.
 func TestV2CacheKeysCoverEveryField(t *testing.T) {
 	ent := &entry{name: "d", gen: 1}
-	exempt := map[string]bool{"NoCache": true} // cache directive, not semantics
+	// NoCache is a cache directive; the Approx trio selects the degraded
+	// tier, whose responses are never cached (the exact computation an
+	// "auto" request may fall back from is identical without them).
+	exempt := map[string]bool{"NoCache": true, "Approx": true, "Epsilon": true, "Confidence": true}
 
 	check := func(t *testing.T, zero any, key func(v reflect.Value) string) {
 		typ := reflect.TypeOf(zero)

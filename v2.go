@@ -95,6 +95,14 @@ type Querier interface {
 	// index traversal, warm-up, and the evaluation worker pool across the
 	// batch.
 	QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error)
+	// QueryApprox is the degraded-mode query: the shared filter-and-bound
+	// stage settles everything it can exactly, and the remaining band is
+	// estimated by seeded Monte Carlo with per-object Hoeffding confidence
+	// intervals at the requested error budget. Engines with an exact fast
+	// path (certain data) answer exactly and set Exact. Deterministic in
+	// (data, q, alpha, opts, approx) — worker count and scheduling never
+	// change the result.
+	QueryApprox(ctx context.Context, q Point, alpha float64, opts QueryOptions, approx ApproxOptions) (*ApproxResult, QueryStats, error)
 }
 
 // Explainer is the full v2 engine surface: queries plus causality
@@ -255,6 +263,20 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts
 	return prsq.QueryBatchStatsCtx(ctx, e.ds, qs, alpha, opts)
 }
 
+// QueryApprox implements Querier: the filter stage runs unchanged and the
+// undecided band is settled by seeded possible-world sampling over each
+// object's candidate set (prob.PrReverseSkylineMC) instead of the exact
+// Eq.-2 product.
+func (e *Engine) QueryApprox(ctx context.Context, q Point, alpha float64, opts QueryOptions, approx ApproxOptions) (*ApproxResult, QueryStats, error) {
+	if err := checkDims(q, e.Dims()); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := checkAlphaUnit(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return prsq.QueryApproxStatsCtx(ctx, e.ds, q, alpha, opts, approx)
+}
+
 // ExplainCtx implements Explainer: algorithm CP under a context.
 func (e *Engine) ExplainCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error) {
 	return causality.CPCtx(ctx, e.ds, q, id, alpha, opts)
@@ -322,6 +344,18 @@ func (e *CertainEngine) QueryBatch(ctx context.Context, qs []Point, alpha float6
 		agg.Evaluated += st.Evaluated
 	}
 	return out, agg, nil
+}
+
+// QueryApprox implements Querier. Certain-data membership is exact and
+// BBRS is already the fast path, so the approximate API answers exactly
+// with Exact set and no intervals — degraded mode never needs to sample
+// certain data.
+func (e *CertainEngine) QueryApprox(ctx context.Context, q Point, alpha float64, opts QueryOptions, approx ApproxOptions) (*ApproxResult, QueryStats, error) {
+	ids, st, err := e.QueryCtx(ctx, q, alpha, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	return prsq.ExactApproxResult(ids, approx), st, nil
 }
 
 // ExplainCtx implements Explainer: algorithm CR (Lemma 7 — single window
@@ -397,6 +431,19 @@ func (e *PDFEngine) QueryBatch(ctx context.Context, qs []Point, alpha float64, o
 		return nil, QueryStats{}, err
 	}
 	return prsq.QueryBatchPDFStatsCtx(ctx, e.set, qs, alpha, opts.QuadNodes, opts)
+}
+
+// QueryApprox implements Querier: the pdf filter stage runs unchanged and
+// the undecided band is settled by per-density sampling — no quadrature
+// grid, so degraded-mode cost is independent of QuadNodes.
+func (e *PDFEngine) QueryApprox(ctx context.Context, q Point, alpha float64, opts QueryOptions, approx ApproxOptions) (*ApproxResult, QueryStats, error) {
+	if err := checkDims(q, e.Dims()); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := checkAlphaUnit(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	return prsq.QueryApproxPDFStatsCtx(ctx, e.set, q, alpha, opts, approx)
 }
 
 // ExplainCtx implements Explainer: the pdf-model variant of CP under a
