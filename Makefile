@@ -68,6 +68,8 @@ bench-prsq-check:
 # Assert the v2 batch query contract at the committed PRSQ scale: 64 query
 # points through one shared join must charge strictly fewer node accesses
 # than 64 independent indexed queries, with element-wise identical answers.
+# Covers the certain model too: the shared-frontier BBRS batch is held to
+# the same strictly-fewer-accesses gate against 64 per-query traversals.
 bench-batch:
 	go run ./cmd/experiments -exp prsqbatch -scale 1
 

@@ -55,6 +55,11 @@ type Result struct {
 	// FilterNodeAccesses is the simulated I/O of the candidate-retrieval
 	// R-tree traversal (the Lemma-2 filter step) for this explanation.
 	FilterNodeAccesses int64
+	// QuadNodes is the per-dimension quadrature resolution the pdf-model
+	// computation actually ran at (0 for the discrete models). Recording
+	// the resolved value lets an independent verifier re-integrate at the
+	// same discretization the search used.
+	QuadNodes int
 }
 
 // Options tunes the refinement stage.

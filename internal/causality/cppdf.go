@@ -91,6 +91,13 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 	}
 	an := s.Objects[anID]
 
+	// Resolve the quadrature resolution up front so the recorded value (and
+	// any later re-verification) matches the integrals the search ran on.
+	quadNodes := opts.QuadNodes
+	if quadNodes <= 0 {
+		quadNodes = uncertain.DefaultQuadNodes(s.Dims())
+	}
+
 	// Difference 1: sub-quadrant farthest-corner rectangles.
 	tr := obs.FromContext(ctx)
 	endFilter := tr.StartSpan("explain.filter")
@@ -112,7 +119,7 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 	for i, id := range candIDs {
 		cands[i] = s.Objects[id]
 	}
-	e := prob.NewPDFEvaluator(an, q, cands, opts.QuadNodes)
+	e := prob.NewPDFEvaluator(an, q, cands, quadNodes)
 
 	// Drop geometric false positives (regions touching a filter rectangle
 	// with zero dominance mass) so the refinement space stays tight.
@@ -128,7 +135,7 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 	candIDs = candIDs[:keptRows]
 	cands = cands[:keptRows]
 	if keptRows != wasN {
-		e = prob.NewPDFEvaluator(an, q, cands, opts.QuadNodes)
+		e = prob.NewPDFEvaluator(an, q, cands, quadNodes)
 	}
 
 	pr := e.Pr()
@@ -136,7 +143,7 @@ func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha floa
 		return nil, fmt.Errorf("%w: Pr=%.6g, α=%.6g", ErrNotNonAnswer, pr, alpha)
 	}
 
-	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs), FilterNodeAccesses: filterIO}
+	res := &Result{NonAnswer: anID, Pr: pr, Candidates: len(candIDs), FilterNodeAccesses: filterIO, QuadNodes: quadNodes}
 	if prob.GEq(alpha, 1) {
 		res.Causes = alphaOneCauses(candIDs)
 		res.addToTrace(tr)

@@ -271,24 +271,54 @@ func (r *refiner) searchAll() ([][]int, error) {
 		return out, nil
 	}
 
+	err := r.runParallel(order, func(wr *refiner, cc int) error {
+		gamma, ok, err := wr.fmcs(cc)
+		if err != nil {
+			return err
+		}
+		if ok {
+			if gamma == nil {
+				gamma = []int{}
+			}
+			out[cc] = gamma // per-cc slot: no two workers share an index
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// workerClone builds a worker-owned refiner for the parallel passes: a
+// private evaluator clone and context poll over the shared read-only marks,
+// gains, options, and cross-worker bound state.
+func (r *refiner) workerClone() *refiner {
+	return &refiner{
+		e:              r.e.Clone(),
+		ids:            r.ids,
+		alpha:          r.alpha,
+		ctx:            r.ctx,
+		poll:           ctxutil.NewPoll(r.ctx, ctxutil.DefaultStride),
+		forced:         r.forced,
+		counterfactual: r.counterfactual,
+		gains:          r.gains,
+		opts:           r.opts,
+		shared:         r.shared,
+	}
+}
+
+// runParallel fans the per-candidate jobs out over Options.Parallel worker
+// goroutines, each running work on its own refiner clone, and returns the
+// first worker error.
+func (r *refiner) runParallel(order []int, work func(wr *refiner, cc int) error) error {
 	workers := r.opts.Parallel
 	jobs := make(chan int)
 	errs := make([]error, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		w := w
-		wr := &refiner{
-			e:              r.e.Clone(),
-			ids:            r.ids,
-			alpha:          r.alpha,
-			ctx:            r.ctx,
-			poll:           ctxutil.NewPoll(r.ctx, ctxutil.DefaultStride),
-			forced:         r.forced,
-			counterfactual: r.counterfactual,
-			gains:          r.gains,
-			opts:           r.opts,
-			shared:         r.shared,
-		}
+		wr := r.workerClone()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -302,17 +332,9 @@ func (r *refiner) searchAll() ([][]int, error) {
 				if errs[w] != nil || r.shared.aborted.Load() {
 					continue
 				}
-				gamma, ok, err := wr.fmcs(cc)
-				if err != nil {
+				if err := work(wr, cc); err != nil {
 					errs[w] = err
 					r.shared.aborted.Store(true)
-					continue
-				}
-				if ok {
-					if gamma == nil {
-						gamma = []int{}
-					}
-					out[cc] = gamma
 				}
 			}
 		}()
@@ -327,10 +349,10 @@ func (r *refiner) searchAll() ([][]int, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
 }
 
 // bound reads the best known contingency size for cc (-1 unknown).
@@ -385,18 +407,26 @@ func (r *refiner) chargeWork(n int64) error {
 
 // greedySeedAll runs the greedy incumbent pass for every searchable
 // candidate, seeding the shared upper bounds before any exhaustive search
-// begins. It runs serially on the root evaluator: the pass is quadratic in
-// the pool size — noise next to the enumeration it bounds. Its probability
-// evaluations are charged to the MaxSubsets budget like any other search
-// node, so a tight budget bounds the whole refinement, not just the
-// enumeration behind the seeds.
+// begins. With Options.Parallel > 1 the pass fans out over worker
+// goroutines (the same clone-per-worker scheme as searchAll): the seeds are
+// independent per candidate — greedySeed writes the shared bounds but never
+// reads them — so every interleaving records the same bounds the serial
+// pass would. Probability evaluations are charged to the MaxSubsets budget
+// like any other search node, so a tight budget bounds the whole
+// refinement, not just the enumeration behind the seeds.
 func (r *refiner) greedySeedAll() error {
-	for _, cc := range r.searchOrder() {
-		if err := r.greedySeed(cc); err != nil {
-			return err
+	order := r.searchOrder()
+	if r.opts.Parallel <= 1 {
+		for _, cc := range order {
+			if err := r.greedySeed(cc); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	return nil
+	return r.runParallel(order, func(wr *refiner, cc int) error {
+		return wr.greedySeed(cc)
+	})
 }
 
 // greedySeed builds a contingency-set incumbent for cc by repeatedly
@@ -623,9 +653,16 @@ func (r *refiner) fmcs(cc int) (gamma []int, ok bool, err error) {
 		return gamma, true, nil
 	case r.bound(cc) >= 0:
 		// Nothing smaller exists, so the recorded incumbent (greedy or
-		// Lemma-6) is minimal.
+		// Lemma-6) is minimal — which is all Lemma 6 itself needs: a
+		// certified incumbent propagates same-size bounds to its members
+		// exactly like a freshly enumerated set. Guarded by the same
+		// ablation flag so NoLemma6 benchmark cells stay comparable.
 		r.recordGreedyHit(cc, r.bound(cc))
-		return r.boundSet(cc), true, nil
+		gamma = r.boundSet(cc)
+		if !r.opts.NoLemma6 {
+			r.propagateLemma6(cc, gamma)
+		}
+		return gamma, true, nil
 	default:
 		return nil, false, nil
 	}

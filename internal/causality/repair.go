@@ -61,7 +61,6 @@ func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, 
 	if err := precheck(ctx); err != nil {
 		return nil, err
 	}
-	poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
 	an := ds.Objects[anID]
 	tr := obs.FromContext(ctx)
 	endFilter := tr.StartSpan("repair.filter")
@@ -71,7 +70,18 @@ func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, 
 	for i, id := range candIDs {
 		cands[i] = ds.Objects[id]
 	}
-	e := prob.NewEvaluator(an, q, cands)
+	return repairCore(ctx, prob.NewEvaluator(an, q, cands), candIDs, alpha, opts)
+}
+
+// repairCore is the model-agnostic half of the repair search, shared by the
+// sample and pdf entry points: everything after candidate filtering and
+// evaluator construction. The evaluator abstracts the probability model
+// (sample weights or quadrature pseudo-samples), so the kernel extraction,
+// the greedy incumbent, and the exact branch-and-bound phase below are
+// written once against it.
+func repairCore(ctx context.Context, e *prob.Evaluator, candIDs []int, alpha float64, opts Options) (*Repair, error) {
+	poll := ctxutil.NewPoll(ctx, ctxutil.DefaultStride)
+	tr := obs.FromContext(ctx)
 	if prob.GEq(e.Pr(), alpha) {
 		return nil, fmt.Errorf("%w: Pr=%.6g, α=%.6g", ErrNotNonAnswer, e.Pr(), alpha)
 	}
@@ -79,7 +89,7 @@ func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, 
 	// Forced kernel: while an always-dominating candidate is present,
 	// Pr(an) = 0 < α, so it belongs to every repair.
 	var kernel, pool []int
-	for j := range cands {
+	for j := 0; j < e.N(); j++ {
 		if e.AlwaysDominates(j) {
 			kernel = append(kernel, j)
 			e.Remove(j)

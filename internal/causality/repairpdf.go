@@ -1,0 +1,79 @@
+package causality
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/obs"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// MinimalRepairPDF is MinimalRepair for the continuous model: a smallest
+// removal set R with Pr(an | P−R) >= alpha, every probability an integral
+// over an's uncertainty region (Gauss–Legendre cubature at
+// Options.QuadNodes nodes per dimension, 0 = dimension-adapted default).
+// The candidate filter is CPPDF's — one dominance rectangle per
+// sub-quadrant piece of an's region — and the search itself is the shared
+// kernel/greedy/branch-and-bound scheme, running unchanged on the
+// quadrature-backed evaluator.
+func MinimalRepairPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
+	return MinimalRepairPDFCtx(context.Background(), s, q, anID, alpha, opts)
+}
+
+// MinimalRepairPDFCtx is MinimalRepairPDF under a context, with the same
+// cancellation contract as MinimalRepairCtx.
+func MinimalRepairPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
+	if anID < 0 || anID >= s.Len() {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
+	}
+	if err := checkQuery(q, s.Dims(), alpha); err != nil {
+		return nil, err
+	}
+	if err := precheck(ctx); err != nil {
+		return nil, err
+	}
+	an := s.Objects[anID]
+
+	tr := obs.FromContext(ctx)
+	endFilter := tr.StartSpan("repair.filter")
+	recs := prob.CandidateRectsPDF(an, q)
+	var candIDs []int
+	s.Tree().SearchAnyCounted(recs, func(id int, _ geom.Rect) bool {
+		if id != anID {
+			candIDs = append(candIDs, id)
+		}
+		return true
+	})
+	endFilter()
+	sort.Ints(candIDs)
+
+	cands := make([]*uncertain.PDFObject, len(candIDs))
+	for i, id := range candIDs {
+		cands[i] = s.Objects[id]
+	}
+	e := prob.NewPDFEvaluator(an, q, cands, opts.QuadNodes)
+
+	// Drop geometric false positives exactly as CPPDFCtx does: regions
+	// touching a filter rectangle with zero dominance mass can never be
+	// part of a minimum repair, and a tight pool keeps the exact phase
+	// below its enumeration threshold more often.
+	keptRows := 0
+	for j := range cands {
+		if !e.NeverDominates(j) {
+			candIDs[keptRows] = candIDs[j]
+			cands[keptRows] = cands[j]
+			keptRows++
+		}
+	}
+	wasN := e.N()
+	candIDs = candIDs[:keptRows]
+	cands = cands[:keptRows]
+	if keptRows != wasN {
+		e = prob.NewPDFEvaluator(an, q, cands, opts.QuadNodes)
+	}
+
+	return repairCore(ctx, e, candIDs, alpha, opts)
+}

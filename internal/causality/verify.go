@@ -20,13 +20,39 @@ func VerifyExplanation(ds *dataset.Uncertain, q geom.Point, alpha float64, res *
 	if res == nil {
 		return fmt.Errorf("causality: nil result")
 	}
-	if res.NonAnswer < 0 || res.NonAnswer >= ds.Len() {
+	return verifyCauses(ds.Len(), alpha, res, func(removed map[int]bool, extra int) float64 {
+		return prWithRemoved(ds.Objects[res.NonAnswer], q, ds.Objects, removed, extra)
+	})
+}
+
+// VerifyExplanationPDF is VerifyExplanation for the continuous model: the
+// same Definition-1 checks with every probability an integral over an's
+// uncertainty region instead of a sum over samples. quadNodes is the
+// per-dimension Gauss–Legendre resolution (<= 0 selects the
+// dimension-adapted default); pass Result.QuadNodes to re-integrate at the
+// resolution the explanation was computed at, so the verifier and the
+// search agree on the quadrature discretization.
+func VerifyExplanationPDF(s *PDFSet, q geom.Point, alpha float64, quadNodes int, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("causality: nil result")
+	}
+	return verifyCauses(s.Len(), alpha, res, func(removed map[int]bool, extra int) float64 {
+		return prWithRemovedPDF(s.Objects[res.NonAnswer], q, s.Objects, removed, extra, quadNodes)
+	})
+}
+
+// verifyCauses runs the model-independent Definition-1 audit: structural
+// checks (ID ranges, duplicates, the responsibility formula, the
+// counterfactual flag) plus the two probability conditions per cause,
+// evaluated through pr — Pr(an | P − removed − {extra}) under whichever
+// probability model the caller binds in (extra < 0 removes nothing extra).
+func verifyCauses(n int, alpha float64, res *Result, pr func(removed map[int]bool, extra int) float64) error {
+	if res.NonAnswer < 0 || res.NonAnswer >= n {
 		return fmt.Errorf("%w: %d", ErrBadObject, res.NonAnswer)
 	}
-	an := ds.Objects[res.NonAnswer]
 	seen := make(map[int]bool, len(res.Causes))
 	for i, c := range res.Causes {
-		if c.ID < 0 || c.ID >= ds.Len() || c.ID == res.NonAnswer {
+		if c.ID < 0 || c.ID >= n || c.ID == res.NonAnswer {
 			return fmt.Errorf("cause %d: bad object ID %d", i, c.ID)
 		}
 		if seen[c.ID] {
@@ -46,7 +72,7 @@ func VerifyExplanation(ds *dataset.Uncertain, q geom.Point, alpha float64, res *
 
 		removed := make(map[int]bool, len(c.Contingency)+1)
 		for _, g := range c.Contingency {
-			if g == c.ID || g == res.NonAnswer || g < 0 || g >= ds.Len() {
+			if g == c.ID || g == res.NonAnswer || g < 0 || g >= n {
 				return fmt.Errorf("cause %d: invalid contingency member %d", c.ID, g)
 			}
 			if removed[g] {
@@ -55,12 +81,12 @@ func VerifyExplanation(ds *dataset.Uncertain, q geom.Point, alpha float64, res *
 			removed[g] = true
 		}
 
-		pr1 := prWithRemoved(an, q, ds.Objects, removed, -1)
+		pr1 := pr(removed, -1)
 		if !prob.Less(pr1, alpha) {
 			return fmt.Errorf("cause %d: an is already an answer on P−Γ (Pr=%v >= α=%v)",
 				c.ID, pr1, alpha)
 		}
-		pr2 := prWithRemoved(an, q, ds.Objects, removed, c.ID)
+		pr2 := pr(removed, c.ID)
 		if !prob.GEq(pr2, alpha) {
 			return fmt.Errorf("cause %d: removing it does not flip an (Pr=%v < α=%v)",
 				c.ID, pr2, alpha)
@@ -80,4 +106,17 @@ func prWithRemoved(an *uncertain.Object, q geom.Point, objs []*uncertain.Object,
 		act = append(act, o)
 	}
 	return prob.PrReverseSkyline(an, q, act)
+}
+
+func prWithRemovedPDF(an *uncertain.PDFObject, q geom.Point, objs []*uncertain.PDFObject,
+	removed map[int]bool, extra int, quadNodes int) float64 {
+
+	act := make([]*uncertain.PDFObject, 0, len(objs))
+	for _, o := range objs {
+		if o.ID == an.ID || removed[o.ID] || o.ID == extra {
+			continue
+		}
+		act = append(act, o)
+	}
+	return prob.PrReverseSkylinePDF(an, q, act, quadNodes)
 }

@@ -154,11 +154,104 @@ func TestConformanceQueryBatchCertain(t *testing.T) {
 				return
 			}
 		}
+		// Shared-frontier identity: the batch must be element-wise
+		// identical to per-query BBRS (QueryCtx), whatever the traversal
+		// interleaving did to the pruning order.
+		for i, q := range qs {
+			single, _, err := eng.QueryCtx(context.Background(), q, 1, crsky.QueryOptions{})
+			if err != nil {
+				t.Errorf("seed=%d q#%d: %v", seed, i, err)
+				return
+			}
+			if !equalIDs(got[i], single) {
+				t.Errorf("seed=%d q#%d: batch %v, per-query BBRS %v", seed, i, got[i], single)
+				return
+			}
+		}
+		// QueryBatchStream must emit every answer exactly once, ascending,
+		// and each streamed answer must equal the collected one.
+		var emitted []int
+		_, _, serr := eng.QueryBatchStream(context.Background(), qs, 1, crsky.QueryOptions{},
+			func(i int, ids []int) {
+				emitted = append(emitted, i)
+				if !equalIDs(ids, got[i]) {
+					t.Errorf("seed=%d q#%d: streamed %v, batch %v", seed, i, ids, got[i])
+				}
+			})
+		if serr != nil {
+			t.Errorf("seed=%d: stream: %v", seed, serr)
+			return
+		}
+		if len(emitted) != len(qs) {
+			t.Errorf("seed=%d: %d emits for %d queries", seed, len(emitted), len(qs))
+			return
+		}
+		for i, k := range emitted {
+			if k != i {
+				t.Errorf("seed=%d: emit order %v, want ascending", seed, emitted)
+				return
+			}
+		}
 		// The interface must reject a non-unit alpha on certain data.
 		if _, _, err := eng.QueryBatch(context.Background(), qs, 0.5, crsky.QueryOptions{}); !errors.Is(err, crsky.ErrBadAlpha) {
 			t.Errorf("seed=%d: alpha=0.5 on certain data returned %v, want ErrBadAlpha", seed, err)
 		}
 	})
+}
+
+// TestConformanceQueryBatchCertainSharedIO pins the point of the shared
+// frontier at engine level: at index scale (where the upper tree levels
+// every query re-reads dominate), one batch traversal must charge strictly
+// fewer node accesses than the per-query BBRS calls it replaces. Tiny
+// trees can go either way — the interleaved traversal order weakens each
+// query's own pruning slightly — so this gate runs on one sizeable
+// deterministic workload rather than the randomized small cases above.
+func TestConformanceQueryBatchCertainSharedIO(t *testing.T) {
+	rng := rand.New(rand.NewSource(4301))
+	cfg := dataset.CertainConfig{N: 4000, Dims: 3, Kind: dataset.Clustered, Seed: 4301}
+	ds, err := dataset.GenerateCertain(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := crsky.NewCertainEngine(ds.Points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := make([]geom.Point, 8)
+	for i := range qs {
+		q := make(geom.Point, cfg.Dims)
+		for j := range q {
+			q[j] = 10000 * (0.1 + 0.8*rng.Float64())
+		}
+		qs[i] = q
+	}
+	base := eng.NodeAccesses()
+	single := make([][]int, len(qs))
+	for i, q := range qs {
+		ids, _, err := eng.QueryCtx(context.Background(), q, 1, crsky.QueryOptions{})
+		if err != nil {
+			t.Fatalf("q#%d: %v", i, err)
+		}
+		single[i] = ids
+	}
+	singleIO := eng.NodeAccesses() - base
+
+	base = eng.NodeAccesses()
+	got, _, err := eng.QueryBatch(context.Background(), qs, 1, crsky.QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchIO := eng.NodeAccesses() - base
+
+	for i := range qs {
+		if !equalIDs(got[i], single[i]) {
+			t.Fatalf("q#%d: batch %v, per-query BBRS %v", i, got[i], single[i])
+		}
+	}
+	if batchIO >= singleIO {
+		t.Fatalf("batch I/O %d not below %d per-query traversals' %d", batchIO, len(qs), singleIO)
+	}
+	t.Logf("shared frontier: %d queries, %d batch accesses vs %d per-query", len(qs), batchIO, singleIO)
 }
 
 // TestConformanceExplainBatch crosses ExplainBatch — non-answers fanned

@@ -1,6 +1,7 @@
 package conformance
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
@@ -93,6 +95,83 @@ func TestCausalityDeleteCauseFlipsSample(t *testing.T) {
 				drop[c.ID] = true
 				flipEng, newID := rebuildWithout(t, ds.Objects, drop)
 				if !contains(flipEng.ProbabilisticReverseSkyline(q, alpha), newID[an]) {
+					t.Errorf("seed=%d an=%d cause=%d Γ=%v: removing cause+contingency did not flip the non-answer",
+						seed, an, c.ID, c.Contingency)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestCausalityDeleteCauseFlipsPDF is the continuous-model version: for
+// every cause (p, Γ) the pdf-variant CP reports, the cubature oracle at the
+// explanation's own quadrature resolution must show Pr(an | P−Γ) still
+// below α and Pr(an | P−Γ−{p}) at or above it. The explanation is also run
+// through VerifyCtx, which performs the same audit inside the engine — the
+// carve-out this suite used to have for the pdf model is gone.
+func TestCausalityDeleteCauseFlipsPDF(t *testing.T) {
+	forEachCaseSeed(t, 23_000, 10, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := dataset.LUrU(7, 2, 10, 150+350*rng.Float64(), rng.Int63())
+		objs, err := dataset.GenerateUncertainPDF(cfg, uncertain.Uniform)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		eng, err := crsky.NewPDFEngine(objs)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		q := geom.Point{cfg.Domain * (0.2 + 0.6*rng.Float64()), cfg.Domain * (0.2 + 0.6*rng.Float64())}
+		alpha := 0.4 + 0.5*rng.Float64()
+		quad := 4
+
+		prWithout := func(an int, drop map[int]bool) float64 {
+			kept := make([]*uncertain.PDFObject, 0, len(objs))
+			for _, o := range objs {
+				if !drop[o.ID] {
+					kept = append(kept, o)
+				}
+			}
+			return prob.PrReverseSkylinePDF(objs[an], q, kept, quad)
+		}
+
+		answers := eng.ProbabilisticReverseSkylineNaive(q, alpha, quad)
+		checked := 0
+		for an := 0; an < eng.Len() && checked < 2; an++ {
+			if contains(answers, an) {
+				continue
+			}
+			res, err := eng.Explain(an, q, alpha, crsky.Options{QuadNodes: quad})
+			if err != nil || len(res.Causes) == 0 {
+				if err != nil {
+					t.Errorf("seed=%d an=%d: %v", seed, an, err)
+					return
+				}
+				continue
+			}
+			checked++
+			if err := eng.VerifyCtx(context.Background(), q, alpha, res); err != nil {
+				t.Errorf("seed=%d an=%d: verify: %v", seed, an, err)
+				return
+			}
+			for ci, c := range res.Causes {
+				if ci >= 3 {
+					break
+				}
+				drop := map[int]bool{}
+				for _, id := range c.Contingency {
+					drop[id] = true
+				}
+				if prob.GEq(prWithout(an, drop), alpha) {
+					t.Errorf("seed=%d an=%d cause=%d Γ=%v: removing the contingency alone already flipped the non-answer",
+						seed, an, c.ID, c.Contingency)
+					return
+				}
+				drop[c.ID] = true
+				if !prob.GEq(prWithout(an, drop), alpha) {
 					t.Errorf("seed=%d an=%d cause=%d Γ=%v: removing cause+contingency did not flip the non-answer",
 						seed, an, c.ID, c.Contingency)
 					return

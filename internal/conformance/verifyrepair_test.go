@@ -1,0 +1,266 @@
+package conformance
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/causality"
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// This file closes the v2 semantics matrix for VerifyCtx and RepairCtx:
+// every model behind crsky.Explainer — sample, certain, AND pdf — must
+// (a) verify its own explanations, (b) reject a tampered one, and
+// (c) produce repairs whose removal set provably flips the non-answer
+// into the answer set under that model's own probability oracle. There
+// are deliberately zero per-model carve-outs here; a model that cannot
+// pass is a bug, not a documented limitation.
+
+// tamperedCopy returns res with the first cause's responsibility broken,
+// leaving the original untouched. The Definition-1 audit checks the
+// responsibility formula 1/(1+|Γ|) to 1e-9, so halving it (plus an offset
+// in case it was 0) must fail verification under every model.
+func tamperedCopy(res *causality.Result) *causality.Result {
+	bad := *res
+	bad.Causes = append([]causality.Cause(nil), res.Causes...)
+	bad.Causes[0].Responsibility = bad.Causes[0].Responsibility/2 + 0.001
+	return &bad
+}
+
+// TestConformanceVerifyRepairSample runs the matrix on the discrete-sample
+// engine: ExplainCtx → VerifyCtx passes, tampering fails, and RepairCtx's
+// removal set lifts Pr(an) to α under the exact sample-space oracle.
+func TestConformanceVerifyRepairSample(t *testing.T) {
+	forEachCaseSeed(t, 45_000, 10, func(t *testing.T, seed int64) {
+		ds, q, alpha := explainWorkload(t, seed)
+		eng, err := crsky.NewEngine(ds.Objects)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		ctx := context.Background()
+		checked := 0
+		for an := 0; an < ds.Len() && checked < 2; an++ {
+			res, err := eng.ExplainCtx(ctx, an, q, alpha, crsky.Options{})
+			if errors.Is(err, crsky.ErrNotNonAnswer) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("seed=%d an=%d: explain: %v", seed, an, err)
+				return
+			}
+			checked++
+			if err := eng.VerifyCtx(ctx, q, alpha, res); err != nil {
+				t.Errorf("seed=%d an=%d: verify rejected a fresh explanation: %v", seed, an, err)
+				return
+			}
+			if len(res.Causes) > 0 {
+				if eng.VerifyCtx(ctx, q, alpha, tamperedCopy(res)) == nil {
+					t.Errorf("seed=%d an=%d: tampered explanation verified", seed, an)
+					return
+				}
+			}
+
+			rep, err := eng.RepairCtx(ctx, an, q, alpha, crsky.Options{})
+			if err != nil {
+				t.Errorf("seed=%d an=%d: repair: %v", seed, an, err)
+				return
+			}
+			drop := map[int]bool{}
+			for _, id := range rep.Removed {
+				drop[id] = true
+			}
+			kept := make([]*uncertain.Object, 0, ds.Len())
+			for _, o := range ds.Objects {
+				if !drop[o.ID] {
+					kept = append(kept, o)
+				}
+			}
+			pr := prob.PrReverseSkyline(ds.Objects[an], q, kept)
+			if !prob.GEq(pr, alpha) {
+				t.Errorf("seed=%d an=%d: removing %v leaves Pr=%v < α=%v",
+					seed, an, rep.Removed, pr, alpha)
+				return
+			}
+			if math.Abs(pr-rep.NewPr) > 1e-9 {
+				t.Errorf("seed=%d an=%d: NewPr=%v, oracle recomputes %v", seed, an, rep.NewPr, pr)
+				return
+			}
+		}
+	})
+}
+
+// TestConformanceVerifyRepairCertain runs the matrix on the certain-data
+// engine (Section-4 reduction): the repair flip is re-checked through live
+// index deletes rather than a probability oracle.
+func TestConformanceVerifyRepairCertain(t *testing.T) {
+	forEachCaseSeed(t, 46_000, 10, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := dataset.CertainConfig{
+			N:    25 + rng.Intn(75),
+			Dims: 2 + rng.Intn(2),
+			Kind: dataset.CertainKind(rng.Intn(4)),
+			Seed: rng.Int63(),
+		}
+		ds, err := dataset.GenerateCertain(cfg)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		q := make(geom.Point, cfg.Dims)
+		for j := range q {
+			q[j] = 10000 * (0.2 + 0.6*rng.Float64())
+		}
+		fresh := func() *crsky.CertainEngine {
+			pts := make([]geom.Point, len(ds.Points))
+			for i, p := range ds.Points {
+				pts[i] = p.Clone()
+			}
+			e, err := crsky.NewCertainEngine(pts)
+			if err != nil {
+				t.Fatalf("seed=%d: %v", seed, err)
+			}
+			return e
+		}
+		ctx := context.Background()
+		eng := fresh()
+		an := -1
+		for i := range ds.Points {
+			if !eng.IsReverseSkylinePoint(i, q) {
+				an = i
+				break
+			}
+		}
+		if an < 0 {
+			return
+		}
+		res, err := eng.ExplainCtx(ctx, an, q, 1, crsky.Options{})
+		if err != nil {
+			t.Errorf("seed=%d an=%d: explain: %v", seed, an, err)
+			return
+		}
+		if err := eng.VerifyCtx(ctx, q, 1, res); err != nil {
+			t.Errorf("seed=%d an=%d: verify rejected a fresh explanation: %v", seed, an, err)
+			return
+		}
+		if len(res.Causes) > 0 {
+			if eng.VerifyCtx(ctx, q, 1, tamperedCopy(res)) == nil {
+				t.Errorf("seed=%d an=%d: tampered explanation verified", seed, an)
+				return
+			}
+		}
+		rep, err := eng.RepairCtx(ctx, an, q, 1, crsky.Options{})
+		if err != nil {
+			t.Errorf("seed=%d an=%d: repair: %v", seed, an, err)
+			return
+		}
+		live := fresh()
+		for _, id := range rep.Removed {
+			if err := live.Delete(id); err != nil {
+				t.Errorf("seed=%d: delete %d: %v", seed, id, err)
+				return
+			}
+		}
+		if !live.IsReverseSkylinePoint(an, q) {
+			t.Errorf("seed=%d an=%d: removing %v did not flip the non-answer", seed, an, rep.Removed)
+			return
+		}
+		if rep.NewPr != 1 {
+			t.Errorf("seed=%d an=%d: certain repair NewPr=%v, want 1", seed, an, rep.NewPr)
+		}
+	})
+}
+
+// TestConformanceVerifyRepairPDF runs the matrix on the continuous model —
+// the half the API used to carve out. ExplainCtx must record the quadrature
+// resolution it ran at, VerifyCtx must re-integrate and pass at that
+// resolution, and RepairCtx's removal set must flip the non-answer under
+// the cubature oracle at the same resolution.
+func TestConformanceVerifyRepairPDF(t *testing.T) {
+	forEachCaseSeed(t, 47_000, 8, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		dims := 2 + rng.Intn(2)
+		n := 8 + rng.Intn(10)
+		rmax := 80 + 400*rng.Float64()
+		cfg := families[rng.Intn(len(families))](n, dims, 10, rmax, rng.Int63())
+		quad := 3 + rng.Intn(3)
+		alpha := 0.3 + 0.5*rng.Float64()
+		objs, err := dataset.GenerateUncertainPDF(cfg, uncertain.Uniform)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		eng, err := crsky.NewPDFEngine(objs)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		q := make(geom.Point, dims)
+		for j := range q {
+			q[j] = cfg.Domain * (0.15 + 0.7*rng.Float64())
+		}
+		ctx := context.Background()
+		opts := crsky.Options{QuadNodes: quad}
+		checked := 0
+		for an := 0; an < eng.Len() && checked < 2; an++ {
+			res, err := eng.ExplainCtx(ctx, an, q, alpha, opts)
+			if errors.Is(err, crsky.ErrNotNonAnswer) {
+				continue
+			}
+			if err != nil {
+				t.Errorf("seed=%d an=%d: explain: %v", seed, an, err)
+				return
+			}
+			checked++
+			if res.QuadNodes != quad {
+				t.Errorf("seed=%d an=%d: result records QuadNodes=%d, ran at %d",
+					seed, an, res.QuadNodes, quad)
+				return
+			}
+			if err := eng.VerifyCtx(ctx, q, alpha, res); err != nil {
+				t.Errorf("seed=%d an=%d: verify rejected a fresh pdf explanation: %v", seed, an, err)
+				return
+			}
+			if len(res.Causes) > 0 {
+				if eng.VerifyCtx(ctx, q, alpha, tamperedCopy(res)) == nil {
+					t.Errorf("seed=%d an=%d: tampered pdf explanation verified", seed, an)
+					return
+				}
+			}
+
+			rep, err := eng.RepairCtx(ctx, an, q, alpha, opts)
+			if err != nil {
+				t.Errorf("seed=%d an=%d: repair: %v", seed, an, err)
+				return
+			}
+			drop := map[int]bool{}
+			for _, id := range rep.Removed {
+				drop[id] = true
+			}
+			kept := make([]*uncertain.PDFObject, 0, len(objs))
+			for _, o := range objs {
+				if !drop[o.ID] {
+					kept = append(kept, o)
+				}
+			}
+			pr := prob.PrReverseSkylinePDF(objs[an], q, kept, quad)
+			if !prob.GEq(pr, alpha) {
+				t.Errorf("seed=%d an=%d: removing %v leaves Pr=%v < α=%v",
+					seed, an, rep.Removed, pr, alpha)
+				return
+			}
+			if math.Abs(pr-rep.NewPr) > 1e-9 {
+				t.Errorf("seed=%d an=%d: NewPr=%v, cubature oracle recomputes %v",
+					seed, an, rep.NewPr, pr)
+				return
+			}
+		}
+	})
+}

@@ -163,6 +163,20 @@ func (f *faultyEngine) QueryBatch(ctx context.Context, qs []crsky.Point, alpha f
 	return f.inner.QueryBatch(ctx, qs, alpha, opts)
 }
 
+func (f *faultyEngine) QueryBatchStream(ctx context.Context, qs []crsky.Point, alpha float64, opts crsky.QueryOptions,
+	emit func(index int, ids []int)) ([][]int, crsky.QueryStats, error) {
+
+	// Failing before the first emit exercises the server's whole-batch
+	// error path; mid-stream faults are the engine's own cancellation
+	// behavior and stay un-injected so chaos runs keep the emitted-prefix
+	// invariant observable.
+	if err := f.in.Err("queryBatchStream"); err != nil {
+		return nil, crsky.QueryStats{}, err
+	}
+	f.in.MaybePanic("queryBatchStream")
+	return f.inner.QueryBatchStream(ctx, qs, alpha, opts, emit)
+}
+
 func (f *faultyEngine) QueryApprox(ctx context.Context, q crsky.Point, alpha float64, opts crsky.QueryOptions, approx crsky.ApproxOptions) (*crsky.ApproxResult, crsky.QueryStats, error) {
 	if err := f.in.Err("queryApprox"); err != nil {
 		return nil, crsky.QueryStats{}, err
@@ -185,6 +199,15 @@ func (f *faultyEngine) ExplainBatch(ctx context.Context, reqs []crsky.ExplainReq
 	// contract forbids even under chaos, so the batch surface only panics.
 	f.in.MaybePanic("explainBatch")
 	return f.inner.ExplainBatch(ctx, reqs, opts)
+}
+
+func (f *faultyEngine) ExplainBatchStream(ctx context.Context, reqs []crsky.ExplainRequest, opts crsky.Options,
+	emit func(crsky.ExplainItem)) []crsky.ExplainItem {
+
+	// Same contract as ExplainBatch: only a panic, never a whole-batch
+	// error that would discard sibling results.
+	f.in.MaybePanic("explainBatchStream")
+	return f.inner.ExplainBatchStream(ctx, reqs, opts, emit)
 }
 
 func (f *faultyEngine) RepairCtx(ctx context.Context, id int, q crsky.Point, alpha float64, opts crsky.Options) (*crsky.Repair, error) {

@@ -51,15 +51,55 @@ func (st *pdfStreamState) harvest() (Stats, []int, [][]int32) {
 	return st.stats, st.undecidedIDs, st.undecidedCands
 }
 
+// batchEmitter streams finished per-query answers in ascending request
+// order while the merged exact stage is still running: every query tracks
+// how many undecided evaluations it still owes, and the ordered frontier
+// advances — computing collect() and firing emit — as soon as the next
+// query in request order owes none. Emit runs under the emitter mutex, so
+// calls are serialized, strictly ordered, and each query fires exactly
+// once; the callback must not re-enter the batch.
+type batchEmitter struct {
+	mu       sync.Mutex
+	emit     func(k int, ids []int)
+	pending  []int // outstanding undecided evaluations per query
+	verdicts [][]decision
+	out      [][]int
+	next     int // first query not yet emitted
+}
+
+// settle records one finished evaluation for query k and advances the
+// frontier past every newly final query.
+func (em *batchEmitter) settle(k int) {
+	em.mu.Lock()
+	em.pending[k]--
+	em.flushLocked()
+	em.mu.Unlock()
+}
+
+func (em *batchEmitter) flushLocked() {
+	for em.next < len(em.pending) && em.pending[em.next] == 0 {
+		k := em.next
+		em.out[k] = collect(em.verdicts[k])
+		if em.emit != nil {
+			em.emit(k, em.out[k])
+		}
+		em.next++
+	}
+}
+
 // queryBatchCore runs the shared-descent join with per-query states and
 // the merged exact stage — the one copy of the batch orchestration, with
 // the model plugged in through newState (fresh per-query stream state for
 // a join worker) and isAnswer (the exact evaluation of one undecided
 // (query, object) pair). Stats.Objects counts object-decisions,
-// n × len(qs).
+// n × len(qs). A non-nil emit observes every query's final answer slice in
+// ascending query order, each exactly once, as soon as it is final — on a
+// mid-batch cancellation only the completed prefix has been emitted, and
+// the error return carries no answers.
 func queryBatchCore(ctx context.Context, tree *rtree.Tree, n int, qs []geom.Point, opt Options,
 	newState func(k int) batchState,
-	isAnswer func(qIdx, id int, cands []int32) bool) ([][]int, Stats, error) {
+	isAnswer func(qIdx, id int, cands []int32) bool,
+	emit func(k int, ids []int)) ([][]int, Stats, error) {
 
 	nQ := len(qs)
 	if nQ == 0 {
@@ -112,22 +152,31 @@ func queryBatchCore(ctx context.Context, tree *rtree.Tree, n int, qs []geom.Poin
 		}
 	}
 
+	em := &batchEmitter{emit: emit, pending: make([]int, nQ), verdicts: verdicts, out: make([][]int, nQ)}
+	for _, it := range items {
+		em.pending[it.q]++
+	}
+	// Queries the join fully decided owe no exact work: flush them now so a
+	// batch whose first queries have empty undecided bands streams
+	// immediately, before the merged exact stage even starts.
+	em.mu.Lock()
+	em.flushLocked()
+	em.mu.Unlock()
+
 	endExact := tr.StartSpan("prsq.batchExact")
 	evaluated, err := evaluate(ctx, cands, opt,
 		func(k int) bool { return isAnswer(items[k].q, items[k].id, cands[k]) },
-		func(k int, d decision) { verdicts[items[k].q][items[k].id] = d })
+		func(k int, d decision) {
+			verdicts[items[k].q][items[k].id] = d
+			em.settle(items[k].q)
+		})
 	endExact()
 	if err != nil {
 		return nil, stats, wrapCanceled(err, evaluated)
 	}
 	stats.Evaluated = len(items)
 	stats.addToTrace(tr)
-
-	out := make([][]int, nQ)
-	for k := range verdicts {
-		out[k] = collect(verdicts[k])
-	}
-	return out, stats, nil
+	return em.out, stats, nil
 }
 
 // QueryBatch answers the probabilistic reverse skyline for every query
@@ -148,6 +197,19 @@ func QueryBatchStats(ds *dataset.Uncertain, qs []geom.Point, alpha float64, opt 
 // QueryBatchStatsCtx is QueryBatchStats under a context, with the
 // cancellation contract of QueryStatsCtx.
 func QueryBatchStatsCtx(ctx context.Context, ds *dataset.Uncertain, qs []geom.Point, alpha float64, opt Options) ([][]int, Stats, error) {
+	return QueryBatchStreamStatsCtx(ctx, ds, qs, alpha, opt, nil)
+}
+
+// QueryBatchStreamStatsCtx is QueryBatchStatsCtx with per-query streaming:
+// a non-nil emit observes every query's final ascending answer slice in
+// request order, each exactly once, as soon as it is final — before the
+// rest of the batch finishes computing. Emit calls are serialized; the
+// callback must not re-enter the engine. On a mid-batch cancellation only
+// the completed prefix has been emitted and the call returns the error with
+// no answers.
+func QueryBatchStreamStatsCtx(ctx context.Context, ds *dataset.Uncertain, qs []geom.Point, alpha float64, opt Options,
+	emit func(k int, ids []int)) ([][]int, Stats, error) {
+
 	wsum := ds.WeightSums()
 	var sums []dataset.Summary
 	if !opt.NoBounds && !opt.NoTier2 {
@@ -167,7 +229,8 @@ func QueryBatchStatsCtx(ctx context.Context, ds *dataset.Uncertain, qs []geom.Po
 			*bufp = objs[:0]
 			candPool.Put(bufp)
 			return ok
-		})
+		},
+		emit)
 }
 
 // QueryBatchPDF is the continuous-model batch query: the same shared
@@ -181,6 +244,14 @@ func QueryBatchPDF(set *causality.PDFSet, qs []geom.Point, alpha float64, quadNo
 // QueryBatchPDFStatsCtx is QueryBatchPDF with statistics and a context,
 // mirroring QueryBatchStatsCtx.
 func QueryBatchPDFStatsCtx(ctx context.Context, set *causality.PDFSet, qs []geom.Point, alpha float64, quadNodes int, opt Options) ([][]int, Stats, error) {
+	return QueryBatchPDFStreamStatsCtx(ctx, set, qs, alpha, quadNodes, opt, nil)
+}
+
+// QueryBatchPDFStreamStatsCtx is QueryBatchPDFStatsCtx with the per-query
+// streaming contract of QueryBatchStreamStatsCtx.
+func QueryBatchPDFStreamStatsCtx(ctx context.Context, set *causality.PDFSet, qs []geom.Point, alpha float64, quadNodes int, opt Options,
+	emit func(k int, ids []int)) ([][]int, Stats, error) {
+
 	return queryBatchCore(ctx, set.Tree(), set.Len(), qs, opt,
 		func(k int) batchState {
 			return &pdfStreamState{set: set, q: qs[k], alpha: alpha, opt: opt}
@@ -195,5 +266,6 @@ func QueryBatchPDFStatsCtx(ctx context.Context, set *causality.PDFSet, qs []geom
 			*bufp = objs[:0]
 			pdfCandPool.Put(bufp)
 			return ok
-		})
+		},
+		emit)
 }

@@ -1,20 +1,23 @@
 package server
 
 import (
-	"fmt"
-	"strings"
-
 	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/geom"
 )
 
 // The /v2 API is the batch, deadline-aware surface over the model-generic
 // engine interface: one request carries many query points (or many
-// non-answers), responses stream back as NDJSON — one JSON object per line
-// — and a `?timeout=` query parameter bounds the whole request. Unlike the
-// /v1 handlers, the v2 compute runs on the live request context: a client
+// non-answers), responses stream back as NDJSON — one JSON object per
+// line, flushed as soon as that item is final, not when the batch is — and
+// a `?timeout=` query parameter bounds the whole request. Unlike the /v1
+// handlers, the v2 compute runs on the live request context: a client
 // disconnect or an elapsed deadline cancels the engine work mid-search and
 // frees the worker-pool slot.
+//
+// Results are cached per ITEM, under the same keys the v1 single-point
+// handlers use (queryKey / explainKey): a batch warms the cache for later
+// single queries, a warmed single query is one less item a later batch
+// computes, and a repeated batch recomputes only the items it is missing.
 
 // BatchQueryRequest is the body of POST /v2/query: the (probabilistic)
 // reverse skyline of every point in Qs at one threshold. Alpha is ignored
@@ -28,40 +31,41 @@ type BatchQueryRequest struct {
 	// Approx selects the degraded Monte Carlo tier ("" / "never" / "auto" /
 	// "always" — see QueryRequest.Approx). Approximate batch responses are
 	// never cached, so like NoCache these three fields are delivery
-	// directives excluded from the cache key: the exact computation they
+	// directives excluded from the cache keys: the exact computation they
 	// may fall back from is identical with or without them.
 	Approx     string  `json:"approx,omitempty"`
 	Epsilon    float64 `json:"epsilon,omitempty"`
 	Confidence float64 `json:"confidence,omitempty"`
 }
 
-// cacheKey canonically encodes every semantically relevant field —
-// including the batch shape — so two requests share a cached result
-// exactly when the engine would compute the same thing. NoCache (a cache
-// directive) and the request deadline (delivery, not semantics) are
-// deliberately excluded; TestV2CacheKeysCoverEveryField enforces coverage
-// of everything else by reflection.
-func (r *BatchQueryRequest) cacheKey(ent *entry) string {
-	var b strings.Builder
+// itemKeys returns one cache key per query point, in request order — the
+// SAME keys the v1 single-query handler uses (see queryKey), which is
+// what lets batch and single-query results share cache entries. Every
+// semantically relevant field feeds the keys; NoCache and the approx trio
+// are delivery directives that do not. TestV2CacheKeysCoverEveryField
+// enforces the coverage by reflection.
+func (r *BatchQueryRequest) itemKeys(ent *entry) []string {
 	// r.Dataset (== ent.name for every resolvable request) keys the name;
 	// the entry contributes the generation so a re-registered dataset
-	// retires its predecessor's cached batches.
-	fmt.Fprintf(&b, "v2query|%s|%d|%g|%d|n=%d", r.Dataset, ent.gen, r.Alpha, r.QuadNodes, len(r.Qs))
-	for _, q := range r.Qs {
-		b.WriteByte('|')
-		b.WriteString(pointKey(geom.Point(q)))
+	// retires its predecessor's cached items.
+	keys := make([]string, len(r.Qs))
+	for i, q := range r.Qs {
+		keys[i] = queryKey(r.Dataset, ent.gen, geom.Point(q), r.Alpha, r.QuadNodes)
 	}
-	return b.String()
+	return keys
 }
 
 // BatchQueryItem is one NDJSON line of the /v2/query response, in request
-// order. Queries have no per-item failure mode — a batch query fails as a
-// whole — so unlike BatchExplainItem there is no error field. Approx and
-// Intervals mirror QueryResponse: present only on degraded-tier items.
+// order. Error is set only on the lines after a mid-stream engine failure:
+// earlier items are already on the wire with a committed 200 by then, so
+// each item the engine never finished carries the failure explicitly
+// instead of being silently truncated. Approx and Intervals mirror
+// QueryResponse: present only on degraded-tier items.
 type BatchQueryItem struct {
 	Index     int                    `json:"index"`
 	Count     int                    `json:"count"`
 	Answers   []int                  `json:"answers"`
+	Error     string                 `json:"error,omitempty"`
 	Approx    bool                   `json:"approx,omitempty"`
 	Intervals []crsky.ApproxInterval `json:"intervals,omitempty"`
 }
@@ -75,8 +79,8 @@ type BatchExplainItemRequest struct {
 // BatchExplainRequest is the body of POST /v2/explain: causality
 // explanations for many non-answers, with per-item errors (an item that is
 // actually an answer fails alone, its siblings still return). Verify
-// re-checks every successful explanation against Definition 1 before it is
-// reported.
+// re-checks every reported explanation — computed or cached — against
+// Definition 1 before it is streamed.
 type BatchExplainRequest struct {
 	Dataset string                    `json:"dataset"`
 	Items   []BatchExplainItemRequest `json:"items"`
@@ -84,18 +88,25 @@ type BatchExplainRequest struct {
 	Options OptionsSpec               `json:"options,omitempty"`
 	Verify  bool                      `json:"verify,omitempty"`
 	NoCache bool                      `json:"noCache,omitempty"`
+	// ItemTimeout bounds each item's computation separately (a Go duration
+	// string, e.g. "250ms"): an item that exceeds its own budget fails
+	// alone with a per-item error line while its siblings keep computing,
+	// unlike ?timeout=, which bounds — and on expiry fails — the whole
+	// request. Empty means no per-item bound.
+	ItemTimeout string `json:"itemTimeout,omitempty"`
 }
 
-// cacheKey mirrors BatchQueryRequest.cacheKey: every field except NoCache,
-// batch shape included.
-func (r *BatchExplainRequest) cacheKey(ent *entry) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "v2explain|%s|%d|%g|%s|v=%t|n=%d",
-		r.Dataset, ent.gen, r.Alpha, r.Options.toOptions().Key(), r.Verify, len(r.Items))
-	for _, it := range r.Items {
-		fmt.Fprintf(&b, "|%d@%s", it.An, pointKey(geom.Point(it.Q)))
+// itemKeys mirrors BatchQueryRequest.itemKeys for /v2/explain: one
+// v1-compatible key per item (see explainKey). Verify is not keyed —
+// cached results are re-verified per request — and ItemTimeout is
+// delivery, not semantics; NoCache is the cache directive itself.
+func (r *BatchExplainRequest) itemKeys(ent *entry) []string {
+	opts := r.Options.toOptions()
+	keys := make([]string, len(r.Items))
+	for i, it := range r.Items {
+		keys[i] = explainKey(r.Dataset, ent.gen, geom.Point(it.Q), it.An, r.Alpha, opts)
 	}
-	return b.String()
+	return keys
 }
 
 // BatchExplainItem is one NDJSON line of the /v2/explain response, in

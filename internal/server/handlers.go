@@ -79,6 +79,26 @@ func (s *Server) resolve(name string, qs []float64, alpha float64) (*entry, geom
 	return ent, q, alpha, 0, nil
 }
 
+// queryKey is the canonical cache key of one (dataset, query, alpha,
+// quadNodes) reverse-skyline computation. The v1 single-query handler and
+// the v2 batch handler's per-item cache build the SAME keys, so either
+// surface serves results the other computed: a batch warms later single
+// queries and a warmed single query is one less item a batch must compute.
+// (v1 additionally deduplicates in-flight computations per key through the
+// singleflight group; v2 does not, so a v2 Put may land while a v1 flight
+// for the same key runs — benign, both store the same value.)
+func queryKey(name string, gen uint64, q geom.Point, alpha float64, quadNodes int) string {
+	return fmt.Sprintf("query|%s|%d|%s|%g|%d", name, gen, pointKey(q), alpha, quadNodes)
+}
+
+// explainKey is queryKey's causality counterpart, shared by /v1/explain
+// and /v2/explain's per-item cache. Verification is deliberately not part
+// of the key: both surfaces re-run the verifier per request on whatever
+// they serve, so verified and unverified requests share one entry.
+func explainKey(name string, gen uint64, q geom.Point, an int, alpha float64, opts causality.Options) string {
+	return fmt.Sprintf("explain|%s|%d|%s|%d|%g|%s", name, gen, pointKey(q), an, alpha, opts.Key())
+}
+
 // writeComputeError renders a compute-path failure: cancellations and
 // admission sheds become 503s with the COMPUTED Retry-After (queue depth ×
 // recent median slot wait, capped — see retryAfter), panics and integrity
@@ -310,7 +330,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		fullDeadline = time.Now().Add(timeout)
 		exactTimeout = timeout * 3 / 4
 	}
-	key := fmt.Sprintf("query|%s|%d|%s|%g|%d", ent.name, ent.gen, pointKey(q), alpha, req.QuadNodes)
+	key := queryKey(ent.name, ent.gen, q, alpha, req.QuadNodes)
 	v, err := s.compute(w, r.Context(), key, req.NoCache, priorityFrom(r, classQuery), exactTimeout,
 		func(ctx context.Context) (any, error) {
 			return ent.queryCtx(ctx, q, alpha, req.QuadNodes)
@@ -367,8 +387,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	key := fmt.Sprintf("explain|%s|%d|%s|%d|%g|%s",
-		ent.name, ent.gen, pointKey(q), req.An, alpha, opts.Key())
+	key := explainKey(ent.name, ent.gen, q, req.An, alpha, opts)
 	v, err := s.compute(w, r.Context(), key, req.NoCache, priorityFrom(r, classExplain), timeout,
 		func(ctx context.Context) (any, error) {
 			res, err := ent.explainCtx(ctx, q, req.An, alpha, opts)

@@ -6,8 +6,11 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
+	"time"
 
 	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/geom"
 )
 
@@ -56,65 +59,115 @@ func (s *Server) resolveBatch(name string, qss [][]float64, alpha float64) (*ent
 	return ent, qs, alpha, 0, nil
 }
 
-// computeV2 runs fn on a worker-pool slot under the LIVE request context —
-// the v2 half of compute: no singleflight (a canceled leader must not fail
-// followers, and batch bodies rarely collide byte-for-byte in flight), the
-// cache in front, admission after a cache miss, and pool slots released as
-// soon as a disconnect, deadline, or drain cancels fn. Errors are returned,
-// not written, so callers with a degraded tier can fall back.
-func (s *Server) computeV2(w http.ResponseWriter, ctx context.Context, key string, noCache bool,
-	class priorityClass, fn func(ctx context.Context) (any, error)) (any, error) {
+// --- NDJSON streaming ---------------------------------------------------
 
-	tr := obsTrace(ctx)
-	if noCache {
-		w.Header().Set(headerCache, "bypass")
-		tr.SetLabel("cache", "bypass")
-	} else if v, ok := s.cache.Get(key); ok {
-		w.Header().Set(headerCache, "hit")
-		tr.SetLabel("cache", "hit")
-		return v, nil
-	} else {
-		w.Header().Set(headerCache, "miss")
-		tr.SetLabel("cache", "miss")
-	}
-
-	if err := s.admit(class, remainingBudget(ctx, 0)); err != nil {
-		tr.SetLabel("admission", "shed")
-		return nil, err
-	}
-
-	ctx, undrain := mergeCancel(ctx, s.drainCtx)
-	defer undrain()
-	v, err := s.pool.Do(ctx, func() (any, error) {
-		if s.computeHook != nil {
-			s.computeHook()
-		}
-		return fn(ctx)
-	})
-	if err != nil {
-		return nil, err
-	}
-	if !noCache {
-		s.cache.Put(key, v)
-	}
-	return v, nil
+// ndjsonStream writes an NDJSON response one line at a time, flushing the
+// connection after every line so each item reaches the client as soon as
+// it is final — not when the whole batch is. The 200 status commits
+// lazily with the first line, which is why the handlers keep every
+// failure that should still become an error status ahead of the first
+// write.
+type ndjsonStream struct {
+	w       http.ResponseWriter
+	enc     *json.Encoder
+	flusher http.Flusher
+	started bool
 }
 
-// writeNDJSON streams items as application/x-ndjson, one JSON object per
-// line. On ?trace=1 requests a final {"trace": {...}} line follows the
-// items — opt-in, so clients that did not ask keep a byte-identical
-// stream.
-func writeNDJSON[T any](w http.ResponseWriter, r *http.Request, items []T) {
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK)
-	enc := json.NewEncoder(w) // Encode appends the newline separator
-	for _, it := range items {
-		_ = enc.Encode(it)
+func newNDJSONStream(w http.ResponseWriter) *ndjsonStream {
+	f, _ := w.(http.Flusher)
+	return &ndjsonStream{w: w, enc: json.NewEncoder(w), flusher: f}
+}
+
+// commit writes the response header if it has not gone out yet.
+func (st *ndjsonStream) commit() {
+	if !st.started {
+		st.w.Header().Set("Content-Type", "application/x-ndjson")
+		st.w.WriteHeader(http.StatusOK)
+		st.started = true
 	}
+}
+
+func (st *ndjsonStream) write(line any) {
+	st.commit()
+	_ = st.enc.Encode(line) // Encode appends the newline separator
+	if st.flusher != nil {
+		st.flusher.Flush()
+	}
+}
+
+// writeTrace appends the opt-in ?trace=1 trailer line — clients that did
+// not ask keep a stream with exactly one line per item.
+func writeTrace(st *ndjsonStream, r *http.Request) {
 	if tj := traceJSON(r); tj != nil {
-		_ = enc.Encode(BatchTraceItem{Trace: tj})
+		st.write(BatchTraceItem{Trace: tj})
 	}
 }
+
+// writeNDJSON streams a fully materialized item slice: the all-cache-hit
+// and approximate-tier paths, where every line is known up front.
+func writeNDJSON[T any](w http.ResponseWriter, r *http.Request, items []T) {
+	st := newNDJSONStream(w)
+	st.commit() // even an empty item set is a 200 NDJSON response
+	for _, it := range items {
+		st.write(it)
+	}
+	writeTrace(st, r)
+}
+
+// ndjsonFrontier turns out-of-order item completions into request-ordered
+// NDJSON lines: set stores a finished line and flushes the longest ready
+// prefix. Engine emit callbacks are serialized by the engine contract but
+// arrive on engine worker goroutines; the mutex both serializes them
+// against the handler goroutine and publishes line writes to whichever
+// goroutine ends up flushing them.
+type ndjsonFrontier struct {
+	mu    sync.Mutex
+	st    *ndjsonStream
+	lines []any
+	next  int
+}
+
+func newNDJSONFrontier(w http.ResponseWriter, n int) *ndjsonFrontier {
+	return &ndjsonFrontier{st: newNDJSONStream(w), lines: make([]any, n)}
+}
+
+func (f *ndjsonFrontier) set(i int, line any) {
+	f.mu.Lock()
+	f.lines[i] = line
+	for f.next < len(f.lines) && f.lines[f.next] != nil {
+		f.st.write(f.lines[f.next])
+		f.next++
+	}
+	f.mu.Unlock()
+}
+
+// started reports whether any line is on the wire — past that point a
+// failure can no longer become an error status.
+func (f *ndjsonFrontier) started() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.st.started
+}
+
+// fail finishes a started stream after a mid-batch failure: lines that
+// finished but were blocked behind the failure still flush as results,
+// and every other remaining index gets a per-item error envelope from
+// mkErr. The engine call has returned by now, so the handler goroutine
+// owns the stream again.
+func (f *ndjsonFrontier) fail(mkErr func(i int) any) {
+	f.mu.Lock()
+	for ; f.next < len(f.lines); f.next++ {
+		line := f.lines[f.next]
+		if line == nil {
+			line = mkErr(f.next)
+		}
+		f.st.write(line)
+	}
+	f.mu.Unlock()
+}
+
+// --- /v2/query ----------------------------------------------------------
 
 func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	s.reqQuery.Inc()
@@ -130,7 +183,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	}
 	annotate(r.Context(), ent)
 	// Key on the resolved alpha (certain data forces 1), so requests that
-	// compute the same thing share the cached result.
+	// compute the same thing share the cached results.
 	req.Alpha = alpha
 	mode, err := parseApproxMode(req.Approx)
 	if err != nil {
@@ -164,27 +217,104 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	v, err := s.computeV2(w, exactCtx, req.cacheKey(ent), req.NoCache, priorityFrom(r, classBatch),
-		func(ctx context.Context) (any, error) {
-			answers, err := ent.queryBatchCtx(ctx, qs, alpha, req.QuadNodes)
-			if err != nil {
-				return nil, err
+	tr := obsTrace(r.Context())
+	keys := req.itemKeys(ent)
+	lines := make([]any, len(qs)) // cache-hit lines; nil = must compute
+	var missing []int
+	if req.NoCache {
+		w.Header().Set(headerCache, "bypass")
+		tr.SetLabel("cache", "bypass")
+		missing = make([]int, len(qs))
+		for i := range qs {
+			missing[i] = i
+		}
+	} else {
+		for i := range qs {
+			if v, ok := s.cache.Get(keys[i]); ok {
+				ids := v.([]int)
+				lines[i] = BatchQueryItem{Index: i, Count: len(ids), Answers: ids}
+			} else {
+				missing = append(missing, i)
 			}
-			items := make([]BatchQueryItem, len(answers))
-			for i, ids := range answers {
-				items[i] = BatchQueryItem{Index: i, Count: len(ids), Answers: ids}
+		}
+		if len(missing) == 0 {
+			// Every item was computed by earlier requests — batches or v1
+			// single queries, the keys are shared — so no admission and no
+			// pool slot: hits are served unconditionally, like v1.
+			w.Header().Set(headerCache, "hit")
+			tr.SetLabel("cache", "hit")
+			items := make([]BatchQueryItem, len(lines))
+			for i, line := range lines {
+				items[i] = line.(BatchQueryItem)
 			}
-			return items, nil
-		})
-	if err != nil {
-		if mode == approxAuto && degradable(err) && ctx.Err() == nil {
-			s.serveApproxBatch(w, r, ctx, ent, qs, alpha, req.QuadNodes, ap)
+			writeNDJSON(w, r, items)
 			return
 		}
-		s.writeComputeError(w, err)
+		w.Header().Set(headerCache, "miss")
+		tr.SetLabel("cache", "miss")
+	}
+
+	if err := s.admit(priorityFrom(r, classBatch), remainingBudget(exactCtx, 0)); err != nil {
+		tr.SetLabel("admission", "shed")
+		s.queryV2Fallback(w, r, ctx, err, mode, ent, qs, alpha, req.QuadNodes, ap)
 		return
 	}
-	writeNDJSON(w, r, v.([]BatchQueryItem))
+
+	mctx, undrain := mergeCancel(exactCtx, s.drainCtx)
+	defer undrain()
+	fr := newNDJSONFrontier(w, len(qs))
+	mqs := make([]geom.Point, len(missing))
+	for j, i := range missing {
+		mqs[j] = qs[i]
+	}
+	_, err = s.pool.Do(mctx, func() (any, error) {
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		// Flush the cache-hit prefix only once the batch holds its slot:
+		// before this point a shed or queued cancellation must still be
+		// able to become a clean error status.
+		for i, line := range lines {
+			if line != nil {
+				fr.set(i, line)
+			}
+		}
+		return nil, ent.queryBatchStreamCtx(mctx, mqs, alpha, req.QuadNodes, func(j int, ids []int) {
+			i := missing[j]
+			if !req.NoCache {
+				s.cache.Put(keys[i], ids)
+			}
+			fr.set(i, BatchQueryItem{Index: i, Count: len(ids), Answers: ids})
+		})
+	})
+	if err != nil {
+		if !fr.started() {
+			s.queryV2Fallback(w, r, ctx, err, mode, ent, qs, alpha, req.QuadNodes, ap)
+			return
+		}
+		// Items are already on the wire with a committed 200: the failure
+		// degrades to per-item error envelopes on the unfinished tail
+		// instead of silently truncating the stream.
+		msg := err.Error()
+		fr.fail(func(i int) any { return BatchQueryItem{Index: i, Error: msg} })
+		writeTrace(fr.st, r)
+		return
+	}
+	writeTrace(fr.st, r)
+}
+
+// queryV2Fallback finishes a failed exact batch that has not written any
+// line yet: under approx=auto a capacity failure degrades to the Monte
+// Carlo tier, everything else maps through writeComputeError — exactly
+// the whole-batch error semantics of the non-streaming handler.
+func (s *Server) queryV2Fallback(w http.ResponseWriter, r *http.Request, ctx context.Context, err error,
+	mode approxMode, ent *entry, qs []geom.Point, alpha float64, quadNodes int, ap crsky.ApproxOptions) {
+
+	if mode == approxAuto && degradable(err) && ctx.Err() == nil {
+		s.serveApproxBatch(w, r, ctx, ent, qs, alpha, quadNodes, ap)
+		return
+	}
+	s.writeComputeError(w, err)
 }
 
 // serveApproxBatch answers a whole batch from the degraded tier in ONE
@@ -226,6 +356,43 @@ func (s *Server) serveApproxBatch(w http.ResponseWriter, r *http.Request, ctx co
 	writeNDJSON(w, r, v.([]BatchQueryItem))
 }
 
+// --- /v2/explain --------------------------------------------------------
+
+// explainItemLine builds one /v2/explain response line from a result,
+// re-running the independent Definition-1 verifier first when the request
+// asked for it — cached results included, so a poisoned cache entry can
+// never be re-served verified. A verification failure evicts the entry
+// and returns errVerificationFailed; a cancellation that interrupts
+// verification stays a plain cancellation (503, not an integrity 500).
+func (s *Server) explainItemLine(ctx context.Context, ent *entry, verify bool, key string, i int,
+	q geom.Point, alpha float64, res *causality.Result) (BatchExplainItem, error) {
+
+	if verify {
+		if err := ent.verifyCtx(ctx, q, alpha, res); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return BatchExplainItem{}, err
+			}
+			// Never keep serving a result the verifier just rejected.
+			s.cache.Remove(key)
+			return BatchExplainItem{}, fmt.Errorf("%w: item %d: %v", errVerificationFailed, i, err)
+		}
+	}
+	return BatchExplainItem{Index: i, Explain: &ExplainResponse{
+		Dataset:            ent.name,
+		Model:              ent.model,
+		NonAnswer:          res.NonAnswer,
+		Pr:                 res.Pr,
+		Alpha:              alpha,
+		Candidates:         res.Candidates,
+		Causes:             causesJSON(res.Causes),
+		SubsetsExamined:    res.SubsetsExamined,
+		GreedySeeds:        res.GreedySeeds,
+		GreedyHits:         res.GreedyHits,
+		FilterNodeAccesses: res.FilterNodeAccesses,
+		Verified:           verify,
+	}}, nil
+}
+
 func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 	s.reqExplain.Inc()
 	var req BatchExplainRequest
@@ -247,16 +414,25 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	annotate(r.Context(), ent)
-	// Canonicalize BEFORE the cache key is built: the key encodes the
+	// Canonicalize BEFORE the cache keys are built: the keys encode the
 	// resolved alpha and the canonicalized options, so requests that run
-	// the same computation share one cache entry. Algorithm CR takes no
-	// options (Lemma 7 needs no refinement), hence the certain-model
-	// options collapse to the zero value.
+	// the same computation share entries. Algorithm CR takes no options
+	// (Lemma 7 needs no refinement), hence the certain-model options
+	// collapse to the zero value.
 	req.Alpha = alpha
 	if ent.model == ModelCertain {
 		req.Options = OptionsSpec{}
 	}
 	opts := req.Options.toOptions()
+	var itemTimeout time.Duration
+	if req.ItemTimeout != "" {
+		itemTimeout, err = time.ParseDuration(req.ItemTimeout)
+		if err != nil || itemTimeout <= 0 {
+			s.writeError(w, http.StatusBadRequest,
+				fmt.Errorf("bad itemTimeout %q (want a positive Go duration, e.g. 250ms)", req.ItemTimeout))
+			return
+		}
+	}
 	ctx, cancel, err := withTimeout(r)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
@@ -264,60 +440,147 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	v, err := s.computeV2(w, ctx, req.cacheKey(ent), req.NoCache, priorityFrom(r, classExplain), func(ctx context.Context) (any, error) {
-		reqs := make([]crsky.ExplainRequest, len(req.Items))
-		for i, it := range req.Items {
-			reqs[i] = crsky.ExplainRequest{ID: it.An, Q: qs[i], Alpha: alpha}
+	tr := obsTrace(r.Context())
+	keys := req.itemKeys(ent)
+	results := make([]*causality.Result, len(req.Items)) // cache hits; nil = must compute
+	var missing []int
+	if req.NoCache {
+		w.Header().Set(headerCache, "bypass")
+		tr.SetLabel("cache", "bypass")
+		missing = make([]int, len(req.Items))
+		for i := range req.Items {
+			missing[i] = i
 		}
-		results := ent.eng.ExplainBatch(ctx, reqs, opts)
-		items := make([]BatchExplainItem, len(results))
-		for i, res := range results {
-			items[i] = BatchExplainItem{Index: res.Index}
-			if res.Err != nil {
-				// A canceled item fails the whole batch: the caller gave up,
-				// and a partially canceled result set must never be cached
-				// as if it were the full answer.
-				if errors.Is(res.Err, context.Canceled) || errors.Is(res.Err, context.DeadlineExceeded) {
-					return nil, res.Err
-				}
-				items[i].Error = res.Err.Error()
-				continue
-			}
-			if req.Verify {
-				if err := ent.verifyCtx(ctx, qs[i], alpha, res.Result); err != nil {
-					// A deadline hitting during verification is a plain
-					// cancellation (503), not an integrity failure.
-					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-						return nil, err
-					}
-					return nil, fmt.Errorf("%w: item %d: %v", errVerificationFailed, i, err)
-				}
-			}
-			s.explainComputed.Inc()
-			s.explainSubsets.Add(res.Result.SubsetsExamined)
-			s.explainGreedySeeds.Add(res.Result.GreedySeeds)
-			s.explainGreedyHits.Add(res.Result.GreedyHits)
-			s.explainFilterIO.Add(res.Result.FilterNodeAccesses)
-			items[i].Explain = &ExplainResponse{
-				Dataset:            ent.name,
-				Model:              ent.model,
-				NonAnswer:          res.Result.NonAnswer,
-				Pr:                 res.Result.Pr,
-				Alpha:              alpha,
-				Candidates:         res.Result.Candidates,
-				Causes:             causesJSON(res.Result.Causes),
-				SubsetsExamined:    res.Result.SubsetsExamined,
-				GreedySeeds:        res.Result.GreedySeeds,
-				GreedyHits:         res.Result.GreedyHits,
-				FilterNodeAccesses: res.Result.FilterNodeAccesses,
-				Verified:           req.Verify,
+	} else {
+		for i := range req.Items {
+			if v, ok := s.cache.Get(keys[i]); ok {
+				results[i] = v.(*causality.Result)
+			} else {
+				missing = append(missing, i)
 			}
 		}
-		return items, nil
-	})
-	if err != nil {
+		if len(missing) == 0 {
+			// Fully cache-served, no pool slot — but a verification
+			// failure must still become a clean 500, so every line is
+			// built (and verified) before the first one is written.
+			w.Header().Set(headerCache, "hit")
+			tr.SetLabel("cache", "hit")
+			items := make([]BatchExplainItem, len(results))
+			for i, res := range results {
+				line, err := s.explainItemLine(ctx, ent, req.Verify, keys[i], i, qs[i], alpha, res)
+				if err != nil {
+					s.writeComputeError(w, err)
+					return
+				}
+				items[i] = line
+			}
+			writeNDJSON(w, r, items)
+			return
+		}
+		w.Header().Set(headerCache, "miss")
+		tr.SetLabel("cache", "miss")
+	}
+
+	if err := s.admit(priorityFrom(r, classExplain), remainingBudget(ctx, 0)); err != nil {
+		tr.SetLabel("admission", "shed")
 		s.writeComputeError(w, err)
 		return
 	}
-	writeNDJSON(w, r, v.([]BatchExplainItem))
+
+	mctx, undrain := mergeCancel(ctx, s.drainCtx)
+	defer undrain()
+	fr := newNDJSONFrontier(w, len(req.Items))
+	reqs := make([]crsky.ExplainRequest, len(missing))
+	for j, i := range missing {
+		reqs[j] = crsky.ExplainRequest{ID: req.Items[i].An, Q: qs[i], Alpha: alpha, Timeout: itemTimeout}
+	}
+	_, err = s.pool.Do(mctx, func() (any, error) {
+		if s.computeHook != nil {
+			s.computeHook()
+		}
+		// ictx lets a fatal failure — a batch-level cancellation or a
+		// verification integrity failure — stop the remaining items
+		// promptly instead of letting them compute answers nobody will
+		// see. fatal is written either before the engine call or inside
+		// the serialized emit callbacks, so it needs no extra lock.
+		ictx, icancel := context.WithCancel(mctx)
+		defer icancel()
+		var fatal error
+		fail := func(err error) {
+			if fatal == nil {
+				fatal = err
+				icancel()
+			}
+		}
+
+		// Cache-hit items flush (after per-request re-verification) as
+		// soon as the slot is held; computed items stream in behind them.
+		for i, res := range results {
+			if res == nil {
+				continue
+			}
+			line, err := s.explainItemLine(ictx, ent, req.Verify, keys[i], i, qs[i], alpha, res)
+			if err != nil {
+				fail(err)
+				break
+			}
+			fr.set(i, line)
+		}
+		if fatal != nil {
+			return nil, fatal
+		}
+
+		ent.eng.ExplainBatchStream(ictx, reqs, opts, func(item crsky.ExplainItem) {
+			if fatal != nil {
+				return
+			}
+			i := missing[item.Index]
+			if item.Err != nil {
+				if (errors.Is(item.Err, context.Canceled) || errors.Is(item.Err, context.DeadlineExceeded)) &&
+					ictx.Err() != nil {
+					// The batch itself is going down (client deadline,
+					// disconnect, drain, or an earlier fatal failure), not
+					// this item's own budget: fail the whole batch — a
+					// partially canceled result set must never pass for
+					// the full answer.
+					fail(item.Err)
+					return
+				}
+				// A per-item failure — a non-answer that is actually an
+				// answer, an item that blew its own ItemTimeout, an engine
+				// fault: the item fails alone, its siblings keep
+				// streaming, and nothing is cached for it.
+				fr.set(i, BatchExplainItem{Index: i, Error: item.Err.Error()})
+				return
+			}
+			line, err := s.explainItemLine(ictx, ent, req.Verify, keys[i], i, qs[i], alpha, item.Result)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if !req.NoCache {
+				s.cache.Put(keys[i], item.Result)
+			}
+			// Work gauges count computed explanations only: cache hits
+			// re-serve an already-counted search.
+			s.explainComputed.Inc()
+			s.explainSubsets.Add(item.Result.SubsetsExamined)
+			s.explainGreedySeeds.Add(item.Result.GreedySeeds)
+			s.explainGreedyHits.Add(item.Result.GreedyHits)
+			s.explainFilterIO.Add(item.Result.FilterNodeAccesses)
+			fr.set(i, line)
+		})
+		return nil, fatal
+	})
+	if err != nil {
+		if !fr.started() {
+			s.writeComputeError(w, err)
+			return
+		}
+		msg := err.Error()
+		fr.fail(func(i int) any { return BatchExplainItem{Index: i, Error: msg} })
+		writeTrace(fr.st, r)
+		return
+	}
+	writeTrace(fr.st, r)
 }

@@ -92,6 +92,15 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// Flush passes the streaming capability through: the v2 NDJSON handlers
+// flush per line, and losing http.Flusher under this wrapper would silently
+// buffer whole batches.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // outcomeFor maps a status code to the bounded outcome label vocabulary —
 // bounded so the histogram family's cardinality stays route × model × 4.
 func outcomeFor(status int) string {

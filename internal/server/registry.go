@@ -71,19 +71,22 @@ func (e *entry) queryApproxCtx(ctx context.Context, q geom.Point, alpha float64,
 	return res, err
 }
 
-// queryBatchCtx answers many query points in one engine call, sharing the
-// index traversal across the batch.
-func (e *entry) queryBatchCtx(ctx context.Context, qs []geom.Point, alpha float64, quadNodes int) ([][]int, error) {
-	out, _, err := e.eng.QueryBatch(ctx, qs, alpha, crsky.QueryOptions{QuadNodes: quadNodes, StageBudget: true})
-	if err != nil {
-		return nil, err
-	}
-	for i := range out {
-		if out[i] == nil {
-			out[i] = []int{}
-		}
-	}
-	return out, nil
+// queryBatchStreamCtx answers many query points in one engine call,
+// sharing the index traversal across the batch and emitting every query's
+// answers (normalized, never nil) in request order as soon as they are
+// final — the engine half of the v2 NDJSON streaming contract.
+func (e *entry) queryBatchStreamCtx(ctx context.Context, qs []geom.Point, alpha float64, quadNodes int,
+	emit func(i int, ids []int)) error {
+
+	_, _, err := e.eng.QueryBatchStream(ctx, qs, alpha,
+		crsky.QueryOptions{QuadNodes: quadNodes, StageBudget: true},
+		func(i int, ids []int) {
+			if ids == nil {
+				ids = []int{}
+			}
+			emit(i, ids)
+		})
+	return err
 }
 
 func (e *entry) explainCtx(ctx context.Context, q geom.Point, an int, alpha float64, opts causality.Options) (*causality.Result, error) {

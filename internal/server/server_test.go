@@ -291,11 +291,23 @@ func TestServerEndToEndPDF(t *testing.T) {
 		t.Fatalf("pdf explain causes = %v, want object 1 as cause", er.Causes)
 	}
 
-	// Verify and repair are not implemented for the pdf model.
-	c.post("/v1/explain", &ExplainRequest{Dataset: "pdf", Q: q, An: 0, Alpha: 0.5, Verify: true},
-		nil, http.StatusInternalServerError)
-	c.post("/v1/repair", &RepairRequest{Dataset: "pdf", Q: q, An: 0, Alpha: 0.5},
-		nil, http.StatusBadRequest)
+	// Verify and repair run on the pdf model too — the quadrature-backed
+	// Definition-1 audit re-checks the explanation, and the minimal repair
+	// removes the blocker.
+	c.post("/v1/explain", &ExplainRequest{Dataset: "pdf", Q: q, An: 0, Alpha: 0.5, Verify: true,
+		Options: OptionsSpec{QuadNodes: 4}}, &er, http.StatusOK)
+	if !er.Verified {
+		t.Fatal("pdf explanation not marked verified")
+	}
+	var rr RepairResponse
+	c.post("/v1/repair", &RepairRequest{Dataset: "pdf", Q: q, An: 0, Alpha: 0.5,
+		Options: OptionsSpec{QuadNodes: 4}}, &rr, http.StatusOK)
+	if len(rr.Removed) != 1 || rr.Removed[0] != 1 {
+		t.Fatalf("pdf repair removed %v, want the blocker [1]", rr.Removed)
+	}
+	if rr.NewPr < 0.5 {
+		t.Fatalf("pdf repair NewPr = %g, want >= alpha", rr.NewPr)
+	}
 }
 
 // --- cache invariance --------------------------------------------------

@@ -1,13 +1,21 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"reflect"
+	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
+
+	crsky "github.com/crsky/crsky"
 )
 
 // --- cache-key completeness -------------------------------------------
@@ -39,35 +47,40 @@ func perturb(t *testing.T, fv reflect.Value, name string) {
 }
 
 // TestV2CacheKeysCoverEveryField walks both v2 request structs by
-// reflection, perturbs one field at a time, and demands a distinct cache
-// key for every perturbation except the declared cache directives. A field
-// the key ignores would let the server serve a cached batch computed for a
-// different request — the bug class this test makes impossible to
-// reintroduce silently.
+// reflection, perturbs one field at a time, and demands that the per-item
+// cache keys change for every perturbation except the declared delivery
+// directives. A field the keys ignore would let the server serve a cached
+// item computed for a different request — the bug class this test makes
+// impossible to reintroduce silently.
 func TestV2CacheKeysCoverEveryField(t *testing.T) {
 	ent := &entry{name: "d", gen: 1}
-	// NoCache is a cache directive; the Approx trio selects the degraded
-	// tier, whose responses are never cached (the exact computation an
-	// "auto" request may fall back from is identical without them).
-	exempt := map[string]bool{"NoCache": true, "Approx": true, "Epsilon": true, "Confidence": true}
+	// NoCache is the cache directive itself; the Approx trio selects the
+	// degraded tier, whose responses are never cached; Verify re-checks
+	// per request whatever is served, so verified and unverified requests
+	// share entries; ItemTimeout bounds delivery, not the computed result.
+	exempt := map[string]bool{"NoCache": true, "Approx": true, "Epsilon": true,
+		"Confidence": true, "Verify": true, "ItemTimeout": true}
 
-	check := func(t *testing.T, zero any, key func(v reflect.Value) string) {
-		typ := reflect.TypeOf(zero)
-		base := key(reflect.New(typ).Elem())
-		seen := map[string]string{base: "<zero>"}
+	// The baselines are non-zero: per-item keys exist per ITEM, so a
+	// zero-item request would hide Alpha/Options perturbations.
+	check := func(t *testing.T, base any, key func(v reflect.Value) string) {
+		typ := reflect.TypeOf(base)
+		baseKey := key(reflect.ValueOf(base))
+		seen := map[string]string{baseKey: "<base>"}
 		for i := 0; i < typ.NumField(); i++ {
 			f := typ.Field(i)
 			v := reflect.New(typ).Elem()
+			v.Set(reflect.ValueOf(base))
 			perturb(t, v.Field(i), typ.Name()+"."+f.Name)
 			k := key(v)
 			if exempt[f.Name] {
-				if k != base {
-					t.Errorf("%s.%s is exempt but still feeds the key", typ.Name(), f.Name)
+				if k != baseKey {
+					t.Errorf("%s.%s is exempt but still feeds the keys", typ.Name(), f.Name)
 				}
 				continue
 			}
-			if k == base {
-				t.Errorf("%s.%s is not covered by the cache key", typ.Name(), f.Name)
+			if k == baseKey {
+				t.Errorf("%s.%s is not covered by the cache keys", typ.Name(), f.Name)
 				continue
 			}
 			if prev, dup := seen[k]; dup {
@@ -77,28 +90,37 @@ func TestV2CacheKeysCoverEveryField(t *testing.T) {
 		}
 	}
 
-	check(t, BatchQueryRequest{}, func(v reflect.Value) string {
+	check(t, BatchQueryRequest{Dataset: "d", Qs: [][]float64{{9, 9}}}, func(v reflect.Value) string {
 		r := v.Interface().(BatchQueryRequest)
-		return r.cacheKey(ent)
+		return strings.Join(r.itemKeys(ent), "\n")
 	})
-	check(t, BatchExplainRequest{}, func(v reflect.Value) string {
-		r := v.Interface().(BatchExplainRequest)
-		return r.cacheKey(ent)
-	})
+	check(t, BatchExplainRequest{Dataset: "d", Items: []BatchExplainItemRequest{{Q: []float64{9, 9}, An: 1}}},
+		func(v reflect.Value) string {
+			r := v.Interface().(BatchExplainRequest)
+			return strings.Join(r.itemKeys(ent), "\n")
+		})
 }
 
-// TestV2CacheKeyCoversBatchShape spot-checks that permuting or truncating
-// the batch changes the key: the shape is part of the semantics.
+// TestV2CacheKeyCoversBatchShape pins the per-item key semantics: keys
+// follow their items (permuting the batch permutes the keys, dropping an
+// item drops its key) while each item's key is independent of its
+// position and siblings. That independence is the point of per-item
+// caching — any batch, or a v1 single query, that contains the item can
+// serve or warm it.
 func TestV2CacheKeyCoversBatchShape(t *testing.T) {
 	ent := &entry{name: "d", gen: 1}
 	a := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{1, 2}, {3, 4}}, Alpha: 0.5}
 	b := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{3, 4}, {1, 2}}, Alpha: 0.5}
-	c := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{1, 2}}, Alpha: 0.5}
-	if a.cacheKey(ent) == b.cacheKey(ent) {
-		t.Error("permuting the batch left the key unchanged")
+	ka, kb := a.itemKeys(ent), b.itemKeys(ent)
+	if ka[0] == ka[1] {
+		t.Error("distinct query points share a key")
 	}
-	if a.cacheKey(ent) == c.cacheKey(ent) {
-		t.Error("truncating the batch left the key unchanged")
+	if ka[0] != kb[1] || ka[1] != kb[0] {
+		t.Error("permuting the batch did not permute the per-item keys")
+	}
+	c := BatchQueryRequest{Dataset: "d", Qs: [][]float64{{1, 2}}, Alpha: 0.5}
+	if kc := c.itemKeys(ent); len(kc) != 1 || kc[0] != ka[0] {
+		t.Error("an item's key depends on its siblings")
 	}
 }
 
@@ -269,4 +291,246 @@ func TestServerV2BadTimeout(t *testing.T) {
 	c.registerSample("demo", w.ds)
 	req := &BatchQueryRequest{Dataset: "demo", Qs: [][]float64{w.q}, Alpha: 0.5}
 	c.post("/v2/query?timeout=banana", req, nil, http.StatusBadRequest)
+	ereq := &BatchExplainRequest{Dataset: "demo", Alpha: 0.5, ItemTimeout: "banana",
+		Items: []BatchExplainItemRequest{{Q: w.q, An: 0}}}
+	c.post("/v2/explain", ereq, nil, http.StatusBadRequest)
+}
+
+// --- true streaming ----------------------------------------------------
+
+// streamGate wraps an engine so the batch blocks after emitting its first
+// item until the test releases it. If /v2/query really streams, the first
+// NDJSON line reaches the client while the engine is still held; if the
+// handler buffers until the batch completes, nothing arrives until the
+// 5-second failsafe trips and timedOut records the regression.
+type streamGate struct {
+	crsky.Explainer
+	release  chan struct{}
+	timedOut atomic.Bool
+}
+
+func (g *streamGate) QueryBatchStream(ctx context.Context, qs []crsky.Point, alpha float64,
+	opts crsky.QueryOptions, emit func(int, []int)) ([][]int, crsky.QueryStats, error) {
+
+	return g.Explainer.QueryBatchStream(ctx, qs, alpha, opts, func(i int, ids []int) {
+		emit(i, ids)
+		if i == 0 {
+			select {
+			case <-g.release:
+			case <-ctx.Done():
+			case <-time.After(5 * time.Second):
+				g.timedOut.Store(true)
+			}
+		}
+	})
+}
+
+// TestServerV2QueryStreamsBeforeBatchCompletes asserts the core streaming
+// contract: the first NDJSON line is flushed to the client BEFORE the last
+// item of the batch computes.
+func TestServerV2QueryStreamsBeforeBatchCompletes(t *testing.T) {
+	w := sampleWorkload(t)
+	var gate *streamGate
+	s := New(Config{WrapEngine: func(e crsky.Explainer) crsky.Explainer {
+		gate = &streamGate{Explainer: e, release: make(chan struct{})}
+		return gate
+	}})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	qs := [][]float64{w.q, {w.q[0] * 0.8, w.q[1] * 1.1}, {w.q[0] * 1.3, w.q[1] * 0.7}}
+	body, err := json.Marshal(&BatchQueryRequest{Dataset: "demo", Qs: qs, Alpha: 0.5, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ts.Client().Post(c.ts.URL+"/v2/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+
+	// The engine is parked after item 0: this read completes only if the
+	// server flushed the line item-by-item.
+	br := bufio.NewReader(resp.Body)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		t.Fatalf("reading first NDJSON line: %v", err)
+	}
+	var first BatchQueryItem
+	if err := json.Unmarshal(line, &first); err != nil {
+		t.Fatalf("bad first line %q: %v", line, err)
+	}
+	if first.Index != 0 || first.Error != "" {
+		t.Fatalf("first line = %+v, want item 0 with no error", first)
+	}
+	if gate.timedOut.Load() {
+		t.Fatal("first line was not flushed until the whole batch completed")
+	}
+
+	close(gate.release)
+	rest, err := io.ReadAll(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := append([]BatchQueryItem{first}, decodeNDJSON[BatchQueryItem](t, rest)...)
+	if len(items) != len(qs) {
+		t.Fatalf("%d NDJSON items, want %d", len(items), len(qs))
+	}
+	for i, it := range items {
+		if it.Index != i || it.Error != "" {
+			t.Fatalf("item %d = %+v", i, it)
+		}
+		want := w.eng.ProbabilisticReverseSkylineNaive(qs[i], 0.5)
+		if fmt.Sprint(it.Answers) != fmt.Sprint(append([]int{}, want...)) {
+			t.Fatalf("q #%d: got %v, want %v", i, it.Answers, want)
+		}
+	}
+}
+
+// failAfterFirst emits a real answer for item 0 and then fails the batch —
+// the deterministic mid-stream engine failure.
+type failAfterFirst struct {
+	crsky.Explainer
+}
+
+func (g *failAfterFirst) QueryBatchStream(ctx context.Context, qs []crsky.Point, alpha float64,
+	opts crsky.QueryOptions, emit func(int, []int)) ([][]int, crsky.QueryStats, error) {
+
+	ids, st, err := g.Explainer.QueryCtx(ctx, qs[0], alpha, opts)
+	if err != nil {
+		return nil, st, err
+	}
+	if emit != nil {
+		emit(0, ids)
+	}
+	return nil, st, errors.New("batch backend exploded")
+}
+
+// TestServerV2QueryMidStreamErrorEnvelopes asserts that an engine failure
+// after items are already on the wire degrades to per-item error envelopes
+// on the unfinished tail — the stream stays well-formed NDJSON with one
+// line per item instead of being truncated.
+func TestServerV2QueryMidStreamErrorEnvelopes(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{WrapEngine: func(e crsky.Explainer) crsky.Explainer {
+		return &failAfterFirst{Explainer: e}
+	}})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	qs := [][]float64{w.q, {w.q[0] * 0.8, w.q[1] * 1.1}, {w.q[0] * 1.3, w.q[1] * 0.7}}
+	req := &BatchQueryRequest{Dataset: "demo", Qs: qs, Alpha: 0.5, NoCache: true}
+	resp, raw := c.do(http.MethodPost, "/v2/query", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d (body %s): first item was flushed before the failure", resp.StatusCode, raw)
+	}
+	items := decodeNDJSON[BatchQueryItem](t, raw)
+	if len(items) != len(qs) {
+		t.Fatalf("%d NDJSON items, want %d: %s", len(items), len(qs), raw)
+	}
+	if items[0].Error != "" {
+		t.Fatalf("item 0 carries error %q, want the real answer", items[0].Error)
+	}
+	want := w.eng.ProbabilisticReverseSkylineNaive(qs[0], 0.5)
+	if fmt.Sprint(items[0].Answers) != fmt.Sprint(append([]int{}, want...)) {
+		t.Fatalf("item 0 answers %v, want %v", items[0].Answers, want)
+	}
+	for i := 1; i < len(items); i++ {
+		if items[i].Index != i || items[i].Error == "" {
+			t.Fatalf("item %d = %+v, want an error envelope", i, items[i])
+		}
+	}
+}
+
+// --- per-item cache shared with v1 -------------------------------------
+
+// TestServerV2PerItemCacheSharedWithV1 asserts the split cache: a batch
+// warms the v1 single-query cache item by item, and v1-warmed points make
+// a later batch an all-hit.
+func TestServerV2PerItemCacheSharedWithV1(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	q2 := []float64{w.q[0] * 0.8, w.q[1] * 1.1}
+	req := &BatchQueryRequest{Dataset: "demo", Qs: [][]float64{w.q, q2}, Alpha: 0.5}
+	resp, raw := c.do(http.MethodPost, "/v2/query", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d (body %s)", resp.StatusCode, raw)
+	}
+	items := decodeNDJSON[BatchQueryItem](t, raw)
+
+	// v1 single query on a batch member is a cache hit with the same answer.
+	var qr QueryResponse
+	r1 := c.post("/v1/query", &QueryRequest{Dataset: "demo", Q: q2, Alpha: 0.5}, &qr, http.StatusOK)
+	if got := r1.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("v1 query after batch: cache header %q, want hit", got)
+	}
+	if fmt.Sprint(qr.Answers) != fmt.Sprint(items[1].Answers) {
+		t.Fatalf("v1 served %v from the batch-warmed cache, batch said %v", qr.Answers, items[1].Answers)
+	}
+
+	// A v1-warmed point plus an already-cached one make a batch all-hit.
+	q3 := []float64{w.q[0] * 1.3, w.q[1] * 0.7}
+	c.post("/v1/query", &QueryRequest{Dataset: "demo", Q: q3, Alpha: 0.5}, &qr, http.StatusOK)
+	req2 := &BatchQueryRequest{Dataset: "demo", Qs: [][]float64{q3, w.q}, Alpha: 0.5}
+	resp2, raw2 := c.do(http.MethodPost, "/v2/query", req2)
+	if got := resp2.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("batch over v1-warmed points: cache header %q, want hit (body %s)", got, raw2)
+	}
+	items2 := decodeNDJSON[BatchQueryItem](t, raw2)
+	if fmt.Sprint(items2[0].Answers) != fmt.Sprint(qr.Answers) {
+		t.Fatalf("batch served %v for the v1-warmed point, v1 said %v", items2[0].Answers, qr.Answers)
+	}
+}
+
+// --- per-item deadlines ------------------------------------------------
+
+// TestServerV2ExplainItemTimeout asserts ItemTimeout fails items ALONE:
+// the batch stays a 200 with one error line per blown item (where the old
+// behavior failed the whole request), error items are never cached, and
+// the same request without the per-item bound computes and then hits.
+func TestServerV2ExplainItemTimeout(t *testing.T) {
+	w := sampleWorkload(t)
+	s := New(Config{})
+	c := newTestClient(t, s)
+	c.registerSample("demo", w.ds)
+
+	items := []BatchExplainItemRequest{{Q: w.q, An: w.ids[0]}, {Q: w.q, An: w.ids[1]}}
+	req := &BatchExplainRequest{Dataset: "demo", Items: items, Alpha: 0.5,
+		Options: OptionsSpec{MaxCandidates: 60}, ItemTimeout: "1ns"}
+	resp, raw := c.do(http.MethodPost, "/v2/explain", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("per-item deadline killed the whole batch: status %d (body %s)", resp.StatusCode, raw)
+	}
+	got := decodeNDJSON[BatchExplainItem](t, raw)
+	if len(got) != len(items) {
+		t.Fatalf("%d NDJSON items, want %d", len(got), len(items))
+	}
+	for i, it := range got {
+		if it.Index != i || it.Error == "" || it.Explain != nil {
+			t.Fatalf("item %d = %+v, want a per-item deadline error", i, it)
+		}
+	}
+
+	// Failed items were not cached: the unbounded retry computes (miss),
+	// succeeds, and only then populates the per-item cache (hit).
+	req.ItemTimeout = ""
+	resp2, raw2 := c.do(http.MethodPost, "/v2/explain", req)
+	if got := resp2.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("retry after deadline failures: cache header %q, want miss", got)
+	}
+	for i, it := range decodeNDJSON[BatchExplainItem](t, raw2) {
+		if it.Error != "" || it.Explain == nil {
+			t.Fatalf("unbounded retry item %d = %+v", i, it)
+		}
+	}
+	resp3, _ := c.do(http.MethodPost, "/v2/explain", req)
+	if got := resp3.Header.Get(headerCache); got != "hit" {
+		t.Fatalf("third request: cache header %q, want hit", got)
+	}
 }

@@ -1,0 +1,156 @@
+package skyline
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/rtree"
+)
+
+// ReverseSkylineBBRSBatch answers many reverse-skyline queries with ONE
+// best-first traversal sharing the R-tree frontier across all query points:
+// each heap item carries the set of queries for which its subtree is still
+// unpruned, a popped node is charged to the access counter once regardless
+// of how many queries needed it, and a subtree is descended only while at
+// least one query keeps it alive. Answers are element-wise identical to
+// per-query ReverseSkylineBBRS: the pruning rule discards a subtree only
+// when an already-found candidate of that query proves every point inside
+// is a non-member — sound in any traversal order — and the final
+// window-query verification is exact, so the per-query candidate supersets
+// collapse to the same reverse skylines the solo traversals produce.
+//
+// After the shared traversal each query's candidates are verified in
+// ascending query order; emit (optional) observes every result exactly
+// once, in that order, as soon as its verification finishes. Returning
+// false from emit abandons the remaining queries: the call returns the
+// prefix computed so far with done=false.
+func (ix *Index) ReverseSkylineBBRSBatch(qs []geom.Point, emit func(k int, ids []int) bool) (out [][]int, done bool) {
+	for _, q := range qs {
+		if q.Dims() != ix.dims {
+			panic("skyline: query dimensionality mismatch")
+		}
+	}
+	out = make([][]int, len(qs))
+	candidates := make([][]int, len(qs))
+
+	// Per-query pruning, identical to the single-query closures but
+	// parameterized by the query index (each query prunes against its OWN
+	// candidate set — candidates certify non-membership only for the query
+	// they were collected under).
+	prunedRect := func(k int, r geom.Rect) bool {
+		q := qs[k]
+		if !geom.InSingleQuadrant(r, q) {
+			return false
+		}
+		near := r.NearestCorner(q)
+		for _, c := range candidates[k] {
+			if geom.DynDominates(ix.pts[c], q, near) {
+				return true
+			}
+		}
+		return false
+	}
+	prunedPoint := func(k int, p geom.Point) bool {
+		q := qs[k]
+		for _, c := range candidates[k] {
+			if geom.DynDominates(ix.pts[c], q, p) {
+				return true
+			}
+		}
+		return false
+	}
+
+	if root, ok := ix.tree.RootHandle(); ok && len(qs) > 0 {
+		all := make([]int, len(qs))
+		for k := range all {
+			all[k] = k
+		}
+		h := &bbrsBatchHeap{}
+		heap.Push(h, bbrsBatchItem{key: 0, node: &root, active: all})
+		for h.Len() > 0 {
+			it := heap.Pop(h).(bbrsBatchItem)
+			if it.node != nil {
+				n := *it.node
+				// Union access accounting: the node is read once, however
+				// many queries' frontiers it sits on.
+				ix.tree.RecordAccess()
+				for i := 0; i < n.NumEntries(); i++ {
+					r := n.EntryRect(i)
+					var surviving []int
+					key := 0.0
+					for _, k := range it.active {
+						if prunedRect(k, r) {
+							continue
+						}
+						if d := transformedL1(r, qs[k]); len(surviving) == 0 || d < key {
+							key = d
+						}
+						surviving = append(surviving, k)
+					}
+					if len(surviving) == 0 {
+						continue
+					}
+					// The traversal key is the best key any live query gives
+					// the entry: the shared frontier stays best-first for
+					// whichever query would reach it soonest, so near-q
+					// points keep arriving early enough to prune for
+					// everyone.
+					child := bbrsBatchItem{key: key, active: surviving}
+					if n.IsLeaf() {
+						child.id = n.EntryID(i)
+						child.pt = ix.pts[child.id]
+					} else {
+						c := n.EntryChild(i)
+						child.node = &c
+					}
+					heap.Push(h, child)
+				}
+				continue
+			}
+			for _, k := range it.active {
+				if !prunedPoint(k, it.pt) {
+					candidates[k] = append(candidates[k], it.id)
+				}
+			}
+		}
+	}
+
+	// Per-query exact verification, streamed in request order.
+	for k := range qs {
+		var ids []int
+		for _, c := range candidates[k] {
+			if ix.Member(c, qs[k]) {
+				ids = append(ids, c)
+			}
+		}
+		sort.Ints(ids)
+		out[k] = ids
+		if emit != nil && !emit(k, ids) {
+			return out, false
+		}
+	}
+	return out, true
+}
+
+type bbrsBatchItem struct {
+	key    float64
+	node   *rtree.NodeHandle
+	id     int
+	pt     geom.Point
+	active []int
+}
+
+type bbrsBatchHeap []bbrsBatchItem
+
+func (h bbrsBatchHeap) Len() int           { return len(h) }
+func (h bbrsBatchHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h bbrsBatchHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *bbrsBatchHeap) Push(x any)        { *h = append(*h, x.(bbrsBatchItem)) }
+func (h *bbrsBatchHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"sync"
+	"time"
 
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/ctxutil"
@@ -45,9 +47,11 @@ import (
 // paths).
 type CanceledError = ctxutil.CanceledError
 
-// ErrUnsupported reports a v2 operation the engine cannot provide (e.g.
-// verification or repair on the pdf model, which has no independent
-// verifier yet). Test with errors.Is.
+// ErrUnsupported reports a v2 operation an engine cannot provide. All
+// three built-in engines now implement the full Explainer surface —
+// including verification and repair on the pdf model — so none of them
+// returns it; the sentinel remains for third-party Explainer
+// implementations. Test with errors.Is.
 var ErrUnsupported = errors.New("crsky: operation not supported by this engine")
 
 // ErrBadAlpha reports a probability threshold outside the engine's domain:
@@ -62,6 +66,11 @@ type ExplainRequest struct {
 	Q Point
 	// Alpha is the probability threshold (must be 1 for CertainEngine).
 	Alpha float64
+	// Timeout, when positive, bounds this item alone: the item's search
+	// runs under a deadline derived from the batch context, and hitting it
+	// fails just this item — its siblings keep computing, and a streaming
+	// batch keeps emitting past it. Zero means no per-item bound.
+	Timeout time.Duration
 }
 
 // ExplainItem is the per-item outcome of an ExplainBatch call: exactly one
@@ -95,6 +104,14 @@ type Querier interface {
 	// index traversal, warm-up, and the evaluation worker pool across the
 	// batch.
 	QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error)
+	// QueryBatchStream is QueryBatch with per-item streaming: a non-nil
+	// emit observes every query's final ascending answer slice in request
+	// order, each exactly once, as soon as it is final — before the rest
+	// of the batch finishes computing. Emit calls are serialized; the
+	// callback must not call back into the engine. On a mid-batch
+	// cancellation only the completed prefix has been emitted, and the
+	// call returns the error with no answers.
+	QueryBatchStream(ctx context.Context, qs []Point, alpha float64, opts QueryOptions, emit func(index int, ids []int)) ([][]int, QueryStats, error)
 	// QueryApprox is the degraded-mode query: the shared filter-and-bound
 	// stage settles everything it can exactly, and the remaining band is
 	// estimated by seeded Monte Carlo with per-object Hoeffding confidence
@@ -114,14 +131,21 @@ type Explainer interface {
 	ExplainCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error)
 	// ExplainBatch explains many non-answers with per-item results and
 	// errors; one item's failure (or cancellation after some items have
-	// finished) never discards its siblings' results.
+	// finished) never discards its siblings' results. A per-item
+	// ExplainRequest.Timeout bounds that item alone.
 	ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem
+	// ExplainBatchStream is ExplainBatch with per-item streaming: a
+	// non-nil emit observes every item in request order, each exactly
+	// once, as soon as it and every earlier item have finished. Emit
+	// calls are serialized; the callback must not call back into the
+	// engine.
+	ExplainBatchStream(ctx context.Context, reqs []ExplainRequest, opts Options, emit func(ExplainItem)) []ExplainItem
 	// RepairCtx finds a smallest removal set making non-answer id an
-	// answer (ErrUnsupported on the pdf model).
+	// answer.
 	RepairCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Repair, error)
 	// VerifyCtx independently re-checks an explanation against
-	// Definition 1 (ErrUnsupported on the pdf model). The check itself is
-	// not interruptible; ctx is observed on entry.
+	// Definition 1. The check itself is not interruptible; ctx is observed
+	// on entry.
 	VerifyCtx(ctx context.Context, q Point, alpha float64, res *Explanation) error
 }
 
@@ -173,8 +197,15 @@ func ctxPrecheck(ctx context.Context) error { return ctxutil.Precheck(ctx) }
 // single-item batch degenerates to one ExplainCtx call with the caller's
 // options untouched. After a cancellation the unstarted items are marked
 // with the wrapped context error; finished items keep their results.
+//
+// A positive ExplainRequest.Timeout wraps that item's context alone, so a
+// hard item times out by itself instead of eating the batch deadline. A
+// non-nil emit observes finished items in request order, each exactly
+// once, behind an ordered frontier: item i fires as soon as items 0..i
+// have all finished, however the workers interleave.
 func explainBatch(ctx context.Context, reqs []ExplainRequest, opts Options,
-	explain func(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error)) []ExplainItem {
+	explain func(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Explanation, error),
+	emit func(ExplainItem)) []ExplainItem {
 
 	items := make([]ExplainItem, len(reqs))
 	for i := range items {
@@ -183,8 +214,22 @@ func explainBatch(ctx context.Context, reqs []ExplainRequest, opts Options,
 	if len(reqs) == 0 {
 		return items
 	}
+
+	// runOne executes one item under its per-item deadline (if any).
+	runOne := func(ctx context.Context, i int, o Options) {
+		if d := reqs[i].Timeout; d > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, d)
+			defer cancel()
+		}
+		items[i].Result, items[i].Err = explain(ctx, reqs[i].ID, reqs[i].Q, reqs[i].Alpha, o)
+	}
+
 	if len(reqs) == 1 {
-		items[0].Result, items[0].Err = explain(ctx, reqs[0].ID, reqs[0].Q, reqs[0].Alpha, opts)
+		runOne(ctx, 0, opts)
+		if emit != nil {
+			emit(items[0])
+		}
 		return items
 	}
 	budget := opts.Parallel
@@ -198,6 +243,27 @@ func explainBatch(ctx context.Context, reqs []ExplainRequest, opts Options,
 	itemOpts := opts
 	itemOpts.Parallel = budget / workers
 
+	// The ordered emission frontier: finished marks completed items, and
+	// the frontier advances — emitting under the mutex, so calls are
+	// serialized and strictly ordered — whenever the next unemitted item
+	// has finished. The mutex also publishes the worker's writes to
+	// items[i] to whichever goroutine later emits it.
+	var mu sync.Mutex
+	finished := make([]bool, len(reqs))
+	next := 0
+	finish := func(i int) {
+		if emit == nil {
+			return
+		}
+		mu.Lock()
+		finished[i] = true
+		for next < len(finished) && finished[next] {
+			emit(items[next])
+			next++
+		}
+		mu.Unlock()
+	}
+
 	// runItem isolates one item, converting a panic into that item's error:
 	// these worker goroutines are not under net/http's recover, so an
 	// unrecovered engine panic would kill the whole process instead of one
@@ -207,8 +273,9 @@ func explainBatch(ctx context.Context, reqs []ExplainRequest, opts Options,
 			if r := recover(); r != nil {
 				items[i].Err = fmt.Errorf("crsky: explain item %d panicked: %v", i, r)
 			}
+			finish(i)
 		}()
-		items[i].Result, items[i].Err = explain(ctx, reqs[i].ID, reqs[i].Q, reqs[i].Alpha, itemOpts)
+		runOne(ctx, i, itemOpts)
 	}
 	jobs := make(chan int)
 	done := make(chan struct{})
@@ -217,6 +284,7 @@ func explainBatch(ctx context.Context, reqs []ExplainRequest, opts Options,
 			for i := range jobs {
 				if err := ctxPrecheck(ctx); err != nil {
 					items[i].Err = err
+					finish(i)
 					continue
 				}
 				runItem(i)
@@ -252,6 +320,14 @@ func (e *Engine) QueryCtx(ctx context.Context, q Point, alpha float64, opts Quer
 // answers every query point, with strictly fewer total node accesses than
 // the equivalent per-point QueryCtx calls for batches of two or more.
 func (e *Engine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error) {
+	return e.QueryBatchStream(ctx, qs, alpha, opts, nil)
+}
+
+// QueryBatchStream implements Querier: the shared-join batch with answers
+// streamed per query as their undecided bands settle.
+func (e *Engine) QueryBatchStream(ctx context.Context, qs []Point, alpha float64, opts QueryOptions,
+	emit func(index int, ids []int)) ([][]int, QueryStats, error) {
+
 	for _, q := range qs {
 		if err := checkDims(q, e.Dims()); err != nil {
 			return nil, QueryStats{}, err
@@ -260,7 +336,7 @@ func (e *Engine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts
 	if err := checkAlphaUnit(alpha); err != nil {
 		return nil, QueryStats{}, err
 	}
-	return prsq.QueryBatchStatsCtx(ctx, e.ds, qs, alpha, opts)
+	return prsq.QueryBatchStreamStatsCtx(ctx, e.ds, qs, alpha, opts, emit)
 }
 
 // QueryApprox implements Querier: the filter stage runs unchanged and the
@@ -284,7 +360,12 @@ func (e *Engine) ExplainCtx(ctx context.Context, id int, q Point, alpha float64,
 
 // ExplainBatch implements Explainer.
 func (e *Engine) ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem {
-	return explainBatch(ctx, reqs, opts, e.ExplainCtx)
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx, nil)
+}
+
+// ExplainBatchStream implements Explainer.
+func (e *Engine) ExplainBatchStream(ctx context.Context, reqs []ExplainRequest, opts Options, emit func(ExplainItem)) []ExplainItem {
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx, emit)
 }
 
 // RepairCtx implements Explainer: MinimalRepair under a context.
@@ -328,22 +409,63 @@ func (e *CertainEngine) QueryCtx(ctx context.Context, q Point, alpha float64, op
 	return ids, QueryStats{Objects: e.Len()}, nil
 }
 
-// QueryBatch implements Querier. BBRS is already a single index-driven
-// traversal per point, so the batch form amortizes only the ctx/validation
-// overhead; it exists for signature uniformity.
+// QueryBatch implements Querier: one branch-and-bound traversal with a
+// frontier SHARED across every query point — the certain-data twin of the
+// probabilistic models' shared left-descent join. Each R-tree node is read
+// (and charged to the access counter) once however many queries' frontiers
+// it sits on, so for two or more queries the batch records strictly fewer
+// node accesses than per-point QueryCtx calls, while the exact per-query
+// verification keeps the answers element-wise identical to them.
 func (e *CertainEngine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error) {
-	out := make([][]int, len(qs))
-	var agg QueryStats
-	for i, q := range qs {
-		ids, st, err := e.QueryCtx(ctx, q, alpha, opts)
-		if err != nil {
-			return nil, agg, err
+	return e.QueryBatchStream(ctx, qs, alpha, opts, nil)
+}
+
+// QueryBatchStream implements Querier: the shared-frontier batch traversal
+// with each query's verified answer streamed in request order. The shared
+// traversal itself is one uninterruptible pass (like QueryCtx's BBRS); ctx
+// is observed on entry and again before each query's verification/emission,
+// so a cancellation stops the batch between items.
+func (e *CertainEngine) QueryBatchStream(ctx context.Context, qs []Point, alpha float64, opts QueryOptions,
+	emit func(index int, ids []int)) ([][]int, QueryStats, error) {
+
+	for _, q := range qs {
+		if err := checkDims(q, e.Dims()); err != nil {
+			return nil, QueryStats{}, err
 		}
-		out[i] = ids
-		agg.Objects += st.Objects
-		agg.Evaluated += st.Evaluated
 	}
-	return out, agg, nil
+	if err := checkAlphaOne(alpha); err != nil {
+		return nil, QueryStats{}, err
+	}
+	if err := ctxPrecheck(ctx); err != nil {
+		return nil, QueryStats{}, err
+	}
+	endBBRS := obs.FromContext(ctx).StartSpan("query.bbrs")
+	var ctxErr error
+	out, _ := e.ix.ReverseSkylineBBRSBatch(qs, func(k int, ids []int) bool {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			return false
+		}
+		if emit != nil {
+			if ids == nil {
+				ids = []int{}
+			}
+			emit(k, ids)
+		}
+		return true
+	})
+	endBBRS()
+	if ctxErr != nil {
+		return nil, QueryStats{}, ctxutil.WrapCanceled(ctxErr, 0, 0)
+	}
+	for k := range out {
+		if out[k] == nil {
+			out[k] = []int{}
+		}
+	}
+	// Evaluated stays zero exactly as in QueryCtx; Objects aggregates the
+	// per-query decision counts the per-point calls would report.
+	return out, QueryStats{Objects: e.Len() * len(qs)}, nil
 }
 
 // QueryApprox implements Querier. Certain-data membership is exact and
@@ -373,7 +495,12 @@ func (e *CertainEngine) ExplainCtx(ctx context.Context, id int, q Point, alpha f
 
 // ExplainBatch implements Explainer.
 func (e *CertainEngine) ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem {
-	return explainBatch(ctx, reqs, opts, e.ExplainCtx)
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx, nil)
+}
+
+// ExplainBatchStream implements Explainer.
+func (e *CertainEngine) ExplainBatchStream(ctx context.Context, reqs []ExplainRequest, opts Options, emit func(ExplainItem)) []ExplainItem {
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx, emit)
 }
 
 // RepairCtx implements Explainer via the cached Section-4 reduction.
@@ -422,6 +549,14 @@ func (e *PDFEngine) QueryCtx(ctx context.Context, q Point, alpha float64, opts Q
 // QueryBatch implements Querier with the shared left-descent join of the
 // sample model applied to the pdf geometry.
 func (e *PDFEngine) QueryBatch(ctx context.Context, qs []Point, alpha float64, opts QueryOptions) ([][]int, QueryStats, error) {
+	return e.QueryBatchStream(ctx, qs, alpha, opts, nil)
+}
+
+// QueryBatchStream implements Querier: the pdf shared-join batch with
+// answers streamed per query as their undecided bands settle.
+func (e *PDFEngine) QueryBatchStream(ctx context.Context, qs []Point, alpha float64, opts QueryOptions,
+	emit func(index int, ids []int)) ([][]int, QueryStats, error) {
+
 	for _, q := range qs {
 		if err := checkDims(q, e.Dims()); err != nil {
 			return nil, QueryStats{}, err
@@ -430,7 +565,7 @@ func (e *PDFEngine) QueryBatch(ctx context.Context, qs []Point, alpha float64, o
 	if err := checkAlphaUnit(alpha); err != nil {
 		return nil, QueryStats{}, err
 	}
-	return prsq.QueryBatchPDFStatsCtx(ctx, e.set, qs, alpha, opts.QuadNodes, opts)
+	return prsq.QueryBatchPDFStreamStatsCtx(ctx, e.set, qs, alpha, opts.QuadNodes, opts, emit)
 }
 
 // QueryApprox implements Querier: the pdf filter stage runs unchanged and
@@ -454,17 +589,35 @@ func (e *PDFEngine) ExplainCtx(ctx context.Context, id int, q Point, alpha float
 
 // ExplainBatch implements Explainer.
 func (e *PDFEngine) ExplainBatch(ctx context.Context, reqs []ExplainRequest, opts Options) []ExplainItem {
-	return explainBatch(ctx, reqs, opts, e.ExplainCtx)
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx, nil)
 }
 
-// RepairCtx implements Explainer; the pdf model has no repair construction
-// yet.
+// ExplainBatchStream implements Explainer.
+func (e *PDFEngine) ExplainBatchStream(ctx context.Context, reqs []ExplainRequest, opts Options, emit func(ExplainItem)) []ExplainItem {
+	return explainBatch(ctx, reqs, opts, e.ExplainCtx, emit)
+}
+
+// RepairCtx implements Explainer: the Section-4 analogue on the memoized
+// quadrature rules — CPPDF's sub-quadrant candidate filter feeding the
+// shared kernel/greedy/branch-and-bound repair search, with every
+// probability an integral over the non-answer's uncertainty region.
 func (e *PDFEngine) RepairCtx(ctx context.Context, id int, q Point, alpha float64, opts Options) (*Repair, error) {
-	return nil, fmt.Errorf("%w: repair on the pdf model", ErrUnsupported)
+	return causality.MinimalRepairPDFCtx(ctx, e.set, q, id, alpha, opts)
 }
 
-// VerifyCtx implements Explainer; the pdf model has no independent
-// verifier yet.
+// VerifyCtx implements Explainer: the Definition-1 re-check with each
+// condition integrated by Gauss–Legendre cubature. The quadrature
+// resolution comes from res.QuadNodes — recorded by ExplainCtx — so the
+// verifier re-integrates at exactly the discretization the search used (a
+// zero falls back to the dimension-adapted default).
 func (e *PDFEngine) VerifyCtx(ctx context.Context, q Point, alpha float64, res *Explanation) error {
-	return fmt.Errorf("%w: verify on the pdf model", ErrUnsupported)
+	if err := ctxPrecheck(ctx); err != nil {
+		return err
+	}
+	quadNodes := 0
+	if res != nil {
+		quadNodes = res.QuadNodes
+	}
+	defer obs.FromContext(ctx).StartSpan("explain.verify")()
+	return causality.VerifyExplanationPDF(e.set, q, alpha, quadNodes, res)
 }
