@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race vet fmt-check api-check api-update conformance chaos-smoke fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
+.PHONY: build test race vet fmt-check api-check api-update conformance chaos-smoke crash-smoke fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
 
 build:
 	go build ./...
@@ -39,12 +39,24 @@ conformance:
 chaos-smoke:
 	go test -race -count=1 -run 'TestChaos|TestApproxConformance' ./internal/conformance/
 
+# The durability chaos harness under the race detector: the kill-the-process
+# crash matrix across every snapshot+WAL mutation (clean-cut and torn-write),
+# torn/bit-flip recovery, degraded boot with quarantine, fsck verify/repair,
+# and the serving-level recovery conformance oracle (recovered engines must
+# answer byte-identically and still match the naive oracle).
+crash-smoke:
+	go test -race -count=1 -run 'TestCrashRecovery|TestTorn|TestCorrupt|TestWALRegister|TestFsck|TestQuarantine|TestHostile|TestPutGetDeleteReopen|TestCompact' ./internal/store/
+	go test -race -count=1 -run 'TestStoreDurability|TestStartupQuarantine|TestServerCrashRecovery|TestRegisterFailsClosed|TestUploadRejected' ./internal/server/
+	go test -race -count=1 -run 'TestRecoveredServerConformance' ./internal/conformance/
+
 # A short coverage-guided run of every fuzz target (go test -fuzz accepts a
 # single target per package invocation, hence one line each).
 fuzz-smoke:
 	go test -run '^$$' -fuzz '^FuzzJoinSelfStream$$' -fuzztime 15s ./internal/rtree/
 	go test -run '^$$' -fuzz '^FuzzInsertSearch$$' -fuzztime 15s ./internal/rtree/
 	go test -run '^$$' -fuzz '^FuzzQuadratureMemo$$' -fuzztime 15s ./internal/uncertain/
+	go test -run '^$$' -fuzz '^FuzzWALReplay$$' -fuzztime 15s ./internal/store/
+	go test -run '^$$' -fuzz '^FuzzSnapshotDecode$$' -fuzztime 15s ./internal/store/
 
 bench:
 	go test -bench=. -benchmem

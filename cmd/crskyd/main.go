@@ -7,6 +7,8 @@
 //	       [-max-queue N] [-approx-workers N]
 //	       [-admin addr] [-slow-query dur] [-slow-query-log path]
 //	       [-drain 10s] [-preload name=model=path ...]
+//	       [-data-dir path] [-fsync=true]
+//	crskyd fsck -data-dir path [-repair]
 //
 // Endpoints:
 //
@@ -50,6 +52,16 @@
 // immediately (admission sheds with Retry-After) and drains in-flight
 // requests for up to -drain before exiting; work still running at the
 // deadline is canceled.
+//
+// -data-dir enables the durable dataset store: registrations commit to a
+// write-ahead log before they are acknowledged, snapshots checkpoint each
+// dataset, and startup recovery replays the WAL over the snapshots. Files
+// failing their checksums are quarantined under corrupt/ and the daemon
+// boots degraded on the healthy datasets (/healthz reports "degraded").
+// -fsync (default on) makes every commit a durability barrier; turning it
+// off trades crash durability for write latency. The fsck subcommand
+// verifies a store offline and, with -repair, quarantines corrupt files,
+// truncates a torn WAL tail, re-checkpoints, and compacts.
 package main
 
 import (
@@ -67,6 +79,7 @@ import (
 	"time"
 
 	"github.com/crsky/crsky/internal/server"
+	"github.com/crsky/crsky/internal/store"
 )
 
 // preloadFlag collects repeated -preload name=model=path values.
@@ -76,6 +89,11 @@ func (p *preloadFlag) String() string     { return strings.Join(*p, ",") }
 func (p *preloadFlag) Set(v string) error { *p = append(*p, v); return nil }
 
 func main() {
+	// Subcommands dispatch before flag parsing; plain `crskyd [flags]`
+	// serves.
+	if len(os.Args) > 1 && os.Args[1] == "fsck" {
+		os.Exit(cmdFsck(os.Args[2:]))
+	}
 	var (
 		addr      = flag.String("addr", ":8372", "listen address")
 		adminAddr = flag.String("admin", "", "admin listen address for /metrics and /debug/pprof (empty = disabled; bind to loopback)")
@@ -87,6 +105,8 @@ func main() {
 		drain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown deadline for draining in-flight requests")
 		slowQuery = flag.Duration("slow-query", 0, "slow-query log threshold (0 disables)")
 		slowLog   = flag.String("slow-query-log", "", "slow-query log destination path (default stderr)")
+		dataDir   = flag.String("data-dir", "", "durable dataset store directory (empty = in-memory only)")
+		fsync     = flag.Bool("fsync", true, "fsync every WAL commit and snapshot (durability barrier)")
 		preloads  preloadFlag
 	)
 	flag.Var(&preloads, "preload", "dataset to register at startup, as name=model=path (repeatable)")
@@ -105,6 +125,25 @@ func main() {
 		}
 	}
 
+	var st *store.Store
+	if *dataDir != "" {
+		var rep *store.RecoveryReport
+		var err error
+		st, rep, err = store.Open(*dataDir, store.Options{Fsync: *fsync})
+		if err != nil {
+			log.Fatalf("crskyd: open store %s: %v", *dataDir, err)
+		}
+		defer st.Close()
+		log.Printf("crskyd: store %s: %d datasets recovered (%d snapshots, %d WAL records replayed)",
+			*dataDir, len(rep.Datasets), rep.SnapshotsLoaded, rep.WALReplayed)
+		if rep.WALTorn {
+			log.Printf("crskyd: store: torn WAL tail truncated at offset %d", rep.WALTruncatedAt)
+		}
+		for _, q := range rep.Quarantined {
+			log.Printf("crskyd: store: QUARANTINED %s (%s)", q.Path, q.Reason)
+		}
+	}
+
 	srv := server.New(server.Config{
 		CacheSize:          *cache,
 		Workers:            *workers,
@@ -113,7 +152,20 @@ func main() {
 		MaxBodyBytes:       *maxBody,
 		SlowQueryThreshold: *slowQuery,
 		SlowQueryLog:       slowW,
+		Store:              st,
 	})
+	if st != nil {
+		loaded, quarantined, err := srv.LoadFromStore()
+		if err != nil {
+			log.Fatalf("crskyd: load store: %v", err)
+		}
+		for _, name := range quarantined {
+			log.Printf("crskyd: store: dataset %q failed to rebuild and was quarantined", name)
+		}
+		if loaded > 0 || len(quarantined) > 0 {
+			log.Printf("crskyd: store: serving %d recovered datasets (%d quarantined)", loaded, len(quarantined))
+		}
+	}
 	for _, spec := range preloads {
 		if err := preload(srv, spec); err != nil {
 			log.Fatalf("crskyd: preload %q: %v", spec, err)
@@ -173,6 +225,29 @@ func main() {
 	stop() // also reach here on a listener error: unblock the drain goroutine
 	<-drained
 	log.Printf("crskyd: shut down")
+}
+
+// cmdFsck verifies (and with -repair, repairs) a store directory offline.
+// Exit status: 0 healthy or repaired, 1 unhealthy, 2 usage/IO error.
+func cmdFsck(args []string) int {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	dataDir := fs.String("data-dir", "", "store directory to check (required)")
+	repair := fs.Bool("repair", false, "quarantine corrupt files, truncate a torn WAL tail, re-checkpoint, and compact")
+	_ = fs.Parse(args)
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "crskyd fsck: -data-dir is required")
+		return 2
+	}
+	rep, err := store.Fsck(nil, *dataDir, *repair)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "crskyd fsck: %v\n", err)
+		return 2
+	}
+	rep.Format(os.Stdout)
+	if !rep.Repaired && !rep.Healthy() {
+		return 1
+	}
+	return 0
 }
 
 // preload registers one name=model=path CSV dataset through the same code

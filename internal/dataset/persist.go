@@ -1,9 +1,13 @@
 package dataset
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
 	"encoding/csv"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"strconv"
 
@@ -132,30 +136,105 @@ type gobUncertain struct {
 	Objects []*uncertain.Object
 }
 
-// SaveCertainGob writes the dataset in gob form (compact, fast reloads).
-func SaveCertainGob(w io.Writer, ds *Certain) error {
-	return gob.NewEncoder(w).Encode(gobCertain{Points: ds.Points})
+// The gob files are framed so silent corruption is detected at load time
+// instead of surfacing as a garbled dataset:
+//
+//	magic "CRSKGOB1" | version u32 BE | payload length u64 BE |
+//	CRC32C(payload) u32 BE | gob payload
+//
+// Loaders still accept the legacy bare-gob form (files written before the
+// framing existed), recognized by the absence of the magic.
+const (
+	gobMagic   = "CRSKGOB1"
+	gobVersion = 1
+)
+
+var gobCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// writeFramedGob encodes v and writes it inside the checksummed frame.
+func writeFramedGob(w io.Writer, v any) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(v); err != nil {
+		return fmt.Errorf("dataset: encode gob: %w", err)
+	}
+	head := make([]byte, 0, len(gobMagic)+16)
+	head = append(head, gobMagic...)
+	head = binary.BigEndian.AppendUint32(head, gobVersion)
+	head = binary.BigEndian.AppendUint64(head, uint64(payload.Len()))
+	head = binary.BigEndian.AppendUint32(head, crc32.Checksum(payload.Bytes(), gobCastagnoli))
+	if _, err := w.Write(head); err != nil {
+		return fmt.Errorf("dataset: write gob frame: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
+		return fmt.Errorf("dataset: write gob payload: %w", err)
+	}
+	return nil
 }
 
-// LoadCertainGob reads the SaveCertainGob format.
+// readFramedGob decodes a framed or legacy bare gob stream into v.
+func readFramedGob(r io.Reader, v any) error {
+	br := bufio.NewReader(r)
+	peek, err := br.Peek(len(gobMagic))
+	if err != nil || string(peek) != gobMagic {
+		// Legacy bare gob (or too short to be framed — let gob report it).
+		if derr := gob.NewDecoder(br).Decode(v); derr != nil {
+			return fmt.Errorf("dataset: decode gob: %w", derr)
+		}
+		return nil
+	}
+	head := make([]byte, len(gobMagic)+16)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return fmt.Errorf("dataset: read gob frame: %w", err)
+	}
+	ver := binary.BigEndian.Uint32(head[len(gobMagic):])
+	if ver != gobVersion {
+		return fmt.Errorf("dataset: unsupported gob frame version %d", ver)
+	}
+	n := binary.BigEndian.Uint64(head[len(gobMagic)+4:])
+	if n > 1<<33 {
+		return fmt.Errorf("dataset: gob frame claims implausible %d-byte payload", n)
+	}
+	want := binary.BigEndian.Uint32(head[len(gobMagic)+12:])
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return fmt.Errorf("dataset: gob payload truncated: %w", err)
+	}
+	if got := crc32.Checksum(payload, gobCastagnoli); got != want {
+		return fmt.Errorf("dataset: gob payload checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(v); err != nil {
+		return fmt.Errorf("dataset: decode gob: %w", err)
+	}
+	return nil
+}
+
+// SaveCertainGob writes the dataset in framed gob form (compact, fast
+// reloads, checksummed against silent corruption).
+func SaveCertainGob(w io.Writer, ds *Certain) error {
+	return writeFramedGob(w, gobCertain{Points: ds.Points})
+}
+
+// LoadCertainGob reads the SaveCertainGob format, accepting both the
+// framed and the legacy bare-gob layouts.
 func LoadCertainGob(r io.Reader) (*Certain, error) {
 	var g gobCertain
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("dataset: decode gob: %w", err)
+	if err := readFramedGob(r, &g); err != nil {
+		return nil, err
 	}
 	return NewCertain(g.Points)
 }
 
-// SaveUncertainGob writes the dataset in gob form.
+// SaveUncertainGob writes the dataset in framed gob form.
 func SaveUncertainGob(w io.Writer, ds *Uncertain) error {
-	return gob.NewEncoder(w).Encode(gobUncertain{Objects: ds.Objects})
+	return writeFramedGob(w, gobUncertain{Objects: ds.Objects})
 }
 
-// LoadUncertainGob reads the SaveUncertainGob format.
+// LoadUncertainGob reads the SaveUncertainGob format, accepting both the
+// framed and the legacy bare-gob layouts.
 func LoadUncertainGob(r io.Reader) (*Uncertain, error) {
 	var g gobUncertain
-	if err := gob.NewDecoder(r).Decode(&g); err != nil {
-		return nil, fmt.Errorf("dataset: decode gob: %w", err)
+	if err := readFramedGob(r, &g); err != nil {
+		return nil, err
 	}
 	return NewUncertain(g.Objects)
 }

@@ -2,8 +2,11 @@ package dataset
 
 import (
 	"bytes"
+	"encoding/gob"
 	"strings"
 	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
 )
 
 func TestCertainCSVRoundTrip(t *testing.T) {
@@ -134,5 +137,79 @@ func TestGobRejectsGarbage(t *testing.T) {
 	}
 	if _, err := LoadUncertainGob(strings.NewReader("not gob data")); err == nil {
 		t.Error("garbage gob should fail")
+	}
+}
+
+func TestGobFramingDetected(t *testing.T) {
+	ds := MustCertain([]geom.Point{{1, 2}, {3, 4}})
+	var buf bytes.Buffer
+	if err := SaveCertainGob(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte(gobMagic)) {
+		t.Fatalf("framed gob does not start with magic: % x", buf.Bytes()[:12])
+	}
+}
+
+// TestGobLegacyReadPath: files written by the pre-framing savers (bare gob)
+// must keep loading.
+func TestGobLegacyReadPath(t *testing.T) {
+	cds := MustCertain([]geom.Point{{1, 2}, {3, 4}, {5, 6}})
+	var legacy bytes.Buffer
+	if err := gob.NewEncoder(&legacy).Encode(gobCertain{Points: cds.Points}); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCertainGob(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy certain gob failed to load: %v", err)
+	}
+	if back.Len() != cds.Len() {
+		t.Fatalf("legacy load Len = %d, want %d", back.Len(), cds.Len())
+	}
+
+	uds, err := GenerateUncertain(LUrG(20, 2, 0, 5, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Reset()
+	if err := gob.NewEncoder(&legacy).Encode(gobUncertain{Objects: uds.Objects}); err != nil {
+		t.Fatal(err)
+	}
+	uback, err := LoadUncertainGob(bytes.NewReader(legacy.Bytes()))
+	if err != nil {
+		t.Fatalf("legacy uncertain gob failed to load: %v", err)
+	}
+	if uback.Len() != uds.Len() {
+		t.Fatalf("legacy load Len = %d, want %d", uback.Len(), uds.Len())
+	}
+}
+
+// TestGobFramingRejectsCorruption: a flipped payload byte must fail the
+// checksum, and a truncated payload must fail the length check — neither
+// may decode into a silently wrong dataset.
+func TestGobFramingRejectsCorruption(t *testing.T) {
+	ds := MustCertain([]geom.Point{{1, 2}, {3, 4}, {5, 6}, {7, 8}})
+	var buf bytes.Buffer
+	if err := SaveCertainGob(&buf, ds); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+
+	flipped := append([]byte(nil), b...)
+	flipped[len(flipped)-2] ^= 0x01
+	if _, err := LoadCertainGob(bytes.NewReader(flipped)); err == nil {
+		t.Error("bit-flipped payload should fail the checksum")
+	} else if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("want checksum error, got: %v", err)
+	}
+
+	if _, err := LoadCertainGob(bytes.NewReader(b[:len(b)-3])); err == nil {
+		t.Error("truncated payload should fail to load")
+	}
+
+	headFlip := append([]byte(nil), b...)
+	headFlip[len(gobMagic)+1] ^= 0x01 // version bytes
+	if _, err := LoadCertainGob(bytes.NewReader(headFlip)); err == nil {
+		t.Error("bad frame version should fail to load")
 	}
 }

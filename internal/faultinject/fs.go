@@ -1,0 +1,218 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+
+	"github.com/crsky/crsky/internal/store"
+)
+
+// ErrCrashed marks every filesystem operation attempted after a simulated
+// crash point: the moment the budget runs out, the "process" is dead and
+// nothing more reaches the disk. Torn-write mode makes the dying write
+// itself land partially first — the torn-page failure mode the store's
+// checksums exist for.
+var ErrCrashed = errors.New("faultinject: simulated crash")
+
+// CrashFS wraps a store.FS with a mutation-op budget. Every state-changing
+// operation (write, sync, create, rename, remove, truncate) consumes one
+// unit; the operation that exhausts the budget fails — partially applied,
+// per the mode — and every mutation after it fails immediately. Reads keep
+// working so the test harness can inspect the post-crash directory, which
+// is exactly what the recovering process will see.
+//
+// Budget < 0 means unlimited: the FS then only counts mutations, which is
+// how the crash-matrix tests size their crash-point loops.
+type CrashFS struct {
+	inner store.FS
+
+	mu      sync.Mutex
+	budget  int64
+	ops     int64
+	crashed bool
+	// torn makes the crashing Write persist a strict prefix of its
+	// buffer (possibly empty); false drops the crashing write entirely
+	// (a short write at the block layer).
+	torn bool
+	rng  *rand.Rand
+}
+
+// NewCrashFS wraps inner (nil = the OS) with a crash after budget
+// mutations. Seed drives the torn-write prefix lengths.
+func NewCrashFS(inner store.FS, budget int64, torn bool, seed int64) *CrashFS {
+	if inner == nil {
+		inner = store.OS
+	}
+	return &CrashFS{inner: inner, budget: budget, torn: torn, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Ops returns how many mutation operations have been attempted.
+func (c *CrashFS) Ops() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ops
+}
+
+// Crashed reports whether the crash point has been reached.
+func (c *CrashFS) Crashed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.crashed
+}
+
+// spend consumes one mutation unit. It returns (tornLen, err): err is
+// ErrCrashed when this op crashes or the crash already happened; tornLen
+// >= 0 only for the crashing op in torn mode, giving the prefix length to
+// persist out of n bytes.
+func (c *CrashFS) spend(n int) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.crashed {
+		return -1, ErrCrashed
+	}
+	c.ops++
+	if c.budget >= 0 && c.ops > c.budget {
+		c.crashed = true
+		if c.torn && n > 0 {
+			return c.rng.Intn(n), nil // persist a strict prefix, then die
+		}
+		return -1, ErrCrashed
+	}
+	return -1, nil
+}
+
+func (c *CrashFS) MkdirAll(dir string) error {
+	// Directory creation happens once at open and is not an interesting
+	// crash point; it stays uncounted so crash loops focus on the
+	// snapshot+WAL protocol.
+	if c.Crashed() {
+		return ErrCrashed
+	}
+	return c.inner.MkdirAll(dir)
+}
+
+func (c *CrashFS) Create(path string) (store.File, error) {
+	if _, err := c.spend(0); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+func (c *CrashFS) OpenAppend(path string) (store.File, error) {
+	if _, err := c.spend(0); err != nil {
+		return nil, err
+	}
+	f, err := c.inner.OpenAppend(path)
+	if err != nil {
+		return nil, err
+	}
+	return &crashFile{fs: c, inner: f}, nil
+}
+
+func (c *CrashFS) ReadFile(path string) ([]byte, error) { return c.inner.ReadFile(path) }
+
+func (c *CrashFS) Rename(oldpath, newpath string) error {
+	if _, err := c.spend(0); err != nil {
+		return err
+	}
+	return c.inner.Rename(oldpath, newpath)
+}
+
+func (c *CrashFS) Remove(path string) error {
+	if _, err := c.spend(0); err != nil {
+		return err
+	}
+	return c.inner.Remove(path)
+}
+
+func (c *CrashFS) Truncate(path string, size int64) error {
+	if _, err := c.spend(0); err != nil {
+		return err
+	}
+	return c.inner.Truncate(path, size)
+}
+
+func (c *CrashFS) ReadDir(dir string) ([]string, error) { return c.inner.ReadDir(dir) }
+
+func (c *CrashFS) Stat(path string) (int64, error) { return c.inner.Stat(path) }
+
+func (c *CrashFS) SyncDir(dir string) error {
+	if _, err := c.spend(0); err != nil {
+		return err
+	}
+	return c.inner.SyncDir(dir)
+}
+
+// crashFile charges the budget per Write/Sync and tears the dying write.
+type crashFile struct {
+	fs    *CrashFS
+	inner store.File
+}
+
+func (f *crashFile) Write(p []byte) (int, error) {
+	tornLen, err := f.fs.spend(len(p))
+	if err != nil {
+		return 0, err
+	}
+	if tornLen >= 0 {
+		// The crashing write: persist a strict prefix, then report the
+		// crash. The file now holds a torn record/section.
+		if tornLen > 0 {
+			_, _ = f.inner.Write(p[:tornLen])
+		}
+		return tornLen, ErrCrashed
+	}
+	return f.inner.Write(p)
+}
+
+func (f *crashFile) Sync() error {
+	if _, err := f.fs.spend(0); err != nil {
+		return err
+	}
+	return f.inner.Sync()
+}
+
+func (f *crashFile) Close() error {
+	// Closing is free: a dying process's descriptors close anyway.
+	return f.inner.Close()
+}
+
+// FlipByte XORs one bit of the byte at offset in path (offset taken modulo
+// the file size; negative counts from the end) — the silent single-bit
+// corruption the store's CRC32C framing must catch and quarantine.
+func FlipByte(path string, offset int64) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(b) == 0 {
+		return fmt.Errorf("faultinject: %s is empty", path)
+	}
+	off := offset % int64(len(b))
+	if off < 0 {
+		off += int64(len(b))
+	}
+	b[off] ^= 0x40
+	return os.WriteFile(path, b, 0o644)
+}
+
+// TruncateTail cuts n bytes off the end of path — a short write /
+// truncated-file fault for recovery tests.
+func TruncateTail(path string, n int64) error {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := fi.Size() - n
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

@@ -4,6 +4,7 @@ import (
 	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/obs"
+	"github.com/crsky/crsky/internal/store"
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
@@ -290,6 +291,9 @@ type RequestStats struct {
 	Errors  int64 `json:"errors"`
 	Approx  int64 `json:"approx"`
 	Panics  int64 `json:"panics"`
+	// UploadRejected counts request bodies refused with 413 for exceeding
+	// the configured size cap.
+	UploadRejected int64 `json:"uploadRejected"`
 }
 
 // AdmissionStats reports the admission controller: the queue budget, the
@@ -318,7 +322,8 @@ type ExplainStats struct {
 	ComputedExplanations int64   `json:"computedExplanations"`
 }
 
-// StatsResponse is the /v1/stats payload.
+// StatsResponse is the /v1/stats payload. Store is present only when the
+// server runs with a durable store.
 type StatsResponse struct {
 	UptimeSeconds float64         `json:"uptimeSeconds"`
 	Datasets      []DatasetInfo   `json:"datasets"`
@@ -330,13 +335,26 @@ type StatsResponse struct {
 	Quadrature    QuadratureStats `json:"quadrature"`
 	Explain       ExplainStats    `json:"explain"`
 	Requests      RequestStats    `json:"requests"`
+	Store         *store.Stats    `json:"store,omitempty"`
 }
 
-// HealthResponse is the /healthz payload.
+// StoreHealth is the durability block of /healthz. CorruptTotal > 0 flips
+// the overall status to "degraded": the files listed were quarantined and
+// the datasets they held are not being served until an operator repairs
+// the store (crskyd fsck -repair) or re-registers the data.
+type StoreHealth struct {
+	CorruptTotal int64    `json:"corruptTotal"`
+	Quarantined  []string `json:"quarantined,omitempty"`
+}
+
+// HealthResponse is the /healthz payload. Status is "ok", or "degraded"
+// when the store quarantined corrupt files (the surviving datasets keep
+// serving). Store is present only when durability is enabled.
 type HealthResponse struct {
-	Status        string  `json:"status"`
-	UptimeSeconds float64 `json:"uptimeSeconds"`
-	Datasets      int     `json:"datasets"`
+	Status        string       `json:"status"`
+	UptimeSeconds float64      `json:"uptimeSeconds"`
+	Datasets      int          `json:"datasets"`
+	Store         *StoreHealth `json:"store,omitempty"`
 }
 
 // ErrorResponse is the uniform error envelope.

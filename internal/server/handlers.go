@@ -17,7 +17,7 @@ import (
 func (s *Server) handleDatasetRegister(w http.ResponseWriter, r *http.Request) {
 	var req DatasetRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeDecodeError(w, err)
 		return
 	}
 	ent, err := s.reg.register(&req)
@@ -42,8 +42,13 @@ func (s *Server) handleDatasetGet(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.remove(r.PathValue("name")) {
+	ok, err := s.reg.remove(r.PathValue("name"))
+	if !ok {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", r.PathValue("name")))
+		return
+	}
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.WriteHeader(http.StatusNoContent)
@@ -294,7 +299,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.reqQuery.Inc()
 	var req QueryRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeDecodeError(w, err)
 		return
 	}
 	ent, q, alpha, status, err := s.resolve(req.Dataset, req.Q, req.Alpha)
@@ -367,7 +372,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 	s.reqExplain.Inc()
 	var req ExplainRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeDecodeError(w, err)
 		return
 	}
 	ent, q, alpha, status, err := s.resolve(req.Dataset, req.Q, req.Alpha)
@@ -444,7 +449,7 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 	s.reqRepair.Inc()
 	var req RepairRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeDecodeError(w, err)
 		return
 	}
 	ent, q, alpha, status, err := s.resolve(req.Dataset, req.Q, req.Alpha)

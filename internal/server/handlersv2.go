@@ -173,7 +173,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	s.reqQuery.Inc()
 	var req BatchQueryRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeDecodeError(w, err)
 		return
 	}
 	ent, qs, alpha, status, err := s.resolveBatch(req.Dataset, req.Qs, req.Alpha)
@@ -397,7 +397,7 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 	s.reqExplain.Inc()
 	var req BatchExplainRequest
 	if err := s.decodeJSON(w, r, &req); err != nil {
-		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		s.writeDecodeError(w, err)
 		return
 	}
 	if len(req.Items) == 0 {

@@ -87,6 +87,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.PromValue(&b, "crsky_requests_total", []obs.Label{{Name: "endpoint", Value: "repair"}}, float64(s.reqRepair.Value()))
 	obs.PromHead(&b, "crsky_request_errors_total", "counter", "Requests answered with an error response.")
 	obs.PromValue(&b, "crsky_request_errors_total", nil, float64(s.reqErrors.Value()))
+	obs.PromHead(&b, "crsky_upload_rejected_total", "counter", "Request bodies refused with 413 for exceeding the size cap.")
+	obs.PromValue(&b, "crsky_upload_rejected_total", nil, float64(s.uploadRejected.Value()))
+
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		obs.PromHead(&b, "crsky_store_datasets", "gauge", "Datasets held by the durable store.")
+		obs.PromValue(&b, "crsky_store_datasets", nil, float64(ss.Datasets))
+		obs.PromHead(&b, "crsky_store_wal_bytes", "gauge", "Current write-ahead log size.")
+		obs.PromValue(&b, "crsky_store_wal_bytes", nil, float64(ss.WALBytes))
+		obs.PromHead(&b, "crsky_store_wal_appends_total", "counter", "Committed WAL records since open.")
+		obs.PromValue(&b, "crsky_store_wal_appends_total", nil, float64(ss.WALAppends))
+		obs.PromHead(&b, "crsky_store_snapshots_written_total", "counter", "Snapshot checkpoints written since open.")
+		obs.PromValue(&b, "crsky_store_snapshots_written_total", nil, float64(ss.SnapshotsWritten))
+		obs.PromHead(&b, "crsky_store_compactions_total", "counter", "WAL compactions since open.")
+		obs.PromValue(&b, "crsky_store_compactions_total", nil, float64(ss.Compactions))
+		obs.PromHead(&b, "crsky_store_corrupt_total", "counter", "Files quarantined for failing integrity checks.")
+		obs.PromValue(&b, "crsky_store_corrupt_total", nil, float64(ss.CorruptTotal))
+	}
 
 	obs.PromHead(&b, "crsky_explain_computed_total", "counter", "Explanations computed (cache hits excluded).")
 	obs.PromValue(&b, "crsky_explain_computed_total", nil, float64(s.explainComputed.Value()))

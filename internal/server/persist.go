@@ -1,0 +1,106 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"strings"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/store"
+)
+
+// The durable payload of a dataset is its canonical engine input, not the
+// registration request: CSV uploads are parsed once and stored in the
+// checksummed gob forms of internal/dataset (certain and sample models) or
+// as a gob of the validated PDF specs. Decoding a payload and rebuilding
+// the engine therefore reproduces the original registration bit for bit —
+// the recovery-conformance tests depend on that.
+
+// encodeStorePayload validates req exactly like registration does and
+// renders the payload Put writes through the store.
+func encodeStorePayload(req *DatasetRequest) (model string, data []byte, err error) {
+	model = req.Model
+	if model == "uncertain" {
+		model = ModelSample
+	}
+	var buf bytes.Buffer
+	switch model {
+	case ModelCertain:
+		pts, err := certainPoints(req)
+		if err != nil {
+			return "", nil, err
+		}
+		ds, err := dataset.NewCertain(pts)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := dataset.SaveCertainGob(&buf, ds); err != nil {
+			return "", nil, err
+		}
+	case ModelSample:
+		objs, err := sampleObjects(req)
+		if err != nil {
+			return "", nil, err
+		}
+		ds, err := dataset.NewUncertain(objs)
+		if err != nil {
+			return "", nil, err
+		}
+		if err := dataset.SaveUncertainGob(&buf, ds); err != nil {
+			return "", nil, err
+		}
+	case ModelPDF:
+		if _, err := pdfObjects(req); err != nil {
+			return "", nil, err
+		}
+		if err := gob.NewEncoder(&buf).Encode(req.PDFObjects); err != nil {
+			return "", nil, fmt.Errorf("encode pdf specs: %w", err)
+		}
+	default:
+		return "", nil, fmt.Errorf("unknown model %q (want certain, sample, or pdf)", req.Model)
+	}
+	return model, buf.Bytes(), nil
+}
+
+// decodeStoreDataset turns a recovered payload back into the registration
+// request buildEntry consumes. The checksum layer already vouched for the
+// bytes; failures here mean the payload is semantically bad (wrong model
+// tag, undecodable gob) and the caller should quarantine it.
+func decodeStoreDataset(d store.Dataset) (*DatasetRequest, error) {
+	req := &DatasetRequest{Name: d.Name, Model: d.Model}
+	switch d.Model {
+	case ModelCertain:
+		ds, err := dataset.LoadCertainGob(bytes.NewReader(d.Data))
+		if err != nil {
+			return nil, err
+		}
+		req.Points = make([][]float64, len(ds.Points))
+		for i, p := range ds.Points {
+			req.Points[i] = p
+		}
+	case ModelSample:
+		ds, err := dataset.LoadUncertainGob(bytes.NewReader(d.Data))
+		if err != nil {
+			return nil, err
+		}
+		req.Objects = make([]ObjectSpec, len(ds.Objects))
+		for i, o := range ds.Objects {
+			samples := make([]SampleSpec, len(o.Samples))
+			for j, s := range o.Samples {
+				samples[j] = SampleSpec{P: s.P, Loc: s.Loc}
+			}
+			req.Objects[i] = ObjectSpec{Samples: samples}
+		}
+	case ModelPDF:
+		if err := gob.NewDecoder(bytes.NewReader(d.Data)).Decode(&req.PDFObjects); err != nil {
+			return nil, fmt.Errorf("decode pdf specs: %w", err)
+		}
+	default:
+		return nil, fmt.Errorf("stored dataset %q has unknown model %q", d.Name, d.Model)
+	}
+	if strings.TrimSpace(req.Name) == "" {
+		return nil, fmt.Errorf("stored dataset has empty name")
+	}
+	return req, nil
+}

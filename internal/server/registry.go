@@ -12,6 +12,7 @@ import (
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/store"
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
@@ -111,10 +112,15 @@ type registry struct {
 	// wrap, when set (fault injection only), decorates every engine at
 	// registration time.
 	wrap func(crsky.Explainer) crsky.Explainer
+	// st, when set, makes register/remove write-through durable. regMu
+	// serializes mutations so the WAL's operation order always matches the
+	// map's last-writer-wins order; reads stay on the RWMutex alone.
+	st    *store.Store
+	regMu sync.Mutex
 }
 
-func newRegistry(wrap func(crsky.Explainer) crsky.Explainer) *registry {
-	return &registry{m: make(map[string]*entry), wrap: wrap}
+func newRegistry(wrap func(crsky.Explainer) crsky.Explainer, st *store.Store) *registry {
+	return &registry{m: make(map[string]*entry), wrap: wrap, st: st}
 }
 
 func (r *registry) get(name string) (*entry, bool) {
@@ -141,16 +147,28 @@ func (r *registry) count() int {
 	return len(r.m)
 }
 
-func (r *registry) remove(name string) bool {
+// remove uninstalls a dataset and deletes its durable state. The bool
+// reports whether the name existed; a non-nil error means the in-memory
+// removal happened but the durable delete failed.
+func (r *registry) remove(name string) (bool, error) {
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	_, ok := r.m[name]
 	delete(r.m, name)
-	return ok
+	r.mu.Unlock()
+	if ok && r.st != nil {
+		if err := r.st.Delete(name); err != nil {
+			return true, fmt.Errorf("dataset removed from memory but not from disk: %w", err)
+		}
+	}
+	return ok, nil
 }
 
 // register builds, warms, and installs the dataset described by req,
-// replacing any same-named predecessor.
+// replacing any same-named predecessor. With a store attached the dataset
+// is made durable FIRST: a registration is acknowledged only after its WAL
+// append, so an acknowledged dataset survives a crash.
 func (r *registry) register(req *DatasetRequest) (*entry, error) {
 	name := strings.TrimSpace(req.Name)
 	if name == "" {
@@ -164,11 +182,44 @@ func (r *registry) register(req *DatasetRequest) (*entry, error) {
 		e.eng = r.wrap(e.eng)
 	}
 	e.name = name
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	if r.st != nil {
+		model, data, err := encodeStorePayload(req)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.st.Put(name, model, data); err != nil {
+			return nil, fmt.Errorf("durable write failed, dataset not registered: %w", err)
+		}
+	}
 	e.gen = r.gen.Add(1)
 	r.mu.Lock()
 	r.m[name] = e
 	r.mu.Unlock()
 	return e, nil
+}
+
+// installStored rebuilds and installs one recovered dataset without
+// re-writing it — the startup path over the store's recovered state.
+func (r *registry) installStored(d store.Dataset) error {
+	req, err := decodeStoreDataset(d)
+	if err != nil {
+		return err
+	}
+	e, err := buildEntry(req)
+	if err != nil {
+		return err
+	}
+	if r.wrap != nil {
+		e.eng = r.wrap(e.eng)
+	}
+	e.name = d.Name
+	e.gen = r.gen.Add(1)
+	r.mu.Lock()
+	r.m[d.Name] = e
+	r.mu.Unlock()
+	return nil
 }
 
 func buildEntry(req *DatasetRequest) (*entry, error) {

@@ -21,6 +21,7 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"runtime"
@@ -35,6 +36,7 @@ import (
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/stats"
+	"github.com/crsky/crsky/internal/store"
 	"github.com/crsky/crsky/internal/uncertain"
 )
 
@@ -78,6 +80,11 @@ type Config struct {
 	// a fixed seed, identical approximate requests return bit-identical
 	// estimates, which conformance checks rely on.
 	ApproxSeed int64
+	// Store, when set, makes dataset registrations durable: register and
+	// remove write through to the store's WAL, and LoadFromStore rebuilds
+	// the recovered datasets at startup. Nil keeps the registry purely
+	// in-memory (tests, throwaway servers).
+	Store *store.Store
 	// Faults installs a fault injector on the worker pools (tests and the
 	// load harness only; nil in production). Injected slot delays simulate
 	// slow storage or noisy neighbors.
@@ -140,6 +147,7 @@ type Server struct {
 	shedBatch, shedExplain, shedQuery stats.Counter
 	approxAnswers                     stats.Counter
 	panics                            stats.Counter
+	uploadRejected                    stats.Counter
 
 	// reqHist is the route × dataset-model × outcome latency histogram
 	// family behind /metrics; slow is the structured slow-query log (nil
@@ -165,7 +173,7 @@ func New(cfg Config) *Server {
 	cfg.fillDefaults()
 	s := &Server{
 		cfg:        cfg,
-		reg:        newRegistry(cfg.WrapEngine),
+		reg:        newRegistry(cfg.WrapEngine, cfg.Store),
 		cache:      newLRUCache(cfg.CacheSize),
 		flights:    newFlightGroup(),
 		pool:       newWorkerPool(cfg.Workers),
@@ -214,17 +222,58 @@ func (s *Server) Register(req *DatasetRequest) (DatasetInfo, error) {
 	return ent.info(), nil
 }
 
+// LoadFromStore rebuilds and installs a warmed engine for every dataset
+// the configured store recovered. A payload that passed its checksums but
+// fails to decode or build is quarantined (moved to corrupt/, logged out
+// of the WAL) and the load continues: the daemon boots degraded on the
+// healthy datasets instead of refusing to start. Returns the number of
+// datasets installed and the names quarantined.
+func (s *Server) LoadFromStore() (loaded int, quarantined []string, err error) {
+	if s.cfg.Store == nil {
+		return 0, nil, nil
+	}
+	for _, d := range s.cfg.Store.Datasets() {
+		if ierr := s.reg.installStored(d); ierr != nil {
+			_ = s.cfg.Store.Quarantine(d.Name, ierr.Error())
+			quarantined = append(quarantined, d.Name)
+			continue
+		}
+		loaded++
+	}
+	return loaded, quarantined, nil
+}
+
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, HealthResponse{
+	resp := HealthResponse{
 		Status:        "ok",
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Datasets:      s.reg.count(),
-	})
+	}
+	if st := s.cfg.Store; st != nil {
+		ss := st.Stats()
+		sh := &StoreHealth{CorruptTotal: ss.CorruptTotal}
+		for _, q := range ss.Quarantined {
+			sh.Quarantined = append(sh.Quarantined, q.Path)
+		}
+		if ss.CorruptTotal > 0 {
+			// Degraded, not down: the healthy datasets keep serving, but
+			// operators must know data was quarantined and run fsck.
+			resp.Status = "degraded"
+		}
+		resp.Store = sh
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	quad := uncertain.QuadMemoMetrics()
+	var storeStats *store.Stats
+	if s.cfg.Store != nil {
+		ss := s.cfg.Store.Stats()
+		storeStats = &ss
+	}
 	writeJSON(w, http.StatusOK, StatsResponse{
+		Store:         storeStats,
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		Datasets:      s.reg.list(),
 		Cache:         s.cache.Stats(),
@@ -249,12 +298,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			ComputedExplanations: s.explainComputed.Value(),
 		},
 		Requests: RequestStats{
-			Query:   s.reqQuery.Value(),
-			Explain: s.reqExplain.Value(),
-			Repair:  s.reqRepair.Value(),
-			Errors:  s.reqErrors.Value(),
-			Approx:  s.approxAnswers.Value(),
-			Panics:  s.panics.Value(),
+			Query:          s.reqQuery.Value(),
+			Explain:        s.reqExplain.Value(),
+			Repair:         s.reqRepair.Value(),
+			Errors:         s.reqErrors.Value(),
+			Approx:         s.approxAnswers.Value(),
+			Panics:         s.panics.Value(),
+			UploadRejected: s.uploadRejected.Value(),
 		},
 	})
 }
@@ -278,6 +328,21 @@ func (s *Server) decodeJSON(w http.ResponseWriter, r *http.Request, v any) error
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	dec := json.NewDecoder(r.Body)
 	return dec.Decode(v)
+}
+
+// writeDecodeError renders a request-body decode failure: bodies over the
+// size cap get the proper 413 (with the limit spelled out, so clients can
+// fix their payload instead of guessing) and a rejection counter tick;
+// everything else is a plain 400.
+func (s *Server) writeDecodeError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		s.uploadRejected.Inc()
+		s.writeError(w, http.StatusRequestEntityTooLarge,
+			fmt.Errorf("request body exceeds the %d-byte limit", mbe.Limit))
+		return
+	}
+	s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 }
 
 // statusFor maps engine errors to HTTP statuses: bad references are 404,

@@ -1,0 +1,97 @@
+package store
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the write surface the store needs from an open file: sequential
+// writes, an explicit durability barrier, and close.
+type File interface {
+	io.Writer
+	io.Closer
+	Sync() error
+}
+
+// FS abstracts the filesystem operations of the snapshot+WAL protocol so
+// chaos tests can inject crash points, torn writes, and short writes at
+// exactly the syscalls a real crash would interrupt (see
+// internal/faultinject). Production code uses OS (the os package).
+type FS interface {
+	// MkdirAll creates dir and parents.
+	MkdirAll(dir string) error
+	// Create truncating-creates path for writing.
+	Create(path string) (File, error)
+	// OpenAppend opens path for appending, creating it if missing.
+	OpenAppend(path string) (File, error)
+	// ReadFile returns the whole content of path.
+	ReadFile(path string) ([]byte, error)
+	// Rename atomically replaces newpath with oldpath.
+	Rename(oldpath, newpath string) error
+	// Remove deletes path.
+	Remove(path string) error
+	// Truncate cuts path to size bytes.
+	Truncate(path string, size int64) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// Stat returns the size of path.
+	Stat(path string) (int64, error)
+	// SyncDir fsyncs the directory itself so a completed rename survives
+	// power loss.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS backed by the os package.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) Create(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+}
+
+func (osFS) OpenAppend(path string) (File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+
+func (osFS) ReadFile(path string) ([]byte, error) { return os.ReadFile(path) }
+
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+
+func (osFS) Remove(path string) error { return os.Remove(path) }
+
+func (osFS) Truncate(path string, size int64) error { return os.Truncate(path, size) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) Stat(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,336 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func mustOpen(t *testing.T, dir string) (*Store, *RecoveryReport) {
+	t.Helper()
+	st, rep, err := Open(dir, Options{Fsync: false})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return st, rep
+}
+
+func TestPutGetDeleteReopen(t *testing.T) {
+	dir := t.TempDir()
+	st, rep := mustOpen(t, dir)
+	if len(rep.Datasets) != 0 || rep.WALTorn {
+		t.Fatalf("fresh open report = %+v", rep)
+	}
+	put := func(name, model, data string) {
+		t.Helper()
+		if err := st.Put(name, model, []byte(data)); err != nil {
+			t.Fatalf("Put(%s): %v", name, err)
+		}
+	}
+	put("a", "certain", "payload-a-v1")
+	put("b", "sample", "payload-b")
+	put("a", "certain", "payload-a-v2") // replace
+	put("c", "pdf", "payload-c")
+	if err := st.Delete("b"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if err := st.Delete("nope"); err != nil { // absent: no-op
+		t.Fatalf("Delete absent: %v", err)
+	}
+	if ds, ok := st.Get("a"); !ok || string(ds.Data) != "payload-a-v2" || ds.Model != "certain" {
+		t.Fatalf("Get(a) = %+v, %v", ds, ok)
+	}
+	st.Close()
+
+	st2, rep2 := mustOpen(t, dir)
+	defer st2.Close()
+	if got := strings.Join(rep2.Datasets, ","); got != "a,c" {
+		t.Fatalf("recovered datasets = %q, want a,c", got)
+	}
+	if ds, _ := st2.Get("a"); string(ds.Data) != "payload-a-v2" {
+		t.Fatalf("recovered a = %q", ds.Data)
+	}
+	if ds, _ := st2.Get("c"); string(ds.Data) != "payload-c" || ds.Model != "pdf" {
+		t.Fatalf("recovered c = %+v", ds)
+	}
+	if _, ok := st2.Get("b"); ok {
+		t.Fatalf("deleted dataset b resurrected")
+	}
+}
+
+func TestCompactPreservesStateAndShrinksWAL(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	big := bytes.Repeat([]byte("x"), 4096)
+	for i := 0; i < 8; i++ {
+		if err := st.Put("bulk", "sample", big); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Put("keep", "certain", []byte("small")); err != nil {
+		t.Fatal(err)
+	}
+	before := st.Stats().WALBytes
+	if err := st.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	after := st.Stats().WALBytes
+	if after >= before {
+		t.Fatalf("WAL did not shrink: %d -> %d", before, after)
+	}
+	// The store stays usable after the WAL swap.
+	if err := st.Put("post", "certain", []byte("after-compact")); err != nil {
+		t.Fatalf("Put after compact: %v", err)
+	}
+	st.Close()
+
+	st2, rep := mustOpen(t, dir)
+	defer st2.Close()
+	if got := strings.Join(rep.Datasets, ","); got != "bulk,keep,post" {
+		t.Fatalf("recovered datasets = %q", got)
+	}
+	if ds, _ := st2.Get("bulk"); !bytes.Equal(ds.Data, big) {
+		t.Fatalf("bulk payload corrupted after compaction")
+	}
+}
+
+func TestTornWALTailTruncatedAndReplayStops(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	if err := st.Put("good", "certain", []byte("kept")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// Tear the tail: garbage bytes where the next record would start.
+	wal := filepath.Join(dir, "wal.log")
+	f, err := os.OpenFile(wal, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x00, 0x00, 0x01, 0xff, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore, _ := os.Stat(wal)
+
+	st2, rep := mustOpen(t, dir)
+	defer st2.Close()
+	if !rep.WALTorn {
+		t.Fatalf("torn tail not reported: %+v", rep)
+	}
+	if ds, ok := st2.Get("good"); !ok || string(ds.Data) != "kept" {
+		t.Fatalf("record before the tear lost: %+v %v", ds, ok)
+	}
+	sizeAfter, _ := os.Stat(wal)
+	if sizeAfter.Size() >= sizeBefore.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d", sizeBefore.Size(), sizeAfter.Size())
+	}
+	// Appends continue cleanly after the truncation.
+	if err := st2.Put("after", "sample", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorruptSnapshotQuarantinedOthersServed(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	if err := st.Put("healthy", "certain", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("victim", "sample", []byte("doomed-payload")); err != nil {
+		t.Fatal(err)
+	}
+	// Compact so the WAL holds no copy of the victim: the snapshot is the
+	// only source, and corrupting it must lose exactly that dataset.
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	snap := filepath.Join(dir, "datasets", "victim.snap")
+	b, err := os.ReadFile(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-3] ^= 0x01 // flip one bit in the data section
+	if err := os.WriteFile(snap, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, rep := mustOpen(t, dir)
+	defer st2.Close()
+	if got := strings.Join(rep.Datasets, ","); got != "healthy" {
+		t.Fatalf("recovered datasets = %q, want healthy only", got)
+	}
+	if len(rep.Quarantined) != 1 {
+		t.Fatalf("quarantined = %+v", rep.Quarantined)
+	}
+	q := rep.Quarantined[0]
+	if q.Dataset != "victim" || !strings.Contains(q.Path, "corrupt") {
+		t.Fatalf("quarantine entry = %+v", q)
+	}
+	if _, err := os.Stat(q.Path); err != nil {
+		t.Fatalf("quarantined file missing: %v", err)
+	}
+	if _, err := os.Stat(snap); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still in datasets/: %v", err)
+	}
+	if st2.CorruptTotal() != 1 {
+		t.Fatalf("CorruptTotal = %d", st2.CorruptTotal())
+	}
+	// Re-registering the name replaces the quarantined state cleanly.
+	if err := st2.Put("victim", "sample", []byte("reborn")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALRegisterSurvivesMissingSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	if err := st.Put("x", "certain", []byte("wal-backed")); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+	// Simulate a crash after the WAL append but before the checkpoint:
+	// delete the snapshot outright. Recovery must replay the register
+	// from the WAL payload and re-checkpoint it.
+	snap := filepath.Join(dir, "datasets", "x.snap")
+	if err := os.Remove(snap); err != nil {
+		t.Fatal(err)
+	}
+	st2, rep := mustOpen(t, dir)
+	defer st2.Close()
+	if ds, ok := st2.Get("x"); !ok || string(ds.Data) != "wal-backed" {
+		t.Fatalf("WAL-only dataset not recovered: %+v %v", ds, ok)
+	}
+	if rep.WALReplayed == 0 {
+		t.Fatalf("report shows no WAL replay: %+v", rep)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("recovery did not re-checkpoint: %v", err)
+	}
+}
+
+func TestHostileDatasetNamesStayInsideDatasetsDir(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	names := []string{"..", "../escape", "a/b", "dots...", ".", "ünïcødé", "sp ace", "%2e%2e"}
+	for _, n := range names {
+		if err := st.Put(n, "certain", []byte("payload:"+n)); err != nil {
+			t.Fatalf("Put(%q): %v", n, err)
+		}
+	}
+	st.Close()
+	// Nothing may have escaped datasets/.
+	if _, err := os.Stat(filepath.Join(filepath.Dir(dir), "escape.snap")); !os.IsNotExist(err) {
+		t.Fatalf("name traversal escaped the store directory")
+	}
+	st2, rep := mustOpen(t, dir)
+	defer st2.Close()
+	if len(rep.Datasets) != len(names) {
+		t.Fatalf("recovered %d datasets, want %d: %v", len(rep.Datasets), len(names), rep.Datasets)
+	}
+	for _, n := range names {
+		if ds, ok := st2.Get(n); !ok || string(ds.Data) != "payload:"+n {
+			t.Fatalf("Get(%q) = %+v, %v", n, ds, ok)
+		}
+	}
+}
+
+func TestFsckVerifyAndRepair(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	if err := st.Put("ok", "certain", []byte("fine")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put("bad", "sample", []byte("to-corrupt")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	rep, err := Fsck(nil, dir, false)
+	if err != nil {
+		t.Fatalf("Fsck: %v", err)
+	}
+	if !rep.Healthy() {
+		t.Fatalf("clean store reported unhealthy: %+v", rep)
+	}
+
+	// Corrupt one snapshot and tear the WAL; verify-only must report both
+	// WITHOUT mutating anything.
+	snap := filepath.Join(dir, "datasets", "bad.snap")
+	b, _ := os.ReadFile(snap)
+	b[9] ^= 0x80
+	os.WriteFile(snap, b, 0o644)
+	f, _ := os.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_APPEND, 0o644)
+	f.Write([]byte{1, 2, 3})
+	f.Close()
+
+	rep, err = Fsck(nil, dir, false)
+	if err != nil {
+		t.Fatalf("Fsck verify: %v", err)
+	}
+	if rep.Healthy() || !rep.WALTorn {
+		t.Fatalf("verify missed the damage: %+v", rep)
+	}
+	var sawBad bool
+	for _, s := range rep.Snapshots {
+		if s.File == "bad.snap" && !s.OK {
+			sawBad = true
+		}
+	}
+	if !sawBad {
+		t.Fatalf("corrupt snapshot not flagged: %+v", rep.Snapshots)
+	}
+	if _, err := os.Stat(snap); err != nil {
+		t.Fatalf("verify-only fsck moved files: %v", err)
+	}
+
+	// Repair: quarantine, truncate, compact; a fresh verify is clean.
+	rep, err = Fsck(nil, dir, true)
+	if err != nil {
+		t.Fatalf("Fsck repair: %v", err)
+	}
+	if !rep.Repaired || len(rep.Quarantined) != 1 {
+		t.Fatalf("repair report = %+v", rep)
+	}
+	if got := strings.Join(rep.Datasets, ","); got != "ok" {
+		t.Fatalf("post-repair datasets = %q", got)
+	}
+	rep, err = Fsck(nil, dir, false)
+	if err != nil || !rep.Healthy() {
+		t.Fatalf("store unhealthy after repair: %+v err=%v", rep, err)
+	}
+	var sb strings.Builder
+	rep.Format(&sb)
+	if !strings.Contains(sb.String(), "healthy") {
+		t.Fatalf("Format output = %q", sb.String())
+	}
+}
+
+func TestQuarantineMethodLogsRemoval(t *testing.T) {
+	dir := t.TempDir()
+	st, _ := mustOpen(t, dir)
+	if err := st.Put("sick", "certain", []byte("undecodable-by-server")); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Quarantine("sick", "payload failed to decode"); err != nil {
+		t.Fatalf("Quarantine: %v", err)
+	}
+	if _, ok := st.Get("sick"); ok {
+		t.Fatal("quarantined dataset still live")
+	}
+	st.Close()
+	// The WAL register record must not resurrect the quarantined payload.
+	st2, rep := mustOpen(t, dir)
+	defer st2.Close()
+	if _, ok := st2.Get("sick"); ok {
+		t.Fatalf("quarantined dataset resurrected on recovery: %+v", rep)
+	}
+}
