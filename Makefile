@@ -1,6 +1,6 @@
 # Developer entry points. The Go toolchain is the only requirement.
 
-.PHONY: build test race vet fmt-check api-check api-update conformance chaos-smoke crash-smoke fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
+.PHONY: build test race vet fmt-check api-check api-update conformance chaos-smoke crash-smoke watch-smoke fuzz-smoke bench bench-smoke bench-prsq bench-prsq-check bench-explain bench-explain-check bench-serve bench-serve-check experiments
 
 build:
 	go build ./...
@@ -48,6 +48,17 @@ crash-smoke:
 	go test -race -count=1 -run 'TestCrashRecovery|TestTorn|TestCorrupt|TestWALRegister|TestFsck|TestQuarantine|TestHostile|TestPutGetDeleteReopen|TestCompact' ./internal/store/
 	go test -race -count=1 -run 'TestStoreDurability|TestStartupQuarantine|TestServerCrashRecovery|TestRegisterFailsClosed|TestUploadRejected' ./internal/server/
 	go test -race -count=1 -run 'TestRecoveredServerConformance' ./internal/conformance/
+
+# The dynamic-plane hammer under the race detector: concurrent readers,
+# watchers (some disconnecting mid-stream), and an HTTP writer on one
+# dataset. Readers must see answers bit-identical to the client-side oracle
+# at the committed generation stamped on each response (never a blend of
+# two generations), the live-flip path must match the naive causality
+# oracle, and the watch hub must end with zero subscriptions and zero
+# in-flight pool slots.
+watch-smoke:
+	go test -race -count=1 -run 'TestWatchSmokeConcurrent|TestWatch|TestObjectMutation|TestMutateThenQuery|TestMutationDurability|TestCrashBetweenCommitAndApply' ./internal/server/
+	go test -race -count=1 -run 'TestCausalityLiveFlipThroughWatch' ./internal/conformance/
 
 # A short coverage-guided run of every fuzz target (go test -fuzz accepts a
 # single target per package invocation, hence one line each).

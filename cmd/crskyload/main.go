@@ -5,7 +5,16 @@
 // saturation counters it scraped afterwards.
 //
 //	crskyload [-target http://host:8372] [-c 8] [-n 240] [-size 2000]
-//	          [-benchfile BENCH_serve.json] [-against BENCH_serve.json]
+//	          [-writes 0.1] [-benchfile BENCH_serve.json] [-against BENCH_serve.json]
+//
+// Two cells exercise the dynamic data plane. "mutate" interleaves object
+// inserts+deletes (an insert immediately undone, so the dataset converges
+// back to its registered size) with queries at the -writes ratio against
+// the certain dataset. "watch" drives the same write-ratio interleave
+// against the sample dataset while holding /v2/watch subscriptions open on
+// its tractable non-answers, so every committed mutation also pays the
+// subscription re-evaluation path; the events pushed during the cell ride
+// along in the report.
 //
 // With no -target it starts an in-process server (the same code path as
 // crskyd) on a loopback listener, so the measurement includes the full
@@ -31,12 +40,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -56,11 +67,17 @@ import (
 
 // MixResult is one (mix, model) cell of the serving benchmark.
 type MixResult struct {
-	Mix       string `json:"mix"`   // query | explain | batch | overload
+	Mix       string `json:"mix"`   // query | explain | batch | mutate | watch | overload
 	Model     string `json:"model"` // certain | sample
 	Requests  int    `json:"requests"`
 	Errors    int    `json:"errors"` // hard failures only; 503s are sheds, not errors
 	CacheHits int    `json:"cacheHits"`
+
+	// Mutations counts the insert+delete round-trips the cell interleaved
+	// (mutate and watch mixes only); WatchEvents counts the NDJSON lines
+	// the held /v2/watch subscriptions pushed during the cell (watch mix).
+	Mutations   int `json:"mutations,omitempty"`
+	WatchEvents int `json:"watchEvents,omitempty"`
 
 	// The degradation story: how many 503 sheds the cell absorbed, how
 	// many answers came back from the approximate Monte Carlo tier, and
@@ -106,6 +123,8 @@ type Report struct {
 	Concurrency         int         `json:"concurrency"`
 	RequestsPerMix      int         `json:"requestsPerMix"`
 	DatasetSize         int         `json:"datasetSize"`
+	WriteRatio          float64     `json:"writeRatio"`
+	Watchers            int         `json:"watchers"`
 	OverloadConcurrency int         `json:"overloadConcurrency"`
 	HistogramObserveNs  float64     `json:"histogramObserveNs"`
 	Results             []MixResult `json:"results"`
@@ -118,12 +137,21 @@ func main() {
 		conc      = flag.Int("c", 8, "concurrent client workers per mix")
 		nPerMix   = flag.Int("n", 240, "requests per (mix, model) cell")
 		size      = flag.Int("size", 2000, "objects per generated dataset")
+		writes    = flag.Float64("writes", 0.1, "write fraction of the mutate/watch mixes (0 disables writes)")
 		seed      = flag.Int64("seed", 1, "workload seed")
 		workers   = flag.Int("workers", 0, "in-process server pool size (0 = GOMAXPROCS)")
 		benchfile = flag.String("benchfile", "", "write the JSON report here")
 		against   = flag.String("against", "", "committed baseline to check this run against")
 	)
 	flag.Parse()
+	if *writes < 0 || *writes > 1 {
+		log.Fatalf("crskyload: -writes %v outside [0, 1]", *writes)
+	}
+	if *writes > 0 {
+		if writeEvery = int(math.Round(1 / *writes)); writeEvery < 1 {
+			writeEvery = 1
+		}
+	}
 
 	base := *target
 	overloadBase := ""
@@ -186,6 +214,8 @@ func main() {
 		Concurrency:         *conc,
 		RequestsPerMix:      *nPerMix,
 		DatasetSize:         *size,
+		WriteRatio:          *writes,
+		Watchers:            watchCount,
 		OverloadConcurrency: overloadConc,
 		HistogramObserveNs:  observeNs,
 	}
@@ -202,12 +232,31 @@ func main() {
 			cells = append(cells, cell{mix, wl, *nPerMix, *conc, lg})
 		}
 	}
+	// The dynamic-plane cells run after the read-only cells so their
+	// generation bumps do not retire those cells' cache entries mid-run.
+	cells = append(cells,
+		cell{"mutate", certain, *nPerMix, *conc, lg},
+		cell{"watch", sample, *nPerMix, *conc, lg},
+	)
 	// The degradation cell: saturate the tiny server with cache-bypassing
 	// "auto" queries under a deadline, 512 distinct points so neither a
 	// cache nor singleflight absorbs the load.
 	cells = append(cells, cell{"overload", sample, 2 * *nPerMix, overloadConc, olg})
 	for _, c := range cells {
+		var ws *watchSet
+		if c.mix == "watch" {
+			var err error
+			if ws, err = c.lg.openWatchers(c.wl, watchCount); err != nil {
+				log.Fatalf("crskyload: watch subscriptions: %v", err)
+			}
+		}
 		res := c.lg.runMix(c.mix, c.wl, c.n, c.conc, *seed)
+		if c.mix == "mutate" || c.mix == "watch" {
+			res.Mutations = mutationCount(c.n)
+		}
+		if ws != nil {
+			res.WatchEvents = ws.close()
+		}
 		res.HistogramOverheadPct = overheadPct(observeNs, res.P50Ms)
 		rep.Results = append(rep.Results, res)
 		log.Printf("crskyload: %-8s %-7s  p50=%.2fms p90=%.2fms p99=%.2fms  %.0f req/s  errors=%d cacheHits=%d shed=%d approx=%d retries=%d",
@@ -260,12 +309,28 @@ const (
 	overloadSlotDelay = 40 * time.Millisecond // injected per-slot stall on the overload server
 	maxRetries        = 5                     // Retry-After-honoring attempts after the first
 	maxBackoff        = 2 * time.Second       // cap so a long advisory cannot stall the run
+	watchCount        = 8                     // /v2/watch streams held open during the watch cell
 )
+
+// writeEvery is the deterministic write schedule of the mutate/watch mixes:
+// request i is an insert+delete round-trip when i%writeEvery == 0 (0
+// disables writes). Derived from -writes in main.
+var writeEvery int
+
+// mutationCount is how many of a cell's n requests the schedule turns into
+// writes — deterministic, so the report needs no extra plumbing.
+func mutationCount(n int) int {
+	if writeEvery <= 0 {
+		return 0
+	}
+	return (n + writeEvery - 1) / writeEvery
+}
 
 type workload struct {
 	name       string
 	model      string
 	register   *server.DatasetRequest
+	baseQ      geom.Point   // unperturbed base query — nonAnswers hold exactly here
 	queries    []geom.Point // rotating query points
 	overload   []geom.Point // wider, cache-defeating rotation for the overload cell
 	nonAnswers []int        // tractable explain targets
@@ -293,6 +358,7 @@ func buildWorkloads(seed int64, size int) (*workload, *workload, error) {
 		register: &server.DatasetRequest{
 			Name: "load-certain", Model: server.ModelCertain, Points: raw,
 		},
+		baseQ:      cq,
 		queries:    rotateQueries(seed+10, cq),
 		nonAnswers: cids,
 		alpha:      1,
@@ -316,6 +382,7 @@ func buildWorkloads(seed int64, size int) (*workload, *workload, error) {
 		register: &server.DatasetRequest{
 			Name: "load-sample", Model: server.ModelSample, Objects: specs,
 		},
+		baseQ:      sq,
 		queries:    rotateQueries(seed+20, sq),
 		overload:   perturbQueries(seed+30, sq, overloadPoints, 0.10),
 		nonAnswers: sids,
@@ -405,6 +472,17 @@ func (lg *loadgen) issue(mix string, wl *workload, i int) (*http.Response, []byt
 		return lg.post("/v2/query", &server.BatchQueryRequest{
 			Dataset: wl.name, Qs: qs, Alpha: wl.alpha,
 		})
+	case "mutate", "watch":
+		// The dynamic-plane interleave: a deterministic fraction of the
+		// requests are insert+delete round-trips, the rest plain queries
+		// whose cache entries the writes keep retiring.
+		if writeEvery > 0 && i%writeEvery == 0 {
+			return lg.mutateOnce(wl, i)
+		}
+		q := wl.queries[i%len(wl.queries)]
+		return lg.post("/v1/query", &server.QueryRequest{
+			Dataset: wl.name, Q: q, Alpha: wl.alpha,
+		})
 	case "overload":
 		// Cache-bypassing deadline-bounded queries that may legally come
 		// back from the approximate tier ("approx": "auto").
@@ -415,6 +493,111 @@ func (lg *loadgen) issue(mix string, wl *workload, i int) (*http.Response, []byt
 	default:
 		panic("unknown mix " + mix)
 	}
+}
+
+// mutateOnce is one write "request" of the mutate/watch mixes: insert a
+// clone of a registered object, then delete the ID the server assigned.
+// The dataset converges back to its registered size while the server pays
+// two WAL commits, two copy-on-write generations, and — with watch
+// subscriptions held — two re-evaluation rounds. The reported latency
+// covers the whole round-trip.
+func (lg *loadgen) mutateOnce(wl *workload, i int) (*http.Response, []byte, error) {
+	var ins server.ObjectInsertRequest
+	switch wl.model {
+	case server.ModelCertain:
+		pts := wl.register.Points
+		ins.Point = pts[i%len(pts)]
+	case server.ModelSample:
+		objs := wl.register.Objects
+		ins.Samples = objs[i%len(objs)].Samples
+	}
+	resp, body, err := lg.post("/v2/datasets/"+wl.name+"/objects", &ins)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return resp, body, err
+	}
+	var mr server.MutationResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		return nil, nil, err
+	}
+	req, err := http.NewRequest(http.MethodDelete,
+		fmt.Sprintf("%s/v2/datasets/%s/objects/%d", lg.base, wl.name, mr.ID), nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	dresp, err := lg.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	out, err := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if err != nil {
+		return nil, nil, err
+	}
+	return dresp, out, nil
+}
+
+// watchSet is the watch cell's held subscriptions: one NDJSON stream per
+// tractable non-answer, each with a counter of the lines the server pushed
+// (the registered ack included).
+type watchSet struct {
+	bodies []io.Closer
+	counts []int64
+	wg     sync.WaitGroup
+}
+
+// openWatchers subscribes n /v2/watch streams on the workload's explain
+// targets — non-answers at the unperturbed base query by construction.
+// Streams outlive the shared client's request timeout, so they get a
+// timeout-less client of their own.
+func (lg *loadgen) openWatchers(wl *workload, n int) (*watchSet, error) {
+	cl := &http.Client{}
+	ws := &watchSet{counts: make([]int64, n)}
+	for k := 0; k < n; k++ {
+		an := wl.nonAnswers[k%len(wl.nonAnswers)]
+		raw, err := json.Marshal(&server.WatchRequest{
+			Dataset: wl.name, Q: wl.baseQ, An: an, Alpha: wl.alpha,
+		})
+		if err != nil {
+			ws.close()
+			return nil, err
+		}
+		resp, err := cl.Post(lg.base+"/v2/watch", "application/json", bytes.NewReader(raw))
+		if err != nil {
+			ws.close()
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			b, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			ws.close()
+			return nil, fmt.Errorf("watch an=%d: status %d: %s", an, resp.StatusCode, b)
+		}
+		ws.bodies = append(ws.bodies, resp.Body)
+		ws.wg.Add(1)
+		go func(k int, r io.Reader) {
+			defer ws.wg.Done()
+			sc := bufio.NewScanner(r)
+			for sc.Scan() {
+				if len(bytes.TrimSpace(sc.Bytes())) > 0 {
+					ws.counts[k]++
+				}
+			}
+		}(k, resp.Body)
+	}
+	return ws, nil
+}
+
+// close tears the streams down and returns the total pushed line count.
+func (ws *watchSet) close() int {
+	for _, b := range ws.bodies {
+		b.Close()
+	}
+	ws.wg.Wait()
+	var total int64
+	for _, c := range ws.counts {
+		total += c
+	}
+	return int(total)
 }
 
 // reqOutcome is what one logical request (including its retries) produced.

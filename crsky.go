@@ -147,6 +147,9 @@ func (e *Engine) ResetCounters() { e.io.Reset() }
 // irrelevant objects.
 func (e *Engine) Prob(id int, q Point) float64 {
 	an := e.ds.Objects[id]
+	if an == nil { // tombstone: a deleted object is never an answer
+		return 0
+	}
 	candIDs := causality.FilterCandidates(e.ds, q, an)
 	cands := make([]*Object, len(candIDs))
 	for i, cid := range candIDs {
@@ -183,7 +186,10 @@ func (e *Engine) ProbabilisticReverseSkylineOpts(q Point, alpha float64, opt Que
 // reference for the accelerated path.
 func (e *Engine) ProbabilisticReverseSkylineNaive(q Point, alpha float64) []int {
 	var out []int
-	for id := range e.ds.Objects {
+	for id, o := range e.ds.Objects {
+		if o == nil {
+			continue
+		}
 		if e.IsAnswer(id, q, alpha) {
 			out = append(out, id)
 		}
@@ -250,7 +256,7 @@ func NewCertainEngine(points []Point) (*CertainEngine, error) {
 func (e *CertainEngine) Len() int { return e.ix.Len() }
 
 // Dims returns the dataset dimensionality.
-func (e *CertainEngine) Dims() int { return e.ix.Points()[0].Dims() }
+func (e *CertainEngine) Dims() int { return e.ix.Dims() }
 
 // Point returns the point at the given index.
 func (e *CertainEngine) Point(i int) Point { return e.ix.Points()[i] }
@@ -351,7 +357,11 @@ func (e *PDFEngine) ResetCounters() { e.io.Reset() }
 // slice is passed straight through (the evaluation skips id by pointer),
 // so no per-call candidate slice is rebuilt.
 func (e *PDFEngine) Prob(id int, q Point, nodesPerDim int) float64 {
-	return prob.PrReverseSkylinePDF(e.set.Objects[id], q, e.set.Objects, nodesPerDim)
+	an := e.set.Objects[id]
+	if an == nil { // tombstone: a deleted object is never an answer
+		return 0
+	}
+	return prob.PrReverseSkylinePDF(an, q, e.set.Objects, nodesPerDim)
 }
 
 // ProbabilisticReverseSkyline returns the IDs of every object whose
@@ -375,7 +385,10 @@ func (e *PDFEngine) ProbabilisticReverseSkylineOpts(q Point, alpha float64, node
 // path is conformance-tested against.
 func (e *PDFEngine) ProbabilisticReverseSkylineNaive(q Point, alpha float64, nodesPerDim int) []int {
 	var out []int
-	for id := range e.set.Objects {
+	for id, o := range e.set.Objects {
+		if o == nil {
+			continue
+		}
 		if prob.GEq(e.Prob(id, q, nodesPerDim), alpha) {
 			out = append(out, id)
 		}

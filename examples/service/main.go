@@ -1,14 +1,16 @@
 // The service example runs crskyd's server in-process and drives it over
 // HTTP the way an application would: register a dataset, run a
 // probabilistic reverse skyline query, explain a non-answer, ask for a
-// minimal repair, read the serving metrics, and finally saturate a tiny
-// server to show graceful degradation — the approximate Monte Carlo
-// answer tier and admission-control shedding with Retry-After.
+// minimal repair, mutate the dataset and watch the repair flip that
+// non-answer live over /v2/watch, read the serving metrics, and finally
+// saturate a tiny server to show graceful degradation — the approximate
+// Monte Carlo answer tier and admission-control shedding with Retry-After.
 //
 //	go run ./examples/service
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/json"
 	"fmt"
@@ -162,6 +164,48 @@ func main() {
 		}
 		fmt.Printf("  q #%d: %d answers\n", item.Index, item.Count)
 	}
+
+	// Dynamic data plane: registered datasets are mutable over HTTP. Every
+	// mutation installs a copy-on-write generation — in-flight queries keep
+	// reading the one they resolved, caches key on it — and the ack carries
+	// the committed generation for read-your-write checks. This insert is
+	// deliberately inert (far outside every dominance window), so the
+	// explanation and repair above stay valid.
+	var mr server.MutationResponse
+	post(base+"/v2/datasets/demo/objects", &server.ObjectInsertRequest{
+		Samples: []server.SampleSpec{{P: 1, Loc: []float64{99999, 99999}}},
+	}, &mr)
+	fmt.Printf("\ninserted object %d: %d objects, generation now %d\n", mr.ID, mr.Size, mr.Generation)
+
+	// /v2/watch holds a standing subscription on a non-answer: the server
+	// verifies it, answers with a "registered" event, and keeps the NDJSON
+	// stream open. Then make the minimal repair real — delete its objects
+	// one by one. The scheduler re-evaluates the subscription after each
+	// committed mutation; the repair is minimal, so only the last delete
+	// flips the object into the answer set, pushing the terminal "flipped"
+	// event and closing the stream.
+	wraw, err := json.Marshal(&server.WatchRequest{Dataset: "demo", Q: q, An: an, Alpha: alpha})
+	if err != nil {
+		log.Fatal(err)
+	}
+	wresp, err := http.Post(base+"/v2/watch", "application/json", bytes.NewReader(wraw))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer wresp.Body.Close()
+	if wresp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(wresp.Body)
+		log.Fatalf("POST /v2/watch: %d %s", wresp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(wresp.Body)
+	fmt.Printf("\nwatching non-answer %d:\n", an)
+	fmt.Printf("  %s\n", nextLine(sc)) // the registered ack
+
+	for _, id := range rr.Removed {
+		dmr := del(base + fmt.Sprintf("/v2/datasets/demo/objects/%d", id))
+		fmt.Printf("  deleted object %d (generation %d)\n", id, dmr.Generation)
+	}
+	fmt.Printf("  %s\n", nextLine(sc)) // the flipped event
 
 	// Serving metrics.
 	resp, err := http.Get(base + "/v1/stats")
@@ -319,6 +363,39 @@ func post(url string, req, out any) {
 	if !tryPost(url, req, out) {
 		log.Fatalf("POST %s failed", url)
 	}
+}
+
+// del issues an object DELETE and returns the mutation ack.
+func del(url string) server.MutationResponse {
+	req, err := http.NewRequest(http.MethodDelete, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("DELETE %s: %d %s", url, resp.StatusCode, body)
+	}
+	var mr server.MutationResponse
+	if err := json.Unmarshal(body, &mr); err != nil {
+		log.Fatal(err)
+	}
+	return mr
+}
+
+// nextLine blocks for the next NDJSON line of a watch stream.
+func nextLine(sc *bufio.Scanner) string {
+	if !sc.Scan() {
+		log.Fatalf("watch stream ended: %v", sc.Err())
+	}
+	return sc.Text()
 }
 
 // postNDJSON posts req and returns the response's NDJSON lines.

@@ -37,7 +37,7 @@ func CP(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Optio
 // restored on cancellation; a subsequent call computes the same result an
 // uncanceled run would have.
 func CPCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
-	if anID < 0 || anID >= ds.Len() {
+	if anID < 0 || anID >= ds.Len() || ds.Objects[anID] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, ds.Dims(), alpha); err != nil {

@@ -14,10 +14,14 @@ import (
 
 // PDFSet is a continuous-model uncertain dataset: pdf objects whose IDs
 // equal their slice positions, with a lazily built R-tree over the
-// uncertainty regions.
+// uncertainty regions. Deleted objects leave nil tombstones (see
+// WithDelete); IDs are never reused.
 type PDFSet struct {
 	Objects []*uncertain.PDFObject
 	tree    *rtree.Tree
+	// dims pins the dimensionality on sets that may hold tombstones;
+	// 0 = derive from the first live object.
+	dims int
 }
 
 // NewPDFSet validates the objects and wraps them.
@@ -44,20 +48,80 @@ func NewPDFSet(objs []*uncertain.PDFObject) (*PDFSet, error) {
 func (s *PDFSet) Len() int { return len(s.Objects) }
 
 // Dims returns the dataset dimensionality.
-func (s *PDFSet) Dims() int { return s.Objects[0].Dims() }
+func (s *PDFSet) Dims() int {
+	if s.dims > 0 {
+		return s.dims
+	}
+	for _, o := range s.Objects {
+		if o != nil {
+			return o.Dims()
+		}
+	}
+	return 0
+}
 
 // Tree returns the R-tree over uncertainty regions, built on first use.
+// Tombstone slots are not indexed.
 func (s *PDFSet) Tree(opts ...rtree.Option) *rtree.Tree {
 	if s.tree == nil {
-		items := make([]rtree.Item, len(s.Objects))
+		items := make([]rtree.Item, 0, len(s.Objects))
 		for i, o := range s.Objects {
-			items[i] = rtree.Item{Rect: o.Region.Clone(), ID: i}
+			if o == nil {
+				continue
+			}
+			items = append(items, rtree.Item{Rect: o.Region.Clone(), ID: i})
 		}
 		t := rtree.New(s.Dims(), opts...)
 		t.BulkLoad(items)
 		s.tree = t
 	}
 	return s.tree
+}
+
+// WithInsert returns a copy of s with o appended, sharing index structure
+// copy-on-write with the receiver (which is never modified). The object's
+// ID must be len(s.Objects), the next positional slot.
+func (s *PDFSet) WithInsert(o *uncertain.PDFObject) (*PDFSet, error) {
+	if o == nil {
+		return nil, fmt.Errorf("causality: nil pdf object")
+	}
+	if o.ID != len(s.Objects) {
+		return nil, fmt.Errorf("causality: insert ID %d, want next slot %d", o.ID, len(s.Objects))
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	if d := s.Dims(); d > 0 && o.Dims() != d {
+		return nil, fmt.Errorf("causality: pdf object has %d dims, set has %d", o.Dims(), d)
+	}
+	ns := s.cowShell()
+	ns.Objects = append(ns.Objects, o)
+	ns.tree.Insert(o.Region.Clone(), o.ID)
+	return ns, nil
+}
+
+// WithDelete returns a copy of s with object id tombstoned.
+func (s *PDFSet) WithDelete(id int) (*PDFSet, error) {
+	if id < 0 || id >= len(s.Objects) {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, id)
+	}
+	o := s.Objects[id]
+	if o == nil {
+		return nil, fmt.Errorf("%w: %d already deleted", ErrBadObject, id)
+	}
+	ns := s.cowShell()
+	if !ns.tree.Delete(o.Region, id) {
+		return nil, fmt.Errorf("causality: pdf object %d missing from the index", id)
+	}
+	ns.Objects[id] = nil
+	return ns, nil
+}
+
+func (s *PDFSet) cowShell() *PDFSet {
+	tree := s.Tree().CloneCOW()
+	objs := make([]*uncertain.PDFObject, len(s.Objects))
+	copy(objs, s.Objects)
+	return &PDFSet{Objects: objs, tree: tree, dims: s.Dims()}
 }
 
 // CPPDF is the continuous-pdf variant of CP (Section 3.2). The three
@@ -80,7 +144,7 @@ func CPPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Res
 // CPCtx: an amortized poll at the budget-charging points and a typed
 // *ctxutil.CanceledError with partial statistics on cancellation.
 func CPPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
-	if anID < 0 || anID >= s.Len() {
+	if anID < 0 || anID >= s.Len() || s.Objects[anID] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, s.Dims(), alpha); err != nil {

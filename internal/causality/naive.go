@@ -25,7 +25,7 @@ func NaiveI(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts O
 // with the same amortized stride as the refiner, so even the baseline is
 // cancellable when used as an online oracle.
 func NaiveICtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Result, error) {
-	if anID < 0 || anID >= ds.Len() {
+	if anID < 0 || anID >= ds.Len() || ds.Objects[anID] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, ds.Dims(), alpha); err != nil {

@@ -172,9 +172,32 @@ func (r *refiner) classify() {
 	}
 }
 
+// tightenGains is the per-sample remaining-zero-coverage refinement of the
+// admissible removal gains: a counterfactual candidate is never removed
+// during any contingency search (Lemma 5 keeps it out of every pool and
+// every greedy pick), so a sample it dominates with probability 1 keeps a
+// zero Eq. (2) factor in every context the search can reach — no sequence
+// of pool removals ever reclaims that sample's mass. Subtracting the
+// permanently dead mass from each candidate's gain tightens the
+// branch-and-bound budget while staying admissible. The mass ordering uses
+// the same tightened gains, so the prefix-sum bound stays an exact range
+// sum over the sorted pool, and every ablation variant sees the same
+// enumeration order (the monotonicity gates compare subset counts across
+// variants).
+func (r *refiner) tightenGains() {
+	blocked := r.e.BlockedSampleMask(r.counterfactual)
+	if blocked == nil {
+		return
+	}
+	for j := range r.gains {
+		r.gains[j] = r.e.RemovalGainMasked(j, blocked)
+	}
+}
+
 // run executes the refinement and returns the causes.
 func (r *refiner) run() ([]Cause, error) {
 	r.classify()
+	r.tightenGains()
 
 	// Degenerate conflict: a candidate that is both forced and
 	// counterfactual blocks every other cause — while it is present,

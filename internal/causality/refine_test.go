@@ -1,0 +1,94 @@
+package causality
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"github.com/crsky/crsky/internal/prob"
+)
+
+// TestTightenGainsZeroCoverage pins the per-sample zero-coverage
+// refinement of the admissible bound on a hand-built instance: candidate A
+// dominates sample 0 with probability 1 and is counterfactual, so Lemma 5
+// keeps it active through every contingency search and sample 0's mass is
+// permanently dead — the other candidates' gains must shed their sample-0
+// share, and the search must still find the exact causes.
+func TestTightenGainsZeroCoverage(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	d := [][]float64{
+		{1, 0},     // A: blocks sample 0 outright, inert on sample 1
+		{0.1, 0.9}, // B
+		{0.1, 0.8}, // C
+	}
+	alpha := 0.2
+	e := prob.NewEvaluatorRaw(weights, d)
+
+	// Sanity: A is the sole counterfactual at this α.
+	if pr := e.PrWithout(0); prob.Less(pr, alpha) {
+		t.Fatalf("PrWithout(A) = %v, scenario wants a counterfactual A", pr)
+	}
+	for j := 1; j < 3; j++ {
+		if pr := e.PrWithout(j); prob.GEq(pr, alpha) {
+			t.Fatalf("PrWithout(%d) = %v, scenario wants a non-counterfactual", j, pr)
+		}
+	}
+
+	r := newRefiner(context.Background(), e, []int{0, 1, 2}, alpha, Options{})
+	rawB, rawC := r.gains[1], r.gains[2]
+	r.classify()
+	if !r.counterfactual[0] || r.counterfactual[1] || r.counterfactual[2] {
+		t.Fatalf("classify marks = %v", r.counterfactual)
+	}
+	r.tightenGains()
+
+	// Each candidate's gain drops by exactly its sample-0 mass (w=0.5,
+	// d=0.1): the blocked sample can never pay out.
+	for j, raw := range map[int]float64{1: rawB, 2: rawC} {
+		want := raw - 0.5*d[j][0]
+		if math.Abs(r.gains[j]-want) > 1e-12 {
+			t.Fatalf("tightened gain[%d] = %v, want %v (raw %v)", j, r.gains[j], want, raw)
+		}
+	}
+
+	// End-to-end through run(): A counterfactual (responsibility 1), B and
+	// C mutual contingencies (responsibility 1/2 each).
+	causes, err := newRefiner(context.Background(), prob.NewEvaluatorRaw(weights, d),
+		[]int{0, 1, 2}, alpha, Options{}).run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]float64{0: 1, 1: 0.5, 2: 0.5}
+	if len(causes) != len(want) {
+		t.Fatalf("causes = %v, want 3", causes)
+	}
+	for _, c := range causes {
+		if math.Abs(c.Responsibility-want[c.ID]) > 1e-12 {
+			t.Fatalf("cause %d responsibility %v, want %v", c.ID, c.Responsibility, want[c.ID])
+		}
+	}
+}
+
+// TestTightenGainsNoBlockerNoChange: without a probability-1 blocker among
+// the counterfactuals the gains are untouched (the mask is nil and the
+// bound reduces to the plain dominance mass).
+func TestTightenGainsNoBlockerNoChange(t *testing.T) {
+	weights := []float64{0.5, 0.5}
+	d := [][]float64{
+		{0.95, 0.9}, // counterfactual at α=0.01, but never d == 1
+		{0.3, 0.4},
+	}
+	e := prob.NewEvaluatorRaw(weights, d)
+	r := newRefiner(context.Background(), e, []int{0, 1}, 0.01, Options{})
+	before := append([]float64(nil), r.gains...)
+	r.classify()
+	if !r.counterfactual[0] {
+		t.Fatalf("scenario wants candidate 0 counterfactual (marks %v)", r.counterfactual)
+	}
+	r.tightenGains()
+	for j := range before {
+		if r.gains[j] != before[j] {
+			t.Fatalf("gain[%d] changed %v -> %v without a hard blocker", j, before[j], r.gains[j])
+		}
+	}
+}

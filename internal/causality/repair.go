@@ -52,7 +52,7 @@ func MinimalRepair(ds *dataset.Uncertain, q geom.Point, anID int, alpha float64,
 // which degrades to the greedy answer — a cancellation is an error: the
 // caller asked the computation to stop, so no partial repair is reported.
 func MinimalRepairCtx(ctx context.Context, ds *dataset.Uncertain, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
-	if anID < 0 || anID >= ds.Len() {
+	if anID < 0 || anID >= ds.Len() || ds.Objects[anID] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, ds.Dims(), alpha); err != nil {

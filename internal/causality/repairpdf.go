@@ -26,7 +26,7 @@ func MinimalRepairPDF(s *PDFSet, q geom.Point, anID int, alpha float64, opts Opt
 // MinimalRepairPDFCtx is MinimalRepairPDF under a context, with the same
 // cancellation contract as MinimalRepairCtx.
 func MinimalRepairPDFCtx(ctx context.Context, s *PDFSet, q geom.Point, anID int, alpha float64, opts Options) (*Repair, error) {
-	if anID < 0 || anID >= s.Len() {
+	if anID < 0 || anID >= s.Len() || s.Objects[anID] == nil {
 		return nil, fmt.Errorf("%w: %d", ErrBadObject, anID)
 	}
 	if err := checkQuery(q, s.Dims(), alpha); err != nil {

@@ -20,6 +20,9 @@ func VerifyExplanation(ds *dataset.Uncertain, q geom.Point, alpha float64, res *
 	if res == nil {
 		return fmt.Errorf("causality: nil result")
 	}
+	if res.NonAnswer >= 0 && res.NonAnswer < ds.Len() && ds.Objects[res.NonAnswer] == nil {
+		return fmt.Errorf("%w: %d", ErrBadObject, res.NonAnswer)
+	}
 	return verifyCauses(ds.Len(), alpha, res, func(removed map[int]bool, extra int) float64 {
 		return prWithRemoved(ds.Objects[res.NonAnswer], q, ds.Objects, removed, extra)
 	})
@@ -35,6 +38,9 @@ func VerifyExplanation(ds *dataset.Uncertain, q geom.Point, alpha float64, res *
 func VerifyExplanationPDF(s *PDFSet, q geom.Point, alpha float64, quadNodes int, res *Result) error {
 	if res == nil {
 		return fmt.Errorf("causality: nil result")
+	}
+	if res.NonAnswer >= 0 && res.NonAnswer < s.Len() && s.Objects[res.NonAnswer] == nil {
+		return fmt.Errorf("%w: %d", ErrBadObject, res.NonAnswer)
 	}
 	return verifyCauses(s.Len(), alpha, res, func(removed map[int]bool, extra int) float64 {
 		return prWithRemovedPDF(s.Objects[res.NonAnswer], q, s.Objects, removed, extra, quadNodes)
@@ -100,7 +106,7 @@ func prWithRemoved(an *uncertain.Object, q geom.Point, objs []*uncertain.Object,
 
 	act := make([]*uncertain.Object, 0, len(objs))
 	for _, o := range objs {
-		if o.ID == an.ID || removed[o.ID] || o.ID == extra {
+		if o == nil || o.ID == an.ID || removed[o.ID] || o.ID == extra {
 			continue
 		}
 		act = append(act, o)
@@ -113,7 +119,7 @@ func prWithRemovedPDF(an *uncertain.PDFObject, q geom.Point, objs []*uncertain.P
 
 	act := make([]*uncertain.PDFObject, 0, len(objs))
 	for _, o := range objs {
-		if o.ID == an.ID || removed[o.ID] || o.ID == extra {
+		if o == nil || o.ID == an.ID || removed[o.ID] || o.ID == extra {
 			continue
 		}
 		act = append(act, o)

@@ -1,16 +1,26 @@
 package conformance
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"encoding/json"
+	"io"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
 	"testing"
+	"time"
 
 	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/causality"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
 	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/server"
 	"github.com/crsky/crsky/internal/uncertain"
+	"github.com/crsky/crsky/internal/watch"
 )
 
 // rebuildWithout builds a fresh engine over objs minus the given IDs and
@@ -102,6 +112,173 @@ func TestCausalityDeleteCauseFlipsSample(t *testing.T) {
 			}
 		}
 	})
+}
+
+// TestCausalityLiveFlipThroughWatch drives the delete-cause flip oracle
+// through the live serving path: register the dataset over HTTP, open a
+// /v2/watch subscription on a non-answer, delete the reported cause's
+// contingency and then the cause itself via the mutation API, and assert
+// the stream delivers exactly one terminal "flipped" event — whose answer
+// the naive oracle confirms on the post-delete dataset.
+func TestCausalityLiveFlipThroughWatch(t *testing.T) {
+	forEachCaseSeed(t, 24_000, 6, func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		cfg := dataset.LUrU(7, 2, 0, 2500+2500*rng.Float64(), rng.Int63())
+		cfg.Samples = 1 + rng.Intn(3)
+		cfg.Domain = 1000
+		ds, err := dataset.GenerateUncertain(cfg)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		q := geom.Point{1000 * rng.Float64(), 1000 * rng.Float64()}
+		alpha := 0.4 + 0.6*rng.Float64()
+
+		eng, err := crsky.NewEngine(ds.Objects)
+		if err != nil {
+			t.Errorf("seed=%d: %v", seed, err)
+			return
+		}
+		answers := eng.ProbabilisticReverseSkyline(q, alpha)
+
+		// Pick the first non-answer with at least one brute-oracle cause.
+		an, cause := -1, causality.Cause{}
+		for i := 0; i < ds.Len() && an < 0; i++ {
+			if contains(answers, i) {
+				continue
+			}
+			if causes := causality.BruteCausesUncertain(ds.Objects, q, i, alpha); len(causes) > 0 {
+				an, cause = i, causes[0]
+			}
+		}
+		if an < 0 {
+			return // no explainable non-answer in this draw; next seed
+		}
+
+		srv := server.New(server.Config{Workers: 2})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		specs := make([]server.ObjectSpec, ds.Len())
+		for i, o := range ds.Objects {
+			ss := make([]server.SampleSpec, len(o.Samples))
+			for j, s := range o.Samples {
+				ss[j] = server.SampleSpec{P: s.P, Loc: s.Loc}
+			}
+			specs[i] = server.ObjectSpec{Samples: ss}
+		}
+		postJSON(t, ts, "/v1/datasets", &server.DatasetRequest{
+			Name: "live", Model: server.ModelSample, Objects: specs,
+		}, http.StatusCreated)
+
+		wreq, _ := json.Marshal(&server.WatchRequest{Dataset: "live", Q: q, An: an, Alpha: alpha})
+		resp, err := ts.Client().Post(ts.URL+"/v2/watch", "application/json", bytes.NewReader(wreq))
+		if err != nil {
+			t.Fatalf("seed=%d: watch: %v", seed, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("seed=%d: watch status %d", seed, resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		if ev := nextWatchEvent(t, sc); ev.Event != watch.KindRegistered {
+			t.Fatalf("seed=%d: first line %+v, want registered", seed, ev)
+		}
+
+		// Contingency first: by monotonicity no prefix of Γ can flip an, so
+		// the stream must stay silent until the cause itself goes.
+		var lastGen uint64
+		for _, id := range append(append([]int(nil), cause.Contingency...), cause.ID) {
+			var mr server.MutationResponse
+			deleteObject(t, ts, "/v2/datasets/live/objects/"+strconv.Itoa(id), &mr)
+			lastGen = mr.Generation
+		}
+
+		ev := nextWatchEvent(t, sc)
+		if ev.Event != watch.KindFlipped || !ev.Answer || ev.An != an {
+			t.Fatalf("seed=%d an=%d cause=%d Γ=%v: event %+v, want flipped",
+				seed, an, cause.ID, cause.Contingency, ev)
+		}
+		if ev.Generation < lastGen {
+			t.Fatalf("seed=%d: flip at generation %d, final delete installed %d",
+				seed, ev.Generation, lastGen)
+		}
+		// Terminal: exactly one flipped event, then EOF.
+		if sc.Scan() {
+			t.Fatalf("seed=%d: unexpected event after terminal flip: %q", seed, sc.Text())
+		}
+
+		// The naive oracle on the post-delete dataset must agree the flip is
+		// real.
+		drop := map[int]bool{cause.ID: true}
+		for _, id := range cause.Contingency {
+			drop[id] = true
+		}
+		flipEng, newID := rebuildWithout(t, ds.Objects, drop)
+		if !contains(flipEng.ProbabilisticReverseSkyline(q, alpha), newID[an]) {
+			t.Fatalf("seed=%d an=%d cause=%d Γ=%v: watch flipped but the oracle disagrees",
+				seed, an, cause.ID, cause.Contingency)
+		}
+	})
+}
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any, wantStatus int) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		msg, _ := io.ReadAll(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d (%s)", path, resp.StatusCode, wantStatus, msg)
+	}
+}
+
+func deleteObject(t *testing.T, ts *httptest.Server, path string, out *server.MutationResponse) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE %s: status %d (%s)", path, resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("DELETE %s: bad ack %s: %v", path, raw, err)
+	}
+}
+
+func nextWatchEvent(t *testing.T, sc *bufio.Scanner) watch.Event {
+	t.Helper()
+	done := make(chan struct{})
+	var ev watch.Event
+	go func() {
+		defer close(done)
+		if !sc.Scan() {
+			t.Errorf("watch stream ended: %v", sc.Err())
+			return
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Errorf("bad watch line %q: %v", sc.Text(), err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("timed out waiting for a watch event")
+	}
+	return ev
 }
 
 // TestCausalityDeleteCauseFlipsPDF is the continuous-model version: for

@@ -22,15 +22,23 @@ func TestConformanceSampleModel(t *testing.T) {
 			t.Errorf("%v: %v", w, err)
 			return
 		}
+		ieng := incrementalSampleEngine(t, w.ds.Objects)
 		for _, q := range w.qs {
 			for _, alpha := range w.alphas {
 				want := eng.ProbabilisticReverseSkylineNaive(q, alpha)
 				for _, v := range Variants() {
-					got, st := eng.ProbabilisticReverseSkylineOpts(q, alpha, v.Opt)
+					e := eng
+					if v.Incremental {
+						e = ieng
+					}
+					got, st := e.ProbabilisticReverseSkylineOpts(q, alpha, v.Opt)
 					if !equalIDs(got, want) {
 						t.Errorf("%v q=%v alpha=%g variant=%s: got %v, want %v",
 							w, q, alpha, v.Name, got, want)
 						return
+					}
+					if v.Incremental {
+						continue // the tombstone slot skews the decided count
 					}
 					decided := st.EmptyCandidates + st.AcceptedByBound + st.RejectedByBound +
 						st.AcceptedByTier2 + st.RejectedByTier2 + st.Evaluated
@@ -78,11 +86,16 @@ func TestConformancePDFModel(t *testing.T) {
 				t.Errorf("seed=%d kind=%v: %v", seed, kind, err)
 				return
 			}
+			ieng := incrementalPDFEngine(t, objs)
 			for _, q := range qs {
 				for _, alpha := range alphas {
 					want := eng.ProbabilisticReverseSkylineNaive(q, alpha, quad)
 					for _, v := range Variants() {
-						got, _ := eng.ProbabilisticReverseSkylineOpts(q, alpha, quad, v.Opt)
+						e := eng
+						if v.Incremental {
+							e = ieng
+						}
+						got, _ := e.ProbabilisticReverseSkylineOpts(q, alpha, quad, v.Opt)
 						if !equalIDs(got, want) {
 							t.Errorf("seed=%d kind=%v n=%d dims=%d quad=%d q=%v alpha=%g variant=%s: got %v, want %v",
 								seed, kind, n, dims, quad, q, alpha, v.Name, got, want)
@@ -128,6 +141,7 @@ func TestConformanceCertainModel(t *testing.T) {
 			t.Errorf("seed=%d: %v", seed, err)
 			return
 		}
+		ice := incrementalCertainEngine(t, ds.Points)
 		for i := 0; i < 3; i++ {
 			q := make(geom.Point, cfg.Dims)
 			for j := range q {
@@ -138,7 +152,17 @@ func TestConformanceCertainModel(t *testing.T) {
 				t.Errorf("seed=%d kind=%v q=%v: BBRS %v, RecList %v", seed, cfg.Kind, q, got, want)
 				return
 			}
+			if got := ice.ReverseSkyline(q); !equalIDs(sortedCopy(got), sortedCopy(want)) {
+				t.Errorf("seed=%d kind=%v q=%v: incremental %v, from-scratch %v", seed, cfg.Kind, q, got, want)
+				return
+			}
 			for _, v := range Variants() {
+				if v.Incremental {
+					// The certain-model incremental lineage is asserted above
+					// on the CertainEngine itself (COW index + repaired
+					// Section-4 reduction), where the mutation path lives.
+					continue
+				}
 				got, _ := red.ProbabilisticReverseSkylineOpts(q, 1, v.Opt)
 				if !equalIDs(got, sortedCopy(want)) {
 					t.Errorf("seed=%d kind=%v q=%v variant=%s: reduction %v, RecList %v",

@@ -26,6 +26,7 @@ import (
 	crsky "github.com/crsky/crsky"
 	"github.com/crsky/crsky/internal/dataset"
 	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/uncertain"
 )
 
 // ReplaySeedEnv selects a single case seed for replay (see package doc).
@@ -33,22 +34,104 @@ const ReplaySeedEnv = "CRSKY_CONFORMANCE_SEED"
 
 // Variant is one accelerated query configuration under test. The list
 // covers the full option cross: serial and parallel join/evaluation, second
-// tier on and off, and the bound-free ablation.
+// tier on and off, the bound-free ablation, and the incremental-maintenance
+// build (same query options, different engine lineage).
 type Variant struct {
 	Name string
 	Opt  crsky.QueryOptions
+	// Incremental selects the engine rebuilt through the copy-on-write
+	// mutation path (half the objects via WithInsert, plus a tombstone from
+	// a decoy insert+delete) instead of the from-scratch build. Answers must
+	// be identical: the mutation path is maintenance, not approximation.
+	Incremental bool
 }
 
 // Variants enumerates every accelerated configuration the harness compares
 // against the oracle.
 func Variants() []Variant {
 	return []Variant{
-		{"serial", crsky.QueryOptions{Parallel: 1}},
-		{"parallel", crsky.QueryOptions{Parallel: 4}},
-		{"serial-notier2", crsky.QueryOptions{Parallel: 1, NoTier2: true}},
-		{"parallel-notier2", crsky.QueryOptions{Parallel: 4, NoTier2: true}},
-		{"nobounds", crsky.QueryOptions{Parallel: 1, NoBounds: true}},
+		{Name: "serial", Opt: crsky.QueryOptions{Parallel: 1}},
+		{Name: "parallel", Opt: crsky.QueryOptions{Parallel: 4}},
+		{Name: "serial-notier2", Opt: crsky.QueryOptions{Parallel: 1, NoTier2: true}},
+		{Name: "parallel-notier2", Opt: crsky.QueryOptions{Parallel: 4, NoTier2: true}},
+		{Name: "nobounds", Opt: crsky.QueryOptions{Parallel: 1, NoBounds: true}},
+		{Name: "incremental", Opt: crsky.QueryOptions{Parallel: 1}, Incremental: true},
 	}
+}
+
+// rebuildIncremental re-derives an engine through the dynamic data plane's
+// copy-on-write mutation path: base already holds a prefix of the objects,
+// rest arrive one WithInsert at a time, and the decoy is inserted and
+// immediately deleted so the final engine carries a tombstone slot. The
+// result must answer every query exactly like the from-scratch build of the
+// same live set.
+func rebuildIncremental(t *testing.T, base crsky.Explainer, rest []crsky.InsertSpec, decoy crsky.InsertSpec) crsky.Explainer {
+	t.Helper()
+	eng := base
+	for i, spec := range rest {
+		ne, _, err := eng.(crsky.Mutable).WithInsert(spec)
+		if err != nil {
+			t.Fatalf("incremental insert %d: %v", i, err)
+		}
+		eng = ne
+	}
+	ne, id, err := eng.(crsky.Mutable).WithInsert(decoy)
+	if err != nil {
+		t.Fatalf("decoy insert: %v", err)
+	}
+	eng, err = ne.(crsky.Mutable).WithDelete(id)
+	if err != nil {
+		t.Fatalf("decoy delete: %v", err)
+	}
+	return eng
+}
+
+// incrementalSampleEngine builds the discrete-sample engine for objs with
+// the second half arriving through the mutation path.
+func incrementalSampleEngine(t *testing.T, objs []*uncertain.Object) *crsky.Engine {
+	t.Helper()
+	k := len(objs) / 2
+	base, err := crsky.NewEngine(objs[:k])
+	if err != nil {
+		t.Fatalf("incremental base: %v", err)
+	}
+	rest := make([]crsky.InsertSpec, len(objs)-k)
+	for i, o := range objs[k:] {
+		rest[i] = crsky.InsertSpec{Samples: o.Samples}
+	}
+	decoy := crsky.InsertSpec{Samples: append([]crsky.Sample(nil), objs[0].Samples...)}
+	return rebuildIncremental(t, base, rest, decoy).(*crsky.Engine)
+}
+
+// incrementalPDFEngine is the continuous-model counterpart.
+func incrementalPDFEngine(t *testing.T, objs []*uncertain.PDFObject) *crsky.PDFEngine {
+	t.Helper()
+	k := len(objs) / 2
+	base, err := crsky.NewPDFEngine(objs[:k])
+	if err != nil {
+		t.Fatalf("incremental base: %v", err)
+	}
+	rest := make([]crsky.InsertSpec, len(objs)-k)
+	for i, o := range objs[k:] {
+		rest[i] = crsky.InsertSpec{PDF: o}
+	}
+	return rebuildIncremental(t, base, rest, crsky.InsertSpec{PDF: objs[0]}).(*crsky.PDFEngine)
+}
+
+// incrementalCertainEngine is the certain-model counterpart; the lineage
+// also exercises the incremental Section-4 reduction repair.
+func incrementalCertainEngine(t *testing.T, pts []geom.Point) *crsky.CertainEngine {
+	t.Helper()
+	k := len(pts) / 2
+	base, err := crsky.NewCertainEngine(pts[:k])
+	if err != nil {
+		t.Fatalf("incremental base: %v", err)
+	}
+	rest := make([]crsky.InsertSpec, len(pts)-k)
+	for i, p := range pts[k:] {
+		rest[i] = crsky.InsertSpec{Point: p}
+	}
+	return rebuildIncremental(t, base, rest, crsky.InsertSpec{Point: pts[0]}).(*crsky.CertainEngine)
 }
 
 // forEachCaseSeed drives the harness: n deterministic case seeds derived

@@ -1,0 +1,93 @@
+package dataset
+
+import (
+	"fmt"
+
+	"github.com/crsky/crsky/internal/prob"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// The copy-on-write mutation constructors build a NEW dataset sharing
+// structure with the receiver: the object slice and derived caches are
+// copied shallowly (one slot changes), and the R-tree shares every node
+// both generations agree on. The receiver is never modified, so any number
+// of in-flight queries may keep reading it while the successor is built —
+// the snapshot-isolation half of the dynamic data plane.
+//
+// Insert IDs are positional over the FULL slice, tombstones included, so a
+// log of mutations replayed in order reconverges to identical IDs.
+
+// WithInsert returns a copy of ds with o appended. The object's ID must be
+// len(ds.Objects) — the next positional slot.
+func (ds *Uncertain) WithInsert(o *uncertain.Object) (*Uncertain, error) {
+	if o == nil {
+		return nil, fmt.Errorf("dataset: nil object")
+	}
+	if o.ID != len(ds.Objects) {
+		return nil, fmt.Errorf("dataset: insert ID %d, want next slot %d", o.ID, len(ds.Objects))
+	}
+	if err := o.Validate(); err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
+	if d := ds.Dims(); d > 0 && o.Dims() != d {
+		return nil, fmt.Errorf("dataset: object has %d dims, dataset has %d", o.Dims(), d)
+	}
+	nd := ds.cowShell()
+	nd.Objects = append(nd.Objects, o)
+	nd.tree.Insert(o.MBR(), o.ID)
+	nd.wsums = append(nd.wsums, weightSum(o))
+	nd.sums = append(nd.sums, summarize(o))
+	return nd, nil
+}
+
+// WithDelete returns a copy of ds with object id tombstoned: the slot goes
+// nil, the index entry is removed, and the ID is never reused.
+func (ds *Uncertain) WithDelete(id int) (*Uncertain, error) {
+	if id < 0 || id >= len(ds.Objects) {
+		return nil, fmt.Errorf("dataset: object %d out of range", id)
+	}
+	o := ds.Objects[id]
+	if o == nil {
+		return nil, fmt.Errorf("dataset: object %d already deleted", id)
+	}
+	nd := ds.cowShell()
+	if !nd.tree.Delete(o.MBR(), id) {
+		return nil, fmt.Errorf("dataset: object %d missing from the index", id)
+	}
+	nd.Objects[id] = nil
+	nd.wsums[id] = 0
+	nd.sums[id] = Summary{}
+	return nd, nil
+}
+
+// cowShell copies the dataset shell: fresh top-level slices over the same
+// objects, a COW-cloned tree, and a pinned dimensionality. The derived
+// caches are forced first so both generations are fully built — mutation
+// runs on the single writer path, never under concurrent readers of ds.
+func (ds *Uncertain) cowShell() *Uncertain {
+	tree := ds.Tree().CloneCOW()
+	wsums := append([]float64(nil), ds.WeightSums()...)
+	sums := append([]Summary(nil), ds.Summaries()...)
+	objs := make([]*uncertain.Object, len(ds.Objects))
+	copy(objs, ds.Objects)
+	return &Uncertain{Objects: objs, tree: tree, wsums: wsums, sums: sums, dims: ds.Dims()}
+}
+
+func weightSum(o *uncertain.Object) float64 {
+	var sum float64
+	for _, s := range o.Samples {
+		sum += s.P
+	}
+	return prob.Snap(sum)
+}
+
+// Live returns the number of non-tombstoned objects.
+func (ds *Uncertain) Live() int {
+	n := 0
+	for _, o := range ds.Objects {
+		if o != nil {
+			n++
+		}
+	}
+	return n
+}

@@ -22,6 +22,10 @@ type Uncertain struct {
 	tree    *rtree.Tree
 	wsums   []float64
 	sums    []Summary
+	// dims pins the dimensionality on datasets that may hold tombstones
+	// (nil Objects slots left by WithDelete); 0 = derive from the first
+	// live object.
+	dims int
 }
 
 // NewUncertain validates the objects and wraps them in a dataset. Object
@@ -59,15 +63,29 @@ func MustUncertain(objs []*uncertain.Object) *Uncertain {
 func (ds *Uncertain) Len() int { return len(ds.Objects) }
 
 // Dims returns the dataset dimensionality.
-func (ds *Uncertain) Dims() int { return ds.Objects[0].Dims() }
+func (ds *Uncertain) Dims() int {
+	if ds.dims > 0 {
+		return ds.dims
+	}
+	for _, o := range ds.Objects {
+		if o != nil {
+			return o.Dims()
+		}
+	}
+	return 0
+}
 
 // Tree returns the R-tree over object MBRs, bulk-loading it on first use
-// with the paper's default page size.
+// with the paper's default page size. Tombstone slots (nil objects) are
+// not indexed, so tree-driven query enumeration skips them automatically.
 func (ds *Uncertain) Tree(opts ...rtree.Option) *rtree.Tree {
 	if ds.tree == nil {
-		items := make([]rtree.Item, len(ds.Objects))
+		items := make([]rtree.Item, 0, len(ds.Objects))
 		for i, o := range ds.Objects {
-			items[i] = rtree.Item{Rect: o.MBR(), ID: i}
+			if o == nil {
+				continue
+			}
+			items = append(items, rtree.Item{Rect: o.MBR(), ID: i})
 		}
 		t := rtree.New(ds.Dims(), opts...)
 		t.BulkLoad(items)
@@ -84,6 +102,9 @@ func (ds *Uncertain) WeightSums() []float64 {
 	if ds.wsums == nil {
 		wsums := make([]float64, len(ds.Objects))
 		for i, o := range ds.Objects {
+			if o == nil {
+				continue // tombstone: zero weight, never reached via the tree
+			}
 			var sum float64
 			for _, s := range o.Samples {
 				sum += s.P
@@ -129,6 +150,9 @@ func (ds *Uncertain) Summaries() []Summary {
 	if ds.sums == nil {
 		sums := make([]Summary, len(ds.Objects))
 		for i, o := range ds.Objects {
+			if o == nil {
+				continue // tombstone: empty summary, never reached via the tree
+			}
 			sums[i] = summarize(o)
 		}
 		ds.sums = sums

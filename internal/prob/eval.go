@@ -261,6 +261,47 @@ func (e *Evaluator) RemovalGain(j int) float64 {
 	return g
 }
 
+// BlockedSampleMask returns, per sample, whether some candidate marked
+// permanent dominates it with probability exactly 1. Such a sample's
+// Eq. (2) factor is pinned to zero in every removal context that keeps the
+// permanent candidates active, so the sample can contribute neither
+// probability mass nor removal gain there. Returns nil when no sample is
+// blocked (the common case — callers then keep the unmasked gains).
+func (e *Evaluator) BlockedSampleMask(permanent []bool) []bool {
+	var blocked []bool
+	for j, p := range permanent {
+		if !p {
+			continue
+		}
+		for i, dv := range e.row(j) {
+			if dv == 1 {
+				if blocked == nil {
+					blocked = make([]bool, e.cols)
+				}
+				blocked[i] = true
+			}
+		}
+	}
+	return blocked
+}
+
+// RemovalGainMasked is RemovalGain restricted to unblocked samples: the
+// admissible bound over the removal contexts where the blocking candidates
+// stay active. A nil mask means no sample is blocked.
+func (e *Evaluator) RemovalGainMasked(j int, blocked []bool) float64 {
+	if blocked == nil {
+		return e.RemovalGain(j)
+	}
+	var g float64
+	row := e.row(j)
+	for i, w := range e.weights {
+		if !blocked[i] {
+			g += w * row[i]
+		}
+	}
+	return g
+}
+
 // prScratch recomputes the probability exactly, optionally skipping one
 // extra candidate.
 func (e *Evaluator) prScratch(skip int) float64 {

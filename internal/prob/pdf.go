@@ -29,7 +29,7 @@ func PrReverseSkylinePDF(an *uncertain.PDFObject, q geom.Point, others []*uncert
 	for _, n := range nodes {
 		term := n.W
 		for _, o := range others {
-			if o == an {
+			if o == nil || o == an { // nil: tombstone slot of a mutated dataset
 				continue
 			}
 			term *= 1 - DomProbPDF(o, n.X, q)

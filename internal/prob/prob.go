@@ -119,7 +119,7 @@ func PrReverseSkyline(u *uncertain.Object, q geom.Point, others []*uncertain.Obj
 	for _, s := range u.Samples {
 		term := s.P
 		for _, o := range others {
-			if o == u {
+			if o == nil || o == u { // nil: tombstone slot of a mutated dataset
 				continue
 			}
 			term *= 1 - DomProb(o, s.Loc, q)
@@ -139,6 +139,9 @@ func PrReverseSkyline(u *uncertain.Object, q geom.Point, others []*uncertain.Obj
 func PRSQ(objs []*uncertain.Object, q geom.Point, alpha float64) []int {
 	var out []int
 	for _, u := range objs {
+		if u == nil { // tombstone slot of a mutated dataset
+			continue
+		}
 		if GEq(PrReverseSkyline(u, q, objs), alpha) {
 			out = append(out, u.ID)
 		}

@@ -21,7 +21,7 @@ func (t *Tree) BulkLoad(items []Item) {
 	for i := range items {
 		t.checkRect(items[i].Rect)
 	}
-	t.root = &node{leaf: true}
+	t.root = &node{leaf: true, tag: t.tag}
 	t.height = 1
 	t.size = len(items)
 	if len(items) == 0 {
@@ -32,14 +32,14 @@ func (t *Tree) BulkLoad(items []Item) {
 	for i, it := range items {
 		entries[i] = entry{rect: it.Rect.Clone(), id: it.ID}
 	}
-	level := packSTR(entries, t.dims, t.maxEntries, true)
+	level := packSTR(entries, t.dims, t.maxEntries, true, t.tag)
 	height := 1
 	for len(level) > 1 {
 		parents := make([]entry, len(level))
 		for i, n := range level {
 			parents[i] = entry{rect: n.mbr(), child: n}
 		}
-		level = packSTR(parents, t.dims, t.maxEntries, false)
+		level = packSTR(parents, t.dims, t.maxEntries, false, t.tag)
 		height++
 	}
 	t.root = level[0]
@@ -48,12 +48,12 @@ func (t *Tree) BulkLoad(items []Item) {
 
 // packSTR groups entries into nodes of at most maxEntries using recursive
 // sort-tile partitioning over the dimensions.
-func packSTR(entries []entry, dims, maxEntries int, leaf bool) []*node {
+func packSTR(entries []entry, dims, maxEntries int, leaf bool, tag uint64) []*node {
 	nodeCount := (len(entries) + maxEntries - 1) / maxEntries
 	if nodeCount == 1 {
 		es := make([]entry, len(entries))
 		copy(es, entries)
-		return []*node{{leaf: leaf, entries: es}}
+		return []*node{{leaf: leaf, entries: es, tag: tag}}
 	}
 	tile(entries, 0, dims, nodeCount)
 	nodes := make([]*node, 0, nodeCount)
@@ -64,7 +64,7 @@ func packSTR(entries []entry, dims, maxEntries int, leaf bool) []*node {
 		}
 		es := make([]entry, end-start)
 		copy(es, entries[start:end])
-		nodes = append(nodes, &node{leaf: leaf, entries: es})
+		nodes = append(nodes, &node{leaf: leaf, entries: es, tag: tag})
 	}
 	return nodes
 }

@@ -1,0 +1,169 @@
+package rtree
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	"github.com/crsky/crsky/internal/geom"
+)
+
+func cowPointRect(x, y float64) geom.Rect {
+	return geom.NewRect(geom.Point{x, y}, geom.Point{x, y})
+}
+
+func cowIDs(t *Tree) []int {
+	var ids []int
+	t.All(func(id int, _ geom.Rect) bool {
+		ids = append(ids, id)
+		return true
+	})
+	sort.Ints(ids)
+	return ids
+}
+
+func wantIDs(present map[int]geom.Rect) []int {
+	ids := make([]int, 0, len(present))
+	for id := range present {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCloneCOWIsolation mutates a clone heavily (forcing splits, forced
+// reinsertion, and condensation) and checks the original tree stays
+// bit-identical, then mutates the original and checks the clone likewise.
+func TestCloneCOWIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	base := New(2, WithMaxEntries(4)) // deep tree on small input
+	baseSet := map[int]geom.Rect{}
+	for i := 0; i < 200; i++ {
+		r := cowPointRect(rng.Float64()*100, rng.Float64()*100)
+		base.Insert(r, i)
+		baseSet[i] = r
+	}
+	clone := base.CloneCOW()
+	cloneSet := map[int]geom.Rect{}
+	for id, r := range baseSet {
+		cloneSet[id] = r
+	}
+
+	// Mutate the clone: delete half, insert a fresh batch.
+	for id := 0; id < 200; id += 2 {
+		if !clone.Delete(cloneSet[id], id) {
+			t.Fatalf("clone.Delete(%d) = false", id)
+		}
+		delete(cloneSet, id)
+	}
+	for i := 200; i < 300; i++ {
+		r := cowPointRect(rng.Float64()*100, rng.Float64()*100)
+		clone.Insert(r, i)
+		cloneSet[i] = r
+	}
+	if got, want := cowIDs(base), wantIDs(baseSet); !equalInts(got, want) {
+		t.Fatalf("original changed under clone mutation: got %d ids, want %d", len(got), len(want))
+	}
+	if got, want := cowIDs(clone), wantIDs(cloneSet); !equalInts(got, want) {
+		t.Fatalf("clone state wrong: got %d ids, want %d", len(got), len(want))
+	}
+
+	// Mutating the original must not leak into the clone either.
+	for id := 1; id < 100; id += 2 {
+		if !base.Delete(baseSet[id], id) {
+			t.Fatalf("base.Delete(%d) = false", id)
+		}
+		delete(baseSet, id)
+	}
+	if got, want := cowIDs(clone), wantIDs(cloneSet); !equalInts(got, want) {
+		t.Fatalf("clone changed under original mutation: got %d ids, want %d", len(got), len(want))
+	}
+	if got, want := cowIDs(base), wantIDs(baseSet); !equalInts(got, want) {
+		t.Fatalf("original state wrong after its own deletes: got %d ids, want %d", len(got), len(want))
+	}
+}
+
+// TestCloneCOWChain exercises clone-of-clone: each generation must stay
+// isolated from every other.
+func TestCloneCOWChain(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	t0 := New(2, WithMaxEntries(4))
+	for i := 0; i < 64; i++ {
+		t0.Insert(cowPointRect(rng.Float64()*10, rng.Float64()*10), i)
+	}
+	t1 := t0.CloneCOW()
+	t1.Insert(cowPointRect(11, 11), 64)
+	t2 := t1.CloneCOW()
+	t2.Insert(cowPointRect(12, 12), 65)
+
+	if got := t0.Len(); got != 64 {
+		t.Fatalf("gen0 Len = %d, want 64", got)
+	}
+	if got := t1.Len(); got != 65 {
+		t.Fatalf("gen1 Len = %d, want 65", got)
+	}
+	if got := t2.Len(); got != 66 {
+		t.Fatalf("gen2 Len = %d, want 66", got)
+	}
+	if ids := cowIDs(t0); ids[len(ids)-1] != 63 {
+		t.Fatalf("gen0 contains leaked id %d", ids[len(ids)-1])
+	}
+	if ids := cowIDs(t1); ids[len(ids)-1] != 64 {
+		t.Fatalf("gen1 top id = %d, want 64", ids[len(ids)-1])
+	}
+}
+
+// TestCloneCOWConcurrentReaders hammers a chain of COW generations with a
+// writer while readers query pinned generations — run under -race, this is
+// the writers-never-block-readers contract.
+func TestCloneCOWConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cur := New(2, WithMaxEntries(8))
+	n := 128
+	for i := 0; i < n; i++ {
+		cur.Insert(cowPointRect(rng.Float64()*100, rng.Float64()*100), i)
+	}
+	window := geom.NewRect(geom.Point{0, 0}, geom.Point{100, 100})
+
+	var wg sync.WaitGroup
+	for gen := 0; gen < 24; gen++ {
+		pinned := cur
+		wantLen := pinned.Len()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for rep := 0; rep < 50; rep++ {
+				got := 0
+				pinned.Search(window, func(int, geom.Rect) bool {
+					got++
+					return true
+				})
+				if got != wantLen {
+					t.Errorf("pinned generation returned %d entries, want %d", got, wantLen)
+					return
+				}
+			}
+		}()
+		next := cur.CloneCOW()
+		next.Insert(cowPointRect(rng.Float64()*100, rng.Float64()*100), n)
+		if gen%3 == 0 {
+			next.Delete(cowPointRect(0, 0), -1) // miss: exercises findLeaf on shared nodes
+		}
+		n++
+		cur = next
+	}
+	wg.Wait()
+}

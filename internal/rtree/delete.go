@@ -14,6 +14,7 @@ func (t *Tree) Delete(r geom.Rect, id int) bool {
 	if path == nil {
 		return false
 	}
+	t.materialize(path)
 	leaf := path[len(path)-1]
 	leaf.entries = append(leaf.entries[:idx], leaf.entries[idx+1:]...)
 	t.size--
@@ -77,7 +78,7 @@ func (t *Tree) condense(path []*node) {
 		t.height--
 	}
 	if !t.root.leaf && len(t.root.entries) == 0 {
-		t.root = &node{leaf: true}
+		t.root = &node{leaf: true, tag: t.tag}
 		t.height = 1
 	}
 	for _, e := range orphans {

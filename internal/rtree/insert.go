@@ -22,6 +22,7 @@ func (t *Tree) Insert(r geom.Rect, id int) {
 // (1 = leaf). Split propagation may grow the tree.
 func (t *Tree) insertAtLevel(e entry, level int, reinserted map[int]bool) {
 	path := t.choosePath(e.rect, level)
+	t.materialize(path)
 	leafLevelNode := path[len(path)-1]
 	leafLevelNode.entries = append(leafLevelNode.entries, e)
 	t.handleOverflows(path, level, reinserted)
@@ -111,7 +112,7 @@ func (t *Tree) handleOverflows(path []*node, level int, reinserted map[int]bool)
 		left, right := t.splitNode(n)
 		if i == 0 {
 			// Root split: grow the tree.
-			t.root = &node{leaf: false, entries: []entry{
+			t.root = &node{leaf: false, tag: t.tag, entries: []entry{
 				{rect: left.mbr(), child: left},
 				{rect: right.mbr(), child: right},
 			}}

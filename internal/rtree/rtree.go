@@ -38,6 +38,9 @@ type entry struct {
 type node struct {
 	leaf    bool
 	entries []entry
+	// tag is the copy-on-write ownership mark: a tree may mutate a node in
+	// place only when the node's tag equals its own (see CloneCOW).
+	tag uint64
 }
 
 func (n *node) mbr() geom.Rect {
@@ -59,6 +62,9 @@ type Tree struct {
 	size       int
 	height     int
 	io         *stats.Counter
+	// tag is this tree's copy-on-write ownership mark; nodes stamped with
+	// it are private and mutable in place, all others are copied first.
+	tag uint64
 }
 
 // Option configures a Tree at construction time.

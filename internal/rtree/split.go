@@ -48,8 +48,8 @@ func (t *Tree) splitNode(n *node) (left, right *node) {
 	copy(leftEntries, entries[:bestK])
 	rightEntries := make([]entry, total-bestK)
 	copy(rightEntries, entries[bestK:])
-	left = &node{leaf: n.leaf, entries: leftEntries}
-	right = &node{leaf: n.leaf, entries: rightEntries}
+	left = &node{leaf: n.leaf, entries: leftEntries, tag: t.tag}
+	right = &node{leaf: n.leaf, entries: rightEntries, tag: t.tag}
 	return left, right
 }
 

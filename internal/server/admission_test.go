@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"net/http"
@@ -150,7 +151,7 @@ func TestServerShedsUnderOverload(t *testing.T) {
 	w := sampleWorkload(t)
 	s := New(Config{Workers: 1, MaxQueue: 2, CacheSize: -1})
 	block := make(chan struct{})
-	s.computeHook = func() { <-block }
+	s.computeHook = func(context.Context) { <-block }
 	c := newTestClient(t, s)
 	c.registerSample("lUrU", w.ds)
 
@@ -306,7 +307,7 @@ func TestQueryApproxAlways(t *testing.T) {
 func TestQueryApproxAutoFallsBackWhenShed(t *testing.T) {
 	s := New(Config{Workers: 1, MaxQueue: 1, CacheSize: -1, ApproxWorkers: 1})
 	block := make(chan struct{})
-	s.computeHook = func() { <-block }
+	s.computeHook = func(context.Context) { <-block }
 	defer close(block)
 	c := newTestClient(t, s)
 	q := undecidedWorkload(t, c, "lUrU")
@@ -363,7 +364,7 @@ func TestQueryApproxAutoFallsBackWhenShed(t *testing.T) {
 func TestPanicRecoveredAndCounted(t *testing.T) {
 	w := sampleWorkload(t)
 	s := New(Config{Workers: 2, CacheSize: -1})
-	s.computeHook = func() { panic("kaboom") }
+	s.computeHook = func(context.Context) { panic("kaboom") }
 	c := newTestClient(t, s)
 	c.registerSample("lUrU", w.ds)
 

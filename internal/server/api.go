@@ -6,6 +6,7 @@ import (
 	"github.com/crsky/crsky/internal/obs"
 	"github.com/crsky/crsky/internal/store"
 	"github.com/crsky/crsky/internal/uncertain"
+	"github.com/crsky/crsky/internal/watch"
 )
 
 // Data models served by the registry. "uncertain" is accepted as an alias
@@ -133,6 +134,10 @@ type QueryResponse struct {
 	Alpha   float64 `json:"alpha"`
 	Count   int     `json:"count"`
 	Answers []int   `json:"answers"`
+	// Generation is the dataset generation this answer was computed (or
+	// cached) against. Under concurrent mutations the answer is exactly the
+	// committed state of that generation — never a blend of two.
+	Generation uint64 `json:"generation,omitempty"`
 	// Approx marks a degraded-tier answer: membership was estimated by
 	// Monte Carlo for the interval-carrying objects below (everything else
 	// was still decided exactly by the filter bounds).
@@ -335,6 +340,7 @@ type StatsResponse struct {
 	Quadrature    QuadratureStats `json:"quadrature"`
 	Explain       ExplainStats    `json:"explain"`
 	Requests      RequestStats    `json:"requests"`
+	Watch         watch.Stats     `json:"watch"`
 	Store         *store.Stats    `json:"store,omitempty"`
 }
 

@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"sync"
@@ -24,7 +25,7 @@ func TestServerConcurrentExplain(t *testing.T) {
 	// Hold every computation open long enough that all parallel callers
 	// of the same key are guaranteed to overlap with their leader, making
 	// the deduplication assertion deterministic.
-	s.computeHook = func() { time.Sleep(100 * time.Millisecond) }
+	s.computeHook = func(context.Context) { time.Sleep(100 * time.Millisecond) }
 	c := newTestClient(t, s)
 	c.registerSample("lUrU", w.ds)
 
@@ -156,7 +157,7 @@ func TestServerWorkerPoolBounds(t *testing.T) {
 	// explain-class cap is MaxQueue/2) admits all 12: this test bounds the
 	// pool, the admission tests bound the queue.
 	s := New(Config{Workers: 1, CacheSize: -1, MaxQueue: 64})
-	s.computeHook = func() { time.Sleep(2 * time.Millisecond) }
+	s.computeHook = func(context.Context) { time.Sleep(2 * time.Millisecond) }
 	c := newTestClient(t, s)
 	c.registerSample("lUrU", w.ds)
 

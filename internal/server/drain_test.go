@@ -21,7 +21,7 @@ func TestDrainCompletesInFlightBatch(t *testing.T) {
 	s := New(Config{Workers: 1, CacheSize: -1})
 	release := make(chan struct{})
 	entered := make(chan struct{}, 1)
-	s.computeHook = func() { entered <- struct{}{}; <-release }
+	s.computeHook = func(context.Context) { entered <- struct{}{}; <-release }
 	c := newTestClient(t, s)
 	c.registerSample("demo", w.ds)
 
@@ -76,10 +76,12 @@ func TestDrainCompletesInFlightBatch(t *testing.T) {
 func TestDrainDeadlineCancelsStuckWork(t *testing.T) {
 	w := sampleWorkload(t)
 	s := New(Config{Workers: 1, CacheSize: -1})
-	// A pathological computation: blocks until the drain context fires,
-	// then (like the real engine's cancellation polls) observes the
-	// canceled context and unwinds.
-	s.computeHook = func() { <-s.drainCtx.Done() }
+	// A pathological computation: blocks until its OWN context is
+	// canceled (the drain deadline propagated through mergeCancel), then
+	// — like the real engine's cancellation polls — observes it and
+	// unwinds. Waiting on drainCtx directly would race the propagation:
+	// the engine could finish before the merged context's watcher runs.
+	s.computeHook = func(ctx context.Context) { <-ctx.Done() }
 	c := newTestClient(t, s)
 	c.registerSample("demo", w.ds)
 

@@ -25,6 +25,8 @@ func (s *Server) handleDatasetRegister(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// A wholesale replacement invalidates every watcher's object IDs.
+	s.watch.DatasetReset(ent.name, ent.gen)
 	writeJSON(w, http.StatusCreated, ent.info())
 }
 
@@ -47,6 +49,7 @@ func (s *Server) handleDatasetDelete(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusNotFound, fmt.Errorf("unknown dataset %q", r.PathValue("name")))
 		return
 	}
+	s.watch.DatasetReset(r.PathValue("name"), 0)
 	if err != nil {
 		s.writeError(w, http.StatusInternalServerError, err)
 		return
@@ -184,7 +187,7 @@ func (s *Server) compute(w http.ResponseWriter, ctx context.Context, key string,
 	v, err, shared := s.flights.Do(key, func() (any, error) {
 		return s.pool.Do(detached, func() (any, error) {
 			if s.computeHook != nil {
-				s.computeHook()
+				s.computeHook(detached)
 			}
 			return fn(detached)
 		})
@@ -278,13 +281,14 @@ func (s *Server) serveApprox(w http.ResponseWriter, r *http.Request, ent *entry,
 	res := v.(*crsky.ApproxResult)
 	s.approxAnswers.Inc()
 	resp := QueryResponse{
-		Dataset: ent.name,
-		Model:   ent.model,
-		Alpha:   alpha,
-		Count:   len(res.Answers),
-		Answers: res.Answers,
-		Approx:  !res.Exact,
-		Trace:   traceJSON(r),
+		Dataset:    ent.name,
+		Model:      ent.model,
+		Alpha:      alpha,
+		Count:      len(res.Answers),
+		Answers:    res.Answers,
+		Generation: ent.gen,
+		Approx:     !res.Exact,
+		Trace:      traceJSON(r),
 	}
 	if !res.Exact {
 		resp.Intervals = res.Intervals
@@ -359,12 +363,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	ids := v.([]int)
 	writeJSON(w, http.StatusOK, QueryResponse{
-		Dataset: ent.name,
-		Model:   ent.model,
-		Alpha:   alpha,
-		Count:   len(ids),
-		Answers: ids,
-		Trace:   traceJSON(r),
+		Dataset:    ent.name,
+		Model:      ent.model,
+		Alpha:      alpha,
+		Count:      len(ids),
+		Answers:    ids,
+		Generation: ent.gen,
+		Trace:      traceJSON(r),
 	})
 }
 

@@ -269,7 +269,7 @@ func (s *Server) handleQueryV2(w http.ResponseWriter, r *http.Request) {
 	}
 	_, err = s.pool.Do(mctx, func() (any, error) {
 		if s.computeHook != nil {
-			s.computeHook()
+			s.computeHook(mctx)
 		}
 		// Flush the cache-hit prefix only once the batch holds its slot:
 		// before this point a shed or queued cancellation must still be
@@ -496,7 +496,7 @@ func (s *Server) handleExplainV2(w http.ResponseWriter, r *http.Request) {
 	}
 	_, err = s.pool.Do(mctx, func() (any, error) {
 		if s.computeHook != nil {
-			s.computeHook()
+			s.computeHook(mctx)
 		}
 		// ictx lets a fatal failure — a batch-level cancellation or a
 		// verification integrity failure — stop the remaining items

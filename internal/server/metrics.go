@@ -87,6 +87,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	obs.PromValue(&b, "crsky_requests_total", []obs.Label{{Name: "endpoint", Value: "repair"}}, float64(s.reqRepair.Value()))
 	obs.PromHead(&b, "crsky_request_errors_total", "counter", "Requests answered with an error response.")
 	obs.PromValue(&b, "crsky_request_errors_total", nil, float64(s.reqErrors.Value()))
+
+	obs.PromHead(&b, "crsky_mutations_total", "counter", "Committed object mutations by op and dataset model.")
+	for _, op := range []string{"insert", "delete"} {
+		for _, model := range []string{ModelCertain, ModelSample, ModelPDF} {
+			if c := s.mutations[op+"|"+model]; c != nil {
+				obs.PromValue(&b, "crsky_mutations_total",
+					[]obs.Label{{Name: "op", Value: op}, {Name: "model", Value: model}}, float64(c.Value()))
+			}
+		}
+	}
+
+	ws := s.watch.Stats()
+	obs.PromHead(&b, "crsky_watch_active", "gauge", "Open /v2/watch subscriptions.")
+	obs.PromValue(&b, "crsky_watch_active", nil, float64(ws.Active))
+	obs.PromHead(&b, "crsky_watch_events_total", "counter", "Watch events delivered, by kind.")
+	obs.PromValue(&b, "crsky_watch_events_total", []obs.Label{{Name: "kind", Value: "registered"}}, float64(ws.Registered))
+	obs.PromValue(&b, "crsky_watch_events_total", []obs.Label{{Name: "kind", Value: "flipped"}}, float64(ws.Flipped))
+	obs.PromValue(&b, "crsky_watch_events_total", []obs.Label{{Name: "kind", Value: "repair_shrunk"}}, float64(ws.RepairShrunk))
+	obs.PromValue(&b, "crsky_watch_events_total", []obs.Label{{Name: "kind", Value: "deleted"}}, float64(ws.Deleted))
+	obs.PromHead(&b, "crsky_watch_pruned_total", "counter", "Subscriptions skipped by the mutation-window bound.")
+	obs.PromValue(&b, "crsky_watch_pruned_total", nil, float64(ws.Pruned))
+	obs.PromHead(&b, "crsky_watch_dropped_total", "counter", "Watch events dropped on slow subscriber buffers.")
+	obs.PromValue(&b, "crsky_watch_dropped_total", nil, float64(ws.Dropped))
+	obs.PromHead(&b, "crsky_watch_reeval_seconds", "histogram",
+		"Latency of one post-mutation watch re-evaluation round.")
+	obs.PromHistogram(&b, "crsky_watch_reeval_seconds", nil, s.watchReeval.Snapshot())
 	obs.PromHead(&b, "crsky_upload_rejected_total", "counter", "Request bodies refused with 413 for exceeding the size cap.")
 	obs.PromValue(&b, "crsky_upload_rejected_total", nil, float64(s.uploadRejected.Value()))
 

@@ -1,0 +1,328 @@
+package server
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	crsky "github.com/crsky/crsky"
+	"github.com/crsky/crsky/internal/geom"
+	"github.com/crsky/crsky/internal/store"
+)
+
+// This file is the dynamic data plane's HTTP surface: object inserts and
+// deletes on registered datasets. A mutation flows copy-on-write through
+// crsky.Mutable — the successor engine shares index structure with its
+// predecessor, in-flight queries keep reading the generation they
+// resolved — and, with a store attached, is durable before it is visible:
+// the WAL append is the commit point, and a mutation whose append fails
+// is discarded, not applied.
+
+// ObjectInsertRequest is the POST /v2/datasets/{name}/objects body.
+// Exactly one payload field must be set, matching the dataset's model:
+// Point (certain), Samples (sample), or PDF (pdf).
+type ObjectInsertRequest struct {
+	Point   []float64      `json:"point,omitempty"`
+	Samples []SampleSpec   `json:"samples,omitempty"`
+	PDF     *PDFObjectSpec `json:"pdf,omitempty"`
+}
+
+// MutationResponse acknowledges a committed mutation. Generation is the
+// dataset generation the mutation installed — queries that want
+// read-your-write semantics compare it against DatasetInfo.Generation.
+// Seq is the store's WAL sequence (0 on stores-less servers).
+type MutationResponse struct {
+	Dataset    string `json:"dataset"`
+	Model      string `json:"model"`
+	Op         string `json:"op"`
+	ID         int    `json:"id"`
+	Size       int    `json:"size"`
+	Generation uint64 `json:"generation"`
+	Seq        uint64 `json:"seq,omitempty"`
+}
+
+// encodeMutationPayload renders the durable form of an insert: the
+// validated request spec itself, gob-encoded. Replaying it through
+// insertSpec rebuilds the identical object, which is what recovery
+// reconvergence relies on.
+func encodeMutationPayload(req *ObjectInsertRequest) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, fmt.Errorf("encode mutation payload: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeMutationPayload(data []byte) (*ObjectInsertRequest, error) {
+	var req ObjectInsertRequest
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&req); err != nil {
+		return nil, fmt.Errorf("decode mutation payload: %w", err)
+	}
+	return &req, nil
+}
+
+// insertSpec validates the request payload against the dataset model and
+// builds the engine-level spec. Mirrors the registration-time validation
+// in buildEntry's helpers.
+func insertSpec(model string, req *ObjectInsertRequest) (crsky.InsertSpec, error) {
+	var spec crsky.InsertSpec
+	set := 0
+	if len(req.Point) > 0 {
+		set++
+	}
+	if len(req.Samples) > 0 {
+		set++
+	}
+	if req.PDF != nil {
+		set++
+	}
+	if set != 1 {
+		return spec, fmt.Errorf("exactly one of point, samples, or pdf must be set")
+	}
+	switch model {
+	case ModelCertain:
+		if len(req.Point) == 0 {
+			return spec, fmt.Errorf("certain dataset insert takes a point")
+		}
+		spec.Point = geom.Point(req.Point)
+	case ModelSample:
+		if len(req.Samples) == 0 {
+			return spec, fmt.Errorf("sample dataset insert takes samples")
+		}
+		samples := make([]crsky.Sample, len(req.Samples))
+		for i, s := range req.Samples {
+			samples[i] = crsky.Sample{P: s.P, Loc: geom.Point(s.Loc)}
+		}
+		spec.Samples = samples
+	case ModelPDF:
+		if req.PDF == nil {
+			return spec, fmt.Errorf("pdf dataset insert takes a pdf object")
+		}
+		p := req.PDF
+		if len(p.Min) == 0 || len(p.Min) != len(p.Max) {
+			return spec, fmt.Errorf("pdf object: min/max must be equal-length and non-empty")
+		}
+		region := geom.NewRect(geom.Point(p.Min), geom.Point(p.Max))
+		switch p.Kind {
+		case "uniform", "":
+			spec.PDF = crsky.NewUniformPDFObject(0, region)
+		case "gaussian":
+			spec.PDF = crsky.NewGaussianPDFObject(0, region, geom.Point(p.Mean), geom.Point(p.Sigma))
+		default:
+			return spec, fmt.Errorf("pdf object: unknown kind %q (want uniform or gaussian)", p.Kind)
+		}
+	default:
+		return spec, fmt.Errorf("dataset model %q does not accept mutations", model)
+	}
+	return spec, nil
+}
+
+// objectMBR returns the bounding rectangle of one live object — the
+// watch scheduler's pruning geometry. ok is false when the engine is not
+// one of the three built-in types (wrapped engines) or the object does
+// not exist; callers treat that as "window unknown".
+func objectMBR(eng crsky.Explainer, id int) (geom.Rect, bool) {
+	if id < 0 {
+		return geom.Rect{}, false
+	}
+	switch e := eng.(type) {
+	case *crsky.Engine:
+		if id < e.Len() {
+			if o := e.Object(id); o != nil {
+				return o.MBR(), true
+			}
+		}
+	case *crsky.CertainEngine:
+		if id < e.Len() && !e.Deleted(id) {
+			return geom.PointRect(e.Point(id)), true
+		}
+	case *crsky.PDFEngine:
+		if id < e.Len() {
+			if o := e.Object(id); o != nil {
+				return o.Region.Clone(), true
+			}
+		}
+	}
+	return geom.Rect{}, false
+}
+
+// mutationResult is what a committed mutation hands back to the handler:
+// the installed entry, the object ID, the WAL sequence, and the mutated
+// object's MBR for watch-window pruning.
+type mutationResult struct {
+	ent    *entry
+	id     int
+	seq    uint64
+	mbr    geom.Rect
+	hasMBR bool
+}
+
+// mutate applies one object mutation under the registry's write lock:
+// validate against the live entry, build the copy-on-write successor
+// engine, commit to the WAL (durable before visible), then install the
+// successor under a fresh generation. In-flight requests keep the entry
+// they resolved; the generation in every cache key retires stale results.
+func (r *registry) mutate(name, op string, ins *ObjectInsertRequest, delID int) (mutationResult, int, error) {
+	var res mutationResult
+	r.regMu.Lock()
+	defer r.regMu.Unlock()
+	ent, ok := r.get(name)
+	if !ok {
+		return res, http.StatusNotFound, fmt.Errorf("unknown dataset %q", name)
+	}
+	mut, ok := ent.eng.(crsky.Mutable)
+	if !ok {
+		return res, http.StatusNotImplemented,
+			fmt.Errorf("%w: dataset %q engine does not support mutations", crsky.ErrUnsupported, name)
+	}
+
+	var (
+		ne   crsky.Explainer
+		id   int
+		data []byte
+		err  error
+	)
+	switch op {
+	case store.MutInsert:
+		spec, serr := insertSpec(ent.model, ins)
+		if serr != nil {
+			return res, http.StatusBadRequest, serr
+		}
+		if ne, id, err = mut.WithInsert(spec); err != nil {
+			return res, statusFor(err), err
+		}
+		if data, err = encodeMutationPayload(ins); err != nil {
+			return res, http.StatusInternalServerError, err
+		}
+	case store.MutDelete:
+		id = delID
+		// Capture the MBR before the delete tombstones the object.
+		res.mbr, res.hasMBR = objectMBR(ent.eng, id)
+		if ne, err = mut.WithDelete(id); err != nil {
+			return res, statusFor(err), err
+		}
+	default:
+		return res, http.StatusBadRequest, fmt.Errorf("unknown mutation op %q", op)
+	}
+
+	if r.st != nil {
+		seq, serr := r.st.AppendMutation(name, store.Mutation{Op: op, ID: id, Data: data})
+		if serr != nil {
+			// The successor engine is discarded: nothing was installed, so
+			// memory and disk stay consistent (pre-mutation on both).
+			return res, http.StatusInternalServerError,
+				fmt.Errorf("durable write failed, mutation not applied: %w", serr)
+		}
+		res.seq = seq
+	}
+
+	nent := &entry{name: name, model: ent.model, gen: r.gen.Add(1), size: ne.Len(), dims: ent.dims, eng: ne}
+	r.mu.Lock()
+	r.m[name] = nent
+	r.mu.Unlock()
+	res.ent, res.id = nent, id
+	if op == store.MutInsert {
+		res.mbr, res.hasMBR = objectMBR(ne, id)
+	}
+	return res, 0, nil
+}
+
+// applyStoredMutations replays a recovered dataset's mutation log over a
+// freshly built entry — the recovery half of the durable mutation
+// contract. Replay must reconverge exactly: an insert that comes back
+// under a different ID than the log recorded means the base payload and
+// the log disagree, and the dataset is quarantined rather than served
+// with silently shifted IDs.
+func applyStoredMutations(e *entry, muts []store.Mutation) error {
+	for i, m := range muts {
+		mut, ok := e.eng.(crsky.Mutable)
+		if !ok {
+			return fmt.Errorf("replay mutation %d: engine does not support mutations", i)
+		}
+		switch m.Op {
+		case store.MutInsert:
+			req, err := decodeMutationPayload(m.Data)
+			if err != nil {
+				return fmt.Errorf("replay mutation %d (seq %d): %w", i, m.Seq, err)
+			}
+			spec, err := insertSpec(e.model, req)
+			if err != nil {
+				return fmt.Errorf("replay mutation %d (seq %d): %w", i, m.Seq, err)
+			}
+			ne, id, err := mut.WithInsert(spec)
+			if err != nil {
+				return fmt.Errorf("replay mutation %d (seq %d): %w", i, m.Seq, err)
+			}
+			if id != m.ID {
+				return fmt.Errorf("replay divergence: mutation %d (seq %d) inserted as id %d, log says %d",
+					i, m.Seq, id, m.ID)
+			}
+			e.eng = ne
+		case store.MutDelete:
+			ne, err := mut.WithDelete(m.ID)
+			if err != nil {
+				return fmt.Errorf("replay mutation %d (seq %d): %w", i, m.Seq, err)
+			}
+			e.eng = ne
+		default:
+			return fmt.Errorf("replay mutation %d: unknown op %q", i, m.Op)
+		}
+		e.size = e.eng.Len()
+	}
+	return nil
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handleObjectInsert(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	var req ObjectInsertRequest
+	if err := s.decodeJSON(w, r, &req); err != nil {
+		s.writeDecodeError(w, err)
+		return
+	}
+	res, status, err := s.reg.mutate(name, store.MutInsert, &req, -1)
+	if err != nil {
+		s.writeError(w, status, err)
+		return
+	}
+	s.finishMutation(w, r, store.MutInsert, res, -1)
+}
+
+func (s *Server) handleObjectDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad object id %q", r.PathValue("id")))
+		return
+	}
+	res, status, merr := s.reg.mutate(name, store.MutDelete, nil, id)
+	if merr != nil {
+		s.writeError(w, status, merr)
+		return
+	}
+	s.finishMutation(w, r, store.MutDelete, res, id)
+}
+
+// finishMutation does the post-commit bookkeeping shared by both ops:
+// metrics, the watch notification (deleted ID only for deletes), and the
+// acknowledgment body.
+func (s *Server) finishMutation(w http.ResponseWriter, r *http.Request, op string, res mutationResult, deletedID int) {
+	ent := res.ent
+	if c := s.mutations[op+"|"+ent.model]; c != nil {
+		c.Inc()
+	}
+	annotate(r.Context(), ent)
+	s.watch.Notify(ent.name, ent.gen, res.mbr, res.hasMBR, deletedID)
+	writeJSON(w, http.StatusOK, MutationResponse{
+		Dataset:    ent.name,
+		Model:      ent.model,
+		Op:         op,
+		ID:         res.id,
+		Size:       ent.size,
+		Generation: ent.gen,
+		Seq:        res.seq,
+	})
+}

@@ -1,0 +1,371 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/crsky/crsky/internal/store"
+	"github.com/crsky/crsky/internal/watch"
+)
+
+// flipScenario is the hand-built certain-model configuration every
+// dynamic-plane test reuses: q at the origin, object 1 ("an") blocked
+// out of the reverse skyline solely by object 0 ("blocker") sitting
+// strictly between an and q. Deleting the blocker flips an into the
+// answer set; nothing else can.
+var flipScenario = &DatasetRequest{Name: "flip", Model: ModelCertain, Points: [][]float64{
+	{1, 1},   // 0: blocker — dominates q w.r.t. an
+	{4, 4},   // 1: an — non-answer while the blocker lives
+	{20, 20}, // 2: bystander, far outside every dominance window
+}}
+
+var flipQ = []float64{0, 0}
+
+func queryAnswers(t *testing.T, c *testClient, name string, q []float64, noCache bool) ([]int, *http.Response) {
+	t.Helper()
+	var qr QueryResponse
+	resp := c.post("/v1/query", &QueryRequest{Dataset: name, Q: q, NoCache: noCache}, &qr, http.StatusOK)
+	return qr.Answers, resp
+}
+
+// TestObjectMutationEndpoints drives the full HTTP mutation surface on
+// the certain model: insert shifts the answer set, delete flips the
+// blocked non-answer in, generations advance, and the error surface
+// (unknown dataset, bad payload, bad ID, double delete) maps to the
+// right statuses.
+func TestObjectMutationEndpoints(t *testing.T) {
+	c := newTestClient(t, New(Config{Workers: 2}))
+	var info DatasetInfo
+	c.post("/v1/datasets", flipScenario, &info, http.StatusCreated)
+
+	if ids, _ := queryAnswers(t, c, "flip", flipQ, false); containsID(ids, 1) {
+		t.Fatalf("scenario broken: an already an answer: %v", ids)
+	}
+
+	// Insert: next positional ID, size grows, generation advances.
+	var mr MutationResponse
+	c.post("/v2/datasets/flip/objects", &ObjectInsertRequest{Point: []float64{30, 30}}, &mr, http.StatusOK)
+	if mr.ID != 3 || mr.Size != 4 || mr.Op != "insert" || mr.Generation <= info.Generation {
+		t.Fatalf("insert ack = %+v (registered gen %d)", mr, info.Generation)
+	}
+
+	// Delete the blocker over HTTP: an must flip into the answer set.
+	resp, raw := c.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d (%s)", resp.StatusCode, raw)
+	}
+	var dr MutationResponse
+	if err := json.Unmarshal(raw, &dr); err != nil {
+		t.Fatal(err)
+	}
+	if dr.ID != 0 || dr.Op != "delete" || dr.Generation <= mr.Generation {
+		t.Fatalf("delete ack = %+v", dr)
+	}
+	// Size counts positional slots (IDs are never reused), so a delete
+	// does not shrink it.
+	if dr.Size != 4 {
+		t.Fatalf("delete ack size = %d, want 4", dr.Size)
+	}
+	if ids, _ := queryAnswers(t, c, "flip", flipQ, false); !containsID(ids, 1) {
+		t.Fatalf("an did not flip after blocker delete: %v", ids)
+	}
+
+	// Error surface.
+	c.post("/v2/datasets/ghost/objects", &ObjectInsertRequest{Point: []float64{1, 2}}, nil, http.StatusNotFound)
+	c.post("/v2/datasets/flip/objects", &ObjectInsertRequest{}, nil, http.StatusBadRequest)
+	c.post("/v2/datasets/flip/objects", &ObjectInsertRequest{
+		Point: []float64{1, 2}, Samples: []SampleSpec{{P: 1, Loc: []float64{1, 2}}},
+	}, nil, http.StatusBadRequest)
+	if resp, _ := c.do(http.MethodDelete, "/v2/datasets/flip/objects/99", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("delete out-of-range: status %d", resp.StatusCode)
+	}
+	if resp, _ := c.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: status %d", resp.StatusCode)
+	}
+	if resp, _ := c.do(http.MethodDelete, "/v2/datasets/flip/objects/x", nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-numeric id: status %d", resp.StatusCode)
+	}
+}
+
+// TestMutateThenQueryCacheMiss is the generation-key regression test: a
+// cached answer must never survive a mutation, because the dataset
+// generation is folded into every cache key.
+func TestMutateThenQueryCacheMiss(t *testing.T) {
+	c := newTestClient(t, New(Config{Workers: 2, CacheSize: 64}))
+	c.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+
+	before, resp := queryAnswers(t, c, "flip", flipQ, false)
+	if got := resp.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("first query cache = %q, want miss", got)
+	}
+	if _, resp = queryAnswers(t, c, "flip", flipQ, false); resp.Header.Get(headerCache) != "hit" {
+		t.Fatalf("second query cache = %q, want hit", resp.Header.Get(headerCache))
+	}
+
+	resp, raw := c.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d (%s)", resp.StatusCode, raw)
+	}
+
+	after, resp := queryAnswers(t, c, "flip", flipQ, false)
+	if got := resp.Header.Get(headerCache); got != "miss" {
+		t.Fatalf("post-mutation query cache = %q, want miss (stale generation served)", got)
+	}
+	if reflect.DeepEqual(before, after) || !containsID(after, 1) {
+		t.Fatalf("post-mutation answers = %v (before %v): mutation not visible", after, before)
+	}
+}
+
+// TestMutationDurabilityAcrossRestart commits mutations on a store-backed
+// server, reopens the directory cold, and demands the recovered engine
+// answer identically — the WAL-commit-before-apply contract surfaced at
+// the HTTP layer.
+func TestMutationDurabilityAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	s1 := New(Config{Workers: 2, Store: openStore(t, dir)})
+	c1 := newTestClient(t, s1)
+	c1.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+	var mr MutationResponse
+	c1.post("/v2/datasets/flip/objects", &ObjectInsertRequest{Point: []float64{2, 0.5}}, &mr, http.StatusOK)
+	if mr.Seq == 0 {
+		t.Fatal("durable mutation acknowledged without a WAL sequence")
+	}
+	if resp, raw := c1.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d (%s)", resp.StatusCode, raw)
+	}
+	want, _ := queryAnswers(t, c1, "flip", flipQ, true)
+	wantInfo := DatasetInfo{}
+	c1.mustGet("/v1/datasets/flip", &wantInfo)
+	s1.cfg.Store.Close()
+
+	s2 := New(Config{Workers: 2, Store: openStore(t, dir)})
+	loaded, quarantined, err := s2.LoadFromStore()
+	if err != nil || loaded != 1 || len(quarantined) != 0 {
+		t.Fatalf("LoadFromStore = %d loaded, %v quarantined, err %v", loaded, quarantined, err)
+	}
+	c2 := newTestClient(t, s2)
+	got, _ := queryAnswers(t, c2, "flip", flipQ, true)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("recovered answers = %v, want %v", got, want)
+	}
+	gotInfo := DatasetInfo{}
+	c2.mustGet("/v1/datasets/flip", &gotInfo)
+	if gotInfo.Size != wantInfo.Size || gotInfo.Dims != wantInfo.Dims {
+		t.Fatalf("recovered info = %+v, want %+v", gotInfo, wantInfo)
+	}
+	// The tombstone must have survived: the deleted ID stays invalid.
+	if resp, _ := c2.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("tombstone lost across restart: delete status %d", resp.StatusCode)
+	}
+}
+
+// TestCrashBetweenCommitAndApply simulates the worst crash point: the
+// mutation reached the WAL (the commit point) but the process died
+// before the successor engine was installed. Recovery must replay the
+// log and serve the post-mutation state.
+func TestCrashBetweenCommitAndApply(t *testing.T) {
+	dir := t.TempDir()
+	st1 := openStore(t, dir)
+	s1 := New(Config{Workers: 2, Store: st1})
+	c1 := newTestClient(t, s1)
+	c1.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+	// WAL-commit the blocker's delete directly, bypassing the registry:
+	// in-memory state still has object 0, exactly as if we crashed after
+	// the append and before the install.
+	if _, err := st1.AppendMutation("flip", store.Mutation{Op: store.MutDelete, ID: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if ids, _ := queryAnswers(t, c1, "flip", flipQ, true); containsID(ids, 1) {
+		t.Fatalf("pre-crash memory already mutated: %v", ids)
+	}
+	st1.Close()
+
+	s2 := New(Config{Workers: 2, Store: openStore(t, dir)})
+	if loaded, quarantined, err := s2.LoadFromStore(); err != nil || loaded != 1 || len(quarantined) != 0 {
+		t.Fatalf("LoadFromStore = %d loaded, %v quarantined, err %v", loaded, quarantined, err)
+	}
+	c2 := newTestClient(t, s2)
+	if ids, _ := queryAnswers(t, c2, "flip", flipQ, true); !containsID(ids, 1) {
+		t.Fatalf("recovery lost the committed delete: answers %v", ids)
+	}
+	if resp, _ := c2.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("committed delete not replayed as a tombstone: status %d", resp.StatusCode)
+	}
+}
+
+// watchStream opens a /v2/watch subscription and returns a line reader
+// over the NDJSON stream plus a closer.
+func watchStream(t *testing.T, c *testClient, req *WatchRequest) (*bufio.Scanner, func()) {
+	t.Helper()
+	raw, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpReq, err := http.NewRequest(http.MethodPost, c.ts.URL+"/v2/watch", strings.NewReader(string(raw)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.ts.Client().Do(httpReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		var buf [512]byte
+		n, _ := resp.Body.Read(buf[:])
+		t.Fatalf("watch: status %d (%s)", resp.StatusCode, buf[:n])
+	}
+	return bufio.NewScanner(resp.Body), func() { resp.Body.Close() }
+}
+
+func nextEvent(t *testing.T, sc *bufio.Scanner) watch.Event {
+	t.Helper()
+	done := make(chan struct{})
+	var ev watch.Event
+	go func() {
+		defer close(done)
+		if !sc.Scan() {
+			t.Errorf("watch stream ended: %v", sc.Err())
+			return
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Errorf("bad watch line %q: %v", sc.Text(), err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("timed out waiting for a watch event")
+	}
+	return ev
+}
+
+// TestWatchFlipOnDelete is the headline acceptance path: subscribe to the
+// blocked non-answer, delete its blocking cause over HTTP (durably), and
+// receive exactly one terminal "flipped" event at the post-mutation
+// generation.
+func TestWatchFlipOnDelete(t *testing.T) {
+	s := New(Config{Workers: 4, Store: openStore(t, t.TempDir())})
+	c := newTestClient(t, s)
+	c.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+
+	sc, closeStream := watchStream(t, c, &WatchRequest{Dataset: "flip", Q: flipQ, An: 1})
+	defer closeStream()
+	reg := nextEvent(t, sc)
+	if reg.Event != watch.KindRegistered || reg.An != 1 || reg.Answer {
+		t.Fatalf("first line = %+v, want registered", reg)
+	}
+
+	var mr MutationResponse
+	resp, raw := c.do(http.MethodDelete, "/v2/datasets/flip/objects/0", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d (%s)", resp.StatusCode, raw)
+	}
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		t.Fatal(err)
+	}
+
+	ev := nextEvent(t, sc)
+	if ev.Event != watch.KindFlipped || ev.An != 1 || !ev.Answer {
+		t.Fatalf("flip event = %+v", ev)
+	}
+	if ev.Generation != mr.Generation {
+		t.Fatalf("flip generation = %d, mutation installed %d", ev.Generation, mr.Generation)
+	}
+	// Terminal: the stream ends, no second event.
+	if sc.Scan() {
+		t.Fatalf("unexpected event after terminal flip: %q", sc.Text())
+	}
+	s.watch.WaitIdle()
+	if st := s.watch.Stats(); st.Flipped != 1 {
+		t.Fatalf("watch stats = %+v, want exactly one flip", st)
+	}
+}
+
+// TestWatchDeletedAnTerminates: deleting the WATCHED object itself ends
+// the stream with a terminal "deleted" event, no re-evaluation needed.
+func TestWatchDeletedAnTerminates(t *testing.T) {
+	c := newTestClient(t, New(Config{Workers: 2}))
+	c.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+	sc, closeStream := watchStream(t, c, &WatchRequest{Dataset: "flip", Q: flipQ, An: 1})
+	defer closeStream()
+	if ev := nextEvent(t, sc); ev.Event != watch.KindRegistered {
+		t.Fatalf("first line = %+v", ev)
+	}
+	if resp, raw := c.do(http.MethodDelete, "/v2/datasets/flip/objects/1", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: status %d (%s)", resp.StatusCode, raw)
+	}
+	if ev := nextEvent(t, sc); ev.Event != watch.KindDeleted || ev.An != 1 {
+		t.Fatalf("event = %+v, want deleted", ev)
+	}
+}
+
+// TestWatchPrunesUnaffected: a mutation far outside the subscription's
+// dominance window must be skipped without a re-evaluation round
+// touching the subscriber.
+func TestWatchPrunesUnaffected(t *testing.T) {
+	s := New(Config{Workers: 2})
+	c := newTestClient(t, s)
+	c.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+	sc, closeStream := watchStream(t, c, &WatchRequest{Dataset: "flip", Q: flipQ, An: 1})
+	defer closeStream()
+	if ev := nextEvent(t, sc); ev.Event != watch.KindRegistered {
+		t.Fatalf("first line = %+v", ev)
+	}
+	// (200, 200) is far outside DomRectUnionOuter(an=(4,4), q=(0,0)).
+	c.post("/v2/datasets/flip/objects", &ObjectInsertRequest{Point: []float64{200, 200}}, nil, http.StatusOK)
+	s.watch.WaitIdle()
+	st := s.watch.Stats()
+	if st.Pruned != 1 || st.Flipped != 0 || st.Reevals != 0 {
+		t.Fatalf("watch stats after out-of-window insert = %+v, want 1 pruned, 0 reevals", st)
+	}
+}
+
+// TestWatchRejections covers the subscription error surface: watching an
+// answer is 422, a missing object 404, an unknown dataset 404.
+func TestWatchRejections(t *testing.T) {
+	c := newTestClient(t, New(Config{Workers: 2}))
+	c.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+	// Object 0 at (1,1) IS in the reverse skyline of q.
+	c.post("/v2/watch", &WatchRequest{Dataset: "flip", Q: flipQ, An: 0}, nil, http.StatusUnprocessableEntity)
+	c.post("/v2/watch", &WatchRequest{Dataset: "flip", Q: flipQ, An: 99}, nil, http.StatusNotFound)
+	c.post("/v2/watch", &WatchRequest{Dataset: "ghost", Q: flipQ, An: 0}, nil, http.StatusNotFound)
+}
+
+// TestWatchMetricsExposed: the S4 observability families are on /metrics.
+func TestWatchMetricsExposed(t *testing.T) {
+	s := New(Config{Workers: 2})
+	c := newTestClient(t, s)
+	c.post("/v1/datasets", flipScenario, nil, http.StatusCreated)
+	c.post("/v2/datasets/flip/objects", &ObjectInsertRequest{Point: []float64{7, 7}}, nil, http.StatusOK)
+
+	admin := httptest.NewServer(s.AdminHandler())
+	defer admin.Close()
+	resp, err := http.Get(admin.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := sb.String()
+	for _, want := range []string{
+		`crsky_mutations_total{op="insert",model="certain"} 1`,
+		"crsky_watch_active 0",
+		`crsky_watch_events_total{kind="flipped"} 0`,
+		"crsky_watch_reeval_seconds_bucket",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q", want)
+		}
+	}
+}

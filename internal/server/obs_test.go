@@ -3,6 +3,7 @@ package server
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -430,7 +431,7 @@ func TestPoolSaturationStats(t *testing.T) {
 	var entered sync.WaitGroup
 	entered.Add(1)
 	var once sync.Once
-	s.computeHook = func() {
+	s.computeHook = func(context.Context) {
 		once.Do(entered.Done)
 		<-release
 	}

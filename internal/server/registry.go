@@ -215,6 +215,12 @@ func (r *registry) installStored(d store.Dataset) error {
 		e.eng = r.wrap(e.eng)
 	}
 	e.name = d.Name
+	// Replay the recovered mutation log over the rebuilt base: the same
+	// copy-on-write path the live endpoints take, so recovery reconverges
+	// to the exact pre-crash engine (IDs, tombstones, and all).
+	if err := applyStoredMutations(e, d.Muts); err != nil {
+		return err
+	}
 	e.gen = r.gen.Add(1)
 	r.mu.Lock()
 	r.m[d.Name] = e

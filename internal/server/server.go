@@ -38,6 +38,7 @@ import (
 	"github.com/crsky/crsky/internal/stats"
 	"github.com/crsky/crsky/internal/store"
 	"github.com/crsky/crsky/internal/uncertain"
+	"github.com/crsky/crsky/internal/watch"
 )
 
 // Cache/flight response headers: X-Crsky-Cache is "hit", "miss", or
@@ -162,10 +163,21 @@ type Server struct {
 	explainSubsets, explainGreedySeeds, explainGreedyHits stats.Counter
 	explainFilterIO, explainComputed                      stats.Counter
 
+	// watch is the /v2/watch subscription hub; watchReeval is the latency
+	// histogram of one post-mutation re-evaluation round.
+	watch       *watch.Hub
+	watchReeval obs.Histogram
+
+	// mutations counts committed object mutations, keyed "op|model" (the
+	// six combinations are pre-seeded in New, so Inc never races a map
+	// write).
+	mutations map[string]*stats.Counter
+
 	// computeHook, when set, runs inside every pooled computation before
-	// the engine call. Tests use it to hold computations open and make
-	// singleflight deduplication deterministic.
-	computeHook func()
+	// the engine call, receiving the context the engine will poll. Tests
+	// use it to hold computations open, make singleflight deduplication
+	// deterministic, and observe cancellation without racing it.
+	computeHook func(context.Context)
 }
 
 // New builds a Server with the given configuration.
@@ -184,6 +196,13 @@ func New(cfg Config) *Server {
 		slow:       obs.NewSlowLog(cfg.SlowQueryLog, cfg.SlowQueryThreshold),
 	}
 	s.drainCtx, s.drainCancel = context.WithCancel(context.Background())
+	s.watch = watch.NewHub(s.reevalWatch)
+	s.mutations = make(map[string]*stats.Counter)
+	for _, op := range []string{store.MutInsert, store.MutDelete} {
+		for _, model := range []string{ModelCertain, ModelSample, ModelPDF} {
+			s.mutations[op+"|"+model] = &stats.Counter{}
+		}
+	}
 	if cfg.Faults != nil {
 		s.pool.slotDelay = cfg.Faults.SlotDelay
 		s.approxPool.slotDelay = cfg.Faults.SlotDelay
@@ -206,6 +225,13 @@ func New(cfg Config) *Server {
 	// to the same interface-dispatched compute core.
 	s.mux.HandleFunc("POST /v2/query", s.instrument("/v2/query", s.handleQueryV2))
 	s.mux.HandleFunc("POST /v2/explain", s.instrument("/v2/explain", s.handleExplainV2))
+	// Dynamic data plane: durable copy-on-write object mutations and the
+	// non-answer subscription stream they feed.
+	s.mux.HandleFunc("POST /v2/datasets/{name}/objects",
+		s.instrument("/v2/datasets/{name}/objects", s.handleObjectInsert))
+	s.mux.HandleFunc("DELETE /v2/datasets/{name}/objects/{id}",
+		s.instrument("/v2/datasets/{name}/objects/{id}", s.handleObjectDelete))
+	s.mux.HandleFunc("POST /v2/watch", s.instrument("/v2/watch", s.handleWatch))
 	return s
 }
 
@@ -219,6 +245,7 @@ func (s *Server) Register(req *DatasetRequest) (DatasetInfo, error) {
 	if err != nil {
 		return DatasetInfo{}, err
 	}
+	s.watch.DatasetReset(ent.name, ent.gen)
 	return ent.info(), nil
 }
 
@@ -297,6 +324,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			FilterNodeAccesses:   s.explainFilterIO.Value(),
 			ComputedExplanations: s.explainComputed.Value(),
 		},
+		Watch: s.watch.Stats(),
 		Requests: RequestStats{
 			Query:          s.reqQuery.Value(),
 			Explain:        s.reqExplain.Value(),
@@ -353,6 +381,8 @@ func statusFor(err error) int {
 	switch {
 	case errors.Is(err, causality.ErrBadObject):
 		return http.StatusNotFound
+	case errors.Is(err, crsky.ErrUnsupported):
+		return http.StatusNotImplemented
 	case errors.Is(err, faultinject.ErrInjected):
 		return http.StatusInternalServerError
 	case errors.Is(err, causality.ErrNotNonAnswer),

@@ -36,6 +36,17 @@ func (ix *Index) Delete(i int) error {
 	return nil
 }
 
+// CloneCOW returns a copy-on-write clone: the point slice is copied
+// shallowly (points themselves are immutable) and the R-tree shares nodes
+// until either side mutates, so readers of the original index never see
+// the clone's inserts or deletes. The clone starts with no node-access
+// counter; attach one with SetCounter.
+func (ix *Index) CloneCOW() *Index {
+	pts := make([]geom.Point, len(ix.pts))
+	copy(pts, ix.pts)
+	return &Index{pts: pts, dims: ix.dims, tree: ix.tree.CloneCOW()}
+}
+
 // Deleted reports whether slot i is a tombstone.
 func (ix *Index) Deleted(i int) bool {
 	return i >= 0 && i < len(ix.pts) && ix.pts[i] == nil

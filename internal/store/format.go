@@ -60,25 +60,43 @@ type snapMeta struct {
 const (
 	secMeta = 1
 	secData = 2
+	// secMuts carries the gob-encoded mutation log folded over the base
+	// payload. The section is written only when the log is non-empty, so
+	// snapshots of unmutated datasets keep the original two-section layout
+	// and pre-mutation readers (which ignore unknown kinds) stay compatible
+	// — no format version bump.
+	secMuts = 3
 )
 
-// encodeSnapshot renders a snapshot file: magic, version, then two
-// length+CRC32C-framed sections (gob meta, raw payload). Each section is
-// independently checksummed so verification pinpoints what rotted.
-func encodeSnapshot(meta snapMeta, data []byte) ([]byte, error) {
+// encodeSnapshot renders a snapshot file: magic, version, then
+// length+CRC32C-framed sections (gob meta, raw payload, and — when any
+// exist — the gob mutation log). Each section is independently
+// checksummed so verification pinpoints what rotted.
+func encodeSnapshot(meta snapMeta, data []byte, muts []Mutation) ([]byte, error) {
 	var mbuf bytes.Buffer
 	if err := gob.NewEncoder(&mbuf).Encode(meta); err != nil {
 		return nil, fmt.Errorf("store: encode snapshot meta: %w", err)
+	}
+	var xbuf bytes.Buffer
+	nsec := uint32(2)
+	if len(muts) > 0 {
+		if err := gob.NewEncoder(&xbuf).Encode(muts); err != nil {
+			return nil, fmt.Errorf("store: encode snapshot mutations: %w", err)
+		}
+		nsec = 3
 	}
 	var b bytes.Buffer
 	b.WriteString(snapMagic)
 	var u32 [4]byte
 	binary.BigEndian.PutUint32(u32[:], formatVersion)
 	b.Write(u32[:])
-	binary.BigEndian.PutUint32(u32[:], 2) // section count
+	binary.BigEndian.PutUint32(u32[:], nsec)
 	b.Write(u32[:])
 	writeSection(&b, secMeta, mbuf.Bytes())
 	writeSection(&b, secData, data)
+	if len(muts) > 0 {
+		writeSection(&b, secMuts, xbuf.Bytes())
+	}
 	return b.Bytes(), nil
 }
 
@@ -95,60 +113,74 @@ func writeSection(b *bytes.Buffer, kind uint32, payload []byte) {
 }
 
 // decodeSnapshot verifies and parses an encodeSnapshot file. Any framing,
-// version, or checksum failure is an error — the caller quarantines.
-func decodeSnapshot(b []byte) (snapMeta, []byte, error) {
+// version, or checksum failure is an error — the caller quarantines. The
+// returned mutation log is nil for two-section files.
+func decodeSnapshot(b []byte) (snapMeta, []byte, []Mutation, error) {
 	var meta snapMeta
 	if len(b) < len(snapMagic)+8 {
-		return meta, nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(b))
+		return meta, nil, nil, fmt.Errorf("store: snapshot truncated (%d bytes)", len(b))
 	}
 	if string(b[:len(snapMagic)]) != snapMagic {
-		return meta, nil, fmt.Errorf("store: bad snapshot magic %q", b[:len(snapMagic)])
+		return meta, nil, nil, fmt.Errorf("store: bad snapshot magic %q", b[:len(snapMagic)])
 	}
 	off := len(snapMagic)
 	ver := binary.BigEndian.Uint32(b[off:])
 	if ver != formatVersion {
-		return meta, nil, fmt.Errorf("store: unsupported snapshot version %d", ver)
+		return meta, nil, nil, fmt.Errorf("store: unsupported snapshot version %d", ver)
 	}
 	nsec := binary.BigEndian.Uint32(b[off+4:])
 	off += 8
-	var metaB, dataB []byte
-	var haveMeta, haveData bool
+	var metaB, dataB, mutsB []byte
+	var haveMeta, haveData, haveMuts bool
 	for i := uint32(0); i < nsec; i++ {
 		if off+16 > len(b) {
-			return meta, nil, fmt.Errorf("store: snapshot section %d header truncated", i)
+			return meta, nil, nil, fmt.Errorf("store: snapshot section %d header truncated", i)
 		}
 		kind := binary.BigEndian.Uint32(b[off:])
 		ln := binary.BigEndian.Uint64(b[off+4:])
 		crc := binary.BigEndian.Uint32(b[off+12:])
 		off += 16
 		if ln > maxSectionLen || uint64(off)+ln > uint64(len(b)) {
-			return meta, nil, fmt.Errorf("store: snapshot section %d truncated (declared %d bytes)", i, ln)
+			return meta, nil, nil, fmt.Errorf("store: snapshot section %d truncated (declared %d bytes)", i, ln)
 		}
 		payload := b[off : off+int(ln)]
 		off += int(ln)
 		if checksum(payload) != crc {
-			return meta, nil, fmt.Errorf("store: snapshot section %d checksum mismatch", i)
+			return meta, nil, nil, fmt.Errorf("store: snapshot section %d checksum mismatch", i)
 		}
 		switch kind {
 		case secMeta:
 			metaB, haveMeta = payload, true
 		case secData:
 			dataB, haveData = payload, true
+		case secMuts:
+			mutsB, haveMuts = payload, true
 		}
 	}
 	if off != len(b) {
-		return meta, nil, fmt.Errorf("store: %d trailing bytes after snapshot sections", len(b)-off)
+		return meta, nil, nil, fmt.Errorf("store: %d trailing bytes after snapshot sections", len(b)-off)
 	}
 	if !haveMeta || !haveData {
-		return meta, nil, fmt.Errorf("store: snapshot missing meta or data section")
+		return meta, nil, nil, fmt.Errorf("store: snapshot missing meta or data section")
 	}
 	if err := gob.NewDecoder(bytes.NewReader(metaB)).Decode(&meta); err != nil {
-		return meta, nil, fmt.Errorf("store: decode snapshot meta: %w", err)
+		return meta, nil, nil, fmt.Errorf("store: decode snapshot meta: %w", err)
 	}
 	if meta.Name == "" {
-		return meta, nil, fmt.Errorf("store: snapshot has empty dataset name")
+		return meta, nil, nil, fmt.Errorf("store: snapshot has empty dataset name")
 	}
-	return meta, dataB, nil
+	var muts []Mutation
+	if haveMuts {
+		if err := gob.NewDecoder(bytes.NewReader(mutsB)).Decode(&muts); err != nil {
+			return meta, nil, nil, fmt.Errorf("store: decode snapshot mutations: %w", err)
+		}
+		for i, m := range muts {
+			if err := m.validate(); err != nil {
+				return meta, nil, nil, fmt.Errorf("store: snapshot mutation %d: %w", i, err)
+			}
+		}
+	}
+	return meta, dataB, muts, nil
 }
 
 // escapeName maps an arbitrary dataset name to a safe file stem

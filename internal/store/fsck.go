@@ -14,9 +14,11 @@ type SnapshotStatus struct {
 	Dataset string `json:"dataset,omitempty"`
 	Model   string `json:"model,omitempty"`
 	Seq     uint64 `json:"seq,omitempty"`
-	Bytes   int64  `json:"bytes"`
-	OK      bool   `json:"ok"`
-	Err     string `json:"err,omitempty"`
+	// Muts counts mutation-log entries checkpointed in the snapshot.
+	Muts  int    `json:"muts,omitempty"`
+	Bytes int64  `json:"bytes"`
+	OK    bool   `json:"ok"`
+	Err   string `json:"err,omitempty"`
 }
 
 // FsckReport is the result of a verify (and optionally repair) pass.
@@ -25,11 +27,13 @@ type FsckReport struct {
 	Snapshots []SnapshotStatus `json:"snapshots"`
 	TempFiles []string         `json:"tempFiles,omitempty"`
 
-	WALBytes   int64  `json:"walBytes"`
-	WALRecords int    `json:"walRecords"`
-	WALTorn    bool   `json:"walTorn"`
-	WALTornAt  int64  `json:"walTornAt,omitempty"`
-	WALErr     string `json:"walErr,omitempty"`
+	WALBytes   int64 `json:"walBytes"`
+	WALRecords int   `json:"walRecords"`
+	// WALMutations counts insert/delete records among WALRecords.
+	WALMutations int    `json:"walMutations,omitempty"`
+	WALTorn      bool   `json:"walTorn"`
+	WALTornAt    int64  `json:"walTornAt,omitempty"`
+	WALErr       string `json:"walErr,omitempty"`
 
 	// Repaired is set when the pass ran in repair mode: corrupt
 	// snapshots quarantined, torn WAL truncated, state re-checkpointed,
@@ -60,8 +64,8 @@ func (r *FsckReport) Format(w io.Writer) {
 	fmt.Fprintf(w, "store %s\n", r.Dir)
 	for _, s := range r.Snapshots {
 		if s.OK {
-			fmt.Fprintf(w, "  snapshot %-30s OK    %8d bytes  dataset=%s model=%s seq=%d\n",
-				s.File, s.Bytes, s.Dataset, s.Model, s.Seq)
+			fmt.Fprintf(w, "  snapshot %-30s OK    %8d bytes  dataset=%s model=%s seq=%d muts=%d\n",
+				s.File, s.Bytes, s.Dataset, s.Model, s.Seq, s.Muts)
 		} else {
 			fmt.Fprintf(w, "  snapshot %-30s BAD   %8d bytes  %s\n", s.File, s.Bytes, s.Err)
 		}
@@ -73,9 +77,11 @@ func (r *FsckReport) Format(w io.Writer) {
 	case r.WALErr != "":
 		fmt.Fprintf(w, "  wal %d bytes: CORRUPT HEADER: %s\n", r.WALBytes, r.WALErr)
 	case r.WALTorn:
-		fmt.Fprintf(w, "  wal %d bytes, %d records, TORN TAIL at offset %d\n", r.WALBytes, r.WALRecords, r.WALTornAt)
+		fmt.Fprintf(w, "  wal %d bytes, %d records (%d mutations), TORN TAIL at offset %d\n",
+			r.WALBytes, r.WALRecords, r.WALMutations, r.WALTornAt)
 	default:
-		fmt.Fprintf(w, "  wal %d bytes, %d records, clean\n", r.WALBytes, r.WALRecords)
+		fmt.Fprintf(w, "  wal %d bytes, %d records (%d mutations), clean\n",
+			r.WALBytes, r.WALRecords, r.WALMutations)
 	}
 	for _, q := range r.Quarantined {
 		fmt.Fprintf(w, "  quarantined %s (%s)\n", q.Path, q.Reason)
@@ -119,11 +125,11 @@ func Fsck(fsys FS, dir string, repair bool) (*FsckReport, error) {
 		st.Bytes = int64(len(b))
 		if err != nil {
 			st.Err = err.Error()
-		} else if meta, data, derr := decodeSnapshot(b); derr != nil {
+		} else if meta, data, muts, derr := decodeSnapshot(b); derr != nil {
 			st.Err = derr.Error()
 		} else {
 			st.OK = true
-			st.Dataset, st.Model, st.Seq = meta.Name, meta.Model, meta.Seq
+			st.Dataset, st.Model, st.Seq, st.Muts = meta.Name, meta.Model, meta.Seq, len(muts)
 			_ = data
 			rep.Datasets = append(rep.Datasets, meta.Name)
 		}
@@ -140,6 +146,11 @@ func Fsck(fsys FS, dir string, repair bool) (*FsckReport, error) {
 		rep.WALErr = werr.Error()
 	} else {
 		rep.WALRecords = len(recs)
+		for _, rec := range recs {
+			if rec.Op == opInsert || rec.Op == opDelete {
+				rep.WALMutations++
+			}
+		}
 		rep.WALTorn = torn
 		rep.WALTornAt = goodLen
 	}

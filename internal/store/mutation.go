@@ -1,0 +1,94 @@
+package store
+
+import "fmt"
+
+// Mutation ops. The strings appear in snapshots and fsck output, so they
+// are part of the on-disk vocabulary.
+const (
+	MutInsert = "insert"
+	MutDelete = "delete"
+)
+
+// Mutation is one durable object-level change to a registered dataset —
+// the incremental records the WAL format reserved opInsert/opDelete for.
+// The store treats the insert payload as opaque bytes (the server encodes
+// the object spec); ID is the positional object ID the server assigned
+// (insert) or tombstoned (delete).
+type Mutation struct {
+	// Op is MutInsert or MutDelete.
+	Op string
+	// ID is the object ID the mutation touches.
+	ID int
+	// Data is the encoded object payload (insert only).
+	Data []byte
+	// Seq is the mutation's WAL sequence, assigned by AppendMutation.
+	Seq uint64
+}
+
+func (m Mutation) validate() error {
+	switch m.Op {
+	case MutInsert:
+		if len(m.Data) == 0 {
+			return fmt.Errorf("store: insert mutation without payload")
+		}
+	case MutDelete:
+	default:
+		return fmt.Errorf("store: unknown mutation op %q", m.Op)
+	}
+	if m.ID < 0 {
+		return fmt.Errorf("store: negative mutation object ID %d", m.ID)
+	}
+	return nil
+}
+
+// AppendMutation durably logs one object mutation against a registered
+// dataset and folds it into the dataset's durable state: base payload plus
+// ordered mutation log, replayed at recovery in sequence order so a
+// restarted server reconverges to the identical post-mutation engine. The
+// operation commits at the WAL append, exactly like Put; the snapshot that
+// follows is a non-fatal checkpoint. The returned sequence number is the
+// mutation's WAL sequence. Mutating an unregistered dataset is an error —
+// the caller registers (Put) first.
+func (s *Store) AppendMutation(name string, m Mutation) (uint64, error) {
+	if err := m.validate(); err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return 0, fmt.Errorf("store: closed")
+	}
+	cur, ok := s.live[name]
+	if !ok {
+		return 0, fmt.Errorf("store: mutation for unknown dataset %q", name)
+	}
+	seq := s.nextSeq
+	rec := walRecord{Seq: seq, Op: opInsert, Name: name, ObjID: m.ID}
+	if m.Op == MutDelete {
+		rec.Op = opDelete
+	} else {
+		rec.Data = m.Data
+	}
+	if err := s.appendWAL(rec); err != nil {
+		return 0, err
+	}
+	s.nextSeq = seq + 1
+	m.Seq = seq
+	s.live[name] = cur.withMutation(m)
+	// Checkpoint failures are deliberately not fatal: the WAL holds the
+	// committed mutation and the next Open re-checkpoints it.
+	_ = s.writeSnapshot(s.live[name])
+	if s.opts.CompactThreshold > 0 && s.walBytes > s.opts.CompactThreshold {
+		_ = s.compactLocked()
+	}
+	return seq, nil
+}
+
+// withMutation returns a new Dataset with m appended to the mutation log.
+// The clone keeps Get/Datasets' shallow copies safe: the shared prefix of
+// the old mutation slice is never appended to in place.
+func (d *Dataset) withMutation(m Mutation) *Dataset {
+	nd := &Dataset{Name: d.Name, Model: d.Model, Data: d.Data, Seq: m.Seq}
+	nd.Muts = append(append([]Mutation(nil), d.Muts...), m)
+	return nd
+}

@@ -26,11 +26,16 @@ type Options struct {
 }
 
 // Dataset is one durable dataset: an opaque encoded payload plus the
-// model tag the server uses to decode it.
+// model tag the server uses to decode it, plus the ordered log of object
+// mutations committed since the base payload was registered. The durable
+// state is the base replayed through Muts in order; a re-register (Put)
+// resets the log.
 type Dataset struct {
 	Name  string
 	Model string
 	Data  []byte
+	// Muts is the ordered mutation log over Data, oldest first.
+	Muts []Mutation
 	// Seq is the WAL sequence of the operation that produced this state.
 	Seq uint64
 }
@@ -171,7 +176,7 @@ func (s *Store) recover(rep *RecoveryReport) error {
 			s.quarantineFile(path, snapStemName(fn), fmt.Sprintf("unreadable: %v", err))
 			continue
 		}
-		meta, data, err := decodeSnapshot(b)
+		meta, data, muts, err := decodeSnapshot(b)
 		if err != nil {
 			s.quarantineFile(path, snapStemName(fn), err.Error())
 			continue
@@ -179,7 +184,7 @@ func (s *Store) recover(rep *RecoveryReport) error {
 		rep.SnapshotsLoaded++
 		cur, ok := s.live[meta.Name]
 		if !ok || meta.Seq > cur.Seq {
-			s.live[meta.Name] = &Dataset{Name: meta.Name, Model: meta.Model, Data: data, Seq: meta.Seq}
+			s.live[meta.Name] = &Dataset{Name: meta.Name, Model: meta.Model, Data: data, Muts: muts, Seq: meta.Seq}
 			s.snapSeq[meta.Name] = meta.Seq
 		}
 		if meta.Seq >= s.nextSeq {
@@ -224,6 +229,26 @@ func (s *Store) recover(rep *RecoveryReport) error {
 				removed[rec.Name] = rec.Seq
 				rep.WALReplayed++
 			}
+		case opInsert, opDelete:
+			// A mutation record for a dataset we do not have (its register
+			// record compacted away and its snapshot rotted, or a foreign
+			// WAL) is surfaced as corruption but never aborts recovery —
+			// healthy datasets keep serving.
+			cur, ok := s.live[rec.Name]
+			if !ok {
+				s.noteCorrupt(s.walPath(), rec.Name,
+					fmt.Sprintf("wal %s record seq %d for unknown dataset", rec.Op, rec.Seq))
+				continue
+			}
+			if rec.Seq <= cur.Seq {
+				continue // already folded into the snapshot
+			}
+			m := Mutation{Op: MutInsert, ID: rec.ObjID, Data: rec.Data, Seq: rec.Seq}
+			if rec.Op == opDelete {
+				m = Mutation{Op: MutDelete, ID: rec.ObjID, Seq: rec.Seq}
+			}
+			s.live[rec.Name] = cur.withMutation(m)
+			rep.WALReplayed++
 		case opEpoch:
 			// Sequence floor only.
 		}
@@ -319,7 +344,7 @@ func (s *Store) appendWAL(rec walRecord) error {
 // fsync directory. A crash at any point leaves either the old snapshot or
 // the new one — never a partially written file under the live name.
 func (s *Store) writeSnapshot(ds *Dataset) error {
-	b, err := encodeSnapshot(snapMeta{Name: ds.Name, Model: ds.Model, Seq: ds.Seq}, ds.Data)
+	b, err := encodeSnapshot(snapMeta{Name: ds.Name, Model: ds.Model, Seq: ds.Seq}, ds.Data, ds.Muts)
 	if err != nil {
 		return err
 	}
@@ -534,8 +559,15 @@ func (s *Store) quarantineFile(path, dataset, reason string) {
 	if err := s.fs.Rename(path, dst); err != nil {
 		dst = path // could not move; report it where it lies
 	}
+	s.noteCorrupt(dst, dataset, reason)
+}
+
+// noteCorrupt records a corruption finding without moving any file — for
+// problems inside a file that must stay where it is (e.g. an orphan
+// mutation record in the shared WAL).
+func (s *Store) noteCorrupt(path, dataset, reason string) {
 	s.corruptMu.Lock()
-	s.corrupt = append(s.corrupt, CorruptFile{Path: dst, Dataset: dataset, Reason: reason})
+	s.corrupt = append(s.corrupt, CorruptFile{Path: path, Dataset: dataset, Reason: reason})
 	s.corruptMu.Unlock()
 	s.corruptN.Add(1)
 }

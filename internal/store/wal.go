@@ -7,17 +7,15 @@ import (
 	"fmt"
 )
 
-// walOp enumerates WAL record kinds. The log is shaped to later carry
-// incremental object mutations (ROADMAP item 2): OpInsert/OpDelete are
-// reserved now so the framing and replay loop never change when they land.
+// walOp enumerates WAL record kinds.
 type walOp uint8
 
 const (
 	opRegister walOp = 1 // full dataset registration (Data = payload)
 	opRemove   walOp = 2 // dataset removal
 	opEpoch    walOp = 3 // compaction marker: sequence floor, no dataset
-	opInsert   walOp = 4 // reserved: incremental object insert
-	opDelete   walOp = 5 // reserved: incremental object delete
+	opInsert   walOp = 4 // incremental object insert (Data = object payload)
+	opDelete   walOp = 5 // incremental object delete (ObjID = tombstone)
 )
 
 func (op walOp) String() string {
@@ -38,13 +36,17 @@ func (op walOp) String() string {
 
 // walRecord is one logged operation. Register records carry the full
 // encoded dataset so a crash after the WAL append but before the snapshot
-// write loses nothing.
+// write loses nothing; insert records likewise carry the encoded object.
+// ObjID was added for the mutation records — gob leaves it zero when
+// decoding records written before it existed, so the format version is
+// unchanged.
 type walRecord struct {
 	Seq   uint64
 	Op    walOp
 	Name  string
 	Model string
 	Data  []byte
+	ObjID int
 }
 
 // walHeader returns the 12-byte file header: magic + format version.
@@ -86,7 +88,24 @@ func decodeWALRecord(payload []byte) (walRecord, error) {
 		if rec.Name == "" {
 			return rec, fmt.Errorf("store: remove record missing name")
 		}
-	case opEpoch, opInsert, opDelete:
+	case opInsert:
+		if rec.Name == "" {
+			return rec, fmt.Errorf("store: insert record missing name")
+		}
+		if len(rec.Data) == 0 {
+			return rec, fmt.Errorf("store: insert record missing object payload")
+		}
+		if rec.ObjID < 0 {
+			return rec, fmt.Errorf("store: insert record with negative object ID %d", rec.ObjID)
+		}
+	case opDelete:
+		if rec.Name == "" {
+			return rec, fmt.Errorf("store: delete record missing name")
+		}
+		if rec.ObjID < 0 {
+			return rec, fmt.Errorf("store: delete record with negative object ID %d", rec.ObjID)
+		}
+	case opEpoch:
 	default:
 		return rec, fmt.Errorf("store: unknown wal op %d", rec.Op)
 	}

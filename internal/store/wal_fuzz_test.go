@@ -13,13 +13,20 @@ func FuzzWALReplay(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte(walMagic))
 	f.Add(walHeader())
-	if frame, err := encodeWALRecord(walRecord{Seq: 1, Op: opRegister, Name: "a", Model: "certain", Data: []byte("x")}); err == nil {
-		whole := append(walHeader(), frame...)
-		f.Add(whole)
-		f.Add(whole[:len(whole)-3]) // torn tail
-		flipped := append([]byte(nil), whole...)
-		flipped[len(flipped)-1] ^= 0x10
-		f.Add(flipped)
+	seeds := []walRecord{
+		{Seq: 1, Op: opRegister, Name: "a", Model: "certain", Data: []byte("x")},
+		{Seq: 2, Op: opInsert, Name: "a", ObjID: 3, Data: []byte("obj")},
+		{Seq: 3, Op: opDelete, Name: "a", ObjID: 1},
+	}
+	for _, rec := range seeds {
+		if frame, err := encodeWALRecord(rec); err == nil {
+			whole := append(walHeader(), frame...)
+			f.Add(whole)
+			f.Add(whole[:len(whole)-3]) // torn tail
+			flipped := append([]byte(nil), whole...)
+			flipped[len(flipped)-1] ^= 0x10
+			f.Add(flipped)
+		}
 	}
 	f.Fuzz(func(t *testing.T, b []byte) {
 		recs, goodLen, torn, err := replayWAL(b)
@@ -42,6 +49,14 @@ func FuzzWALReplay(f *testing.F) {
 				if rec.Name == "" {
 					t.Fatalf("remove record with empty name survived decode: %+v", rec)
 				}
+			case opInsert:
+				if rec.Name == "" || len(rec.Data) == 0 || rec.ObjID < 0 {
+					t.Fatalf("malformed insert record survived decode: %+v", rec)
+				}
+			case opDelete:
+				if rec.Name == "" || rec.ObjID < 0 {
+					t.Fatalf("malformed delete record survived decode: %+v", rec)
+				}
 			}
 		}
 		// Truncation tolerance: replaying the intact prefix yields the
@@ -56,28 +71,52 @@ func FuzzWALReplay(f *testing.F) {
 
 // FuzzSnapshotDecode hammers the snapshot verifier: arbitrary bytes must
 // never panic, and any input that verifies must re-encode to an equivalent
-// snapshot.
+// snapshot — including the optional mutation-log section.
 func FuzzSnapshotDecode(f *testing.F) {
-	if b, err := encodeSnapshot(snapMeta{Name: "d", Model: "sample", Seq: 7}, []byte("payload")); err == nil {
+	if b, err := encodeSnapshot(snapMeta{Name: "d", Model: "sample", Seq: 7}, []byte("payload"), nil); err == nil {
 		f.Add(b)
 		f.Add(b[:len(b)-1])
 		flipped := append([]byte(nil), b...)
 		flipped[len(flipped)/2] ^= 0x04
 		f.Add(flipped)
 	}
+	if b, err := encodeSnapshot(snapMeta{Name: "d", Model: "sample", Seq: 9}, []byte("payload"), []Mutation{
+		{Op: MutInsert, ID: 4, Data: []byte("obj"), Seq: 8},
+		{Op: MutDelete, ID: 2, Seq: 9},
+	}); err == nil {
+		f.Add(b)
+		f.Add(b[:len(b)-1])
+		flipped := append([]byte(nil), b...)
+		flipped[len(flipped)-2] ^= 0x40
+		f.Add(flipped)
+	}
 	f.Add([]byte(snapMagic))
 	f.Fuzz(func(t *testing.T, b []byte) {
-		meta, data, err := decodeSnapshot(b)
+		meta, data, muts, err := decodeSnapshot(b)
 		if err != nil {
 			return
 		}
-		re, err := encodeSnapshot(meta, data)
+		for i, m := range muts {
+			if m.validate() != nil {
+				t.Fatalf("invalid mutation %d survived decode: %+v", i, m)
+			}
+		}
+		re, err := encodeSnapshot(meta, data, muts)
 		if err != nil {
 			t.Fatalf("verified snapshot failed to re-encode: %v", err)
 		}
-		meta2, data2, err := decodeSnapshot(re)
+		meta2, data2, muts2, err := decodeSnapshot(re)
 		if err != nil || meta2 != meta || !bytes.Equal(data, data2) {
 			t.Fatalf("snapshot round-trip drift: %v %+v vs %+v", err, meta2, meta)
+		}
+		if len(muts2) != len(muts) {
+			t.Fatalf("mutation log drift: %d vs %d entries", len(muts2), len(muts))
+		}
+		for i := range muts {
+			if muts2[i].Op != muts[i].Op || muts2[i].ID != muts[i].ID ||
+				muts2[i].Seq != muts[i].Seq || !bytes.Equal(muts2[i].Data, muts[i].Data) {
+				t.Fatalf("mutation %d drift: %+v vs %+v", i, muts2[i], muts[i])
+			}
 		}
 	})
 }

@@ -1,0 +1,193 @@
+package crsky
+
+import (
+	"fmt"
+
+	"github.com/crsky/crsky/internal/dataset"
+	"github.com/crsky/crsky/internal/uncertain"
+)
+
+// This file is the v2 mutation surface: copy-on-write inserts and deletes
+// on all three engines. A mutation never modifies the receiver — it
+// returns a NEW engine sharing index structure with the old one (R-tree
+// nodes are copied only along the touched path), so any number of
+// in-flight queries keep reading their pinned engine while the successor
+// is built and installed. Deleted objects leave tombstone slots: their IDs
+// are never reused, and inserts always take the next positional ID —
+// replaying the same mutation log therefore reconverges to an identical
+// engine, which is what the durable store's crash recovery relies on.
+
+// InsertSpec describes one object insertion in model-generic form. Exactly
+// one payload field must be set, matching the engine's data model.
+type InsertSpec struct {
+	// Point is the certain-model payload (CertainEngine).
+	Point Point
+	// Samples is the discrete sample-model payload (Engine). The slice is
+	// adopted, not copied; callers must not mutate it afterwards.
+	Samples []Sample
+	// PDF is the continuous-model payload (PDFEngine). Its ID field is
+	// ignored: the engine assigns the next positional ID.
+	PDF *PDFObject
+}
+
+// Mutable is the optional v2 mutation surface. The three built-in engines
+// implement it; serving layers discover support with a type assertion and
+// answer ErrUnsupported for third-party Explainer implementations that
+// do not.
+type Mutable interface {
+	// WithInsert returns a new engine with one more object, appended under
+	// the next positional ID (returned). The receiver is unchanged.
+	WithInsert(spec InsertSpec) (Explainer, int, error)
+	// WithDelete returns a new engine with object id tombstoned: the ID
+	// becomes permanently invalid (ErrBadObject), and is never reused. The
+	// receiver is unchanged.
+	WithDelete(id int) (Explainer, error)
+}
+
+// Compile-time conformance of all three engines.
+var (
+	_ Mutable = (*Engine)(nil)
+	_ Mutable = (*CertainEngine)(nil)
+	_ Mutable = (*PDFEngine)(nil)
+)
+
+// check validates that the spec carries exactly the payload its engine
+// model needs. want names the required field for the error message.
+func (s InsertSpec) check(wantPoint, wantSamples, wantPDF bool) error {
+	if (s.Point != nil) != wantPoint || (s.Samples != nil) != wantSamples || (s.PDF != nil) != wantPDF {
+		switch {
+		case wantPoint:
+			return fmt.Errorf("crsky: certain-model insert takes InsertSpec.Point alone")
+		case wantSamples:
+			return fmt.Errorf("crsky: sample-model insert takes InsertSpec.Samples alone")
+		default:
+			return fmt.Errorf("crsky: pdf-model insert takes InsertSpec.PDF alone")
+		}
+	}
+	return nil
+}
+
+// --- Engine (discrete-sample model) -----------------------------------
+
+// WithInsert implements Mutable: the new object is built from
+// spec.Samples under the next positional ID and validated exactly as
+// NewEngine validates (weights summing to one, uniform dimensionality).
+func (e *Engine) WithInsert(spec InsertSpec) (Explainer, int, error) {
+	if err := spec.check(false, true, false); err != nil {
+		return nil, 0, err
+	}
+	id := e.ds.Len()
+	nds, err := e.ds.WithInsert(uncertain.New(id, spec.Samples))
+	if err != nil {
+		return nil, 0, err
+	}
+	ne := &Engine{ds: nds}
+	nds.Tree().SetCounter(&ne.io)
+	return ne, id, nil
+}
+
+// WithDelete implements Mutable.
+func (e *Engine) WithDelete(id int) (Explainer, error) {
+	if id < 0 || id >= e.ds.Len() || e.ds.Objects[id] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, id)
+	}
+	nds, err := e.ds.WithDelete(id)
+	if err != nil {
+		return nil, err
+	}
+	ne := &Engine{ds: nds}
+	nds.Tree().SetCounter(&ne.io)
+	return ne, nil
+}
+
+// --- CertainEngine (certain data, Section 4) --------------------------
+
+// WithInsert implements Mutable. The successor's Section-4 reduction is
+// repaired incrementally from the receiver's cached one (the same
+// copy-on-write insert on the degenerate uncertain dataset) instead of
+// being rebuilt from scratch — and unlike the legacy in-place Insert, the
+// reduction stays available across tombstones, because the incremental
+// copy carries them as nil slots the verification arithmetic skips.
+func (e *CertainEngine) WithInsert(spec InsertSpec) (Explainer, int, error) {
+	if err := spec.check(true, false, false); err != nil {
+		return nil, 0, err
+	}
+	if err := checkDims(spec.Point, e.Dims()); err != nil {
+		return nil, 0, err
+	}
+	ix := e.ix.CloneCOW()
+	ne := &CertainEngine{ix: ix}
+	ix.SetCounter(&ne.io)
+	id := ix.Insert(spec.Point)
+	if red := e.cachedReduction(); red != nil {
+		if nred, err := red.WithInsert(uncertain.Certain(id, spec.Point)); err == nil {
+			nred.Tree().SetCounter(&ne.io)
+			ne.red = nred
+		}
+	}
+	return ne, id, nil
+}
+
+// WithDelete implements Mutable; see WithInsert for the incremental
+// reduction repair.
+func (e *CertainEngine) WithDelete(id int) (Explainer, error) {
+	if id < 0 || id >= e.ix.Len() || e.ix.Deleted(id) {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, id)
+	}
+	ix := e.ix.CloneCOW()
+	ne := &CertainEngine{ix: ix}
+	ix.SetCounter(&ne.io)
+	if err := ix.Delete(id); err != nil {
+		return nil, err
+	}
+	if red := e.cachedReduction(); red != nil {
+		if nred, err := red.WithDelete(id); err == nil {
+			nred.Tree().SetCounter(&ne.io)
+			ne.red = nred
+		}
+	}
+	return ne, nil
+}
+
+// cachedReduction returns the receiver's Section-4 reduction, building it
+// if the data still permits (a legacy in-place Delete leaves it
+// unbuildable — the successor then reports the same verify/repair error
+// the receiver would).
+func (e *CertainEngine) cachedReduction() *dataset.Uncertain {
+	red, _ := e.reduction()
+	return red
+}
+
+// --- PDFEngine (continuous model) --------------------------------------
+
+// WithInsert implements Mutable. The payload object is copied with the
+// next positional ID stamped in; its Region/Mean/Sigma slices are shared
+// with the caller's object and must not be mutated afterwards.
+func (e *PDFEngine) WithInsert(spec InsertSpec) (Explainer, int, error) {
+	if err := spec.check(false, false, true); err != nil {
+		return nil, 0, err
+	}
+	no := *spec.PDF
+	no.ID = e.set.Len()
+	ns, err := e.set.WithInsert(&no)
+	if err != nil {
+		return nil, 0, err
+	}
+	ne := &PDFEngine{set: ns}
+	ns.Tree().SetCounter(&ne.io)
+	return ne, no.ID, nil
+}
+
+// WithDelete implements Mutable.
+func (e *PDFEngine) WithDelete(id int) (Explainer, error) {
+	if id < 0 || id >= e.set.Len() || e.set.Objects[id] == nil {
+		return nil, fmt.Errorf("%w: %d", ErrBadObject, id)
+	}
+	ns, err := e.set.WithDelete(id)
+	if err != nil {
+		return nil, err
+	}
+	ne := &PDFEngine{set: ns}
+	ns.Tree().SetCounter(&ne.io)
+	return ne, nil
+}
